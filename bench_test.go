@@ -1,0 +1,572 @@
+package lpm
+
+// Benchmark harness: one benchmark per table/figure of the paper (see
+// DESIGN.md §3), plus ablations of the design decisions DESIGN.md §4
+// calls out. The benchmarks attach the reproduced quantities as custom
+// metrics (LPMR1, Hsp, stall%, ...) so `go test -bench . -benchmem`
+// regenerates the paper's rows alongside runtime cost.
+
+import (
+	"fmt"
+	"testing"
+
+	"lpm/internal/core"
+	"lpm/internal/explore"
+	"lpm/internal/interval"
+	"lpm/internal/sched"
+	"lpm/internal/sim/cache"
+	"lpm/internal/sim/chip"
+	"lpm/internal/sim/cpu"
+	"lpm/internal/sim/dram"
+	"lpm/internal/sim/noc"
+	"lpm/internal/trace"
+)
+
+// benchScale keeps full-suite bench time reasonable on one core.
+func benchScale() Scale { return QuickScale() }
+
+// BenchmarkFig1CAMATDemo regenerates the paper's Fig. 1 worked example
+// (C-AMAT = 1.6 vs AMAT = 3.8).
+func BenchmarkFig1CAMATDemo(b *testing.B) {
+	var p LayerParams
+	for i := 0; i < b.N; i++ {
+		p = Fig1()
+	}
+	b.ReportMetric(p.CAMAT(), "C-AMAT")
+	b.ReportMetric(p.AMAT(), "AMAT")
+	b.ReportMetric(p.CH(), "C_H")
+	b.ReportMetric(p.PAMP(), "pAMP")
+}
+
+// BenchmarkTable1ConfigurationsAtoE regenerates Table I: the three LPMRs
+// and the stall fraction for each configuration A..E on the bwaves-like
+// workload.
+func BenchmarkTable1ConfigurationsAtoE(b *testing.B) {
+	for _, name := range []string{"A", "B", "C", "D", "E"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var m Measurement
+			for i := 0; i < b.N; i++ {
+				tgt := explore.NewHardwareTarget(explore.DefaultSpace(),
+					explore.TableConfigs()[name], trace.MustProfile("410.bwaves"))
+				tgt.Warmup = benchScale().Warmup
+				tgt.Instructions = benchScale().Window
+				m = tgt.Measure()
+			}
+			b.ReportMetric(m.LPMR1(), "LPMR1")
+			b.ReportMetric(m.LPMR2(), "LPMR2")
+			b.ReportMetric(m.LPMR3(), "LPMR3")
+			b.ReportMetric(100*m.MeasuredStall/m.CPIexe, "stall%CPIexe")
+		})
+	}
+}
+
+// BenchmarkCaseStudyIAlgorithm runs the Fig. 3 LPMR-reduction algorithm
+// over the million-point design space at both grains, reporting how many
+// simulations the guided search needed and the final state.
+func BenchmarkCaseStudyIAlgorithm(b *testing.B) {
+	for _, g := range []Grain{CoarseGrain, FineGrain} {
+		g := g
+		b.Run(g.String(), func(b *testing.B) {
+			var res CaseStudyIResult
+			for i := 0; i < b.N; i++ {
+				res = CaseStudyI(g, benchScale())
+			}
+			b.ReportMetric(float64(res.Evaluations), "simulations")
+			b.ReportMetric(res.Algorithm.Final.LPMR1(), "finalLPMR1")
+			b.ReportMetric(res.Final.Cost(), "hwCost")
+			b.ReportMetric(100*res.Algorithm.Final.MeasuredStall/res.Algorithm.Final.CPIexe, "stall%CPIexe")
+		})
+	}
+}
+
+// benchProfiles are the five benchmarks the paper discusses individually
+// in Figs. 6 and 7.
+var benchProfiles = []string{"401.bzip2", "403.gcc", "429.mcf", "416.gamess", "433.milc"}
+
+// BenchmarkFig6APC1Sweep regenerates Fig. 6: APC1 of each discussed
+// application at every NUCA L1 size.
+func BenchmarkFig6APC1Sweep(b *testing.B) {
+	for _, name := range benchProfiles {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var tbl *sched.ProfileTable
+			for i := 0; i < b.N; i++ {
+				var err error
+				tbl, err = sched.BuildProfileTable([]string{name}, chip.NUCAGroupSizes[:],
+					sched.ProfileOptions{Instructions: 12000, Warmup: 30000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for si, sz := range tbl.Sizes {
+				b.ReportMetric(tbl.APC1[name][si], "APC1@"+sizeLabel(sz))
+			}
+		})
+	}
+}
+
+// BenchmarkFig7APC2Sweep regenerates Fig. 7: APC2 (L2 demand) under the
+// same sweep.
+func BenchmarkFig7APC2Sweep(b *testing.B) {
+	for _, name := range benchProfiles {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var tbl *sched.ProfileTable
+			for i := 0; i < b.N; i++ {
+				var err error
+				tbl, err = sched.BuildProfileTable([]string{name}, chip.NUCAGroupSizes[:],
+					sched.ProfileOptions{Instructions: 12000, Warmup: 30000})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for si, sz := range tbl.Sizes {
+				b.ReportMetric(tbl.APC2[name][si], "APC2@"+sizeLabel(sz))
+			}
+		})
+	}
+}
+
+func sizeLabel(sz uint64) string {
+	switch sz {
+	case 4 << 10:
+		return "4KB"
+	case 16 << 10:
+		return "16KB"
+	case 32 << 10:
+		return "32KB"
+	case 64 << 10:
+		return "64KB"
+	default:
+		return "other"
+	}
+}
+
+// fig8Fixtures builds the profiling table and alone-IPC reference shared
+// by the Fig. 8 benchmark variants.
+func fig8Fixtures(b *testing.B) (*sched.ProfileTable, []float64, []string) {
+	b.Helper()
+	names := trace.ProfileNames()
+	tbl, err := sched.BuildProfileTable(names, chip.NUCAGroupSizes[:],
+		sched.ProfileOptions{Instructions: 10000, Warmup: 25000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	alone, err := sched.AloneIPCs(names, chip.NUCAGroupSizes[:],
+		sched.EvalOptions{WindowCycles: 80000, WarmupCycles: 40000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl, alone, names
+}
+
+// BenchmarkFig8SchedulingHsp regenerates Fig. 8: the Hsp of the four
+// scheduling policies on the heterogeneous 16-core chip.
+func BenchmarkFig8SchedulingHsp(b *testing.B) {
+	tbl, alone, names := fig8Fixtures(b)
+	opt := sched.EvalOptions{WindowCycles: 80000, WarmupCycles: 40000, AloneIPC: alone}
+	for _, policy := range []sched.Scheduler{
+		sched.Random{Seed: 1},
+		sched.RoundRobin{},
+		sched.NUCASA{Table: tbl, TolFrac: 0.10},
+		sched.NUCASA{Table: tbl, TolFrac: 0.01},
+	} {
+		policy := policy
+		b.Run(policy.Name(), func(b *testing.B) {
+			var hsp float64
+			for i := 0; i < b.N; i++ {
+				ev, err := sched.Evaluate(policy, names, chip.NUCAGroupSizes[:], opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hsp = ev.Hsp
+			}
+			b.ReportMetric(hsp, "Hsp")
+		})
+	}
+}
+
+// BenchmarkIntervalPerception regenerates the interval study: burst
+// perception rates at the paper's three sampling scenarios.
+func BenchmarkIntervalPerception(b *testing.B) {
+	for _, sc := range interval.PaperScenarios() {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			var r interval.SimulateResult
+			for i := 0; i < b.N; i++ {
+				r = interval.Simulate(interval.DefaultProfile(), sc, 100000, 42)
+			}
+			b.ReportMetric(r.Rate(), "perceived")
+			b.ReportMetric(interval.PerceptionRate(interval.DefaultProfile(), sc), "analytic")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §4).
+
+// BenchmarkAblationPureVsConventionalMiss contrasts the stall predictions
+// of the concurrency-aware model (Eq. 7, pure misses) and the
+// conventional AMAT model (Eq. 6) against the simulator's measured stall:
+// the pure-miss distinction is what keeps the model honest.
+func BenchmarkAblationPureVsConventionalMiss(b *testing.B) {
+	var camatErr, amatErr float64
+	for i := 0; i < b.N; i++ {
+		cfg := chip.SingleCore("410.bwaves")
+		gen := trace.NewSynthetic(trace.MustProfile("410.bwaves"))
+		cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, 3, 15000)
+		ch := chip.New(cfg)
+		ch.RunUntilRetired(benchScale().Warmup, 80_000_000)
+		ch.ResetCounters()
+		ch.Run(benchScale().Warmup+benchScale().Window, 80_000_000)
+		m := ch.Measure(0, cpiExe)
+		l1 := ch.Snapshot().Cores[0].L1
+		measured := m.MeasuredStall
+		if measured == 0 {
+			continue
+		}
+		camat := m.StallEq7()
+		amat := m.Fmem * l1.AMAT() // Eq. (6): no concurrency, no overlap
+		camatErr = relErr(camat, measured)
+		amatErr = relErr(amat, measured)
+	}
+	b.ReportMetric(100*camatErr, "CAMATmodelErr%")
+	b.ReportMetric(100*amatErr, "AMATmodelErr%")
+}
+
+func relErr(pred, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	return abs(pred-truth) / truth
+}
+
+// BenchmarkAblationCoalescing contrasts MSHR coalescing on/off on a
+// streaming workload. The latency paths converge (a waiting secondary
+// completes when the primary's fill lands either way), so the cost of
+// disabling coalescing is duplicated downstream traffic: secondary
+// misses park in the waiting room (MSHRwaits) instead of riding an
+// existing MSHR; in this substrate the fill wakes them a cycle later, so
+// the timing difference is small — the unit tests pin the traffic dedup.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	for _, coalesce := range []bool{true, false} {
+		coalesce := coalesce
+		name := "coalesce"
+		if !coalesce {
+			name = "no-coalesce"
+		}
+		b.Run(name, func(b *testing.B) {
+			var ipc, fetches float64
+			for i := 0; i < b.N; i++ {
+				cfg := chip.SingleCore("410.bwaves")
+				cfg.Cores[0].L1.Coalesce = coalesce
+				ch := chip.New(cfg)
+				ch.RunCycles(20000)
+				ch.ResetCounters()
+				ch.RunCycles(60000)
+				r := ch.Snapshot()
+				ipc = r.Cores[0].CPU.IPC()
+				fetches = float64(r.Cores[0].L1Stats.MSHRWaits)
+			}
+			b.ReportMetric(ipc, "IPC")
+			b.ReportMetric(fetches, "MSHRwaits")
+		})
+	}
+}
+
+// reversedTarget flips the optimization order: L2 before L1 — the
+// ablation of the paper's "match LPMR1 before LPMR2" rule.
+type reversedTarget struct{ *explore.HardwareTarget }
+
+func (r reversedTarget) OptimizeL1() bool { return r.HardwareTarget.OptimizeL2() }
+func (r reversedTarget) OptimizeL2() bool { return r.HardwareTarget.OptimizeL1() }
+
+// BenchmarkAblationMatchOrder compares the paper's L1-first matching
+// order against an L2-first variant: evaluations spent and final stall.
+func BenchmarkAblationMatchOrder(b *testing.B) {
+	run := func(reversed bool) (evals int, stallPct float64) {
+		tgt := explore.NewHardwareTarget(explore.DefaultSpace(),
+			explore.TableConfigs()["A"], trace.MustProfile("410.bwaves"))
+		tgt.Warmup = benchScale().Warmup
+		tgt.Instructions = benchScale().Window
+		var t core.Target = tgt
+		if reversed {
+			t = reversedTarget{tgt}
+		}
+		res := core.Run(t, core.AlgorithmConfig{Grain: core.CoarseGrain, MaxSteps: 32})
+		return tgt.Evaluations(), 100 * res.Final.MeasuredStall / res.Final.CPIexe
+	}
+	for _, reversed := range []bool{false, true} {
+		reversed := reversed
+		name := "L1-first(paper)"
+		if reversed {
+			name = "L2-first(ablation)"
+		}
+		b.Run(name, func(b *testing.B) {
+			var evals int
+			var stall float64
+			for i := 0; i < b.N; i++ {
+				evals, stall = run(reversed)
+			}
+			b.ReportMetric(float64(evals), "simulations")
+			b.ReportMetric(stall, "stall%CPIexe")
+		})
+	}
+}
+
+// BenchmarkAblationSchedulerTwoFold contrasts the full two-fold NUCA-SA
+// against a fold-1-only variant whose L2-demand information is erased.
+func BenchmarkAblationSchedulerTwoFold(b *testing.B) {
+	tbl, alone, names := fig8Fixtures(b)
+	// Fold-1-only: zero out APC2 so the L2-contention keys vanish.
+	blind := &sched.ProfileTable{
+		Sizes: tbl.Sizes, Workloads: tbl.Workloads,
+		APC1: tbl.APC1, IPC: tbl.IPC,
+		APC2: map[string][]float64{},
+	}
+	for _, n := range names {
+		blind.APC2[n] = make([]float64, len(tbl.Sizes))
+	}
+	opt := sched.EvalOptions{WindowCycles: 80000, WarmupCycles: 40000, AloneIPC: alone}
+	for _, variant := range []struct {
+		name string
+		tbl  *sched.ProfileTable
+	}{
+		{"two-fold(paper)", tbl},
+		{"fold1-only(ablation)", blind},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			var hsp float64
+			for i := 0; i < b.N; i++ {
+				ev, err := sched.Evaluate(sched.NUCASA{Table: variant.tbl, TolFrac: 0.01},
+					names, chip.NUCAGroupSizes[:], opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hsp = ev.Hsp
+			}
+			b.ReportMetric(hsp, "Hsp")
+		})
+	}
+}
+
+// BenchmarkAblationL2Insertion contrasts MRU vs BIP insertion in the
+// shared L2 under a reuse + streaming co-run: selective insertion keeps
+// the reused working set resident ("selective cache replacement", the
+// paper's future work).
+func BenchmarkAblationL2Insertion(b *testing.B) {
+	for _, ins := range []cache.InsertPolicy{cache.MRUInsert, cache.BIPInsert} {
+		ins := ins
+		b.Run(ins.String(), func(b *testing.B) {
+			var ipcReuse float64
+			for i := 0; i < b.N; i++ {
+				gens := []trace.Generator{
+					trace.NewSynthetic(trace.MustProfile("403.gcc")),  // reuse
+					trace.NewSynthetic(trace.MustProfile("433.milc")), // stream
+					trace.NewSynthetic(trace.MustProfile("470.lbm")),  // stream
+					trace.NewSynthetic(trace.MustProfile("429.mcf")),  // stream-ish
+				}
+				cfg := chip.NUCA16(gens)
+				cfg.L2.Insert = ins
+				cfg.L2.Size = 1 * chip.MB // tight LLC: streams can hurt reuse
+				ch := chip.New(cfg)
+				ch.RunCycles(40000)
+				ch.ResetCounters()
+				ch.RunCycles(80000)
+				ipcReuse = ch.Snapshot().Cores[0].CPU.IPC()
+			}
+			b.ReportMetric(ipcReuse, "gccIPC")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch contrasts next-line prefetching degrees on
+// the streaming bwaves workload.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, degree := range []int{0, 1, 2, 4} {
+		degree := degree
+		b.Run(fmt.Sprintf("degree=%d", degree), func(b *testing.B) {
+			var ipc, useful float64
+			for i := 0; i < b.N; i++ {
+				cfg := chip.SingleCore("410.bwaves")
+				cfg.Cores[0].L1.Prefetch = degree
+				ch := chip.New(cfg)
+				ch.RunCycles(30000)
+				ch.ResetCounters()
+				ch.RunCycles(60000)
+				r := ch.Snapshot()
+				ipc = r.Cores[0].CPU.IPC()
+				if p := r.Cores[0].L1Stats.Prefetches; p > 0 {
+					useful = float64(r.Cores[0].L1Stats.PrefetchUseful) / float64(p)
+				}
+			}
+			b.ReportMetric(ipc, "IPC")
+			b.ReportMetric(useful, "usefulFrac")
+		})
+	}
+}
+
+// BenchmarkSMTConcurrency regenerates the §II claim that SMT raises hit
+// and miss concurrency: the L1's C_H, C_M and APC for 1 vs 2 hardware
+// threads of a pointer-chasing workload on one core.
+func BenchmarkSMTConcurrency(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		threads := threads
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			var ch, cm, apc float64
+			for i := 0; i < b.N; i++ {
+				l1 := cache.New(cache.Config{
+					Name: "L1", Size: 32 << 10, BlockSize: 64, Assoc: 4,
+					HitLatency: 3, Ports: 4, Banks: 8, MSHRs: 16, Coalesce: true,
+				})
+				lower := &dram.Fixed{Latency: 30}
+				l1.SetLower(lower)
+				gens := make([]trace.Generator, threads)
+				for t := range gens {
+					p := trace.MustProfile("429.mcf")
+					p.Seed = uint64(t + 1)
+					gens[t] = trace.WithOffset(trace.NewSynthetic(p), uint64(t)<<33)
+				}
+				s := cpu.NewSMT(cpu.Config{Name: "smt", IssueWidth: 4, ROBSize: 48, IWSize: 48, LSQSize: 24}, gens, l1)
+				for cy := uint64(1); cy <= 300000 && s.Retired() < 20000; cy++ {
+					s.Tick(cy)
+					l1.Tick(cy)
+					lower.Tick(cy)
+				}
+				p := l1.Analyzer().Snapshot()
+				ch, cm, apc = p.CH(), p.CM(), p.APC()
+			}
+			b.ReportMetric(ch, "C_H")
+			b.ReportMetric(cm, "C_M")
+			b.ReportMetric(apc, "APC")
+		})
+	}
+}
+
+// BenchmarkNoCBandwidth sweeps the interconnect bandwidth of the 16-core
+// chip: narrowing the fabric inflates queueing and the L2 C-AMAT seen by
+// the analyzers — layered mismatch moving into the interconnect.
+func BenchmarkNoCBandwidth(b *testing.B) {
+	for _, bw := range []int{1, 4, 16} {
+		bw := bw
+		b.Run(fmt.Sprintf("bw=%d", bw), func(b *testing.B) {
+			var camat2, queueing float64
+			for i := 0; i < b.N; i++ {
+				gens := make([]trace.Generator, 16)
+				for t, nme := range trace.ProfileNames() {
+					gens[t] = trace.NewSynthetic(trace.MustProfile(nme))
+				}
+				cfg := chip.NUCA16(gens)
+				n := noc.Default(16)
+				n.Bandwidth = bw
+				cfg.NoC = &n
+				ch := chip.New(cfg)
+				ch.RunCycles(30000)
+				ch.ResetCounters()
+				ch.RunCycles(60000)
+				camat2 = ch.L2().Analyzer().Snapshot().CAMAT()
+				queueing = ch.Router().Stats().AvgQueueing()
+			}
+			b.ReportMetric(camat2, "C-AMAT2")
+			b.ReportMetric(queueing, "nocQueue")
+		})
+	}
+}
+
+// BenchmarkCoherenceSharing sweeps the true-sharing fraction on a
+// coherent 4-program chip: invalidation traffic grows and throughput
+// falls — the coherence component of data stall time (§III-A).
+func BenchmarkCoherenceSharing(b *testing.B) {
+	for _, frac := range []float64{0, 0.1, 0.3} {
+		frac := frac
+		b.Run(fmt.Sprintf("shared=%.0f%%", 100*frac), func(b *testing.B) {
+			var instr, inval float64
+			for i := 0; i < b.N; i++ {
+				gens := make([]trace.Generator, 16)
+				for t := 0; t < 4; t++ {
+					p := trace.MustProfile("456.hmmer")
+					p.Seed = uint64(t + 1)
+					gens[t] = trace.WithSharedRegion(trace.NewSynthetic(p),
+						trace.GlobalBase, 8*chip.KB, frac, uint64(t+1))
+				}
+				cfg := chip.NUCA16(gens)
+				cfg.Coherent = true
+				cfg.CoherenceInvalLatency = 8
+				ch := chip.New(cfg)
+				ch.RunCycles(30000)
+				ch.ResetCounters()
+				ch.RunCycles(60000)
+				var total uint64
+				for t := 0; t < 4; t++ {
+					total += ch.Snapshot().Cores[t].CPU.Instructions
+				}
+				instr = float64(total)
+				inval = float64(ch.Directory().Stats().Invalidations)
+			}
+			b.ReportMetric(instr, "instrs")
+			b.ReportMetric(inval, "invalidations")
+		})
+	}
+}
+
+// BenchmarkChipThroughput measures raw simulator speed: simulated cycles
+// per second for the 16-core NUCA chip under full load.
+func BenchmarkChipThroughput(b *testing.B) {
+	names := trace.ProfileNames()
+	gens := make([]trace.Generator, 16)
+	for i, n := range names {
+		gens[i] = trace.NewSynthetic(trace.MustProfile(n))
+	}
+	ch := chip.New(chip.NUCA16(gens))
+	b.ResetTimer()
+	ch.RunCycles(uint64(b.N))
+}
+
+// BenchmarkSingleCoreChipTick measures one single-core chip cycle.
+func BenchmarkSingleCoreChipTick(b *testing.B) {
+	ch := chip.New(chip.SingleCore("403.gcc"))
+	b.ResetTimer()
+	ch.RunCycles(uint64(b.N))
+}
+
+// BenchmarkDRAMRequest measures the memory controller's per-request cost.
+func BenchmarkDRAMRequest(b *testing.B) {
+	d := dram.New(dram.DDR3("bench"))
+	var cy uint64
+	for i := 0; i < b.N; i++ {
+		for !d.Request(cy, 0, uint64(i*97), false, func(uint64) {}) {
+			cy++
+			d.Tick(cy)
+		}
+		cy++
+		d.Tick(cy)
+	}
+}
+
+// BenchmarkCacheHit measures the cache's steady-state hit path.
+func BenchmarkCacheHit(b *testing.B) {
+	cfg := cache.Config{
+		Name: "bench", Size: 32 << 10, BlockSize: 64, Assoc: 4,
+		HitLatency: 3, Ports: 2, Banks: 4, MSHRs: 8, Coalesce: true,
+	}
+	c := cache.New(cfg)
+	low := &dram.Fixed{Latency: 10}
+	c.SetLower(low)
+	var cy uint64
+	// Warm one block.
+	c.Access(cy, 0, false, nil)
+	for i := 0; i < 50; i++ {
+		cy++
+		c.Tick(cy)
+		low.Tick(cy)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cy++
+		c.Access(cy, 0, false, nil)
+		c.Tick(cy)
+		low.Tick(cy)
+	}
+}

@@ -1,0 +1,70 @@
+// Command lpmexplore runs the paper's case study I: LPM-guided design
+// space exploration on a reconfigurable single-core architecture. It
+// starts from Table I's configuration A and walks the one-million-point
+// space with the Fig. 3 LPMR-reduction algorithm, printing each step.
+//
+// Usage:
+//
+//	lpmexplore -grain fine -workload 410.bwaves
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lpm/internal/core"
+	"lpm/internal/explore"
+	"lpm/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "410.bwaves", "built-in workload profile")
+		grain    = flag.String("grain", "fine", "stall target: fine (1%) or coarse (10%)")
+		warmup   = flag.Uint64("warmup", 250000, "warm-up instructions per evaluation")
+		window   = flag.Uint64("window", 30000, "measured instructions per evaluation")
+		start    = flag.String("start", "A", "starting Table I configuration (A..E)")
+		maxSteps = flag.Int("maxsteps", 32, "algorithm step bound")
+	)
+	flag.Parse()
+
+	prof, err := trace.ProfileByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g := core.FineGrain
+	if *grain == "coarse" {
+		g = core.CoarseGrain
+	}
+	startPt, ok := explore.TableConfigs()[*start]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown start configuration %q\n", *start)
+		os.Exit(1)
+	}
+
+	space := explore.DefaultSpace()
+	tgt := explore.NewHardwareTarget(space, startPt, prof)
+	tgt.Warmup = *warmup
+	tgt.Instructions = *window
+
+	fmt.Printf("design space: %d points; start: %s (%s)\n", space.Size(), *start, startPt)
+	res, final := tgt.RunAlgorithm(core.AlgorithmConfig{Grain: g, SlackFrac: 0.5, MaxSteps: *maxSteps})
+
+	for i, st := range res.Steps {
+		t2 := "-"
+		if st.T2Valid {
+			t2 = fmt.Sprintf("%.3f", st.T2)
+		}
+		fmt.Printf("step %2d  case %-26s LPMR1=%.3f LPMR2=%.3f  T1=%.3f T2=%s  stall=%.4f\n",
+			i+1, st.Case, st.Before.LPMR1(), st.Before.LPMR2(), st.T1, t2, st.Before.MeasuredStall)
+	}
+	fmt.Println()
+	fmt.Printf("final configuration: %s  (cost %.0f)\n", final, final.Cost())
+	fmt.Printf("final: %s  stall=%.4f (%.2f%% of CPIexe)\n",
+		res.Final, res.Final.MeasuredStall, 100*res.Final.MeasuredStall/res.Final.CPIexe)
+	fmt.Printf("converged=%v metTarget=%v  simulations=%d (%.4f%% of the space)\n",
+		res.Converged, res.MetTarget, tgt.Evaluations(),
+		100*float64(tgt.Evaluations())/float64(space.Size()))
+}

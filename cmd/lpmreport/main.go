@@ -1,0 +1,156 @@
+// Command lpmreport regenerates every table and figure of the paper and
+// prints paper-reported values next to this reproduction's measurements.
+// See DESIGN.md §3 for the experiment index.
+//
+// Usage:
+//
+//	lpmreport                      # everything, full scale
+//	lpmreport -quick               # everything, reduced budgets
+//	lpmreport -experiment table1   # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lpm"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"one of: fig1, table1, casestudy1, fig6, fig7, fig8, interval, identities, all")
+		quick = flag.Bool("quick", false, "reduced simulation budgets")
+	)
+	flag.Parse()
+
+	scale := lpm.FullScale()
+	if *quick {
+		scale = lpm.QuickScale()
+	}
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		fmt.Printf("==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig1", func() error { return fig1() })
+	run("table1", func() error { return table1(scale) })
+	run("casestudy1", func() error { return caseStudy1(scale) })
+	run("fig6", func() error { return fig67(scale, true) })
+	run("fig7", func() error { return fig67(scale, false) })
+	run("fig8", func() error { return fig8(scale) })
+	run("interval", func() error { return intervalStudy() })
+	run("identities", func() error { return identities(scale) })
+}
+
+func fig1() error {
+	p := lpm.Fig1()
+	ref := lpm.Fig1Reference()
+	fmt.Println("Fig. 1 worked example (paper vs measured):")
+	fmt.Printf("  C-AMAT  %.3f  vs  %.3f\n", ref.CAMAT, p.CAMAT())
+	fmt.Printf("  AMAT    %.3f  vs  %.3f\n", ref.AMAT, p.AMAT())
+	fmt.Printf("  C_H     %.3f  vs  %.3f\n", ref.CH, p.CH())
+	fmt.Printf("  C_M     %.3f  vs  %.3f\n", ref.CM, p.CM())
+	fmt.Printf("  pAMP    %.3f  vs  %.3f\n", ref.PAMP, p.PAMP())
+	fmt.Printf("  pMR     %.3f  vs  %.3f\n", ref.PMR, p.PMR())
+	fmt.Printf("  1/APC = %.3f (Eq. 3 check)\n", 1/p.APC())
+	return nil
+}
+
+func table1(s lpm.Scale) error {
+	fmt.Println("Table I — LPMRs under configurations with incremental parallelism (410.bwaves-like):")
+	fmt.Printf("%-4s %-48s %-24s %-24s %s\n", "cfg", "point", "paper LPMR1/2/3", "measured LPMR1/2/3", "stall% of CPIexe")
+	for _, r := range lpm.Table1(s) {
+		fmt.Printf("%-4s %-48s %4.1f / %4.1f / %4.1f       %5.2f / %5.2f / %5.2f     %5.1f%%\n",
+			r.Name, r.Point,
+			r.PaperLPMR[0], r.PaperLPMR[1], r.PaperLPMR[2],
+			r.M.LPMR1(), r.M.LPMR2(), r.M.LPMR3(),
+			100*r.M.MeasuredStall/r.M.CPIexe)
+	}
+	return nil
+}
+
+func caseStudy1(s lpm.Scale) error {
+	for _, g := range []lpm.Grain{lpm.CoarseGrain, lpm.FineGrain} {
+		res := lpm.CaseStudyI(g, s)
+		fmt.Printf("case study I, %s: steps=%d simulations=%d of %d (%.4f%%)\n",
+			g, len(res.Algorithm.Steps), res.Evaluations, res.SpaceSize,
+			100*float64(res.Evaluations)/float64(res.SpaceSize))
+		fmt.Printf("  final point: %s (cost %.0f)\n", res.Final, res.Final.Cost())
+		fmt.Printf("  final LPMR1=%.3f stall=%.4f (%.2f%% of CPIexe) converged=%v met=%v\n",
+			res.Algorithm.Final.LPMR1(), res.Algorithm.Final.MeasuredStall,
+			100*res.Algorithm.Final.MeasuredStall/res.Algorithm.Final.CPIexe,
+			res.Algorithm.Converged, res.Algorithm.MetTarget)
+	}
+	return nil
+}
+
+func fig67(s lpm.Scale, apc1 bool) error {
+	res, err := lpm.Fig67(s)
+	if err != nil {
+		return err
+	}
+	t := res.Table
+	which := "APC1 (Fig. 6: L1 supply rate)"
+	data := t.APC1
+	if !apc1 {
+		which = "APC2 (Fig. 7: L2 demand)"
+		data = t.APC2
+	}
+	fmt.Printf("%s per private L1 data cache size:\n", which)
+	fmt.Printf("%-16s", "workload")
+	for _, sz := range t.Sizes {
+		fmt.Printf(" %7dKB", sz/1024)
+	}
+	fmt.Println()
+	for _, n := range t.Workloads {
+		fmt.Printf("%-16s", n)
+		for i := range t.Sizes {
+			fmt.Printf(" %9.4f", data[n][i])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func fig8(s lpm.Scale) error {
+	rows, err := lpm.Fig8(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 8 — Hsp of scheduling schemes on the NUCA 16-core CMP (paper vs measured):")
+	for _, r := range rows {
+		fmt.Printf("  %-12s %.4f  vs  %.4f\n", r.Scheduler, r.PaperHsp, r.Hsp)
+	}
+	return nil
+}
+
+func intervalStudy() error {
+	fmt.Println("Interval study — burst patterns perceived and processed timely (paper vs analytic vs simulated):")
+	for _, r := range lpm.IntervalStudy(0) {
+		fmt.Printf("  %-16s %.2f  vs  %.4f  vs  %.4f\n", r.Scenario, r.Paper, r.Analytic, r.Simulated)
+	}
+	return nil
+}
+
+func identities(s lpm.Scale) error {
+	reps, err := lpm.Identities(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Model identities on live simulations:")
+	for _, r := range reps {
+		fmt.Printf("  %-14s |C-AMAT-1/APC|=%.2g  Eq4 rel.err=%.1f%%  stall model=%.4f measured=%.4f\n",
+			r.Workload, r.CAMATvsInvAPC, 100*r.RecursionRelErr, r.StallModel, r.StallMeasured)
+	}
+	return nil
+}

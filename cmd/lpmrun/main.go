@@ -1,0 +1,87 @@
+// Command lpmrun simulates one workload on a single-core chip and prints
+// the full C-AMAT / LPM report: per-layer analyzer parameters, the three
+// LPMRs, η, and modelled vs measured data stall time.
+//
+// Usage:
+//
+//	lpmrun -workload 403.gcc -instructions 30000 -l1 32768
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lpm/internal/sim/chip"
+	"lpm/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "410.bwaves", "built-in workload profile (see -list)")
+		list     = flag.Bool("list", false, "list built-in workloads and exit")
+		instr    = flag.Uint64("instructions", 30000, "instructions in the measured window")
+		warmup   = flag.Uint64("warmup", 150000, "warm-up instructions discarded before measuring")
+		l1Size   = flag.Uint64("l1", 32*chip.KB, "L1 data cache size in bytes")
+		l1Ports  = flag.Int("l1ports", 2, "L1 ports")
+		l1MSHRs  = flag.Int("mshrs", 8, "L1 MSHR count")
+		l2Size   = flag.Uint64("l2", 4*chip.MB, "L2 size in bytes")
+		l2Banks  = flag.Int("l2banks", 8, "L2 interleaving (banks)")
+		issue    = flag.Int("issue", 4, "pipeline issue width")
+		iw       = flag.Int("iw", 32, "instruction window size")
+		rob      = flag.Int("rob", 64, "ROB size")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(trace.ProfileNames(), "\n"))
+		return
+	}
+	prof, err := trace.ProfileByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := chip.SingleCore(*workload)
+	cfg.Cores[0].CPU.IssueWidth = *issue
+	cfg.Cores[0].CPU.IWSize = *iw
+	cfg.Cores[0].CPU.LSQSize = *iw
+	cfg.Cores[0].CPU.ROBSize = *rob
+	cfg.Cores[0].L1 = chip.DefaultL1("L1D-0", *l1Size)
+	cfg.Cores[0].L1.Ports = *l1Ports
+	cfg.Cores[0].L1.MSHRs = *l1MSHRs
+	cfg.L2 = chip.DefaultL2("L2", *l2Size)
+	cfg.L2.Banks = *l2Banks
+
+	gen := trace.NewSynthetic(prof)
+	cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), *instr)
+
+	ch := chip.New(cfg)
+	budget := (*warmup + *instr) * 600
+	ch.RunUntilRetired(*warmup, budget)
+	ch.ResetCounters()
+	ch.Run(*warmup+*instr, budget)
+
+	r := ch.Snapshot()
+	m := ch.Measure(0, cpiExe)
+
+	fmt.Printf("workload   %s  (fmem=%.3f, footprint=%d KB)\n", *workload, m.Fmem, prof.Footprint/1024)
+	fmt.Printf("core       issue=%d IW=%d ROB=%d   CPIexe=%.3f  IPC=%.3f\n", *issue, *iw, *rob, cpiExe, m.IPC)
+	fmt.Printf("L1         %s\n", r.Cores[0].L1)
+	fmt.Printf("L2         %s\n", r.L2)
+	fmt.Printf("memory     reads=%d writes=%d avgReadLat=%.1f APC3=%.4f rowHit/miss/conf=%d/%d/%d\n",
+		r.Mem.Reads, r.Mem.Writes, r.Mem.AvgReadLatency(), r.Mem.APC(),
+		r.Mem.RowHits, r.Mem.RowMisses, r.Mem.RowConflicts)
+	fmt.Println()
+	fmt.Printf("LPMR1=%.3f  LPMR2=%.3f  LPMR3=%.3f   eta=%.4f  overlap=%.3f\n",
+		m.LPMR1(), m.LPMR2(), m.LPMR3(), m.Eta(), m.OverlapRatio)
+	fmt.Printf("thresholds T1(1%%)=%.3f T1(10%%)=%.3f", m.T1(1), m.T1(10))
+	if t2, ok := m.T2(1); ok {
+		fmt.Printf("  T2(1%%)=%.3f", t2)
+	}
+	fmt.Println()
+	fmt.Printf("data stall per instruction: model(Eq.12)=%.4f  model(Eq.13)=%.4f  measured=%.4f  (%.1f%% of CPIexe)\n",
+		m.StallEq12(), m.StallEq13(), m.MeasuredStall, 100*m.MeasuredStall/cpiExe)
+}

@@ -1,0 +1,77 @@
+// Command lpmsched runs the paper's case study II: scheduling the sixteen
+// built-in workloads onto the Fig. 5 heterogeneous-L1 16-core CMP. It
+// prints the per-workload profiling table (the Fig. 6 / Fig. 7 data), the
+// NUCA-SA placements, and the Fig. 8 Hsp comparison of the four policies.
+//
+// Usage:
+//
+//	lpmsched -window 120000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lpm/internal/sched"
+	"lpm/internal/sim/chip"
+	"lpm/internal/trace"
+)
+
+func main() {
+	var (
+		profInstr = flag.Uint64("profinstr", 15000, "instructions per profiling run")
+		window    = flag.Uint64("window", 120000, "shared-run measured window (cycles)")
+		warmup    = flag.Uint64("warmup", 60000, "shared-run warm-up (cycles)")
+		seed      = flag.Uint64("seed", 1, "random-scheduler seed")
+	)
+	flag.Parse()
+
+	names := trace.ProfileNames()
+	sizes := chip.NUCAGroupSizes[:]
+
+	fmt.Println("profiling standalone APC1 / APC2 per L1 size (Fig. 6 / Fig. 7 data)...")
+	tbl, err := sched.BuildProfileTable(names, sizes, sched.ProfileOptions{Instructions: *profInstr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-16s %28s %28s %s\n", "workload", "APC1 @ 4/16/32/64 KB", "APC2 @ 4/16/32/64 KB", "req(fg)")
+	for _, n := range names {
+		req, _ := tbl.RequiredSize(n, 0.01)
+		a1, a2 := tbl.APC1[n], tbl.APC2[n]
+		fmt.Printf("%-16s %.3f %.3f %.3f %.3f     %.4f %.4f %.4f %.4f   %dKB\n",
+			n, a1[0], a1[1], a1[2], a1[3], a2[0], a2[1], a2[2], a2[3], req/1024)
+	}
+
+	opt := sched.EvalOptions{WindowCycles: *window, WarmupCycles: *warmup}
+	alone, err := sched.AloneIPCs(names, sizes, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opt.AloneIPC = alone
+
+	fmt.Println("\nevaluating schedulers (Fig. 8)...")
+	policies := []sched.Scheduler{
+		sched.Random{Seed: *seed},
+		sched.RoundRobin{},
+		sched.NUCASA{Table: tbl, TolFrac: 0.10},
+		sched.NUCASA{Table: tbl, TolFrac: 0.01},
+	}
+	for _, p := range policies {
+		ev, err := sched.Evaluate(p, names, sizes, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s Hsp=%.4f\n", ev.Scheduler, ev.Hsp)
+		if _, isNUCA := p.(sched.NUCASA); isNUCA {
+			for core, w := range ev.Assignment {
+				if w >= 0 {
+					fmt.Printf("    core %2d (%2d KB) <- %s\n", core, sizes[core/4]/1024, names[w])
+				}
+			}
+		}
+	}
+}

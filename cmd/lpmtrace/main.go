@@ -1,0 +1,133 @@
+// Command lpmtrace records, inspects and replays instruction traces in
+// the repository's binary trace format.
+//
+// Usage:
+//
+//	lpmtrace -record gcc.trc -workload 403.gcc -n 100000   # record
+//	lpmtrace -stat gcc.trc                                 # inspect
+//	lpmtrace -replay gcc.trc -instructions 50000           # simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lpm/internal/sim/chip"
+	"lpm/internal/trace"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record a trace to this file")
+		stat     = flag.String("stat", "", "print statistics of this trace file")
+		replay   = flag.String("replay", "", "simulate this trace file on a single-core chip")
+		workload = flag.String("workload", "403.gcc", "built-in workload to record")
+		n        = flag.Int("n", 100000, "instructions to record")
+		instr    = flag.Uint64("instructions", 50000, "instructions to simulate on replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		if err := doRecord(*record, *workload, *n); err != nil {
+			fail(err)
+		}
+	case *stat != "":
+		if err := doStat(*stat); err != nil {
+			fail(err)
+		}
+	case *replay != "":
+		if err := doReplay(*replay, *instr); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func doRecord(path, workload string, n int) error {
+	prof, err := trace.ProfileByName(workload)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Record(f, trace.NewSynthetic(prof), n); err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
+		n, workload, path, info.Size(), float64(info.Size())/float64(n))
+	return nil
+}
+
+func doStat(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rp, err := trace.NewReplayer(f)
+	if err != nil {
+		return err
+	}
+	var loads, stores, compute, deps uint64
+	for i := 0; i < rp.Len(); i++ {
+		in := rp.Next()
+		switch in.Kind {
+		case trace.Load:
+			loads++
+		case trace.Store:
+			stores++
+		default:
+			compute++
+		}
+		if in.Dep != 0 {
+			deps++
+		}
+	}
+	total := uint64(rp.Len())
+	fmt.Printf("trace      %s (%q)\n", path, rp.Name())
+	fmt.Printf("instrs     %d\n", total)
+	fmt.Printf("loads      %d (%.1f%%)\n", loads, 100*float64(loads)/float64(total))
+	fmt.Printf("stores     %d (%.1f%%)\n", stores, 100*float64(stores)/float64(total))
+	fmt.Printf("compute    %d (%.1f%%)\n", compute, 100*float64(compute)/float64(total))
+	fmt.Printf("dependent  %d (%.1f%%)\n", deps, 100*float64(deps)/float64(total))
+	return nil
+}
+
+func doReplay(path string, instr uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rp, err := trace.NewReplayer(f)
+	if err != nil {
+		return err
+	}
+	cfg := chip.SingleCore("403.gcc") // geometry only; the workload is the trace
+	cfg.Name = "replay-" + rp.Name()
+	cfg.Cores[0].Workload = rp
+	ch := chip.New(cfg)
+	cycles, done := ch.Run(instr, instr*2000)
+	r := ch.Snapshot()
+	fmt.Printf("replayed %q: %d instructions in %d cycles (IPC %.3f, complete=%v)\n",
+		rp.Name(), r.Cores[0].CPU.Instructions, cycles, r.Cores[0].CPU.IPC(), done)
+	fmt.Printf("L1: %s\n", r.Cores[0].L1)
+	fmt.Printf("L2: %s\n", r.L2)
+	return nil
+}

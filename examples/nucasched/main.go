@@ -1,0 +1,65 @@
+// Nucasched runs the paper's case study II end to end: sixteen workloads
+// are profiled standalone on the four NUCA L1 sizes (the Fig. 6/7 data),
+// then scheduled onto the Fig. 5 heterogeneous 16-core CMP by four
+// policies — Random, Round-Robin, and the LPM-guided NUCA-SA in coarse
+// and fine grain — and compared by harmonic weighted speedup (Fig. 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lpm"
+	"lpm/internal/sched"
+	"lpm/internal/sim/chip"
+)
+
+func main() {
+	names := lpm.Workloads()
+	sizes := chip.NUCAGroupSizes[:]
+
+	fmt.Println("profiling 16 workloads x 4 L1 sizes (standalone)...")
+	table, err := sched.BuildProfileTable(names, sizes, sched.ProfileOptions{Instructions: 12000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %-10s %s\n", "workload", "req(fg)", "APC1 at 4/16/32/64 KB")
+	for _, n := range names {
+		req, _ := table.RequiredSize(n, 0.01)
+		a := table.APC1[n]
+		fmt.Printf("%-16s %6d KB  %.3f / %.3f / %.3f / %.3f\n",
+			n, req/1024, a[0], a[1], a[2], a[3])
+	}
+
+	opt := sched.EvalOptions{WindowCycles: 100000, WarmupCycles: 50000}
+	alone, err := sched.AloneIPCs(names, sizes, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt.AloneIPC = alone
+
+	fmt.Println("\nscheduling and measuring Hsp (Fig. 8)...")
+	var best *sched.Evaluation
+	for _, policy := range []sched.Scheduler{
+		sched.Random{Seed: 1},
+		sched.RoundRobin{},
+		sched.NUCASA{Table: table, TolFrac: 0.10},
+		sched.NUCASA{Table: table, TolFrac: 0.01},
+	} {
+		ev, err := sched.Evaluate(policy, names, sizes, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s Hsp = %.4f\n", ev.Scheduler, ev.Hsp)
+		if best == nil || ev.Hsp > best.Hsp {
+			best = ev
+		}
+	}
+
+	fmt.Printf("\nbest policy: %s — placement:\n", best.Scheduler)
+	for core, w := range best.Assignment {
+		if w >= 0 {
+			fmt.Printf("  core %2d (%2d KB L1) <- %s\n", core, sizes[core/4]/1024, names[w])
+		}
+	}
+}

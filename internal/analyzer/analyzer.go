@@ -1,0 +1,154 @@
+// Package analyzer implements the paper's C-AMAT detecting system (Fig. 4):
+// a per-layer Hit Concurrency Detector (HCD) and Miss Concurrency Detector
+// (MCD). Attached to one layer of a memory hierarchy, it classifies every
+// cycle and every access using the rules of the paper's Fig. 1:
+//
+//   - every access spends its hit-operation cycles (the layer's hit
+//     latency) in the hit phase, whether it ultimately hits or misses;
+//   - a missing access is outstanding in the miss phase from the end of
+//     its hit phase until its data returns;
+//   - a cycle with at least one outstanding miss and no hit-phase activity
+//     is a pure-miss cycle (the MCD consults the HCD for this);
+//   - a miss is a pure miss iff it experiences at least one pure-miss
+//     cycle.
+//
+// From the raw counters the analyzer derives all C-AMAT parameters:
+// H, C_H, C_M, C_m, MR, pMR, AMP, pAMP, APC — and thus C-AMAT (Eq. 2),
+// AMAT (Eq. 1) and η (Eq. 4). The definitions are arranged so that the
+// identity C-AMAT = 1/APC (Eq. 3) holds exactly; package tests verify it
+// on the paper's worked example and by property testing.
+package analyzer
+
+// Access is the analyzer's per-access record. Obtain one from
+// Analyzer.Start and thread it through ToMiss/Done. The zero value is
+// internal to the package; callers treat Access as opaque.
+type Access struct {
+	missing  bool
+	pure     bool
+	missIdx  int    // index in the outstanding-miss set while missing
+	missBeg  uint64 // cycle the miss phase began (for per-miss penalty)
+	hitBeg   uint64 // cycle the hit phase began
+	analyzer *Analyzer
+}
+
+// Pure reports whether the access has been classified a pure miss so far.
+func (ac *Access) Pure() bool { return ac.pure }
+
+// Missing reports whether the access is in its miss phase.
+func (ac *Access) Missing() bool { return ac.missing }
+
+// Analyzer measures one layer of a memory hierarchy. The zero value is
+// unusable; create with New.
+type Analyzer struct {
+	name string
+
+	// Live state (the detectors).
+	hitCount int       // HCD: accesses currently in their hit phase
+	missSet  []*Access // MCD: outstanding missed accesses
+
+	cur Params
+}
+
+// New returns an analyzer for the named layer (e.g. "L1", "LLC").
+func New(name string) *Analyzer {
+	return &Analyzer{name: name}
+}
+
+// Name returns the layer name.
+func (a *Analyzer) Name() string { return a.name }
+
+// InFlight returns the number of accesses currently tracked (hit phase +
+// outstanding misses).
+func (a *Analyzer) InFlight() int { return a.hitCount + len(a.missSet) }
+
+// Start records that a new access has begun its hit phase at the given
+// cycle, and returns its record. Call Start when the access enters service
+// (wins a port), not when it is merely queued: only in-service accesses
+// contribute hit-phase activity.
+func (a *Analyzer) Start(cycle uint64) *Access {
+	a.cur.Accesses++
+	a.hitCount++
+	return &Access{analyzer: a, hitBeg: cycle, missIdx: -1}
+}
+
+// ToMiss records that the access finished its hit phase at cycle and
+// missed; it is now outstanding toward the lower layer.
+func (a *Analyzer) ToMiss(ac *Access, cycle uint64) {
+	if ac.missing {
+		panic("analyzer: ToMiss called twice")
+	}
+	a.hitCount--
+	if a.hitCount < 0 {
+		panic("analyzer: hit phase underflow (BeginHitPhase missing?)")
+	}
+	ac.missing = true
+	ac.missBeg = cycle
+	ac.missIdx = len(a.missSet)
+	a.missSet = append(a.missSet, ac)
+}
+
+// Done records that the access completed at cycle: a hit completing its
+// hit phase, or a miss receiving its fill.
+func (a *Analyzer) Done(ac *Access, cycle uint64) {
+	a.cur.Completed++
+	if !ac.missing {
+		a.hitCount--
+		if a.hitCount < 0 {
+			panic("analyzer: hit phase underflow")
+		}
+		return
+	}
+	// Remove from the outstanding-miss set (swap with last).
+	last := len(a.missSet) - 1
+	i := ac.missIdx
+	a.missSet[i] = a.missSet[last]
+	a.missSet[i].missIdx = i
+	a.missSet = a.missSet[:last]
+	ac.missIdx = -1
+
+	a.cur.Misses++
+	if cycle > ac.missBeg {
+		a.cur.MissPenaltySum += cycle - ac.missBeg
+	}
+	if ac.pure {
+		a.cur.PureMisses++
+	}
+}
+
+// Tick classifies the current cycle. Call exactly once per simulated
+// cycle, after the layer has performed all Start/BeginHitPhase/ToMiss/Done
+// transitions for the cycle.
+func (a *Analyzer) Tick() {
+	a.cur.Cycles++
+	h := a.hitCount
+	m := len(a.missSet)
+	if h == 0 && m == 0 {
+		return
+	}
+	a.cur.ActiveCycles++
+	if h > 0 {
+		a.cur.HitActiveCycles++
+		a.cur.HitAccessCycles += uint64(h)
+	}
+	if m > 0 {
+		a.cur.MissActiveCycles++
+		a.cur.MissAccessCycles += uint64(m)
+		if h == 0 {
+			// Pure-miss cycle: no hit activity masks these misses.
+			a.cur.PureCycles++
+			a.cur.PureAccessCycles += uint64(m)
+			for _, ac := range a.missSet {
+				ac.pure = true
+			}
+		}
+	}
+}
+
+// Snapshot returns the counters accumulated since construction or the last
+// ResetCounters call.
+func (a *Analyzer) Snapshot() Params { return a.cur }
+
+// ResetCounters zeroes the accumulated counters while preserving in-flight
+// access state, enabling the periodic interval measurement the LPM
+// algorithm performs online.
+func (a *Analyzer) ResetCounters() { a.cur = Params{} }

@@ -1,0 +1,71 @@
+// Package core implements the paper's analytical contribution: the
+// C-AMAT model (Sun & Wang), the Layered Performance Matching (LPM) model
+// relating per-layer request/supply mismatch to data stall time, and the
+// LPMR-reduction algorithm of the paper's Fig. 3.
+//
+// Everything here is pure arithmetic over measured quantities; the
+// measurements themselves come from the analyzer/sim packages (or any
+// other source — the model is simulator-agnostic). Equation numbers in
+// the documentation refer to the paper.
+package core
+
+import "fmt"
+
+// CAMAT holds the five C-AMAT parameters of Eq. (2) for one memory layer.
+type CAMAT struct {
+	// H is the hit-operation time in cycles.
+	H float64
+	// CH is the hit concurrency C_H.
+	CH float64
+	// PMR is the pure miss rate pMR.
+	PMR float64
+	// PAMP is the average pure-miss penalty pAMP.
+	PAMP float64
+	// CM is the pure-miss concurrency C_M.
+	CM float64
+}
+
+// Value evaluates Eq. (2): C-AMAT = H/C_H + pMR * pAMP/C_M. Layers with
+// no concurrency measured (zero C_H or C_M) contribute with concurrency 1,
+// matching the degenerate sequential case.
+func (c CAMAT) Value() float64 {
+	ch, cm := c.CH, c.CM
+	if ch <= 0 {
+		ch = 1
+	}
+	if cm <= 0 {
+		cm = 1
+	}
+	return c.H/ch + c.PMR*c.PAMP/cm
+}
+
+// String implements fmt.Stringer.
+func (c CAMAT) String() string {
+	return fmt.Sprintf("C-AMAT{H=%.2f CH=%.2f pMR=%.4f pAMP=%.2f CM=%.2f} = %.4f",
+		c.H, c.CH, c.PMR, c.PAMP, c.CM, c.Value())
+}
+
+// AMAT evaluates the conventional Eq. (1): AMAT = H + MR*AMP. It is the
+// special case of C-AMAT without concurrency.
+func AMAT(h, mr, amp float64) float64 { return h + mr*amp }
+
+// Eta1 computes the concurrency/locality trimming factor of Eq. (4):
+// η₁ = (pAMP₁/AMP₁) · (C_m₁/C_M₁). Zero denominators yield 0 (a layer
+// with no misses trims everything).
+func Eta1(pamp1, amp1, cm1Conventional, cm1Pure float64) float64 {
+	if amp1 <= 0 || cm1Pure <= 0 {
+		return 0
+	}
+	return (pamp1 / amp1) * (cm1Conventional / cm1Pure)
+}
+
+// RecursiveCAMAT evaluates Eq. (4): C-AMAT₁ = H₁/C_H₁ + pMR₁·η₁·C-AMAT₂.
+// It expresses the upper layer's C-AMAT in terms of the lower layer's,
+// with η₁ capturing how much of the lower layer's latency is hidden by
+// hit/miss overlapping at the upper layer.
+func RecursiveCAMAT(h1, ch1, pmr1, eta1, camat2 float64) float64 {
+	if ch1 <= 0 {
+		ch1 = 1
+	}
+	return h1/ch1 + pmr1*eta1*camat2
+}

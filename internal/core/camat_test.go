@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCAMATFig1Value(t *testing.T) {
+	c := CAMAT{H: 3, CH: 2.5, PMR: 0.2, PAMP: 2, CM: 1}
+	if got := c.Value(); math.Abs(got-1.6) > 1e-12 {
+		t.Fatalf("C-AMAT = %v, want 1.6 (paper Fig. 1)", got)
+	}
+	if got := AMAT(3, 0.4, 2); math.Abs(got-3.8) > 1e-12 {
+		t.Fatalf("AMAT = %v, want 3.8", got)
+	}
+}
+
+func TestCAMATReducesToAMATWithoutConcurrency(t *testing.T) {
+	// With C_H = C_M = 1 and pure == conventional misses, Eq. (2) is
+	// Eq. (1).
+	f := func(h, mr, amp float64) bool {
+		h = math.Abs(h)
+		mr = math.Mod(math.Abs(mr), 1)
+		amp = math.Abs(amp)
+		if h > 1e6 || amp > 1e6 {
+			return true
+		}
+		c := CAMAT{H: h, CH: 1, PMR: mr, PAMP: amp, CM: 1}
+		return math.Abs(c.Value()-AMAT(h, mr, amp)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCAMATZeroConcurrencyGuard(t *testing.T) {
+	c := CAMAT{H: 2, CH: 0, PMR: 0.5, PAMP: 4, CM: 0}
+	if v := c.Value(); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("value = %v", v)
+	}
+	if v := c.Value(); v != 2+0.5*4 {
+		t.Fatalf("value = %v, want 4 (concurrency treated as 1)", v)
+	}
+}
+
+func TestCAMATMonotonicInConcurrency(t *testing.T) {
+	// Raising C_H or C_M can only lower C-AMAT.
+	f := func(h, pmr, pamp, ch, cm, dch, dcm float64) bool {
+		h, pamp = math.Abs(h), math.Abs(pamp)
+		pmr = math.Mod(math.Abs(pmr), 1)
+		ch, cm = 1+math.Mod(math.Abs(ch), 16), 1+math.Mod(math.Abs(cm), 16)
+		dch, dcm = math.Mod(math.Abs(dch), 4), math.Mod(math.Abs(dcm), 4)
+		if h > 1e6 || pamp > 1e6 {
+			return true
+		}
+		base := CAMAT{H: h, CH: ch, PMR: pmr, PAMP: pamp, CM: cm}
+		more := CAMAT{H: h, CH: ch + dch, PMR: pmr, PAMP: pamp, CM: cm + dcm}
+		return more.Value() <= base.Value()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEta1Fig1(t *testing.T) {
+	// Fig. 1: pAMP=2, AMP=2, C_m=4/3, C_M=1 -> η₁ = 4/3.
+	got := Eta1(2, 2, 4.0/3.0, 1)
+	if math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Fatalf("eta1 = %v", got)
+	}
+}
+
+func TestEta1ZeroGuards(t *testing.T) {
+	if Eta1(1, 0, 1, 1) != 0 {
+		t.Fatal("zero AMP must yield 0")
+	}
+	if Eta1(1, 1, 1, 0) != 0 {
+		t.Fatal("zero CM must yield 0")
+	}
+}
+
+func TestRecursiveCAMATIdentity(t *testing.T) {
+	// Eq. (4) is exact when C-AMAT₂ equals AMP₁/C_m₁ (the lower layer
+	// serves the miss stream at its concurrent access time).
+	f := func(h1, ch1, pmr1, pamp1, amp1, cm1c, cm1p float64) bool {
+		abs := func(x float64) float64 { return math.Mod(math.Abs(x), 100) + 0.01 }
+		h1, ch1 = abs(h1), abs(ch1)
+		pmr1 = math.Mod(math.Abs(pmr1), 1)
+		pamp1, amp1 = abs(pamp1), abs(amp1)
+		cm1c, cm1p = abs(cm1c), abs(cm1p)
+		direct := CAMAT{H: h1, CH: ch1, PMR: pmr1, PAMP: pamp1, CM: cm1p}.Value()
+		eta1 := Eta1(pamp1, amp1, cm1c, cm1p)
+		camat2 := amp1 / cm1c
+		rec := RecursiveCAMAT(h1, ch1, pmr1, eta1, camat2)
+		return math.Abs(direct-rec) < 1e-6*(1+direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringsNonEmpty(t *testing.T) {
+	if (CAMAT{}).String() == "" {
+		t.Fatal("empty CAMAT string")
+	}
+	if FineGrain.String() == "" || CoarseGrain.String() == "" {
+		t.Fatal("empty grain string")
+	}
+	for _, c := range []Case{CaseBoth, CaseL1Only, CaseReduce, CaseDone, Case(9)} {
+		if c.String() == "" {
+			t.Fatal("empty case string")
+		}
+	}
+}

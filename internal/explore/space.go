@@ -1,0 +1,162 @@
+// Package explore implements the paper's case study I: LPM-guided design
+// space exploration on a reconfigurable architecture. Six architecture
+// parameters are explored — pipeline issue width, instruction window (IW)
+// size, ROB size, L1 cache port count, MSHR count, and L2 cache
+// interleaving (bank count) — exactly the set of Table I. With ~10 values
+// per parameter the full space has ~10^6 points, so exhaustive search is
+// not an option; the LPMR-reduction algorithm walks it with a handful of
+// simulations instead.
+package explore
+
+import (
+	"fmt"
+
+	"lpm/internal/sim/chip"
+	"lpm/internal/sim/cpu"
+	"lpm/internal/sim/dram"
+	"lpm/internal/trace"
+)
+
+// Point is one hardware configuration in the design space.
+type Point struct {
+	// IssueWidth is the pipeline issue width.
+	IssueWidth int
+	// IWSize is the instruction window size.
+	IWSize int
+	// ROBSize is the reorder buffer size.
+	ROBSize int
+	// L1Ports is the L1 data cache port count.
+	L1Ports int
+	// MSHRs is the L1 MSHR count.
+	MSHRs int
+	// L2Banks is the L2 interleaving degree.
+	L2Banks int
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("issue=%d IW=%d ROB=%d L1ports=%d MSHRs=%d L2banks=%d",
+		p.IssueWidth, p.IWSize, p.ROBSize, p.L1Ports, p.MSHRs, p.L2Banks)
+}
+
+// Cost is a relative hardware-cost proxy: the paper's "minimal hardware
+// cost" tiebreaker. Wider structures cost proportionally more; the
+// weights reflect rough area sensitivity (ROB/IW entries dominate).
+func (p Point) Cost() float64 {
+	return 4*float64(p.IssueWidth) +
+		1*float64(p.IWSize) +
+		1*float64(p.ROBSize) +
+		8*float64(p.L1Ports) +
+		2*float64(p.MSHRs) +
+		2*float64(p.L2Banks)
+}
+
+// TableConfigs returns the five named configurations A–E of the paper's
+// Table I.
+func TableConfigs() map[string]Point {
+	return map[string]Point{
+		"A": {IssueWidth: 4, IWSize: 32, ROBSize: 32, L1Ports: 1, MSHRs: 4, L2Banks: 4},
+		"B": {IssueWidth: 4, IWSize: 64, ROBSize: 64, L1Ports: 1, MSHRs: 8, L2Banks: 8},
+		"C": {IssueWidth: 6, IWSize: 64, ROBSize: 64, L1Ports: 2, MSHRs: 16, L2Banks: 8},
+		"D": {IssueWidth: 8, IWSize: 128, ROBSize: 128, L1Ports: 4, MSHRs: 16, L2Banks: 8},
+		"E": {IssueWidth: 8, IWSize: 96, ROBSize: 96, L1Ports: 4, MSHRs: 16, L2Banks: 8},
+	}
+}
+
+// Space is the per-parameter value menu, each ascending.
+type Space struct {
+	IssueWidths []int
+	IWSizes     []int
+	ROBSizes    []int
+	L1Ports     []int
+	MSHRs       []int
+	L2Banks     []int
+}
+
+// DefaultSpace returns a menu with ten values per parameter (10^6
+// points), covering the Table I configurations.
+func DefaultSpace() Space {
+	return Space{
+		IssueWidths: []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16},
+		IWSizes:     []int{8, 16, 24, 32, 48, 64, 96, 128, 192, 256},
+		ROBSizes:    []int{8, 16, 32, 48, 64, 96, 128, 192, 256, 384},
+		L1Ports:     []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16},
+		MSHRs:       []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64},
+		L2Banks:     []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64},
+	}
+}
+
+// Size returns the number of points in the space.
+func (s Space) Size() int {
+	return len(s.IssueWidths) * len(s.IWSizes) * len(s.ROBSizes) *
+		len(s.L1Ports) * len(s.MSHRs) * len(s.L2Banks)
+}
+
+// index locates v in menu (the largest index with menu[i] <= v; v below
+// the menu maps to 0).
+func index(menu []int, v int) int {
+	best := 0
+	for i, m := range menu {
+		if m <= v {
+			best = i
+		}
+	}
+	return best
+}
+
+// Indices returns the per-parameter indices of the point nearest p from
+// below.
+func (s Space) Indices(p Point) [6]int {
+	return [6]int{
+		index(s.IssueWidths, p.IssueWidth),
+		index(s.IWSizes, p.IWSize),
+		index(s.ROBSizes, p.ROBSize),
+		index(s.L1Ports, p.L1Ports),
+		index(s.MSHRs, p.MSHRs),
+		index(s.L2Banks, p.L2Banks),
+	}
+}
+
+// At materialises the point for an index vector.
+func (s Space) At(ix [6]int) Point {
+	return Point{
+		IssueWidth: s.IssueWidths[ix[0]],
+		IWSize:     s.IWSizes[ix[1]],
+		ROBSize:    s.ROBSizes[ix[2]],
+		L1Ports:    s.L1Ports[ix[3]],
+		MSHRs:      s.MSHRs[ix[4]],
+		L2Banks:    s.L2Banks[ix[5]],
+	}
+}
+
+// ChipConfig builds a single-core chip configuration realising point p for
+// the given workload generator. Base parameters (cache sizes, DRAM) follow
+// the chip defaults.
+func ChipConfig(p Point, gen trace.Generator) chip.Config {
+	cpuCfg := cpu.Config{
+		Name:       "core0",
+		IssueWidth: p.IssueWidth,
+		ROBSize:    p.ROBSize,
+		IWSize:     p.IWSize,
+		LSQSize:    p.IWSize,
+	}
+	l1 := chip.DefaultL1("L1D-0", 32*chip.KB)
+	l1.Ports = p.L1Ports
+	l1.Banks = maxInt(p.L1Ports, 4)
+	l1.MSHRs = p.MSHRs
+	l2 := chip.DefaultL2("L2", 4*chip.MB)
+	l2.Banks = p.L2Banks
+	return chip.Config{
+		Name:  "explore",
+		Cores: []chip.CoreSlot{{CPU: cpuCfg, L1: l1, Workload: gen}},
+		L2:    l2,
+		Mem:   dram.DDR3("mem"),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+package explore
+
+import (
+	"lpm/internal/core"
+	"lpm/internal/sim/chip"
+	"lpm/internal/trace"
+)
+
+// Evaluation records one simulated design point.
+type Evaluation struct {
+	// Point is the hardware configuration evaluated.
+	Point Point
+	// M is the resulting LPM measurement.
+	M core.Measurement
+}
+
+// HardwareTarget adapts the design space to the LPM algorithm's Target
+// interface: each Optimize step moves one index along one parameter menu
+// and each Measure simulates the current point. It is the paper's
+// "hardware approach" (reconfigurable architecture).
+type HardwareTarget struct {
+	// Space is the parameter menu.
+	Space Space
+	// Profile names the workload.
+	Profile trace.Profile
+	// Instructions per evaluation run; 0 means 20000.
+	Instructions uint64
+	// Warmup instructions executed (and discarded) before the measured
+	// window, so caches reach steady state the way the paper's SimPoint
+	// samples do; 0 means 5 * Instructions.
+	Warmup uint64
+	// MaxCycles bounds each evaluation; 0 means (Warmup+Instructions)*400.
+	MaxCycles uint64
+
+	ix      [6]int
+	rrL1    int // round-robin cursor over the L1-layer knobs
+	rrL2    int // round-robin cursor over the L2-layer knobs
+	history []Evaluation
+	cache   map[[6]int]core.Measurement
+	evals   int
+}
+
+// l1Knobs are the index positions of parameters that raise layer-1
+// matching (core-side request shaping + L1 service concurrency):
+// issue width, IW, ROB, L1 ports.
+var l1Knobs = [4]int{0, 1, 2, 3}
+
+// l2Knobs raise layer-2 matching: L1 MSHRs (more outstanding misses to
+// overlap) and L2 banks (more LLC service concurrency).
+var l2Knobs = [2]int{4, 5}
+
+// NewHardwareTarget starts exploration at the given point.
+func NewHardwareTarget(space Space, start Point, profile trace.Profile) *HardwareTarget {
+	t := &HardwareTarget{
+		Space:   space,
+		Profile: profile,
+		cache:   make(map[[6]int]core.Measurement),
+	}
+	t.ix = space.Indices(start)
+	return t
+}
+
+// Current returns the point under evaluation.
+func (t *HardwareTarget) Current() Point { return t.Space.At(t.ix) }
+
+// Evaluations returns the number of simulations run (cache misses of
+// Measure).
+func (t *HardwareTarget) Evaluations() int { return t.evals }
+
+// History returns every simulated point in order.
+func (t *HardwareTarget) History() []Evaluation { return t.history }
+
+// Measure implements core.Target by simulating the current point (with
+// memoisation: revisiting a point is free, like re-reading counters).
+func (t *HardwareTarget) Measure() core.Measurement {
+	if m, ok := t.cache[t.ix]; ok {
+		return m
+	}
+	m := t.Evaluate(t.Current())
+	t.cache[t.ix] = m
+	return m
+}
+
+// Evaluate simulates an arbitrary point and returns its measurement.
+func (t *HardwareTarget) Evaluate(p Point) core.Measurement {
+	instr := t.Instructions
+	if instr == 0 {
+		instr = 20000
+	}
+	warm := t.Warmup
+	if warm == 0 {
+		warm = 5 * instr
+	}
+	maxCy := t.MaxCycles
+	if maxCy == 0 {
+		maxCy = (warm + instr) * 400
+	}
+	gen := trace.NewSynthetic(t.Profile)
+	cfg := ChipConfig(p, gen)
+	cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), instr)
+	ch := chip.New(cfg)
+	ch.RunUntilRetired(warm, maxCy)
+	ch.ResetCounters()
+	ch.Run(warm+instr, maxCy)
+	m := ch.Measure(0, cpiExe)
+	t.evals++
+	t.history = append(t.history, Evaluation{Point: p, M: m})
+	return m
+}
+
+// bump advances parameter k to its next menu value; false at the top.
+func (t *HardwareTarget) bump(k int) bool {
+	var menuLen int
+	switch k {
+	case 0:
+		menuLen = len(t.Space.IssueWidths)
+	case 1:
+		menuLen = len(t.Space.IWSizes)
+	case 2:
+		menuLen = len(t.Space.ROBSizes)
+	case 3:
+		menuLen = len(t.Space.L1Ports)
+	case 4:
+		menuLen = len(t.Space.MSHRs)
+	default:
+		menuLen = len(t.Space.L2Banks)
+	}
+	if t.ix[k]+1 >= menuLen {
+		return false
+	}
+	t.ix[k]++
+	return true
+}
+
+// drop lowers parameter k one menu step; false at the bottom.
+func (t *HardwareTarget) drop(k int) bool {
+	if t.ix[k] == 0 {
+		return false
+	}
+	t.ix[k]--
+	return true
+}
+
+// OptimizeL1 implements core.Target: raise the next L1-layer knob in
+// round-robin order (the paper: "We increase IW, ROB, L1 cache port
+// number and pipeline width").
+func (t *HardwareTarget) OptimizeL1() bool {
+	for range l1Knobs {
+		k := l1Knobs[t.rrL1%len(l1Knobs)]
+		t.rrL1++
+		if t.bump(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// OptimizeL2 implements core.Target: raise MSHRs / L2 interleaving.
+func (t *HardwareTarget) OptimizeL2() bool {
+	for range l2Knobs {
+		k := l2Knobs[t.rrL2%len(l2Knobs)]
+		t.rrL2++
+		if t.bump(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReduceOverprovision implements core.Target: withdraw the L1-layer knob
+// whose *downward* step keeps the highest remaining value, preferring to
+// shrink the big array structures (IW, ROB) first — the paper's D→E move.
+func (t *HardwareTarget) ReduceOverprovision() bool {
+	for _, k := range [4]int{1, 2, 0, 3} { // IW, ROB, issue, ports
+		if t.drop(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAlgorithm drives the LPM algorithm over the target and returns its
+// result together with the final point.
+func (t *HardwareTarget) RunAlgorithm(cfg core.AlgorithmConfig) (core.Result, Point) {
+	res := core.Run(t, cfg)
+	return res, t.Current()
+}

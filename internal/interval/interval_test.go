@@ -1,0 +1,149 @@
+package interval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultProfileValidates(t *testing.T) {
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	cases := []Profile{
+		{},
+		{{Duration: 0, Weight: 1}},
+		{{Duration: 10, Weight: -0.5}, {Duration: 10, Weight: 1.5}},
+		{{Duration: 10, Weight: 0.4}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPaperRatesExact(t *testing.T) {
+	// The calibrated default profile must reproduce the paper's three
+	// perception rates: 96%, 89%, 73%.
+	p := DefaultProfile()
+	want := []float64{0.96, 0.89, 0.73}
+	for i, s := range PaperScenarios() {
+		got := PerceptionRate(p, s)
+		if math.Abs(got-want[i]) > 1e-6 {
+			t.Errorf("%s: rate %.6f, want %.2f", s.Name, got, want[i])
+		}
+	}
+}
+
+func TestSimulationMatchesClosedForm(t *testing.T) {
+	p := DefaultProfile()
+	for _, s := range PaperScenarios() {
+		analytic := PerceptionRate(p, s)
+		sim := Simulate(p, s, 200000, 42).Rate()
+		if math.Abs(sim-analytic) > 0.01 {
+			t.Errorf("%s: simulated %.4f vs analytic %.4f", s.Name, sim, analytic)
+		}
+	}
+}
+
+func TestRateDecreasesWithInterval(t *testing.T) {
+	p := DefaultProfile()
+	prev := 1.1
+	for _, k := range []uint64{5, 10, 20, 40, 80, 160} {
+		r := PerceptionRate(p, Scenario{Interval: k, Cost: 4})
+		if r > prev+1e-12 {
+			t.Fatalf("rate rose at interval %d: %v > %v", k, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestRateDecreasesWithCost(t *testing.T) {
+	p := DefaultProfile()
+	prev := 1.1
+	for _, c := range []uint64{0, 4, 10, 20, 40, 100} {
+		r := PerceptionRate(p, Scenario{Interval: 20, Cost: c})
+		if r > prev+1e-12 {
+			t.Fatalf("rate rose at cost %d", c)
+		}
+		prev = r
+	}
+}
+
+func TestLongBurstsAlwaysCaught(t *testing.T) {
+	p := Profile{{Duration: 100000, Weight: 1}}
+	r := PerceptionRate(p, Scenario{Interval: 50, Cost: 40})
+	if r != 1 {
+		t.Fatalf("rate = %v, want 1", r)
+	}
+}
+
+func TestBurstsShorterThanCostNeverCaught(t *testing.T) {
+	p := Profile{{Duration: 30, Weight: 1}}
+	r := PerceptionRate(p, Scenario{Interval: 10, Cost: 40})
+	if r != 0 {
+		t.Fatalf("rate = %v, want 0", r)
+	}
+	sim := Simulate(p, Scenario{Interval: 10, Cost: 40}, 10000, 1)
+	if sim.Perceived != 0 {
+		t.Fatalf("simulation caught %d impossible bursts", sim.Perceived)
+	}
+}
+
+func TestZeroIntervalRate(t *testing.T) {
+	if PerceptionRate(DefaultProfile(), Scenario{}) != 0 {
+		t.Fatal("zero interval must yield 0, not NaN")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	p := DefaultProfile()
+	s := PaperScenarios()[0]
+	a := Simulate(p, s, 5000, 7)
+	b := Simulate(p, s, 5000, 7)
+	if a != b {
+		t.Fatal("same seed, different results")
+	}
+}
+
+func TestSimulatePanicsOnBadProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Simulate(Profile{}, PaperScenarios()[0], 10, 1)
+}
+
+func TestPropertySimulationTracksClosedForm(t *testing.T) {
+	f := func(d1, d2 uint8, w uint8, k, c uint8) bool {
+		dur1 := uint64(d1)%200 + 1
+		dur2 := uint64(d2)%200 + 1
+		wf := float64(w%99+1) / 100
+		prof := Profile{
+			{Duration: dur1, Weight: wf},
+			{Duration: dur2, Weight: 1 - wf},
+		}
+		s := Scenario{Interval: uint64(k)%60 + 1, Cost: uint64(c) % 60}
+		analytic := PerceptionRate(prof, s)
+		sim := Simulate(prof, s, 50000, uint64(d1)<<8|uint64(d2)).Rate()
+		return math.Abs(analytic-sim) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperScenarioShape(t *testing.T) {
+	ss := PaperScenarios()
+	if len(ss) != 3 {
+		t.Fatal("want 3 scenarios")
+	}
+	if ss[0].Cost != 4 || ss[1].Cost != 4 || ss[2].Cost != 40 {
+		t.Fatal("costs: hw=4, sw=40 per the paper")
+	}
+}

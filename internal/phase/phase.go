@@ -1,0 +1,190 @@
+// Package phase implements lightweight online phase detection for the
+// LPM reproduction. The paper's observation 3 (§I) — "programs have
+// periodic behaviors, and their data access patterns are predictable;
+// with a set of lightweight counters, we are able to deploy proper
+// optimization techniques to timely adapt" — is the premise of the
+// online LPM algorithm. This package provides the missing machinery:
+//
+//   - Signature: an interval's behaviour vector, built from the same
+//     counters the C-AMAT analyzer already maintains;
+//   - Detector: an online classifier that matches each new interval
+//     against known phases (by normalised Manhattan distance) and opens
+//     a new phase when nothing matches — in the spirit of SimPoint-style
+//     phase classification, but cheap enough to run every interval;
+//   - Tracker: detects phase *changes*, the trigger for re-running the
+//     LPM algorithm, and remembers the best configuration per phase.
+package phase
+
+import (
+	"fmt"
+	"math"
+)
+
+// Signature is one measurement interval's behaviour vector. Any
+// non-negative features work as long as their meaning is stable across
+// intervals; FromLPM builds the standard one.
+type Signature []float64
+
+// FromLPM builds the standard signature from LPM-relevant interval
+// measurements: memory intensity, L1 miss rate, pure-miss rate, hit and
+// pure-miss concurrency, and IPC.
+func FromLPM(fmem, mr1, pmr1, ch, cm, ipc float64) Signature {
+	return Signature{fmem, mr1, pmr1, ch, cm, ipc}
+}
+
+// Distance returns the normalised Manhattan distance between two
+// signatures in [0, 1]-ish range: per-dimension |a-b|/(|a|+|b|),
+// averaged. Dissimilar lengths are maximally distant.
+func (s Signature) Distance(o Signature) float64 {
+	if len(s) != len(o) || len(s) == 0 {
+		return 1
+	}
+	total := 0.0
+	for i := range s {
+		den := math.Abs(s[i]) + math.Abs(o[i])
+		if den == 0 {
+			continue // both zero: identical in this dimension
+		}
+		total += math.Abs(s[i]-o[i]) / den
+	}
+	return total / float64(len(s))
+}
+
+// clone copies a signature.
+func (s Signature) clone() Signature { return append(Signature(nil), s...) }
+
+// phaseState is one known phase's running centroid.
+type phaseState struct {
+	centroid Signature
+	count    uint64
+}
+
+// observe folds a new member signature into the centroid.
+func (p *phaseState) observe(s Signature) {
+	p.count++
+	w := 1 / float64(p.count)
+	for i := range p.centroid {
+		p.centroid[i] += (s[i] - p.centroid[i]) * w
+	}
+}
+
+// Detector classifies interval signatures into phases online.
+type Detector struct {
+	// Threshold is the maximum distance at which an interval still
+	// belongs to an existing phase; larger values merge behaviour more
+	// aggressively. Zero means 0.10.
+	Threshold float64
+	// MaxPhases bounds the table (oldest-by-membership phase is merged
+	// into its nearest neighbour beyond this); zero means 32.
+	MaxPhases int
+
+	phases []phaseState
+}
+
+// NewDetector returns a detector with the given threshold (0 for the
+// default 0.10).
+func NewDetector(threshold float64) *Detector {
+	return &Detector{Threshold: threshold}
+}
+
+func (d *Detector) threshold() float64 {
+	if d.Threshold <= 0 {
+		return 0.10
+	}
+	return d.Threshold
+}
+
+func (d *Detector) maxPhases() int {
+	if d.MaxPhases <= 0 {
+		return 32
+	}
+	return d.MaxPhases
+}
+
+// Phases returns the number of phases known so far.
+func (d *Detector) Phases() int { return len(d.phases) }
+
+// Classify assigns the signature to a phase, creating a new phase when
+// nothing is within the threshold, and returns the phase id.
+func (d *Detector) Classify(s Signature) int {
+	best, bestD := -1, math.Inf(1)
+	for i := range d.phases {
+		if dist := d.phases[i].centroid.Distance(s); dist < bestD {
+			best, bestD = i, dist
+		}
+	}
+	if best >= 0 && bestD <= d.threshold() {
+		d.phases[best].observe(s)
+		return best
+	}
+	if len(d.phases) >= d.maxPhases() {
+		// Table full: absorb into the nearest existing phase.
+		d.phases[best].observe(s)
+		return best
+	}
+	d.phases = append(d.phases, phaseState{centroid: s.clone(), count: 1})
+	return len(d.phases) - 1
+}
+
+// Centroid returns a copy of phase id's centroid (nil if unknown).
+func (d *Detector) Centroid(id int) Signature {
+	if id < 0 || id >= len(d.phases) {
+		return nil
+	}
+	return d.phases[id].centroid.clone()
+}
+
+// Tracker combines a Detector with change detection and a per-phase
+// configuration memory: the full online-adaptation loop around the LPM
+// algorithm. Config values are opaque to the tracker (e.g. an
+// explore.Point).
+type Tracker struct {
+	det     *Detector
+	last    int
+	started bool
+	configs map[int]interface{}
+	// Changes counts phase transitions observed.
+	Changes uint64
+	// Intervals counts signatures observed.
+	Intervals uint64
+}
+
+// NewTracker wraps a detector (nil for defaults).
+func NewTracker(det *Detector) *Tracker {
+	if det == nil {
+		det = NewDetector(0)
+	}
+	return &Tracker{det: det, configs: make(map[int]interface{})}
+}
+
+// Observe classifies the interval and reports (phase id, whether this is
+// a phase CHANGE relative to the previous interval). The first interval
+// is not a change.
+func (t *Tracker) Observe(s Signature) (id int, changed bool) {
+	t.Intervals++
+	id = t.det.Classify(s)
+	if t.started && id != t.last {
+		t.Changes++
+		changed = true
+	}
+	t.started = true
+	t.last = id
+	return id, changed
+}
+
+// Remember stores the best-known configuration for a phase; Recall
+// retrieves it (nil if none). Together they realise the "adapt
+// immediately on re-entering a known phase" optimisation: the LPM
+// algorithm only has to run for genuinely new phases.
+func (t *Tracker) Remember(id int, cfg interface{}) { t.configs[id] = cfg }
+
+// Recall returns the stored configuration for a phase.
+func (t *Tracker) Recall(id int) interface{} { return t.configs[id] }
+
+// Phases returns the number of distinct phases seen.
+func (t *Tracker) Phases() int { return t.det.Phases() }
+
+// String summarises the tracker.
+func (t *Tracker) String() string {
+	return fmt.Sprintf("phases=%d intervals=%d changes=%d", t.Phases(), t.Intervals, t.Changes)
+}

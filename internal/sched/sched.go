@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"lpm/internal/sim/chip"
+	"lpm/internal/stats"
+)
+
+// Assignment maps core index -> workload index; -1 leaves the core idle.
+type Assignment []int
+
+// Validate checks that every workload 0..n-1 appears exactly once.
+func (a Assignment) Validate(n int) error {
+	seen := make([]bool, n)
+	placed := 0
+	for core, w := range a {
+		if w == -1 {
+			continue
+		}
+		if w < 0 || w >= n {
+			return fmt.Errorf("sched: core %d assigned invalid workload %d", core, w)
+		}
+		if seen[w] {
+			return fmt.Errorf("sched: workload %d assigned twice", w)
+		}
+		seen[w] = true
+		placed++
+	}
+	if placed != n {
+		return fmt.Errorf("sched: placed %d of %d workloads", placed, n)
+	}
+	return nil
+}
+
+// Scheduler produces an assignment of workloads onto the NUCA chip's
+// cores. groupSizes[g] is the private L1 size of cores 4g..4g+3.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Assign places len(workloads) programs onto len(groupSizes)*4 cores.
+	Assign(workloads []string, groupSizes []uint64) (Assignment, error)
+}
+
+// Random assigns workloads to cores uniformly at random (a widely used
+// data-center baseline, per the paper).
+type Random struct {
+	// Seed fixes the permutation.
+	Seed uint64
+}
+
+// Name implements Scheduler.
+func (r Random) Name() string { return "Random" }
+
+// Assign implements Scheduler.
+func (r Random) Assign(workloads []string, groupSizes []uint64) (Assignment, error) {
+	nCores := len(groupSizes) * chip.NUCAGroupCores
+	if len(workloads) > nCores {
+		return nil, fmt.Errorf("sched: %d workloads > %d cores", len(workloads), nCores)
+	}
+	rng := stats.NewRNG(r.Seed ^ 0x5eed)
+	perm := make([]int, nCores)
+	rng.Perm(perm)
+	a := make(Assignment, nCores)
+	for i := range a {
+		a[i] = -1
+	}
+	for w := range workloads {
+		a[perm[w]] = w
+	}
+	return a, nil
+}
+
+// RoundRobin deals workloads to cores in order (workload i on core i),
+// the other ubiquitous baseline.
+type RoundRobin struct{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "RoundRobin" }
+
+// Assign implements Scheduler.
+func (RoundRobin) Assign(workloads []string, groupSizes []uint64) (Assignment, error) {
+	nCores := len(groupSizes) * chip.NUCAGroupCores
+	if len(workloads) > nCores {
+		return nil, fmt.Errorf("sched: %d workloads > %d cores", len(workloads), nCores)
+	}
+	a := make(Assignment, nCores)
+	for i := range a {
+		a[i] = -1
+	}
+	for w := range workloads {
+		a[w] = w
+	}
+	return a, nil
+}
+
+// PIE schedules by predicted performance impact, in the spirit of Van
+// Craeynest et al.'s Performance Impact Estimation that the paper's
+// related-work section discusses: the applications with the steepest
+// profiled IPC gain from extra cache get the biggest caches. It is a
+// strong non-LPM baseline; unlike NUCA-SA it needs full per-size IPC
+// profiles rather than the analyzer's online LPMR measurements.
+type PIE struct {
+	// Table carries the standalone profiling data (IPC per size).
+	Table *ProfileTable
+}
+
+// Name implements Scheduler.
+func (PIE) Name() string { return "PIE-like" }
+
+// Assign implements Scheduler.
+func (p PIE) Assign(workloads []string, groupSizes []uint64) (Assignment, error) {
+	if p.Table == nil {
+		return nil, fmt.Errorf("sched: PIE needs a profile table")
+	}
+	nGroups := len(groupSizes)
+	nCores := nGroups * chip.NUCAGroupCores
+	if len(workloads) > nCores {
+		return nil, fmt.Errorf("sched: %d workloads > %d cores", len(workloads), nCores)
+	}
+	type slope struct {
+		w    int
+		gain float64 // IPC(largest)/IPC(smallest)
+	}
+	slopes := make([]slope, len(workloads))
+	for w, name := range workloads {
+		ipc, ok := p.Table.IPC[name]
+		if !ok || len(ipc) == 0 {
+			return nil, fmt.Errorf("sched: workload %q not profiled", name)
+		}
+		g := 1.0
+		if ipc[0] > 0 {
+			g = ipc[len(ipc)-1] / ipc[0]
+		}
+		slopes[w] = slope{w: w, gain: g}
+	}
+	// Steepest gain first; they take the largest-cache slots.
+	sort.SliceStable(slopes, func(i, j int) bool { return slopes[i].gain > slopes[j].gain })
+	a := make(Assignment, nCores)
+	for i := range a {
+		a[i] = -1
+	}
+	core := nCores - 1 // fill from the largest group down
+	for _, s := range slopes {
+		a[core] = s.w
+		core--
+	}
+	return a, nil
+}
+
+// NUCASA is the paper's LPM-guided NUCA-aware scheduling algorithm
+// (NUCA-SA). It follows the two-fold process of §V-B: first fit each
+// application's L1 requirement (match LPMR1) with minimal resource, then
+// resolve remaining freedom toward the smallest L2 demand (match LPMR2).
+type NUCASA struct {
+	// Table carries the standalone profiling data.
+	Table *ProfileTable
+	// TolFrac is the APC1 tolerance defining the required size: 0.01 for
+	// the paper's fine-grained variant, 0.10 for coarse-grained.
+	TolFrac float64
+}
+
+// Name implements Scheduler.
+func (n NUCASA) Name() string {
+	if n.TolFrac <= 0.01 {
+		return "NUCA-SA(fg)"
+	}
+	return "NUCA-SA(cg)"
+}
+
+// Assign implements Scheduler.
+func (n NUCASA) Assign(workloads []string, groupSizes []uint64) (Assignment, error) {
+	if n.Table == nil {
+		return nil, fmt.Errorf("sched: NUCA-SA needs a profile table")
+	}
+	nGroups := len(groupSizes)
+	nCores := nGroups * chip.NUCAGroupCores
+	if len(workloads) > nCores {
+		return nil, fmt.Errorf("sched: %d workloads > %d cores", len(workloads), nCores)
+	}
+
+	// Fold 1: per-workload required L1 size with minimal resource.
+	type need struct {
+		w        int
+		required uint64
+		apc2     float64 // L2 demand at the required size (fold-2 key)
+	}
+	needs := make([]need, len(workloads))
+	for w, name := range workloads {
+		req, err := n.Table.RequiredSize(name, n.TolFrac)
+		if err != nil {
+			return nil, err
+		}
+		si, err := n.Table.sizeIndex(req)
+		if err != nil {
+			return nil, err
+		}
+		needs[w] = need{w: w, required: req, apc2: n.Table.APC2[name][si]}
+	}
+
+	// Most demanding first: largest requirement, then highest L2 demand —
+	// so scarce big-cache slots go to the applications that need them and
+	// heavy L2 consumers get the best chance to shrink their demand.
+	sort.SliceStable(needs, func(i, j int) bool {
+		if needs[i].required != needs[j].required {
+			return needs[i].required > needs[j].required
+		}
+		return needs[i].apc2 > needs[j].apc2
+	})
+
+	groupOf := make(map[uint64]int, nGroups)
+	for g, s := range groupSizes {
+		groupOf[s] = g
+	}
+	free := make([]int, nGroups)
+	for g := range free {
+		free[g] = chip.NUCAGroupCores
+	}
+
+	a := make(Assignment, nCores)
+	for i := range a {
+		a[i] = -1
+	}
+	place := func(w, g int) {
+		base := g * chip.NUCAGroupCores
+		for c := base; c < base+chip.NUCAGroupCores; c++ {
+			if a[c] == -1 {
+				a[c] = w
+				free[g]--
+				return
+			}
+		}
+	}
+
+	for _, nd := range needs {
+		g, ok := groupOf[nd.required]
+		if !ok {
+			return nil, fmt.Errorf("sched: required size %d has no group", nd.required)
+		}
+		// Fold 1: the exact group if it has room.
+		if free[g] > 0 {
+			place(nd.w, g)
+			continue
+		}
+		// Fold 2: spill upward first (more cache can only help and cuts
+		// the workload's L2 demand), then downward as a last resort.
+		placed := false
+		for gg := g + 1; gg < nGroups; gg++ {
+			if free[gg] > 0 {
+				place(nd.w, gg)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			for gg := g - 1; gg >= 0; gg-- {
+				if free[gg] > 0 {
+					place(nd.w, gg)
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("sched: no free core for workload %d", nd.w)
+		}
+	}
+	return a, nil
+}

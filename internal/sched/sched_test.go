@@ -1,0 +1,365 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"lpm/internal/sim/chip"
+	"lpm/internal/trace"
+)
+
+// Shared fixtures: profiling and alone-IPC runs are expensive, so tests
+// build them once.
+var (
+	fixtureOnce  sync.Once
+	fixtureTable *ProfileTable
+	fixtureAlone []float64
+	fixtureNames []string
+	fixtureErr   error
+)
+
+func fixtures(t *testing.T) (*ProfileTable, []float64, []string) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureNames = trace.ProfileNames()
+		fixtureTable, fixtureErr = BuildProfileTable(fixtureNames, chip.NUCAGroupSizes[:],
+			ProfileOptions{Instructions: 10000, Warmup: 25000})
+		if fixtureErr != nil {
+			return
+		}
+		fixtureAlone, fixtureErr = AloneIPCs(fixtureNames, chip.NUCAGroupSizes[:],
+			EvalOptions{WindowCycles: 80000, WarmupCycles: 40000})
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureTable, fixtureAlone, fixtureNames
+}
+
+func evalOpts(alone []float64) EvalOptions {
+	return EvalOptions{WindowCycles: 80000, WarmupCycles: 40000, AloneIPC: alone}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	good := Assignment{1, 0, -1, 2}
+	if err := good.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Assignment{0, 0, -1}).Validate(2); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := (Assignment{0, 5}).Validate(2); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := (Assignment{0, -1}).Validate(2); err == nil {
+		t.Fatal("missing workload accepted")
+	}
+}
+
+func TestRandomAssignValidAndSeeded(t *testing.T) {
+	names := trace.ProfileNames()
+	a1, err := (Random{Seed: 7}).Assign(names, chip.NUCAGroupSizes[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Validate(len(names)); err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := (Random{Seed: 7}).Assign(names, chip.NUCAGroupSizes[:])
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+	a3, _ := (Random{Seed: 8}).Assign(names, chip.NUCAGroupSizes[:])
+	same := true
+	for i := range a1 {
+		if a1[i] != a3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical assignments")
+	}
+}
+
+func TestRoundRobinAssign(t *testing.T) {
+	names := trace.ProfileNames()
+	a, err := RoundRobin{}.Assign(names, chip.NUCAGroupSizes[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range names {
+		if a[i] != i {
+			t.Fatalf("core %d got workload %d", i, a[i])
+		}
+	}
+}
+
+func TestTooManyWorkloadsRejected(t *testing.T) {
+	names := make([]string, 17)
+	for i := range names {
+		names[i] = "401.bzip2"
+	}
+	if _, err := (Random{}).Assign(names, chip.NUCAGroupSizes[:]); err == nil {
+		t.Fatal("17 workloads on 16 cores accepted")
+	}
+	if _, err := (RoundRobin{}).Assign(names, chip.NUCAGroupSizes[:]); err == nil {
+		t.Fatal("17 workloads on 16 cores accepted")
+	}
+}
+
+func TestProfileTableShapes(t *testing.T) {
+	tbl, _, _ := fixtures(t)
+
+	// Fig. 6: bzip2's APC1 is flat (tiny hot set); gcc's grows
+	// substantially to 64 KB.
+	bz := tbl.APC1["401.bzip2"]
+	if (bz[3]-bz[0])/bz[0] > 0.05 {
+		t.Fatalf("bzip2 APC1 not flat: %v", bz)
+	}
+	gcc := tbl.APC1["403.gcc"]
+	if gcc[3] < gcc[0]*1.5 {
+		t.Fatalf("gcc APC1 not strongly rising: %v", gcc)
+	}
+	for i := 0; i < 3; i++ {
+		if gcc[i+1] < gcc[i] {
+			t.Fatalf("gcc APC1 not monotone: %v", gcc)
+		}
+	}
+	// milc: insensitive in both APC1 and (after the first step) APC2.
+	milc := tbl.APC1["433.milc"]
+	if (milc[3]-milc[0])/milc[0] > 0.05 {
+		t.Fatalf("milc APC1 not flat: %v", milc)
+	}
+
+	// Fig. 7: gamess's L2 demand drops sharply with larger L1; mcf's
+	// biggest drop is at the first size increase.
+	gam := tbl.APC2["416.gamess"]
+	if gam[3] > gam[0]*0.3 {
+		t.Fatalf("gamess APC2 not strongly decreasing: %v", gam)
+	}
+	mcf := tbl.APC2["429.mcf"]
+	d01 := mcf[0] - mcf[1]
+	d13 := mcf[1] - mcf[3]
+	if d01 <= 0 || d01 < d13*0.8 {
+		t.Fatalf("mcf APC2 first-step drop not dominant: %v", mcf)
+	}
+}
+
+func TestRequiredSizes(t *testing.T) {
+	tbl, _, _ := fixtures(t)
+	req := func(name string, tol float64) uint64 {
+		s, err := tbl.RequiredSize(name, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if got := req("401.bzip2", 0.01); got != 4*chip.KB {
+		t.Errorf("bzip2 requires %d, want 4KB", got)
+	}
+	if got := req("403.gcc", 0.01); got != 64*chip.KB {
+		t.Errorf("gcc requires %d, want 64KB (paper §V-B)", got)
+	}
+	// Coarse tolerance can only shrink the requirement.
+	for _, n := range fixtureNames {
+		if req(n, 0.10) > req(n, 0.01) {
+			t.Errorf("%s: coarse requirement exceeds fine", n)
+		}
+	}
+	if _, err := tbl.RequiredSize("nope", 0.01); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestNUCASAAssignsBigNeedsToBigCaches(t *testing.T) {
+	tbl, _, names := fixtures(t)
+	a, err := NUCASA{Table: tbl, TolFrac: 0.01}.Assign(names, chip.NUCAGroupSizes[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(len(names)); err != nil {
+		t.Fatal(err)
+	}
+	coreOf := make(map[string]int)
+	for core, w := range a {
+		if w >= 0 {
+			coreOf[names[w]] = core
+		}
+	}
+	// gcc requires 64 KB; it must land in the largest group (cores 12-15).
+	if c := coreOf["403.gcc"]; c < 12 {
+		t.Errorf("gcc on core %d, want the 64KB group", c)
+	}
+	// bzip2 requires 4 KB; NUCA-SA must not waste a 64 KB slot on it.
+	if c := coreOf["401.bzip2"]; c >= 12 {
+		t.Errorf("bzip2 on core %d, wasting a 64KB slot", c)
+	}
+}
+
+func TestPIEAssignsSteepestToLargest(t *testing.T) {
+	tbl, _, names := fixtures(t)
+	a, err := PIE{Table: tbl}.Assign(names, chip.NUCAGroupSizes[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(len(names)); err != nil {
+		t.Fatal(err)
+	}
+	gain := func(name string) float64 {
+		ipc := tbl.IPC[name]
+		return ipc[len(ipc)-1] / ipc[0]
+	}
+	// The steepest-gain workload must sit in the largest group; the
+	// flattest in the smallest.
+	steepest, flattest := names[0], names[0]
+	for _, n := range names {
+		if gain(n) > gain(steepest) {
+			steepest = n
+		}
+		if gain(n) < gain(flattest) {
+			flattest = n
+		}
+	}
+	coreOf := map[string]int{}
+	for core, w := range a {
+		if w >= 0 {
+			coreOf[names[w]] = core
+		}
+	}
+	if coreOf[steepest] < 12 {
+		t.Errorf("steepest (%s, gain %.2f) on core %d", steepest, gain(steepest), coreOf[steepest])
+	}
+	if coreOf[flattest] >= 4 {
+		t.Errorf("flattest (%s, gain %.2f) on core %d", flattest, gain(flattest), coreOf[flattest])
+	}
+}
+
+func TestPIERequiresTable(t *testing.T) {
+	if _, err := (PIE{}).Assign([]string{"401.bzip2"}, chip.NUCAGroupSizes[:]); err == nil {
+		t.Fatal("nil table accepted")
+	}
+	if (PIE{}).Name() != "PIE-like" {
+		t.Fatal("name")
+	}
+}
+
+func TestNUCASARequiresTable(t *testing.T) {
+	if _, err := (NUCASA{}).Assign([]string{"401.bzip2"}, chip.NUCAGroupSizes[:]); err == nil {
+		t.Fatal("nil table accepted")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if (Random{}).Name() != "Random" || (RoundRobin{}).Name() != "RoundRobin" {
+		t.Fatal("baseline names")
+	}
+	if (NUCASA{TolFrac: 0.01}).Name() != "NUCA-SA(fg)" {
+		t.Fatal("fg name")
+	}
+	if (NUCASA{TolFrac: 0.10}).Name() != "NUCA-SA(cg)" {
+		t.Fatal("cg name")
+	}
+}
+
+func TestFig8Ordering(t *testing.T) {
+	// The reproduction core of Fig. 8: NUCA-SA beats both practical
+	// baselines, and the fine-grained variant is at least as good as the
+	// coarse-grained one.
+	tbl, alone, names := fixtures(t)
+	opt := evalOpts(alone)
+	hsp := func(s Scheduler) float64 {
+		ev, err := Evaluate(s, names, chip.NUCAGroupSizes[:], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev.Hsp
+	}
+	random := hsp(Random{Seed: 1})
+	rr := hsp(RoundRobin{})
+	cg := hsp(NUCASA{Table: tbl, TolFrac: 0.10})
+	fg := hsp(NUCASA{Table: tbl, TolFrac: 0.01})
+	t.Logf("Hsp: Random=%.4f RR=%.4f NUCA-SA(cg)=%.4f NUCA-SA(fg)=%.4f", random, rr, cg, fg)
+	baselineBest := random
+	if rr > baselineBest {
+		baselineBest = rr
+	}
+	if fg <= baselineBest {
+		t.Fatalf("NUCA-SA(fg) %.4f does not beat the best baseline %.4f", fg, baselineBest)
+	}
+	if cg <= (random+rr)/2 {
+		t.Fatalf("NUCA-SA(cg) %.4f below baseline average %.4f", cg, (random+rr)/2)
+	}
+	if fg < cg-0.01 {
+		t.Fatalf("fg %.4f clearly below cg %.4f", fg, cg)
+	}
+}
+
+func TestEvaluateRecordsConsistentData(t *testing.T) {
+	tbl, alone, names := fixtures(t)
+	ev, err := Evaluate(NUCASA{Table: tbl, TolFrac: 0.01}, names, chip.NUCAGroupSizes[:], evalOpts(alone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Scheduler != "NUCA-SA(fg)" {
+		t.Fatal("scheduler name missing")
+	}
+	if len(ev.IPCShared) != len(names) || len(ev.IPCAlone) != len(names) {
+		t.Fatal("per-workload vectors wrong length")
+	}
+	for w, n := range names {
+		if ev.IPCShared[w] <= 0 {
+			t.Errorf("%s: shared IPC %v", n, ev.IPCShared[w])
+		}
+		if ev.IPCAlone[w] <= 0 {
+			t.Errorf("%s: alone IPC %v", n, ev.IPCAlone[w])
+		}
+	}
+	if ev.Hsp <= 0 || ev.Hsp > 1.5 {
+		t.Fatalf("Hsp = %v", ev.Hsp)
+	}
+	if ev.Cycles == 0 {
+		t.Fatal("window length missing")
+	}
+}
+
+func TestContentionDegradesVsAlone(t *testing.T) {
+	// Weighted speedups should mostly be below 1: co-runners cannot
+	// systematically speed a program up.
+	_, alone, names := fixtures(t)
+	ev, err := Evaluate(RoundRobin{}, names, chip.NUCAGroupSizes[:], evalOpts(alone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	above := 0
+	for w := range names {
+		if ev.IPCShared[w] > ev.IPCAlone[w]*1.10 {
+			above++
+		}
+	}
+	if above > 2 {
+		t.Fatalf("%d of %d programs sped up >10%% under contention", above, len(names))
+	}
+}
+
+func TestCustomGroupSizes(t *testing.T) {
+	// The scheduling machinery must work for a non-standard NUCA
+	// geometry.
+	sizes := []uint64{8 * chip.KB, 32 * chip.KB}
+	names := []string{"401.bzip2", "456.hmmer", "444.namd", "403.gcc"}
+	tbl, err := BuildProfileTable(names, sizes, ProfileOptions{Instructions: 5000, Warmup: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NUCASA{Table: tbl, TolFrac: 0.10}.Assign(names, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(len(names)); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 8 {
+		t.Fatalf("expected 8 cores, got %d", len(a))
+	}
+}

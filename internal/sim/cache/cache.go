@@ -1,0 +1,595 @@
+package cache
+
+import (
+	"fmt"
+
+	"lpm/internal/analyzer"
+	"lpm/internal/stats"
+)
+
+// line is one cache line's metadata.
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool   // filled by the prefetcher, not yet demand-touched
+	used       uint64 // LRU touch stamp, or fill stamp under FIFO
+}
+
+// inputReq is a request accepted from above but not yet in service.
+type inputReq struct {
+	addr  uint64
+	write bool
+	src   int    // upstream requestor (keys partitioning)
+	at    uint64 // earliest service cycle
+	done  func(cycle uint64)
+}
+
+// inflight is an access in the hit pipeline.
+type inflight struct {
+	addr  uint64
+	write bool
+	src   int
+	ready uint64 // cycle the hit operation resolves
+	done  func(cycle uint64)
+	rec   *analyzer.Access
+}
+
+// target is one access coalesced under an MSHR.
+type target struct {
+	write bool
+	done  func(cycle uint64)
+	rec   *analyzer.Access
+}
+
+// mshrEntry tracks one outstanding missed block.
+type mshrEntry struct {
+	block    uint64
+	targets  []target
+	src      int // requestor of the primary miss
+	issued   bool
+	write    bool // a store is among the targets: fill installs dirty
+	prefetch bool // allocated by the prefetcher, no demand targets
+}
+
+// Stats collects cache event counters beyond the analyzer's cycle
+// classification.
+type Stats struct {
+	// Accesses counts demand accesses that entered service.
+	Accesses uint64
+	// Hits and Misses partition completed demand accesses.
+	Hits, Misses uint64
+	// Coalesced counts secondary misses attached to an existing MSHR.
+	Coalesced uint64
+	// PrimaryMisses counts MSHR allocations — distinct block fetches sent
+	// to the lower layer. This is the "request rate" the LPM model's MR
+	// terms use (Eq. 10/11): secondary (coalesced) misses never reach the
+	// next layer.
+	PrimaryMisses uint64
+	// MSHRWaits counts accesses that had to wait for an MSHR or target
+	// slot after missing.
+	MSHRWaits uint64
+	// Rejected counts demand accesses refused for a full input queue.
+	Rejected uint64
+	// Writebacks counts dirty evictions sent down.
+	Writebacks uint64
+	// Evictions counts total evictions of valid lines.
+	Evictions uint64
+	// Prefetches counts prefetch fetches issued; PrefetchUseful the
+	// prefetched lines later touched by a demand access.
+	Prefetches     uint64
+	PrefetchUseful uint64
+	// QuotaWaits counts misses parked because their requestor exhausted
+	// its MSHR quota.
+	QuotaWaits uint64
+	// Invalidations counts lines removed by coherence actions.
+	Invalidations uint64
+}
+
+// Cache is a cycle-driven non-blocking cache. Create with New, connect a
+// lower layer with SetLower, then call Tick once per cycle (upper layers
+// first). It implements Lower so caches stack directly.
+type Cache struct {
+	cfg       Config
+	an        *analyzer.Analyzer
+	lower     Lower
+	sets      [][]line
+	blockBits uint
+	rng       *stats.RNG
+
+	now       uint64
+	input     []inputReq
+	pipe      []inflight
+	mshrs     map[uint64]*mshrEntry
+	srcMSHRs  map[int]int // outstanding primary misses per requestor
+	waiting   []inflight  // missed, waiting for an MSHR/target slot
+	issueQ    []*mshrEntry
+	wbQ       []uint64 // block addresses to write back
+	fills     []*mshrEntry
+	fillsNext []*mshrEntry // fills arriving during this cycle, for next Tick
+
+	maxTargets int
+	maxInput   int
+	allWays    []int // cached identity way list for unpartitioned sources
+
+	st Stats
+}
+
+// New returns a cache built from cfg with an attached analyzer. It panics
+// on invalid configuration, since configurations are program constants in
+// this reproduction.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.Sets()
+	sets := make([][]line, nSets)
+	lines := make([]line, nSets*uint64(cfg.Assoc))
+	for i := range sets {
+		sets[i], lines = lines[:cfg.Assoc:cfg.Assoc], lines[cfg.Assoc:]
+	}
+	blockBits := uint(0)
+	for b := cfg.BlockSize; b > 1; b >>= 1 {
+		blockBits++
+	}
+	maxTargets := cfg.MSHRTargets
+	if maxTargets == 0 {
+		maxTargets = 8
+	}
+	maxInput := cfg.InputQueue
+	if maxInput == 0 {
+		maxInput = 2*cfg.Ports + 8
+	}
+	return &Cache{
+		cfg:        cfg,
+		an:         analyzer.New(cfg.Name),
+		sets:       sets,
+		blockBits:  blockBits,
+		rng:        stats.NewRNG(cfg.Seed ^ 0xcac4e),
+		mshrs:      make(map[uint64]*mshrEntry, cfg.MSHRs),
+		srcMSHRs:   make(map[int]int),
+		maxTargets: maxTargets,
+		maxInput:   maxInput,
+	}
+}
+
+// SetLower connects the next layer down.
+func (c *Cache) SetLower(l Lower) { c.lower = l }
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Analyzer returns the attached C-AMAT analyzer.
+func (c *Cache) Analyzer() *analyzer.Analyzer { return c.an }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() Stats { return c.st }
+
+// ResetCounters zeroes analyzer and event counters while keeping all
+// in-flight state, for interval-based online measurement.
+func (c *Cache) ResetCounters() {
+	c.an.ResetCounters()
+	c.st = Stats{}
+}
+
+// Busy reports whether any access, miss, fill or writeback is still in
+// flight; used to drain the hierarchy at end of simulation.
+func (c *Cache) Busy() bool {
+	return len(c.input) > 0 || len(c.pipe) > 0 || len(c.mshrs) > 0 ||
+		len(c.waiting) > 0 || len(c.issueQ) > 0 || len(c.wbQ) > 0 ||
+		len(c.fills) > 0 || len(c.fillsNext) > 0
+}
+
+// block maps an address to its block address.
+func (c *Cache) block(addr uint64) uint64 { return addr >> c.blockBits }
+
+// setIndex maps a block address to its set.
+func (c *Cache) setIndex(block uint64) uint64 { return block % uint64(len(c.sets)) }
+
+// bank maps a block address to its bank.
+func (c *Cache) bank(block uint64) int { return int(block % uint64(c.cfg.Banks)) }
+
+// Access submits a demand access from the layer above (the CPU for an
+// L1). It may be called any number of times per cycle; the bounded input
+// queue provides backpressure: a false return means "retry next cycle".
+// done fires during a later Tick when the access completes.
+func (c *Cache) Access(cycle uint64, addr uint64, write bool, done func(cycle uint64)) bool {
+	if len(c.input) >= c.maxInput {
+		c.st.Rejected++
+		return false
+	}
+	c.input = append(c.input, inputReq{addr: addr, write: write, src: c.cfg.SrcID, at: cycle, done: done})
+	return true
+}
+
+// Request implements Lower, accepting block requests from an upper cache.
+// Demand fetches (done != nil) join the input queue with a one-cycle
+// interconnect hop. Writebacks (done == nil) update the block if present
+// or are forwarded down, off the demand path.
+func (c *Cache) Request(cycle uint64, src int, blockAddr uint64, write bool, done func(cycle uint64)) bool {
+	if done == nil {
+		c.acceptWriteback(blockAddr)
+		return true
+	}
+	if len(c.input) >= c.maxInput {
+		c.st.Rejected++
+		return false
+	}
+	addr := blockAddr << c.blockBits
+	c.input = append(c.input, inputReq{addr: addr, write: write, src: src, at: cycle + 1, done: done})
+	return true
+}
+
+// acceptWriteback absorbs a dirty block from above: update in place on
+// presence, otherwise pass it down (non-inclusive hierarchy).
+func (c *Cache) acceptWriteback(blockAddr uint64) {
+	set := c.sets[c.setIndex(blockAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == blockAddr {
+			set[i].dirty = true
+			return
+		}
+	}
+	c.wbQ = append(c.wbQ, blockAddr)
+}
+
+// Tick advances the cache one cycle. Call upper layers before lower ones.
+func (c *Cache) Tick(cycle uint64) {
+	c.now = cycle
+
+	// 1. Fills that arrived from below during the previous cycle.
+	c.fills, c.fillsNext = c.fillsNext, c.fills[:0]
+	for _, m := range c.fills {
+		c.install(m)
+	}
+
+	// 2. Retry accesses waiting for MSHR capacity (some may have freed, or
+	// their block may have been filled meanwhile).
+	if len(c.waiting) > 0 {
+		c.retryWaiting()
+	}
+
+	// 3. Hit-pipeline completions.
+	c.completeResolved()
+
+	// 4. Begin new accesses, subject to ports and bank conflicts.
+	c.startAccesses()
+
+	// 5. Push allocated-but-unissued MSHR fetches and writebacks down.
+	c.issueDown()
+
+	// 6. Classify the cycle.
+	c.an.Tick()
+}
+
+// install writes a filled block into its set and completes all coalesced
+// targets.
+func (c *Cache) install(m *mshrEntry) {
+	set := c.sets[c.setIndex(m.block)]
+	victim := c.victim(set, m.src)
+	if set[victim].valid {
+		c.st.Evictions++
+		if set[victim].dirty {
+			c.st.Writebacks++
+			c.wbQ = append(c.wbQ, set[victim].tag)
+		}
+	}
+	set[victim] = line{
+		tag:        m.block,
+		valid:      true,
+		dirty:      m.write,
+		prefetched: m.prefetch,
+		used:       c.insertStamp(),
+	}
+	for _, t := range m.targets {
+		c.an.Done(t.rec, c.now)
+		c.st.Misses++
+		if t.done != nil {
+			t.done(c.now)
+		}
+	}
+	delete(c.mshrs, m.block)
+	c.srcMSHRs[m.src]--
+}
+
+// insertStamp realises the insertion policy: MRU fills look
+// just-touched; LIP fills look least recent; BIP promotes 1/32 of fills.
+func (c *Cache) insertStamp() uint64 {
+	switch c.cfg.Insert {
+	case LIPInsert:
+		return 0
+	case BIPInsert:
+		if c.rng.Intn(32) == 0 {
+			return c.now
+		}
+		return 0
+	default:
+		return c.now
+	}
+}
+
+// victim picks the way to replace in set on behalf of requestor src,
+// honouring way partitioning when configured.
+func (c *Cache) victim(set []line, src int) int {
+	ways := c.waysFor(src)
+	for _, i := range ways {
+		if !set[i].valid {
+			return i
+		}
+	}
+	switch c.cfg.Repl {
+	case RandomRepl:
+		return ways[c.rng.Intn(len(ways))]
+	default: // LRU and FIFO both evict the smallest stamp; they differ in
+		// whether lookups touch the stamp.
+		best := ways[0]
+		for _, i := range ways[1:] {
+			if set[i].used < set[best].used {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// waysFor returns the way indices requestor src may replace into.
+func (c *Cache) waysFor(src int) []int {
+	if c.cfg.PartitionWays != nil {
+		if ws, ok := c.cfg.PartitionWays[src]; ok {
+			return ws
+		}
+	}
+	if c.allWays == nil {
+		c.allWays = make([]int, c.cfg.Assoc)
+		for i := range c.allWays {
+			c.allWays[i] = i
+		}
+	}
+	return c.allWays
+}
+
+// lookup probes the tag array; on a hit it applies the policy's touch and
+// returns true.
+func (c *Cache) lookup(block uint64, write bool) bool {
+	set := c.sets[c.setIndex(block)]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			if c.cfg.Repl == LRU {
+				set[i].used = c.now
+			}
+			if write {
+				set[i].dirty = true
+			}
+			if set[i].prefetched {
+				set[i].prefetched = false
+				c.st.PrefetchUseful++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// completeResolved retires pipeline entries whose hit operation resolves
+// this cycle.
+func (c *Cache) completeResolved() {
+	keep := c.pipe[:0]
+	for _, f := range c.pipe {
+		if f.ready != c.now {
+			keep = append(keep, f)
+			continue
+		}
+		blk := c.block(f.addr)
+		if c.lookup(blk, f.write) {
+			c.st.Hits++
+			c.an.Done(f.rec, c.now)
+			if f.done != nil {
+				f.done(c.now)
+			}
+			continue
+		}
+		c.an.ToMiss(f.rec, c.now)
+		if !c.attachMiss(f) {
+			c.st.MSHRWaits++
+			c.waiting = append(c.waiting, f)
+		}
+	}
+	c.pipe = keep
+}
+
+// quotaFree reports whether requestor src may allocate another MSHR.
+func (c *Cache) quotaFree(src int) bool {
+	if c.cfg.MSHRQuota == nil {
+		return true
+	}
+	q, ok := c.cfg.MSHRQuota[src]
+	if !ok {
+		return true
+	}
+	return c.srcMSHRs[src] < q
+}
+
+// attachMiss coalesces f under an existing MSHR or allocates a new one.
+// It returns false when no MSHR capacity is available.
+func (c *Cache) attachMiss(f inflight) bool {
+	blk := c.block(f.addr)
+	if m, ok := c.mshrs[blk]; ok {
+		if !c.cfg.Coalesce || len(m.targets) >= c.maxTargets {
+			return false
+		}
+		c.st.Coalesced++
+		m.targets = append(m.targets, target{write: f.write, done: f.done, rec: f.rec})
+		m.write = m.write || f.write
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		return false
+	}
+	if !c.quotaFree(f.src) {
+		c.st.QuotaWaits++
+		return false
+	}
+	m := &mshrEntry{block: blk, src: f.src, write: f.write}
+	m.targets = append(m.targets, target{write: f.write, done: f.done, rec: f.rec})
+	c.mshrs[blk] = m
+	c.issueQ = append(c.issueQ, m)
+	c.srcMSHRs[f.src]++
+	c.st.PrimaryMisses++
+	c.issuePrefetches(blk, f.src)
+	return true
+}
+
+// issuePrefetches allocates next-line prefetch MSHRs for the blocks
+// following a demand primary miss. Prefetches are skipped when the block
+// is already present or pending, when MSHRs (or the requestor's quota)
+// run out, and never trigger further prefetching.
+func (c *Cache) issuePrefetches(blk uint64, src int) {
+	for d := 1; d <= c.cfg.Prefetch; d++ {
+		pb := blk + uint64(d)
+		if len(c.mshrs) >= c.cfg.MSHRs || !c.quotaFree(src) {
+			return
+		}
+		if _, pending := c.mshrs[pb]; pending || c.present(pb) {
+			continue
+		}
+		m := &mshrEntry{block: pb, src: src, prefetch: true}
+		c.mshrs[pb] = m
+		c.issueQ = append(c.issueQ, m)
+		c.srcMSHRs[src]++
+		c.st.Prefetches++
+	}
+}
+
+// present probes the tag array without touching replacement state.
+func (c *Cache) present(block uint64) bool {
+	set := c.sets[c.setIndex(block)]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// retryWaiting re-attempts MSHR attachment for accesses parked after a
+// full-MSHR miss. If the block arrived meanwhile, the access completes
+// directly.
+func (c *Cache) retryWaiting() {
+	keep := c.waiting[:0]
+	for _, f := range c.waiting {
+		blk := c.block(f.addr)
+		if c.lookup(blk, f.write) {
+			// Filled while waiting; completes as a (short) miss.
+			c.st.Misses++
+			c.an.Done(f.rec, c.now)
+			if f.done != nil {
+				f.done(c.now)
+			}
+			continue
+		}
+		if !c.attachMiss(f) {
+			keep = append(keep, f)
+		}
+	}
+	c.waiting = keep
+}
+
+// startAccesses moves eligible input-queue requests into the hit pipeline,
+// honouring the port count and per-bank single-issue constraint.
+func (c *Cache) startAccesses() {
+	if len(c.input) == 0 {
+		return
+	}
+	started := 0
+	var bankBusy uint64 // bitmask for up to 64 banks; wider configs wrap
+	keep := c.input[:0]
+	for _, req := range c.input {
+		if started >= c.cfg.Ports || req.at > c.now {
+			keep = append(keep, req)
+			continue
+		}
+		b := uint(c.bank(c.block(req.addr))) % 64
+		if bankBusy&(1<<b) != 0 {
+			keep = append(keep, req)
+			continue
+		}
+		bankBusy |= 1 << b
+		started++
+		c.st.Accesses++
+		rec := c.an.Start(c.now)
+		c.pipe = append(c.pipe, inflight{
+			addr:  req.addr,
+			write: req.write,
+			src:   req.src,
+			ready: c.now + uint64(c.cfg.HitLatency),
+			done:  req.done,
+			rec:   rec,
+		})
+	}
+	c.input = keep
+}
+
+// issueDown pushes pending block fetches, then writebacks, to the lower
+// layer until it refuses.
+func (c *Cache) issueDown() {
+	if c.lower == nil {
+		if len(c.issueQ) > 0 || len(c.wbQ) > 0 {
+			panic(fmt.Sprintf("cache %s: miss traffic with no lower layer", c.cfg.Name))
+		}
+		return
+	}
+	keepIssue := c.issueQ[:0]
+	for i, m := range c.issueQ {
+		if m.issued { // already sent (defensive; entries leave the queue on send)
+			continue
+		}
+		mm := m
+		if !c.lower.Request(c.now, c.cfg.SrcID, m.block, m.write, func(cycle uint64) { c.fillsNext = append(c.fillsNext, mm) }) {
+			keepIssue = append(keepIssue, c.issueQ[i:]...)
+			break
+		}
+		m.issued = true
+	}
+	c.issueQ = keepIssue
+
+	keepWB := c.wbQ[:0]
+	for i, blk := range c.wbQ {
+		if !c.lower.Request(c.now, c.cfg.SrcID, blk, true, nil) {
+			keepWB = append(keepWB, c.wbQ[i:]...)
+			break
+		}
+	}
+	c.wbQ = keepWB
+}
+
+// Invalidate removes the block holding blockAddr if present, returning
+// whether a copy existed and whether it was dirty (the caller — a
+// coherence directory — is responsible for collecting the dirty data as
+// a writeback). In-flight accesses to the block are unaffected: they
+// complete with the timing already committed, matching the usual
+// race-window abstraction of block-granularity protocols.
+func (c *Cache) Invalidate(blockAddr uint64) (present, dirty bool) {
+	set := c.sets[c.setIndex(blockAddr)]
+	for i := range set {
+		if set[i].valid && set[i].tag == blockAddr {
+			present, dirty = true, set[i].dirty
+			set[i] = line{}
+			c.st.Invalidations++
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Contains reports whether the block holding addr is present (test hook;
+// does not touch replacement state).
+func (c *Cache) Contains(addr uint64) bool {
+	blk := c.block(addr)
+	set := c.sets[c.setIndex(blk)]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			return true
+		}
+	}
+	return false
+}

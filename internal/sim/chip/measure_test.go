@@ -1,0 +1,114 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"lpm/internal/trace"
+)
+
+func TestMeasureProducesSaneLPMRs(t *testing.T) {
+	cfg := SingleCore("403.gcc")
+	gen := trace.NewSynthetic(trace.MustProfile("403.gcc"))
+	cpiExe := MeasureCPIexe(cfg.Cores[0].CPU, gen, 3, 20000)
+	ch := New(cfg)
+	ch.Run(20000, 20_000_000)
+	m := ch.Measure(0, cpiExe)
+
+	if m.CPIexe != cpiExe {
+		t.Fatal("CPIexe not threaded through")
+	}
+	// LPMRs are >= 1-ish for memory-bound layers and decrease down the
+	// hierarchy request chain only via miss-rate filtering; sanity-bound
+	// them.
+	if m.LPMR1() <= 0 {
+		t.Fatalf("LPMR1 = %v", m.LPMR1())
+	}
+	if m.LPMR2() <= 0 || m.LPMR3() <= 0 {
+		t.Fatalf("LPMR2 = %v, LPMR3 = %v", m.LPMR2(), m.LPMR3())
+	}
+	if m.Fmem < 0.3 || m.Fmem > 0.5 {
+		t.Fatalf("fmem = %v for gcc (profile 0.40)", m.Fmem)
+	}
+	if m.Eta() <= 0 || m.Eta() > 1.5 {
+		t.Fatalf("eta = %v", m.Eta())
+	}
+}
+
+func TestModelStallTracksMeasuredStall(t *testing.T) {
+	// Eq. (7)/(12) should predict the simulator's measured memory stall
+	// within a factor-2 band across different behaviours (the model is
+	// analytical, the simulator has second-order effects).
+	for _, profile := range []string{"401.bzip2", "403.gcc", "429.mcf"} {
+		cfg := SingleCore(profile)
+		gen := trace.NewSynthetic(trace.MustProfile(profile))
+		cpiExe := MeasureCPIexe(cfg.Cores[0].CPU, gen, 3, 20000)
+		ch := New(cfg)
+		ch.Run(20000, 20_000_000)
+		m := ch.Measure(0, cpiExe)
+		model, measured := m.StallEq12(), m.MeasuredStall
+		if measured == 0 {
+			continue
+		}
+		ratio := model / measured
+		if ratio < 0.3 || ratio > 3 {
+			t.Errorf("%s: model stall %.3f vs measured %.3f (ratio %.2f)",
+				profile, model, measured, ratio)
+		}
+	}
+}
+
+func TestRecursionIdentityOnMeasuredData(t *testing.T) {
+	// Eq. (4): C-AMAT1 == H1/CH1 + pMR1*eta1*C-AMAT2 approximately on
+	// real measurements (exact only under the model's serving assumption).
+	cfg := SingleCore("429.mcf")
+	gen := trace.NewSynthetic(trace.MustProfile("429.mcf"))
+	cpiExe := MeasureCPIexe(cfg.Cores[0].CPU, gen, 3, 20000)
+	ch := New(cfg)
+	ch.Run(20000, 20_000_000)
+	m := ch.Measure(0, cpiExe)
+
+	lhs := m.CAMAT1
+	rhs := m.H1/m.CH1 + m.PMR1*m.Eta1()*(m.AMP1/m.Cm1)
+	if lhs <= 0 {
+		t.Fatal("no C-AMAT1")
+	}
+	if rel := math.Abs(lhs-rhs) / lhs; rel > 1e-9 {
+		t.Fatalf("recursion with AMP1/Cm1 as C-AMAT2: lhs %.4f rhs %.4f", lhs, rhs)
+	}
+	// With the real measured C-AMAT2 the identity is approximate.
+	rhs2 := m.H1/m.CH1 + m.PMR1*m.Eta1()*m.CAMAT2
+	if rel := math.Abs(lhs-rhs2) / lhs; rel > 0.6 {
+		t.Fatalf("measured recursion off by %.0f%%: lhs %.4f rhs %.4f", rel*100, lhs, rhs2)
+	}
+}
+
+func TestMeasureAggregateConsistency(t *testing.T) {
+	gens := []trace.Generator{
+		trace.NewSynthetic(trace.MustProfile("401.bzip2")),
+		trace.NewSynthetic(trace.MustProfile("433.milc")),
+	}
+	ch := New(NUCA16(gens))
+	ch.Run(10000, 10_000_000)
+	agg := ch.MeasureAggregate(0.5)
+	m0 := ch.Measure(0, 0.5)
+	m1 := ch.Measure(1, 0.5)
+	// Aggregate fmem must lie between the two cores'.
+	lo, hi := math.Min(m0.Fmem, m1.Fmem), math.Max(m0.Fmem, m1.Fmem)
+	if agg.Fmem < lo-1e-9 || agg.Fmem > hi+1e-9 {
+		t.Fatalf("aggregate fmem %v outside [%v, %v]", agg.Fmem, lo, hi)
+	}
+	// Shared-layer quantities match the per-core view.
+	if agg.CAMAT2 != m0.CAMAT2 || agg.MR2 != m0.MR2 {
+		t.Fatal("aggregate L2 view differs from per-core view")
+	}
+}
+
+func TestMeasureIdleCore(t *testing.T) {
+	ch := New(NUCA16(nil))
+	ch.RunCycles(100)
+	m := ch.Measure(3, 1)
+	if m.LPMR1() != 0 || m.Fmem != 0 {
+		t.Fatal("idle core should measure zeros")
+	}
+}

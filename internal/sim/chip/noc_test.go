@@ -1,0 +1,83 @@
+package chip
+
+import (
+	"testing"
+
+	"lpm/internal/sim/noc"
+	"lpm/internal/trace"
+)
+
+func TestChipWithNoCValidates(t *testing.T) {
+	cfg := SingleCore("403.gcc")
+	n := noc.Default(1)
+	cfg.NoC = &n
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	badNoC := n
+	badNoC.Bandwidth = 0
+	bad.NoC = &badNoC
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad NoC accepted")
+	}
+}
+
+func TestNoCAddsL2Latency(t *testing.T) {
+	run := func(withNoC bool) float64 {
+		cfg := SingleCore("403.gcc")
+		cfg.Cores[0].L1 = DefaultL1("L1D-0", 4*KB) // plenty of L2 traffic
+		if withNoC {
+			n := noc.Default(1)
+			n.Latency = 12
+			cfg.NoC = &n
+		}
+		cfg.Cores[0].Workload = trace.NewSynthetic(trace.MustProfile("403.gcc"))
+		ch := New(cfg)
+		ch.RunCycles(30000)
+		ch.ResetCounters()
+		ch.RunCycles(60000)
+		return ch.Snapshot().Cores[0].CPU.IPC()
+	}
+	direct, routed := run(false), run(true)
+	if routed >= direct {
+		t.Fatalf("NoC latency did not cost anything: direct %.3f routed %.3f", direct, routed)
+	}
+}
+
+func TestNoCDrainsWithChip(t *testing.T) {
+	cfg := SingleCore("429.mcf")
+	n := noc.Default(1)
+	cfg.NoC = &n
+	ch := New(cfg)
+	if ch.Router() == nil {
+		t.Fatal("router missing")
+	}
+	_, done := ch.Run(5000, 20_000_000)
+	if !done {
+		t.Fatal("did not retire")
+	}
+	if ch.Busy() {
+		t.Fatal("router left traffic in flight after drain")
+	}
+	if ch.Router().Stats().Requests == 0 {
+		t.Fatal("router saw no traffic")
+	}
+}
+
+func TestNoCContentionRaisesQueueing(t *testing.T) {
+	// Sixteen cores sharing a narrow fabric must queue.
+	gens := make([]trace.Generator, 16)
+	for i, nme := range trace.ProfileNames() {
+		gens[i] = trace.NewSynthetic(trace.MustProfile(nme))
+	}
+	cfg := NUCA16(gens)
+	n := noc.Default(16)
+	n.Bandwidth = 1
+	cfg.NoC = &n
+	ch := New(cfg)
+	ch.RunCycles(60000)
+	if q := ch.Router().Stats().AvgQueueing(); q <= 0.5 {
+		t.Fatalf("avg queueing %.2f on a bandwidth-1 fabric with 16 cores", q)
+	}
+}

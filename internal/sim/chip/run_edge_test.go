@@ -1,0 +1,73 @@
+package chip
+
+import (
+	"testing"
+
+	"lpm/internal/trace"
+)
+
+func TestRunReportsIncompleteOnCycleCap(t *testing.T) {
+	ch := New(SingleCore("429.mcf"))
+	cycles, done := ch.Run(1_000_000, 2000) // far too few cycles
+	if done {
+		t.Fatal("claimed completion under an impossible budget")
+	}
+	if cycles > 2100 {
+		t.Fatalf("overran the cycle budget: %d", cycles)
+	}
+}
+
+func TestRunIsIdempotentAfterCompletion(t *testing.T) {
+	ch := New(SingleCore("401.bzip2"))
+	_, done := ch.Run(5000, 5_000_000)
+	if !done {
+		t.Fatal("did not complete")
+	}
+	before := ch.Snapshot().Cores[0].CPU.Instructions
+	// A second Run with the same target: the halted core neither fetches
+	// nor retires more.
+	ch.Run(5000, 100000)
+	after := ch.Snapshot().Cores[0].CPU.Instructions
+	if after != before {
+		t.Fatalf("halted core kept retiring: %d -> %d", before, after)
+	}
+}
+
+func TestSnapshotStableWhileIdle(t *testing.T) {
+	ch := New(SingleCore("401.bzip2"))
+	ch.Run(3000, 5_000_000)
+	a := ch.Snapshot()
+	ch.RunCycles(1000) // idle ticks after drain
+	b := ch.Snapshot()
+	if a.Cores[0].L1.Completed != b.Cores[0].L1.Completed {
+		t.Fatal("idle ticks changed L1 counters")
+	}
+	// The memory layer must also be quiet.
+	if a.Mem.Reads != b.Mem.Reads {
+		t.Fatal("idle ticks generated memory traffic")
+	}
+}
+
+func TestMixedIdleAndActiveCores(t *testing.T) {
+	// Only 3 of 16 cores loaded: the chip must run, drain, and report
+	// zeros for the idle slots.
+	cfg := NUCA16(nil)
+	for i, name := range []string{"401.bzip2", "433.milc", "444.namd"} {
+		cfg.Cores[i*4].Workload = trace.NewSynthetic(trace.MustProfile(name))
+	}
+	ch := New(cfg)
+	_, done := ch.Run(4000, 20_000_000)
+	if !done {
+		t.Fatal("did not complete")
+	}
+	r := ch.Snapshot()
+	for i, cr := range r.Cores {
+		active := i == 0 || i == 4 || i == 8
+		if active && cr.CPU.Instructions == 0 {
+			t.Fatalf("active core %d retired nothing", i)
+		}
+		if !active && cr.CPU.Instructions != 0 {
+			t.Fatalf("idle core %d retired %d", i, cr.CPU.Instructions)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package coherence implements a directory-based MSI-style protocol over
+// the repository's caches, the substrate a multicore with genuinely
+// shared data needs (the paper's data stall time definition explicitly
+// includes "in multi-thread cases, the latency due to cache coherency
+// and consistency", §III-A).
+//
+// The Directory interposes between the private L1s and the shared L2: it
+// tracks, per block, which L1s hold a copy and whether one holds it
+// modified. Read fetches register the requestor as a sharer; write
+// fetches (and upgrades) invalidate every other copy first, turning the
+// victims' dirty data into writebacks. State is block-granular and
+// invalidation takes effect between cycles — the standard
+// timing-simulator abstraction that charges the *misses and traffic* of
+// coherence without modelling data values.
+package coherence
+
+import (
+	"fmt"
+
+	"lpm/internal/sim/cache"
+)
+
+// Invalidator is the upper-cache surface the directory drives; implemented
+// by *cache.Cache.
+type Invalidator interface {
+	Invalidate(blockAddr uint64) (present, dirty bool)
+}
+
+// entry is one tracked block's directory state.
+type entry struct {
+	sharers uint64 // bitmask of L1s holding the block
+	owner   int    // index holding it modified; -1 when unowned
+}
+
+// Stats counts protocol events.
+type Stats struct {
+	// ReadFetches and WriteFetches count forwarded demand fetches.
+	ReadFetches, WriteFetches uint64
+	// Invalidations counts copies killed by write fetches.
+	Invalidations uint64
+	// DirtyForwards counts invalidations that flushed modified data
+	// (owner -> memory -> requestor in a real machine; charged here as a
+	// writeback plus the normal fetch).
+	DirtyForwards uint64
+	// Downgrades counts modified copies demoted to shared by a read.
+	Downgrades uint64
+	// TrackedBlocks is the current directory occupancy.
+	TrackedBlocks int
+}
+
+// Directory is the coherence controller. It implements cache.Lower
+// toward the L1s and forwards to the real lower layer (the shared L2 or
+// a NoC router).
+type Directory struct {
+	lower  cache.Lower
+	upper  []Invalidator
+	blocks map[uint64]*entry
+	st     Stats
+	// InvalidationLatency is charged (in cycles) to a write fetch that
+	// had to kill remote copies, by delaying its forward; 0 disables.
+	InvalidationLatency uint64
+
+	delayed []delayedReq
+}
+
+// delayedReq is a write fetch waiting out its invalidation latency.
+type delayedReq struct {
+	src   int
+	block uint64
+	write bool
+	done  func(uint64)
+	at    uint64
+}
+
+// New builds a directory over the given upper caches (indexed by their
+// SrcID) and lower layer.
+func New(upper []Invalidator, lower cache.Lower) *Directory {
+	return &Directory{
+		lower:  lower,
+		upper:  upper,
+		blocks: make(map[uint64]*entry),
+	}
+}
+
+// Stats returns the event counters (TrackedBlocks refreshed).
+func (d *Directory) Stats() Stats {
+	st := d.st
+	st.TrackedBlocks = len(d.blocks)
+	return st
+}
+
+// ResetCounters zeroes the counters, keeping directory state.
+func (d *Directory) ResetCounters() { d.st = Stats{} }
+
+// Busy reports whether delayed fetches are pending.
+func (d *Directory) Busy() bool { return len(d.delayed) > 0 }
+
+// entryFor returns (allocating) the state of a block.
+func (d *Directory) entryFor(block uint64) *entry {
+	e, ok := d.blocks[block]
+	if !ok {
+		e = &entry{owner: -1}
+		d.blocks[block] = e
+	}
+	return e
+}
+
+// Request implements cache.Lower.
+func (d *Directory) Request(cycle uint64, src int, block uint64, write bool, done func(cycle uint64)) bool {
+	if done == nil {
+		// Writeback: the source no longer holds the block.
+		d.release(src, block)
+		return d.lower.Request(cycle, src, block, true, nil)
+	}
+	if write {
+		delay := d.prepareWrite(cycle, src, block)
+		if delay > 0 {
+			d.delayed = append(d.delayed, delayedReq{
+				src: src, block: block, write: true, done: done, at: cycle + delay,
+			})
+			return true
+		}
+		d.st.WriteFetches++
+		return d.lower.Request(cycle, src, block, true, done)
+	}
+	// Read fetch: register the sharer; a modified owner is downgraded
+	// (its dirty data flushed as a writeback).
+	e := d.entryFor(block)
+	if e.owner >= 0 && e.owner != src {
+		if _, dirty := d.invalidateAt(e.owner, block); dirty {
+			d.st.DirtyForwards++
+			d.lower.Request(cycle, e.owner, block, true, nil)
+		}
+		e.sharers &^= 1 << uint(e.owner)
+		d.st.Downgrades++
+		e.owner = -1
+	}
+	if src >= 0 && src < 64 {
+		e.sharers |= 1 << uint(src)
+	}
+	d.st.ReadFetches++
+	return d.lower.Request(cycle, src, block, false, done)
+}
+
+// prepareWrite invalidates every remote copy of block and returns the
+// invalidation delay to charge (0 when no copies existed).
+func (d *Directory) prepareWrite(cycle uint64, src int, block uint64) uint64 {
+	e := d.entryFor(block)
+	killed := false
+	for s := 0; s < len(d.upper) && s < 64; s++ {
+		if s == src || e.sharers&(1<<uint(s)) == 0 {
+			continue
+		}
+		present, dirty := d.invalidateAt(s, block)
+		if present {
+			killed = true
+			d.st.Invalidations++
+			if dirty {
+				d.st.DirtyForwards++
+				d.lower.Request(cycle, s, block, true, nil)
+			}
+		}
+		e.sharers &^= 1 << uint(s)
+	}
+	e.owner = src
+	if src >= 0 && src < 64 {
+		e.sharers = 1 << uint(src)
+	} else {
+		e.sharers = 0
+	}
+	if killed {
+		return d.InvalidationLatency
+	}
+	return 0
+}
+
+// invalidateAt kills the copy at upper cache s.
+func (d *Directory) invalidateAt(s int, block uint64) (present, dirty bool) {
+	if s < 0 || s >= len(d.upper) || d.upper[s] == nil {
+		return false, false
+	}
+	return d.upper[s].Invalidate(block)
+}
+
+// release clears src's sharer/owner state for block.
+func (d *Directory) release(src int, block uint64) {
+	e, ok := d.blocks[block]
+	if !ok {
+		return
+	}
+	if src >= 0 && src < 64 {
+		e.sharers &^= 1 << uint(src)
+	}
+	if e.owner == src {
+		e.owner = -1
+	}
+	if e.sharers == 0 && e.owner == -1 {
+		delete(d.blocks, block)
+	}
+}
+
+// Tick forwards delayed write fetches whose invalidation latency
+// expired. Call it once per cycle, between the L1s and the lower layer.
+func (d *Directory) Tick(cycle uint64) {
+	if len(d.delayed) == 0 {
+		return
+	}
+	keep := d.delayed[:0]
+	for _, r := range d.delayed {
+		if r.at > cycle {
+			keep = append(keep, r)
+			continue
+		}
+		d.st.WriteFetches++
+		if !d.lower.Request(cycle, r.src, r.block, r.write, r.done) {
+			rr := r
+			rr.at = cycle + 1
+			keep = append(keep, rr)
+		}
+	}
+	d.delayed = keep
+}
+
+// String summarises the protocol counters.
+func (d *Directory) String() string {
+	st := d.Stats()
+	return fmt.Sprintf("coherence{reads=%d writes=%d inval=%d dirtyFwd=%d downgrades=%d tracked=%d}",
+		st.ReadFetches, st.WriteFetches, st.Invalidations, st.DirtyForwards, st.Downgrades, st.TrackedBlocks)
+}

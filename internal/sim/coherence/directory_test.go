@@ -1,0 +1,190 @@
+package coherence
+
+import (
+	"testing"
+
+	"lpm/internal/sim/cache"
+	"lpm/internal/sim/dram"
+)
+
+// rig: two private L1s -> directory -> shared fixed-latency memory.
+type rig struct {
+	l1s []*cache.Cache
+	dir *Directory
+	mem *dram.Fixed
+	now uint64
+}
+
+func newRig(invalLat uint64) *rig {
+	r := &rig{mem: &dram.Fixed{Latency: 10}}
+	mk := func(i int) *cache.Cache {
+		return cache.New(cache.Config{
+			Name: "L1", Size: 4 << 10, BlockSize: 64, Assoc: 2,
+			HitLatency: 2, Ports: 2, Banks: 2, MSHRs: 4, Coalesce: true,
+			SrcID: i,
+		})
+	}
+	r.l1s = []*cache.Cache{mk(0), mk(1)}
+	ups := make([]Invalidator, len(r.l1s))
+	for i, c := range r.l1s {
+		ups[i] = c
+	}
+	r.dir = New(ups, r.mem)
+	r.dir.InvalidationLatency = invalLat
+	for _, c := range r.l1s {
+		c.SetLower(r.dir)
+	}
+	return r
+}
+
+func (r *rig) step() {
+	r.now++
+	for _, c := range r.l1s {
+		c.Tick(r.now)
+	}
+	r.dir.Tick(r.now)
+	r.mem.Tick(r.now)
+}
+
+// access runs a demand access on L1 i and waits for completion.
+func (r *rig) access(t *testing.T, i int, addr uint64, write bool) {
+	t.Helper()
+	done := false
+	if !r.l1s[i].Access(r.now+1, addr, write, func(uint64) { done = true }) {
+		t.Fatal("access rejected")
+	}
+	for k := 0; k < 500 && !done; k++ {
+		r.step()
+	}
+	if !done {
+		t.Fatal("access never completed")
+	}
+}
+
+func TestReadSharing(t *testing.T) {
+	r := newRig(0)
+	r.access(t, 0, 0x100, false)
+	r.access(t, 1, 0x100, false)
+	if !r.l1s[0].Contains(0x100) || !r.l1s[1].Contains(0x100) {
+		t.Fatal("read sharing should leave both copies")
+	}
+	if st := r.dir.Stats(); st.ReadFetches != 2 || st.Invalidations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	r := newRig(0)
+	r.access(t, 0, 0x100, false) // core 0 reads
+	r.access(t, 1, 0x100, true)  // core 1 writes: core 0's copy must die
+	if r.l1s[0].Contains(0x100) {
+		t.Fatal("stale copy survived a remote write")
+	}
+	if !r.l1s[1].Contains(0x100) {
+		t.Fatal("writer lost its own copy")
+	}
+	if st := r.dir.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", st.Invalidations)
+	}
+	// Core 0 re-reads: a fresh (coherence) miss.
+	m0 := r.l1s[0].Stats().Misses
+	r.access(t, 0, 0x100, false)
+	if r.l1s[0].Stats().Misses != m0+1 {
+		t.Fatal("re-read after invalidation should miss")
+	}
+}
+
+func TestDirtyCopyFlushedOnRemoteWrite(t *testing.T) {
+	r := newRig(0)
+	r.access(t, 0, 0x200, true) // core 0 owns dirty
+	r.access(t, 1, 0x200, true) // core 1 writes: dirty data must be flushed
+	if st := r.dir.Stats(); st.DirtyForwards != 1 {
+		t.Fatalf("dirty forwards = %d", st.DirtyForwards)
+	}
+}
+
+func TestReadDowngradesModifiedOwner(t *testing.T) {
+	r := newRig(0)
+	r.access(t, 0, 0x300, true)  // core 0 modified
+	r.access(t, 1, 0x300, false) // core 1 read: owner downgraded + flush
+	st := r.dir.Stats()
+	if st.Downgrades != 1 {
+		t.Fatalf("downgrades = %d", st.Downgrades)
+	}
+	if st.DirtyForwards != 1 {
+		t.Fatalf("dirty forwards = %d", st.DirtyForwards)
+	}
+}
+
+func TestWritebackReleasesState(t *testing.T) {
+	r := newRig(0)
+	r.access(t, 0, 0x400, true)
+	// Evict via conflicting fills (4KB, 2-way, 32 sets: same set every
+	// 2KB).
+	r.access(t, 0, 0x400+2048, false)
+	r.access(t, 0, 0x400+4096, false)
+	for k := 0; k < 200; k++ {
+		r.step()
+	}
+	// After the writeback, a remote write needs no invalidation.
+	before := r.dir.Stats().Invalidations
+	r.access(t, 1, 0x400, true)
+	if got := r.dir.Stats().Invalidations; got != before {
+		t.Fatalf("invalidations %d -> %d after the owner wrote back", before, got)
+	}
+}
+
+func TestInvalidationLatencyCharged(t *testing.T) {
+	fast := newRig(0)
+	fast.access(t, 0, 0x500, false)
+	start := fast.now
+	fast.access(t, 1, 0x500, true)
+	quick := fast.now - start
+
+	slow := newRig(50)
+	slow.access(t, 0, 0x500, false)
+	start = slow.now
+	slow.access(t, 1, 0x500, true)
+	delayed := slow.now - start
+	if delayed < quick+40 {
+		t.Fatalf("invalidation latency not charged: %d vs %d", delayed, quick)
+	}
+}
+
+func TestPingPongCostsMoreThanPrivate(t *testing.T) {
+	// Two cores alternately writing the SAME block (true sharing ping-
+	// pong) must run slower than writing DISTINCT blocks.
+	elapsed := func(shared bool) uint64 {
+		r := newRig(8)
+		for k := 0; k < 20; k++ {
+			addrA := uint64(0x800)
+			addrB := uint64(0x800)
+			if !shared {
+				addrB = 0x8000
+			}
+			r.access(t, 0, addrA, true)
+			r.access(t, 1, addrB, true)
+		}
+		return r.now
+	}
+	private, pingpong := elapsed(false), elapsed(true)
+	if pingpong <= private {
+		t.Fatalf("ping-pong (%d cycles) not slower than private (%d)", pingpong, private)
+	}
+}
+
+func TestDirectoryStringAndReset(t *testing.T) {
+	r := newRig(0)
+	r.access(t, 0, 0x100, false)
+	if r.dir.String() == "" {
+		t.Fatal("empty string")
+	}
+	r.dir.ResetCounters()
+	if r.dir.Stats().ReadFetches != 0 {
+		t.Fatal("counters survive reset")
+	}
+	// State (tracked blocks) persists across counter resets.
+	if r.dir.Stats().TrackedBlocks == 0 {
+		t.Fatal("directory state lost on counter reset")
+	}
+}

@@ -1,0 +1,335 @@
+// Package cpu models an out-of-order core at cycle granularity for the
+// LPM reproduction, standing in for GEM5's detailed O3 CPU. What matters
+// for LPM is faithfully generating the *concurrency-limited memory request
+// stream* and accounting stall/overlap cycles:
+//
+//   - the issue width bounds dispatch and wakeup bandwidth,
+//   - the instruction window (IW) bounds instructions simultaneously
+//     pending execution, limiting memory-level parallelism,
+//   - the reorder buffer (ROB) bounds total in-flight instructions and
+//     forces in-order retirement, so a stalled memory op at its head
+//     blocks the core — the data stall of Eq. (5),
+//   - register dependences (including dependent/pointer-chasing loads)
+//     serialise execution,
+//   - the load/store queue bounds outstanding memory accesses.
+//
+// These are precisely the per-core parameters the paper's Table I sweeps
+// (pipeline issue width, IW size, ROB size) plus the structures that feed
+// C_H and C_M at the L1.
+package cpu
+
+import (
+	"fmt"
+
+	"lpm/internal/trace"
+)
+
+// MemPort is the core's view of its L1 data cache. Access returns false
+// when the request cannot be accepted this cycle (backpressure); done
+// fires during a later cycle when the data is available.
+type MemPort interface {
+	Access(cycle uint64, addr uint64, write bool, done func(cycle uint64)) bool
+}
+
+// Config describes one core.
+type Config struct {
+	// Name labels the core in reports.
+	Name string
+	// IssueWidth is the dispatch/issue bandwidth per cycle (the paper's
+	// "pipeline issue width").
+	IssueWidth int
+	// CommitWidth is the retire bandwidth per cycle; 0 means IssueWidth.
+	CommitWidth int
+	// ROBSize bounds in-flight (dispatched, unretired) instructions.
+	ROBSize int
+	// IWSize bounds dispatched-but-incomplete instructions (the
+	// scheduler window).
+	IWSize int
+	// LSQSize bounds outstanding memory accesses; 0 means IWSize.
+	LSQSize int
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("cpu: config has no name")
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("cpu %s: issue width %d", c.Name, c.IssueWidth)
+	case c.ROBSize <= 0:
+		return fmt.Errorf("cpu %s: ROB size %d", c.Name, c.ROBSize)
+	case c.IWSize <= 0:
+		return fmt.Errorf("cpu %s: IW size %d", c.Name, c.IWSize)
+	case c.CommitWidth < 0 || c.LSQSize < 0:
+		return fmt.Errorf("cpu %s: negative width", c.Name)
+	}
+	return nil
+}
+
+// entry state.
+const (
+	stDispatched = iota // in ROB, waiting for operands or a port
+	stExecuting         // latency counting down / memory outstanding
+	stDone              // complete, awaiting in-order retirement
+)
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	in      trace.Instr
+	seq     uint64
+	state   uint8
+	readyAt uint64 // completion cycle for compute ops
+}
+
+// Stats accumulates core counters.
+type Stats struct {
+	// Cycles counts core ticks; Instructions counts retirements.
+	Cycles       uint64
+	Instructions uint64
+	// MemInstructions counts retired loads+stores.
+	MemInstructions uint64
+	// StallCycles counts cycles with zero retirements while the ROB was
+	// non-empty; MemStallCycles is the subset where the ROB head was an
+	// incomplete memory access — the paper's data stall time.
+	StallCycles    uint64
+	MemStallCycles uint64
+	// EmptyCycles counts cycles with an empty ROB (startup only, in
+	// practice).
+	EmptyCycles uint64
+	// MemActiveCycles counts cycles with >= 1 outstanding memory access;
+	// OverlapCycles is the subset where computation also progressed
+	// (a compute op executing or an instruction retired).
+	MemActiveCycles uint64
+	OverlapCycles   uint64
+	// LSQFullEvents and RejectedAccesses count structural stalls at the
+	// memory interface.
+	LSQFullEvents    uint64
+	RejectedAccesses uint64
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// CPI returns cycles per instruction.
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// Fmem returns the fraction of retired instructions accessing memory
+// (the paper's f_mem).
+func (s Stats) Fmem() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.MemInstructions) / float64(s.Instructions)
+}
+
+// OverlapRatio returns the computation/memory overlap ratio of Eq. (8):
+// overlapped cycles over total memory access cycles.
+func (s Stats) OverlapRatio() float64 {
+	if s.MemActiveCycles == 0 {
+		return 0
+	}
+	return float64(s.OverlapCycles) / float64(s.MemActiveCycles)
+}
+
+// DataStallPerInstr returns measured memory stall cycles per retired
+// instruction — the quantity Eq. (12)/(13) model.
+func (s Stats) DataStallPerInstr() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.MemStallCycles) / float64(s.Instructions)
+}
+
+// Core is a cycle-driven out-of-order core. Create with New, then call
+// Tick once per cycle before the caches.
+type Core struct {
+	cfg Config
+	gen trace.Generator
+	mem MemPort
+
+	rob     []robEntry
+	head    int
+	count   int
+	headSeq uint64 // seq of rob[head]
+	nextSeq uint64
+
+	inIW   int // dispatched but not complete
+	inLSQ  int // memory accesses outstanding
+	halted bool
+
+	st Stats
+}
+
+// New builds a core running gen against mem. It panics on invalid
+// configuration.
+func New(cfg Config, gen trace.Generator, mem MemPort) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.CommitWidth == 0 {
+		cfg.CommitWidth = cfg.IssueWidth
+	}
+	if cfg.LSQSize == 0 {
+		cfg.LSQSize = cfg.IWSize
+	}
+	return &Core{cfg: cfg, gen: gen, mem: mem, rob: make([]robEntry, cfg.ROBSize)}
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Stats returns the counters.
+func (c *Core) Stats() Stats { return c.st }
+
+// ResetCounters zeroes the counters while keeping pipeline state.
+func (c *Core) ResetCounters() { c.st = Stats{} }
+
+// Retired returns the retired instruction count.
+func (c *Core) Retired() uint64 { return c.st.Instructions }
+
+// Halt stops fetching new instructions; in-flight ones drain.
+func (c *Core) Halt() { c.halted = true }
+
+// Halted reports whether the core has stopped fetching.
+func (c *Core) Halted() bool { return c.halted }
+
+// Busy reports whether instructions are still in flight.
+func (c *Core) Busy() bool { return c.count > 0 }
+
+// at returns the ROB entry holding seq; the caller guarantees it is in
+// flight.
+func (c *Core) at(seq uint64) *robEntry {
+	idx := (c.head + int(seq-c.headSeq)) % len(c.rob)
+	return &c.rob[idx]
+}
+
+// depReady reports whether e's register dependence is satisfied.
+func (c *Core) depReady(e *robEntry) bool {
+	if e.in.Dep == 0 || uint64(e.in.Dep) > e.seq {
+		return true // no producer, or it would precede the stream
+	}
+	dep := e.seq - uint64(e.in.Dep)
+	if dep < c.headSeq {
+		return true // producer already retired
+	}
+	return c.at(dep).state == stDone
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(cycle uint64) {
+	if c.halted && c.count == 0 {
+		return // fully drained: the core is off, time no longer accrues
+	}
+	c.st.Cycles++
+
+	// 1. Complete compute ops whose latency expired. (Memory ops complete
+	// via the cache callback.)
+	computeExecuting := false
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[(c.head+i)%len(c.rob)]
+		if e.state != stExecuting {
+			continue
+		}
+		if e.in.Kind == trace.Compute {
+			if e.readyAt <= cycle {
+				e.state = stDone
+				c.inIW--
+			} else {
+				computeExecuting = true
+			}
+		}
+	}
+
+	// 2. Retire in order.
+	retired := 0
+	for retired < c.cfg.CommitWidth && c.count > 0 {
+		e := &c.rob[c.head]
+		if e.state != stDone {
+			break
+		}
+		if e.in.Kind.IsMem() {
+			c.st.MemInstructions++
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.headSeq++
+		c.count--
+		retired++
+		c.st.Instructions++
+	}
+
+	// 3. Issue ready instructions to execution, oldest first.
+	issued := 0
+	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
+		e := &c.rob[(c.head+i)%len(c.rob)]
+		if e.state != stDispatched || !c.depReady(e) {
+			continue
+		}
+		if e.in.Kind == trace.Compute {
+			e.state = stExecuting
+			e.readyAt = cycle + uint64(e.in.Lat)
+			issued++
+			computeExecuting = true
+			continue
+		}
+		// Memory operation: needs an LSQ slot and L1 acceptance.
+		if c.inLSQ >= c.cfg.LSQSize {
+			c.st.LSQFullEvents++
+			continue
+		}
+		ee := e
+		if !c.mem.Access(cycle, e.in.Addr, e.in.Kind == trace.Store, func(uint64) {
+			ee.state = stDone
+			c.inIW--
+			c.inLSQ--
+		}) {
+			c.st.RejectedAccesses++
+			continue
+		}
+		e.state = stExecuting
+		c.inLSQ++
+		issued++
+	}
+
+	// 4. Fetch/dispatch new instructions.
+	if !c.halted {
+		for d := 0; d < c.cfg.IssueWidth; d++ {
+			if c.count >= c.cfg.ROBSize || c.inIW >= c.cfg.IWSize {
+				break
+			}
+			tail := (c.head + c.count) % len(c.rob)
+			c.rob[tail] = robEntry{in: c.gen.Next(), seq: c.nextSeq, state: stDispatched}
+			c.nextSeq++
+			c.count++
+			c.inIW++
+		}
+	}
+
+	// 5. Cycle accounting.
+	if retired == 0 {
+		if c.count == 0 {
+			c.st.EmptyCycles++
+		} else {
+			c.st.StallCycles++
+			head := &c.rob[c.head]
+			if head.in.Kind.IsMem() && head.state != stDone {
+				c.st.MemStallCycles++
+			}
+		}
+	}
+	if c.inLSQ > 0 {
+		c.st.MemActiveCycles++
+		if computeExecuting || retired > 0 {
+			c.st.OverlapCycles++
+		}
+	}
+}

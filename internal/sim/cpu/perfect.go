@@ -1,0 +1,46 @@
+package cpu
+
+// Perfect is an ideal memory port: every access completes after a fixed
+// latency with unlimited bandwidth. Running a core against Perfect with
+// the L1 hit time yields CPI_exe, the paper's "processor computation
+// cycles per instruction under perfect cache" (Eq. 5). Tick it once per
+// cycle after the core.
+type Perfect struct {
+	// Latency is the constant completion time in cycles (use the L1 hit
+	// time for CPI_exe).
+	Latency uint64
+
+	pend  []perfectPending
+	count uint64
+}
+
+type perfectPending struct {
+	done func(cycle uint64)
+	at   uint64
+}
+
+// Access implements MemPort; it never refuses.
+func (p *Perfect) Access(cycle uint64, addr uint64, write bool, done func(cycle uint64)) bool {
+	p.count++
+	p.pend = append(p.pend, perfectPending{done: done, at: cycle + p.Latency})
+	return true
+}
+
+// Count returns the number of accesses served.
+func (p *Perfect) Count() uint64 { return p.count }
+
+// Busy reports outstanding completions.
+func (p *Perfect) Busy() bool { return len(p.pend) > 0 }
+
+// Tick fires due completions.
+func (p *Perfect) Tick(cycle uint64) {
+	keep := p.pend[:0]
+	for _, e := range p.pend {
+		if e.at <= cycle {
+			e.done(cycle)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	p.pend = keep
+}

@@ -1,0 +1,267 @@
+package cpu
+
+import (
+	"fmt"
+
+	"lpm/internal/trace"
+)
+
+// SMT is a simultaneous multithreading core: several hardware threads
+// share the issue bandwidth, execution resources, load/store queue and
+// memory ports of one core. The paper names SMT among the mechanisms
+// that raise both hit concurrency C_H and pure-miss concurrency C_M
+// (§II): independent threads keep issuing memory accesses while one
+// thread's miss is outstanding, so more accesses overlap at the L1.
+//
+// Each thread has its own architectural stream (generator, ROB,
+// sequence space); fetch, issue and retire bandwidth are arbitrated
+// round-robin. The shared structures follow Config: IssueWidth and
+// CommitWidth are per-cycle totals, IWSize bounds the incomplete
+// instructions summed over threads, LSQSize the outstanding memory
+// accesses summed over threads. Per-thread ROBs get ROBSize entries
+// each.
+type SMT struct {
+	cfg Config
+	mem MemPort
+
+	threads  []smtThread
+	inIW     int
+	inLSQ    int
+	fetchRR  int
+	retireRR int
+
+	st Stats // cycle-level counters (shared); per-thread counters live in the threads
+}
+
+// smtThread is one hardware thread's private state.
+type smtThread struct {
+	gen     trace.Generator
+	rob     []robEntry
+	head    int
+	count   int
+	headSeq uint64
+	nextSeq uint64
+	halted  bool
+	st      Stats
+}
+
+// NewSMT builds an SMT core over the given per-thread workloads. It
+// panics on invalid configuration or an empty workload list.
+func NewSMT(cfg Config, gens []trace.Generator, mem MemPort) *SMT {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if len(gens) == 0 {
+		panic(fmt.Sprintf("cpu %s: SMT with no threads", cfg.Name))
+	}
+	if cfg.CommitWidth == 0 {
+		cfg.CommitWidth = cfg.IssueWidth
+	}
+	if cfg.LSQSize == 0 {
+		cfg.LSQSize = cfg.IWSize
+	}
+	s := &SMT{cfg: cfg, mem: mem}
+	for _, g := range gens {
+		s.threads = append(s.threads, smtThread{gen: g, rob: make([]robEntry, cfg.ROBSize)})
+	}
+	return s
+}
+
+// Threads returns the hardware thread count.
+func (s *SMT) Threads() int { return len(s.threads) }
+
+// ThreadStats returns thread t's counters (instruction counts are
+// per-thread; cycle-classification counters are in Stats).
+func (s *SMT) ThreadStats(t int) Stats { return s.threads[t].st }
+
+// Stats returns the shared cycle-level counters plus summed instruction
+// counters.
+func (s *SMT) Stats() Stats {
+	agg := s.st
+	for i := range s.threads {
+		agg.Instructions += s.threads[i].st.Instructions
+		agg.MemInstructions += s.threads[i].st.MemInstructions
+	}
+	return agg
+}
+
+// Retired returns total instructions retired across threads.
+func (s *SMT) Retired() uint64 {
+	var n uint64
+	for i := range s.threads {
+		n += s.threads[i].st.Instructions
+	}
+	return n
+}
+
+// Halt stops fetch on every thread.
+func (s *SMT) Halt() {
+	for i := range s.threads {
+		s.threads[i].halted = true
+	}
+}
+
+// Busy reports in-flight instructions on any thread.
+func (s *SMT) Busy() bool {
+	for i := range s.threads {
+		if s.threads[i].count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// at returns the ROB entry holding seq on thread th.
+func (th *smtThread) at(seq uint64) *robEntry {
+	idx := (th.head + int(seq-th.headSeq)) % len(th.rob)
+	return &th.rob[idx]
+}
+
+// depReady reports whether e's intra-thread dependence is satisfied.
+func (th *smtThread) depReady(e *robEntry) bool {
+	if e.in.Dep == 0 || uint64(e.in.Dep) > e.seq {
+		return true
+	}
+	dep := e.seq - uint64(e.in.Dep)
+	if dep < th.headSeq {
+		return true
+	}
+	return th.at(dep).state == stDone
+}
+
+// Tick advances the SMT core one cycle.
+func (s *SMT) Tick(cycle uint64) {
+	anyWork := false
+	for i := range s.threads {
+		if s.threads[i].count > 0 || !s.threads[i].halted {
+			anyWork = true
+			break
+		}
+	}
+	if !anyWork {
+		return
+	}
+	s.st.Cycles++
+
+	// 1. Complete compute ops on every thread.
+	computeExecuting := false
+	for ti := range s.threads {
+		th := &s.threads[ti]
+		for i := 0; i < th.count; i++ {
+			e := &th.rob[(th.head+i)%len(th.rob)]
+			if e.state != stExecuting || e.in.Kind != trace.Compute {
+				continue
+			}
+			if e.readyAt <= cycle {
+				e.state = stDone
+				s.inIW--
+			} else {
+				computeExecuting = true
+			}
+		}
+	}
+
+	// 2. Retire round-robin across threads, CommitWidth total.
+	retired := 0
+	for scanned := 0; scanned < len(s.threads) && retired < s.cfg.CommitWidth; {
+		th := &s.threads[s.retireRR%len(s.threads)]
+		if th.count > 0 && th.rob[th.head].state == stDone {
+			e := &th.rob[th.head]
+			if e.in.Kind.IsMem() {
+				th.st.MemInstructions++
+			}
+			th.head = (th.head + 1) % len(th.rob)
+			th.headSeq++
+			th.count--
+			th.st.Instructions++
+			retired++
+			scanned = 0
+		} else {
+			scanned++
+		}
+		s.retireRR++
+	}
+
+	// 3. Issue round-robin, IssueWidth total.
+	issued := 0
+	for ti := 0; ti < len(s.threads) && issued < s.cfg.IssueWidth; ti++ {
+		th := &s.threads[(s.fetchRR+ti)%len(s.threads)]
+		for i := 0; i < th.count && issued < s.cfg.IssueWidth; i++ {
+			e := &th.rob[(th.head+i)%len(th.rob)]
+			if e.state != stDispatched || !th.depReady(e) {
+				continue
+			}
+			if e.in.Kind == trace.Compute {
+				e.state = stExecuting
+				e.readyAt = cycle + uint64(e.in.Lat)
+				issued++
+				computeExecuting = true
+				continue
+			}
+			if s.inLSQ >= s.cfg.LSQSize {
+				s.st.LSQFullEvents++
+				continue
+			}
+			ee := e
+			if !s.mem.Access(cycle, e.in.Addr, e.in.Kind == trace.Store, func(uint64) {
+				ee.state = stDone
+				s.inIW--
+				s.inLSQ--
+			}) {
+				s.st.RejectedAccesses++
+				continue
+			}
+			e.state = stExecuting
+			s.inLSQ++
+			issued++
+		}
+	}
+
+	// 4. Fetch round-robin, IssueWidth total.
+	fetched := 0
+	for scanned := 0; scanned < len(s.threads) && fetched < s.cfg.IssueWidth; {
+		th := &s.threads[s.fetchRR%len(s.threads)]
+		if !th.halted && th.count < len(th.rob) && s.inIW < s.cfg.IWSize {
+			tail := (th.head + th.count) % len(th.rob)
+			th.rob[tail] = robEntry{in: th.gen.Next(), seq: th.nextSeq, state: stDispatched}
+			th.nextSeq++
+			th.count++
+			s.inIW++
+			fetched++
+			scanned = 0
+		} else {
+			scanned++
+		}
+		s.fetchRR++
+	}
+
+	// 5. Cycle accounting (shared counters).
+	if retired == 0 {
+		empty := true
+		memHead := false
+		for ti := range s.threads {
+			th := &s.threads[ti]
+			if th.count > 0 {
+				empty = false
+				head := &th.rob[th.head]
+				if head.in.Kind.IsMem() && head.state != stDone {
+					memHead = true
+				}
+			}
+		}
+		if empty {
+			s.st.EmptyCycles++
+		} else {
+			s.st.StallCycles++
+			if memHead {
+				s.st.MemStallCycles++
+			}
+		}
+	}
+	if s.inLSQ > 0 {
+		s.st.MemActiveCycles++
+		if computeExecuting || retired > 0 {
+			s.st.OverlapCycles++
+		}
+	}
+}

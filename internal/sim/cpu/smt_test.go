@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"testing"
+
+	"lpm/internal/sim/cache"
+	"lpm/internal/sim/dram"
+	"lpm/internal/trace"
+)
+
+func smtCfg() Config {
+	return Config{Name: "smt0", IssueWidth: 4, ROBSize: 48, IWSize: 48, LSQSize: 24}
+}
+
+func runSMT(s *SMT, mem *Perfect, n uint64, budget int) {
+	for cy := uint64(1); cy <= uint64(budget); cy++ {
+		s.Tick(cy)
+		mem.Tick(cy)
+		if s.Retired() >= n {
+			return
+		}
+	}
+}
+
+func TestSMTSingleThreadMatchesCoreBehaviour(t *testing.T) {
+	// One-thread SMT should behave like the plain core, approximately:
+	// same throughput regime for an ILP-rich stream.
+	g1 := &scriptGen{name: "ilp", instrs: []trace.Instr{{Kind: trace.Compute, Lat: 1}}}
+	mem := &Perfect{Latency: 1}
+	s := NewSMT(smtCfg(), []trace.Generator{g1}, mem)
+	runSMT(s, mem, 10000, 20000)
+	if ipc := s.Stats().IPC(); ipc < 3.2 {
+		t.Fatalf("single-thread SMT IPC %.2f, want near issue width 4", ipc)
+	}
+}
+
+func TestSMTThroughputExceedsSingleThreadOnStalls(t *testing.T) {
+	// Memory-stalling stream: a second thread fills the pipe while the
+	// first waits, so two threads beat one on the same core.
+	mk := func() trace.Generator {
+		return &scriptGen{name: "chase", instrs: []trace.Instr{{Kind: trace.Load, Dep: 1, Lat: 1}}}
+	}
+	one := NewSMT(smtCfg(), []trace.Generator{mk()}, &Perfect{Latency: 30})
+	memOne := &Perfect{Latency: 30}
+	one = NewSMT(smtCfg(), []trace.Generator{mk()}, memOne)
+	runSMT(one, memOne, 2000, 300000)
+
+	memTwo := &Perfect{Latency: 30}
+	two := NewSMT(smtCfg(), []trace.Generator{mk(), mk()}, memTwo)
+	runSMT(two, memTwo, 4000, 300000)
+
+	ipc1, ipc2 := one.Stats().IPC(), two.Stats().IPC()
+	if ipc2 < ipc1*1.7 {
+		t.Fatalf("2-thread SMT IPC %.3f not ~2x single %.3f on a latency-bound stream", ipc2, ipc1)
+	}
+}
+
+func TestSMTSharedLSQBindsThreads(t *testing.T) {
+	cfg := smtCfg()
+	cfg.LSQSize = 2
+	mk := func() trace.Generator {
+		return &scriptGen{name: "loads", instrs: []trace.Instr{{Kind: trace.Load, Lat: 1}}}
+	}
+	mem := &Perfect{Latency: 40}
+	s := NewSMT(cfg, []trace.Generator{mk(), mk(), mk(), mk()}, mem)
+	for cy := uint64(1); cy <= 300; cy++ {
+		s.Tick(cy)
+		if s.inLSQ > 2 {
+			t.Fatalf("shared LSQ exceeded: %d", s.inLSQ)
+		}
+		mem.Tick(cy)
+	}
+	if s.Stats().LSQFullEvents == 0 {
+		t.Fatal("expected shared-LSQ pressure")
+	}
+}
+
+func TestSMTPerThreadProgressIsFair(t *testing.T) {
+	mk := func() trace.Generator {
+		return &scriptGen{name: "mix", instrs: []trace.Instr{
+			{Kind: trace.Load, Lat: 1}, {Kind: trace.Compute, Lat: 1},
+		}}
+	}
+	mem := &Perfect{Latency: 5}
+	s := NewSMT(smtCfg(), []trace.Generator{mk(), mk()}, mem)
+	runSMT(s, mem, 8000, 100000)
+	a, b := s.ThreadStats(0).Instructions, s.ThreadStats(1).Instructions
+	if a == 0 || b == 0 {
+		t.Fatalf("a thread starved: %d vs %d", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("identical threads progressed unevenly: %d vs %d", a, b)
+	}
+}
+
+func TestSMTHaltDrains(t *testing.T) {
+	mk := func() trace.Generator {
+		return &scriptGen{name: "loads", instrs: []trace.Instr{{Kind: trace.Load, Lat: 1}}}
+	}
+	mem := &Perfect{Latency: 10}
+	s := NewSMT(smtCfg(), []trace.Generator{mk(), mk()}, mem)
+	for cy := uint64(1); cy <= 60; cy++ {
+		s.Tick(cy)
+		mem.Tick(cy)
+	}
+	s.Halt()
+	for cy := uint64(61); cy <= 1000 && (s.Busy() || mem.Busy()); cy++ {
+		s.Tick(cy)
+		mem.Tick(cy)
+	}
+	if s.Busy() {
+		t.Fatal("SMT did not drain")
+	}
+}
+
+func TestSMTPanicsOnNoThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSMT(smtCfg(), nil, &Perfect{Latency: 1})
+}
+
+// TestSMTRaisesHitAndMissConcurrency is the paper's §II claim end to
+// end: the same total workload driven through one SMT core raises C_H
+// and the L1's APC versus a single hardware thread.
+func TestSMTRaisesHitAndMissConcurrency(t *testing.T) {
+	run := func(threads int) (ch, cm, apc float64) {
+		l1 := cache.New(cache.Config{
+			Name: "L1", Size: 32 << 10, BlockSize: 64, Assoc: 4,
+			HitLatency: 3, Ports: 4, Banks: 8, MSHRs: 16, Coalesce: true,
+		})
+		lower := &dram.Fixed{Latency: 30}
+		l1.SetLower(lower)
+		gens := make([]trace.Generator, threads)
+		for i := range gens {
+			// Pointer chasing: a single thread has almost no memory-level
+			// parallelism, so concurrency can only come from SMT.
+			p := trace.MustProfile("429.mcf")
+			p.Seed = uint64(i + 1)
+			gens[i] = trace.WithOffset(trace.NewSynthetic(p), uint64(i)<<33)
+		}
+		s := NewSMT(smtCfg(), gens, l1)
+		target := uint64(30000)
+		for cy := uint64(1); cy <= 2_000_000 && s.Retired() < target; cy++ {
+			s.Tick(cy)
+			l1.Tick(cy)
+			lower.Tick(cy)
+		}
+		p := l1.Analyzer().Snapshot()
+		return p.CH(), p.CM(), p.APC()
+	}
+	ch1, cm1, apc1 := run(1)
+	ch2, cm2, apc2 := run(2)
+	if ch2 <= ch1 {
+		t.Fatalf("SMT did not raise C_H: %.3f -> %.3f", ch1, ch2)
+	}
+	if cm2 < cm1 {
+		t.Fatalf("SMT lowered C_M: %.3f -> %.3f", cm1, cm2)
+	}
+	if apc2 <= apc1 {
+		t.Fatalf("SMT did not raise APC: %.4f -> %.4f", apc1, apc2)
+	}
+}

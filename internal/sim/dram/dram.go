@@ -1,0 +1,378 @@
+// Package dram models main memory timing for the LPM reproduction,
+// standing in for the DRAMSim2 module the paper used with GEM5. It
+// reproduces the properties the paper's measurements depend on: variable
+// access latency (row-buffer hits vs closed rows vs row conflicts),
+// per-bank parallelism, bounded per-channel queues, and data-bus
+// contention — so the miss penalties observed by the cache analyzers are
+// load- and pattern-dependent rather than constant.
+//
+// All timing parameters are expressed in CPU cycles.
+package dram
+
+import (
+	"fmt"
+)
+
+// Sched selects the memory controller's scheduling policy.
+type Sched uint8
+
+// Scheduling policies.
+const (
+	// FCFS serves each channel's queue strictly in order.
+	FCFS Sched = iota
+	// FRFCFS (first-ready, first-come-first-served) prefers row-buffer
+	// hits, the standard high-performance policy.
+	FRFCFS
+)
+
+// String implements fmt.Stringer.
+func (s Sched) String() string {
+	switch s {
+	case FCFS:
+		return "FCFS"
+	case FRFCFS:
+		return "FR-FCFS"
+	default:
+		return fmt.Sprintf("Sched(%d)", uint8(s))
+	}
+}
+
+// Config describes the memory system.
+type Config struct {
+	// Name labels the memory in reports.
+	Name string
+	// Channels is the number of independent channels, each with its own
+	// data bus and queue.
+	Channels int
+	// BanksPerChannel is the number of DRAM banks behind each channel.
+	BanksPerChannel int
+	// RowBlocks is the row-buffer size in cache blocks; consecutive
+	// blocks share a row, so streaming enjoys row hits.
+	RowBlocks uint64
+	// TCL, TRCD, TRP are CAS, RAS-to-CAS and precharge latencies; TBurst
+	// is the data transfer time occupying the channel bus.
+	TCL, TRCD, TRP, TBurst int
+	// QueueDepth bounds each channel's request queue.
+	QueueDepth int
+	// Scheduler selects FCFS or FR-FCFS.
+	Scheduler Sched
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("dram: config has no name")
+	case c.Channels <= 0:
+		return fmt.Errorf("dram %s: channels %d", c.Name, c.Channels)
+	case c.BanksPerChannel <= 0:
+		return fmt.Errorf("dram %s: banks %d", c.Name, c.BanksPerChannel)
+	case c.RowBlocks == 0:
+		return fmt.Errorf("dram %s: zero row size", c.Name)
+	case c.TCL <= 0 || c.TRCD <= 0 || c.TRP <= 0 || c.TBurst <= 0:
+		return fmt.Errorf("dram %s: non-positive timing parameter", c.Name)
+	case c.QueueDepth <= 0:
+		return fmt.Errorf("dram %s: queue depth %d", c.Name, c.QueueDepth)
+	}
+	return nil
+}
+
+// DDR3 returns a default configuration loosely resembling one DDR3-1600
+// channel pair viewed from a ~3 GHz core.
+func DDR3(name string) Config {
+	return Config{
+		Name:            name,
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBlocks:       128, // 8 KB rows of 64 B blocks
+		TCL:             33,
+		TRCD:            33,
+		TRP:             33,
+		TBurst:          8,
+		QueueDepth:      32,
+		Scheduler:       FRFCFS,
+	}
+}
+
+// request is one queued memory operation.
+type request struct {
+	block uint64
+	write bool
+	done  func(cycle uint64)
+	at    uint64 // arrival cycle
+}
+
+// bank is one DRAM bank's row-buffer state.
+type bank struct {
+	openRow   uint64
+	rowValid  bool
+	busyUntil uint64
+}
+
+// channel is one memory channel.
+type channel struct {
+	queue    []request
+	banks    []bank
+	busUntil uint64
+}
+
+// pending is a scheduled completion.
+type pending struct {
+	done func(cycle uint64)
+	at   uint64
+}
+
+// Stats counts memory events.
+type Stats struct {
+	// Reads and Writes count serviced requests.
+	Reads, Writes uint64
+	// RowHits, RowMisses, RowConflicts classify row-buffer outcomes.
+	RowHits, RowMisses, RowConflicts uint64
+	// Rejected counts requests refused because a channel queue was full.
+	Rejected uint64
+	// LatencySum accumulates read service latency (arrival to data) for
+	// AvgReadLatency.
+	LatencySum uint64
+	// ActiveCycles counts cycles with any request queued or in service,
+	// the denominator of the memory layer's APC.
+	ActiveCycles uint64
+}
+
+// APC returns requests serviced per memory-active cycle — the supply rate
+// of the main-memory layer in the paper's LPM model (APC_3).
+func (s Stats) APC() float64 {
+	if s.ActiveCycles == 0 {
+		return 0
+	}
+	return float64(s.Reads+s.Writes) / float64(s.ActiveCycles)
+}
+
+// AvgReadLatency returns the mean read latency in cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Reads)
+}
+
+// DRAM is the memory controller + devices. It implements the cache
+// package's Lower interface. Create with New; call Tick once per cycle,
+// after all caches.
+type DRAM struct {
+	cfg      Config
+	channels []channel
+	pend     []pending
+	now      uint64
+	st       Stats
+}
+
+// New builds a DRAM from cfg; it panics on invalid configuration.
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DRAM{cfg: cfg, channels: make([]channel, cfg.Channels)}
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, cfg.BanksPerChannel)
+	}
+	return d
+}
+
+// Config returns the configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns the event counters.
+func (d *DRAM) Stats() Stats { return d.st }
+
+// ResetCounters zeroes the counters, keeping device state.
+func (d *DRAM) ResetCounters() { d.st = Stats{} }
+
+// Busy reports whether requests are queued or completions outstanding.
+func (d *DRAM) Busy() bool {
+	if len(d.pend) > 0 {
+		return true
+	}
+	for i := range d.channels {
+		if len(d.channels[i].queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Request implements cache.Lower; src is accepted for interface
+// compatibility (the controller does not partition). A false return
+// means the channel queue is full; retry next cycle.
+func (d *DRAM) Request(cycle uint64, src int, block uint64, write bool, done func(cycle uint64)) bool {
+	ch := &d.channels[block%uint64(d.cfg.Channels)]
+	if len(ch.queue) >= d.cfg.QueueDepth {
+		d.st.Rejected++
+		return false
+	}
+	ch.queue = append(ch.queue, request{block: block, write: write, done: done, at: cycle})
+	return true
+}
+
+// Tick advances the memory one cycle: fire due completions, then let each
+// channel start at most one request.
+func (d *DRAM) Tick(cycle uint64) {
+	d.now = cycle
+
+	// Completions.
+	if len(d.pend) > 0 {
+		keep := d.pend[:0]
+		for _, p := range d.pend {
+			if p.at <= cycle {
+				if p.done != nil {
+					p.done(cycle)
+				}
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		d.pend = keep
+	}
+
+	active := len(d.pend) > 0
+	for ci := range d.channels {
+		d.serviceChannel(&d.channels[ci])
+		if len(d.channels[ci].queue) > 0 {
+			active = true
+		}
+	}
+	if active {
+		d.st.ActiveCycles++
+	}
+}
+
+// rowOf maps a block to its DRAM row.
+func (d *DRAM) rowOf(block uint64) uint64 {
+	return block / d.cfg.RowBlocks
+}
+
+// bankOf maps a block to a bank within its channel.
+func (d *DRAM) bankOf(block uint64) int {
+	return int((block / uint64(d.cfg.Channels)) % uint64(d.cfg.BanksPerChannel))
+}
+
+// serviceChannel starts at most one eligible request on ch.
+func (d *DRAM) serviceChannel(ch *channel) {
+	if len(ch.queue) == 0 {
+		return
+	}
+	pick := -1
+	if d.cfg.Scheduler == FRFCFS {
+		// Prefer the oldest row-buffer hit on a free bank.
+		for i, r := range ch.queue {
+			b := &ch.banks[d.bankOf(r.block)]
+			if b.busyUntil <= d.now && b.rowValid && b.openRow == d.rowOf(r.block) {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		// Oldest request whose bank is free.
+		for i, r := range ch.queue {
+			if ch.banks[d.bankOf(r.block)].busyUntil <= d.now {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r := ch.queue[pick]
+	ch.queue = append(ch.queue[:pick], ch.queue[pick+1:]...)
+
+	b := &ch.banks[d.bankOf(r.block)]
+	row := d.rowOf(r.block)
+	var access int
+	switch {
+	case b.rowValid && b.openRow == row:
+		d.st.RowHits++
+		access = d.cfg.TCL
+	case !b.rowValid:
+		d.st.RowMisses++
+		access = d.cfg.TRCD + d.cfg.TCL
+	default:
+		d.st.RowConflicts++
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCL
+	}
+	b.openRow, b.rowValid = row, true
+
+	// The data burst occupies the shared channel bus after the bank
+	// access; bursts serialise on the bus.
+	ready := d.now + uint64(access)
+	if ch.busUntil > ready {
+		ready = ch.busUntil
+	}
+	ready += uint64(d.cfg.TBurst)
+	ch.busUntil = ready
+	b.busyUntil = ready
+
+	if r.done == nil {
+		// Writeback: completes silently once scheduled.
+		d.st.Writes++
+		return
+	}
+	// Demand fetch (read, or read-for-ownership when write intent is
+	// set): data returns to the requestor either way.
+	d.st.Reads++
+	d.st.LatencySum += ready - r.at
+	d.pend = append(d.pend, pending{done: r.done, at: ready})
+}
+
+// Fixed is a fixed-latency, optionally bandwidth-limited memory used for
+// unit tests and idealised configurations. It implements cache.Lower.
+type Fixed struct {
+	// Latency is the constant service time in cycles.
+	Latency uint64
+	// PerCycle bounds requests accepted per cycle (0 = unlimited).
+	PerCycle int
+
+	now      uint64
+	accepted int
+	pend     []pending
+	count    uint64
+}
+
+// Request implements cache.Lower.
+func (f *Fixed) Request(cycle uint64, src int, block uint64, write bool, done func(cycle uint64)) bool {
+	if cycle != f.now {
+		// Ticked lazily: Request may be called before Tick this cycle.
+		f.now, f.accepted = cycle, 0
+	}
+	if f.PerCycle > 0 && f.accepted >= f.PerCycle {
+		return false
+	}
+	f.accepted++
+	f.count++
+	if done != nil {
+		f.pend = append(f.pend, pending{done: done, at: cycle + f.Latency})
+	}
+	return true
+}
+
+// Count returns the number of accepted requests.
+func (f *Fixed) Count() uint64 { return f.count }
+
+// Busy reports outstanding completions.
+func (f *Fixed) Busy() bool { return len(f.pend) > 0 }
+
+// Tick fires due completions.
+func (f *Fixed) Tick(cycle uint64) {
+	if cycle > f.now {
+		f.now, f.accepted = cycle, 0
+	}
+	keep := f.pend[:0]
+	for _, p := range f.pend {
+		if p.at <= cycle {
+			p.done(cycle)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	f.pend = keep
+}

@@ -1,0 +1,240 @@
+// Package noc models the on-chip interconnect between private caches and
+// the shared last-level cache of the CMP: a queued crossbar with
+// per-source input queues, round-robin arbitration, finite per-cycle
+// bandwidth, and symmetric request/response latency. The paper's NUCA
+// context (Fig. 5) implies such a fabric; without it the reproduction's
+// L1→L2 hop is a fixed single cycle, which understates both the latency
+// and the contention component of the L2 C-AMAT seen by the analyzers.
+//
+// The router sits between upper caches and a lower layer: it implements
+// cache.Lower toward the L1s and forwards to the L2 (or an L3) after the
+// configured latency, arbitrated at the configured bandwidth. Responses
+// traverse the reverse path with the same latency and their own
+// bandwidth budget.
+package noc
+
+import (
+	"fmt"
+
+	"lpm/internal/sim/cache"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	// Name labels the router in reports.
+	Name string
+	// Latency is the one-way traversal time in cycles (>= 1).
+	Latency int
+	// Bandwidth is the number of messages forwarded per cycle in each
+	// direction (>= 1).
+	Bandwidth int
+	// QueueDepth bounds each source's request queue (>= 1).
+	QueueDepth int
+	// Sources is the number of upstream requestors (for queue
+	// allocation); requests from sources beyond this share the last
+	// queue.
+	Sources int
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("noc: config has no name")
+	case c.Latency < 1:
+		return fmt.Errorf("noc %s: latency %d", c.Name, c.Latency)
+	case c.Bandwidth < 1:
+		return fmt.Errorf("noc %s: bandwidth %d", c.Name, c.Bandwidth)
+	case c.QueueDepth < 1:
+		return fmt.Errorf("noc %s: queue depth %d", c.Name, c.QueueDepth)
+	case c.Sources < 1:
+		return fmt.Errorf("noc %s: sources %d", c.Name, c.Sources)
+	}
+	return nil
+}
+
+// Default returns a 16-source mesh-ish fabric: 6-cycle traversal,
+// 4 messages per cycle per direction.
+func Default(sources int) Config {
+	return Config{
+		Name:       "noc",
+		Latency:    6,
+		Bandwidth:  4,
+		QueueDepth: 16,
+		Sources:    sources,
+	}
+}
+
+// message is a request in flight through the router.
+type message struct {
+	src     int
+	block   uint64
+	write   bool
+	done    func(cycle uint64)
+	readyAt uint64 // cycle the message finishes traversing
+}
+
+// response is a completion in flight back to a requestor.
+type response struct {
+	done    func(cycle uint64)
+	readyAt uint64
+}
+
+// Stats counts router events.
+type Stats struct {
+	// Requests and Responses count forwarded messages.
+	Requests, Responses uint64
+	// Rejected counts requests refused for a full source queue.
+	Rejected uint64
+	// QueueCycleSum accumulates queue residency for AvgQueueing.
+	QueueCycleSum uint64
+}
+
+// AvgQueueing returns the mean cycles a request waited for arbitration.
+func (s Stats) AvgQueueing() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.QueueCycleSum) / float64(s.Requests)
+}
+
+// Router is the crossbar. Create with New, connect with SetLower, and
+// Tick once per cycle between the upper caches and the lower layer.
+type Router struct {
+	cfg   Config
+	lower cache.Lower
+
+	queues   [][]message // per-source, waiting for arbitration
+	arrival  [][]uint64  // enqueue cycle per queued message
+	inflight []message   // traversing toward the lower layer
+	resp     []response  // traversing back up
+	rr       int         // round-robin arbitration cursor
+	now      uint64
+
+	st Stats
+}
+
+// New builds a router; it panics on invalid configuration.
+func New(cfg Config) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Router{
+		cfg:     cfg,
+		queues:  make([][]message, cfg.Sources),
+		arrival: make([][]uint64, cfg.Sources),
+	}
+}
+
+// SetLower connects the downstream layer.
+func (r *Router) SetLower(l cache.Lower) { r.lower = l }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// Stats returns the event counters.
+func (r *Router) Stats() Stats { return r.st }
+
+// ResetCounters zeroes the counters.
+func (r *Router) ResetCounters() { r.st = Stats{} }
+
+// Busy reports whether messages are queued or in flight.
+func (r *Router) Busy() bool {
+	if len(r.inflight) > 0 || len(r.resp) > 0 {
+		return true
+	}
+	for _, q := range r.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// queueFor clamps a source id onto the allocated queues.
+func (r *Router) queueFor(src int) int {
+	if src < 0 {
+		return 0
+	}
+	if src >= r.cfg.Sources {
+		return r.cfg.Sources - 1
+	}
+	return src
+}
+
+// Request implements cache.Lower toward the upper caches.
+func (r *Router) Request(cycle uint64, src int, block uint64, write bool, done func(cycle uint64)) bool {
+	q := r.queueFor(src)
+	if len(r.queues[q]) >= r.cfg.QueueDepth {
+		r.st.Rejected++
+		return false
+	}
+	r.queues[q] = append(r.queues[q], message{src: src, block: block, write: write, done: done})
+	r.arrival[q] = append(r.arrival[q], cycle)
+	return true
+}
+
+// Tick advances the router one cycle: deliver responses and forwarded
+// requests whose traversal finished, then arbitrate new departures.
+func (r *Router) Tick(cycle uint64) {
+	r.now = cycle
+
+	// Deliver responses whose reverse traversal completed.
+	if len(r.resp) > 0 {
+		keep := r.resp[:0]
+		for _, p := range r.resp {
+			if p.readyAt <= cycle {
+				p.done(cycle)
+			} else {
+				keep = append(keep, p)
+			}
+		}
+		r.resp = keep
+	}
+
+	// Hand over requests whose forward traversal completed; on lower-
+	// layer backpressure they retry next cycle.
+	if len(r.inflight) > 0 {
+		keep := r.inflight[:0]
+		for _, m := range r.inflight {
+			if m.readyAt > cycle {
+				keep = append(keep, m)
+				continue
+			}
+			mm := m
+			var done func(uint64)
+			if m.done != nil {
+				done = func(cy uint64) {
+					r.resp = append(r.resp, response{done: mm.done, readyAt: cy + uint64(r.cfg.Latency)})
+					r.st.Responses++
+				}
+			}
+			if !r.lower.Request(cycle, m.src, m.block, m.write, done) {
+				keep = append(keep, m)
+			}
+		}
+		r.inflight = keep
+	}
+
+	// Arbitrate up to Bandwidth departures, round-robin over sources.
+	launched := 0
+	for scanned := 0; scanned < r.cfg.Sources && launched < r.cfg.Bandwidth; {
+		q := r.rr % r.cfg.Sources
+		if len(r.queues[q]) == 0 {
+			r.rr++
+			scanned++
+			continue
+		}
+		m := r.queues[q][0]
+		r.queues[q] = r.queues[q][1:]
+		waited := cycle - r.arrival[q][0]
+		r.arrival[q] = r.arrival[q][1:]
+		m.readyAt = cycle + uint64(r.cfg.Latency)
+		r.inflight = append(r.inflight, m)
+		r.st.Requests++
+		r.st.QueueCycleSum += waited
+		launched++
+		r.rr++
+		scanned = 0 // a grant resets the empty-scan count
+	}
+}

@@ -1,0 +1,142 @@
+// Package stats provides the small statistics substrate used throughout the
+// LPM reproduction: deterministic pseudo-random number generation, running
+// moments, histograms, and the multiprogram throughput/fairness metrics
+// (weighted speedup and harmonic weighted speedup) used by the paper's
+// case study II.
+//
+// Everything in this package is allocation-light and deterministic so that
+// simulations are exactly reproducible from a seed.
+package stats
+
+import "math"
+
+// RNG is a deterministic 64-bit pseudo-random number generator based on
+// SplitMix64 seeding an xorshift128+ core. It is not safe for concurrent
+// use; give each simulated component its own RNG.
+//
+// The zero value is not usable; construct with NewRNG.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// splitmix64 advances the seed mixer and returns the next mixed value.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator whose stream is fully determined by seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the stream determined by seed.
+func (r *RNG) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1 // xorshift state must be non-zero
+	}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	x := r.s0
+	y := r.s1
+	r.s0 = y
+	x ^= x << 23
+	r.s1 = x ^ y ^ (x >> 17) ^ (y >> 26)
+	return r.s1 + y
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed integer in [0, n). It panics if
+// n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("stats: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p, i.e. the number of failures before the first success.
+// p is clamped to (0, 1]; p >= 1 always returns 0.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	u := r.Float64()
+	// Inverse transform sampling. 1-u avoids log(0).
+	return int(math.Log(1-u) / math.Log(1-p))
+}
+
+// Zipf returns a sample in [0, n) following an approximate Zipf distribution
+// with exponent s > 0 using inverse transform over the harmonic CDF. It is
+// used to draw hot working-set blocks with realistic skew.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Approximate inverse CDF for Zipf via the continuous bounded Pareto
+	// distribution; adequate for workload shaping (not for statistics).
+	if s == 1 {
+		s = 1.0000001
+	}
+	u := r.Float64()
+	oneMinusS := 1 - s
+	h := (math.Pow(float64(n), oneMinusS)-1)*u + 1
+	x := math.Pow(h, 1/oneMinusS)
+	i := int(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Perm fills dst with a uniformly random permutation of [0, len(dst)).
+func (r *RNG) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance of a stream of float64
+// observations using Welford's online algorithm. The zero value is ready
+// to use.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Running) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Running) N() uint64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 if no observations were recorded.
+func (s *Running) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Running) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Running) Max() float64 { return s.max }
+
+// Variance returns the population variance.
+func (s *Running) Variance() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev returns the population standard deviation.
+func (s *Running) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// String implements fmt.Stringer.
+func (s *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram is a fixed-bucket histogram over [lo, hi) with uniform bucket
+// width, plus underflow/overflow buckets. Construct with NewHistogram.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	buckets   []uint64
+	underflow uint64
+	overflow  uint64
+	total     uint64
+	sum       float64
+}
+
+// NewHistogram returns a histogram with n uniform buckets over [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{
+		lo:      lo,
+		hi:      hi,
+		width:   (hi - lo) / float64(n),
+		buckets: make([]uint64, n),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) { // guard float rounding at the upper edge
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Total returns the number of observations, including under/overflow.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the arithmetic mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Count returns the count of bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns the number of regular buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
+// bucket midpoints. Underflow maps to lo and overflow to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.total))
+	var cum uint64
+	cum += h.underflow
+	if cum > target {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return h.lo + (float64(i)+0.5)*h.width
+		}
+	}
+	return h.hi
+}
+
+// HarmonicMean returns the harmonic mean of xs. Zero or negative entries
+// make the harmonic mean undefined; they yield 0.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// GeometricMean returns the geometric mean of xs (0 on empty or
+// non-positive input).
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// WeightedSpeedup returns per-program weighted speedups
+// IPC_shared[i]/IPC_alone[i]. It panics if the slices differ in length.
+func WeightedSpeedup(ipcShared, ipcAlone []float64) []float64 {
+	if len(ipcShared) != len(ipcAlone) {
+		panic("stats: mismatched speedup inputs")
+	}
+	out := make([]float64, len(ipcShared))
+	for i := range out {
+		if ipcAlone[i] <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = ipcShared[i] / ipcAlone[i]
+	}
+	return out
+}
+
+// Hsp returns the harmonic weighted speedup of Luo, Gummaraju and Franklin
+// (ISPASS 2001), used by the paper's Fig. 8: the harmonic mean of the
+// per-program weighted speedups. It balances throughput and fairness.
+func Hsp(ipcShared, ipcAlone []float64) float64 {
+	return HarmonicMean(WeightedSpeedup(ipcShared, ipcAlone))
+}
+
+// Median returns the median of xs (0 on empty input). The input is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,365 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered only %d values", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(1234)
+	const buckets = 10
+	const n = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d has fraction %.4f, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestRNGBoolExtremes(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) fraction %.4f", frac)
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(11)
+	const p = 0.25
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("geometric mean %.3f, want ~%.3f", mean, want)
+	}
+}
+
+func TestRNGZipfSkew(t *testing.T) {
+	r := NewRNG(13)
+	const n = 50000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		v := r.Zipf(100, 1.2)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestRNGZipfDegenerate(t *testing.T) {
+	r := NewRNG(17)
+	if v := r.Zipf(1, 1.5); v != 0 {
+		t.Fatalf("Zipf(1) = %d, want 0", v)
+	}
+	if v := r.Zipf(0, 1.5); v != 0 {
+		t.Fatalf("Zipf(0) = %d, want 0", v)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(19)
+	p := make([]int, 16)
+	r.Perm(p)
+	seen := make([]bool, 16)
+	for _, v := range p {
+		if v < 0 || v >= 16 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRunningBasics(t *testing.T) {
+	var s Running
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-1.25) > 1e-12 {
+		t.Fatalf("variance = %v", s.Variance())
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var s Running
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("zero-value Running not zero")
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Running
+		var sum float64
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		if len(xs) > 0 {
+			mean := sum / float64(len(xs))
+			scale := math.Max(1, math.Abs(mean))
+			ok = math.Abs(s.Mean()-mean)/scale < 1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // underflow
+	h.Add(11) // overflow
+	if h.Total() != 12 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Count(i) != 1 {
+			t.Fatalf("bucket %d = %d", i, h.Count(i))
+		}
+	}
+}
+
+func TestHistogramUpperEdge(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(math.Nextafter(1, 0)) // just below hi
+	if h.Count(2) != 1 {
+		t.Fatal("upper edge fell out of last bucket")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %v", med)
+	}
+	if q := h.Quantile(0); q > 5 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q < 95 {
+		t.Fatalf("q1 = %v", q)
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 1, 4)
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got := HarmonicMean([]float64{1, 1, 1})
+	if got != 1 {
+		t.Fatalf("hm = %v", got)
+	}
+	got = HarmonicMean([]float64{2, 2})
+	if got != 2 {
+		t.Fatalf("hm = %v", got)
+	}
+	got = HarmonicMean([]float64{1, 3})
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("hm = %v", got)
+	}
+	if HarmonicMean(nil) != 0 {
+		t.Fatal("hm(nil) != 0")
+	}
+	if HarmonicMean([]float64{1, 0}) != 0 {
+		t.Fatal("hm with zero entry should be 0")
+	}
+}
+
+func TestHarmonicLEGeometricLEArithmetic(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			v := math.Abs(x)
+			if v > 1e-6 && v < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		am := sum / float64(len(xs))
+		gm := GeometricMean(xs)
+		hm := HarmonicMean(xs)
+		const eps = 1e-9
+		return hm <= gm*(1+eps) && gm <= am*(1+eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHspIdentity(t *testing.T) {
+	// When shared == alone, every weighted speedup is 1, so Hsp is 1.
+	ipc := []float64{0.5, 1.2, 0.8, 2.0}
+	if got := Hsp(ipc, ipc); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Hsp identity = %v", got)
+	}
+}
+
+func TestHspBounds(t *testing.T) {
+	shared := []float64{0.4, 0.9}
+	alone := []float64{0.8, 1.0}
+	h := Hsp(shared, alone)
+	// Hsp must lie between the min and max weighted speedups.
+	if h < 0.5 || h > 0.9 {
+		t.Fatalf("Hsp = %v out of [0.5, 0.9]", h)
+	}
+}
+
+func TestHspPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Hsp([]float64{1}, []float64{1, 2})
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Median must not modify its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatal("Median modified input")
+	}
+}
+
+func TestWeightedSpeedupZeroAlone(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1}, []float64{0})
+	if ws[0] != 0 {
+		t.Fatalf("ws = %v", ws)
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+// GlobalBase is the start of the global (shared) address space:
+// addresses at or above it are never relocated by WithOffset, so
+// co-running programs can genuinely share them (the coherence traffic of
+// chip configurations with Coherent set). Private footprints live far
+// below it.
+const GlobalBase = uint64(1) << 48
+
+// WithOffset wraps a generator, relocating every private memory address
+// by base. Multiprogrammed simulations give each program a disjoint base
+// so that distinct programs never alias in the shared levels of the
+// hierarchy — the moral equivalent of separate physical address spaces.
+// Addresses in the global space (>= GlobalBase) pass through unchanged.
+func WithOffset(g Generator, base uint64) Generator {
+	if base == 0 {
+		return g
+	}
+	return &offsetGen{g: g, base: base}
+}
+
+type offsetGen struct {
+	g    Generator
+	base uint64
+}
+
+// Name implements Generator.
+func (o *offsetGen) Name() string { return o.g.Name() }
+
+// Reset implements Generator.
+func (o *offsetGen) Reset() { o.g.Reset() }
+
+// Next implements Generator.
+func (o *offsetGen) Next() Instr {
+	in := o.g.Next()
+	if in.Kind.IsMem() && in.Addr < GlobalBase {
+		in.Addr += o.base
+	}
+	return in
+}

@@ -1,0 +1,103 @@
+package trace
+
+import "lpm/internal/stats"
+
+// Phased is a generator that switches among several behaviour profiles
+// according to a Markov chain, modelling the periodic phase behaviour of
+// real programs (Sherwood et al.) that the paper's observation 3 and its
+// online LPM algorithm rely on: each phase has its own locality and
+// concurrency character, so the right hardware configuration changes at
+// phase boundaries.
+//
+// It implements Generator; the active phase switches every DwellLength
+// instructions according to the transition matrix.
+type Phased struct {
+	name    string
+	phases  []*Synthetic
+	trans   [][]float64 // row-stochastic transition matrix
+	dwell   int
+	rng     *stats.RNG
+	seed    uint64
+	current int
+	left    int
+}
+
+// NewPhased builds a phased generator. profiles must be non-empty; trans
+// must be a len(profiles) square row-stochastic matrix (rows re-normalised
+// defensively); dwell is the phase length in instructions. It panics on
+// malformed input, since phase structures are program constants.
+func NewPhased(name string, profiles []Profile, trans [][]float64, dwell int, seed uint64) *Phased {
+	if len(profiles) == 0 {
+		panic("trace: phased generator with no phases")
+	}
+	if len(trans) != len(profiles) {
+		panic("trace: transition matrix size mismatch")
+	}
+	for _, row := range trans {
+		if len(row) != len(profiles) {
+			panic("trace: transition matrix not square")
+		}
+	}
+	if dwell <= 0 {
+		panic("trace: non-positive dwell length")
+	}
+	p := &Phased{name: name, trans: trans, dwell: dwell, seed: seed}
+	for _, prof := range profiles {
+		p.phases = append(p.phases, NewSynthetic(prof))
+	}
+	p.Reset()
+	return p
+}
+
+// Name implements Generator.
+func (p *Phased) Name() string { return p.name }
+
+// Phase returns the index of the currently active phase.
+func (p *Phased) Phase() int { return p.current }
+
+// Reset implements Generator.
+func (p *Phased) Reset() {
+	p.rng = stats.NewRNG(p.seed ^ 0x9a5ed)
+	for _, ph := range p.phases {
+		ph.Reset()
+	}
+	p.current = 0
+	p.left = p.dwell
+}
+
+// Next implements Generator.
+func (p *Phased) Next() Instr {
+	if p.left == 0 {
+		p.advance()
+		p.left = p.dwell
+	}
+	p.left--
+	return p.phases[p.current].Next()
+}
+
+// advance samples the next phase from the transition row.
+func (p *Phased) advance() {
+	row := p.trans[p.current]
+	total := 0.0
+	for _, w := range row {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return // absorbing phase
+	}
+	u := p.rng.Float64() * total
+	acc := 0.0
+	for i, w := range row {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u <= acc {
+			p.current = i
+			return
+		}
+	}
+	p.current = len(row) - 1
+}

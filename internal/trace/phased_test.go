@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"testing"
+)
+
+func twoPhases() ([]Profile, [][]float64) {
+	mem := MustProfile("429.mcf")
+	cpu := MustProfile("444.namd")
+	// Alternate deterministically: mem -> cpu -> mem ...
+	trans := [][]float64{{0, 1}, {1, 0}}
+	return []Profile{mem, cpu}, trans
+}
+
+func TestPhasedAlternates(t *testing.T) {
+	profiles, trans := twoPhases()
+	g := NewPhased("alt", profiles, trans, 1000, 7)
+	if g.Name() != "alt" {
+		t.Fatal("name")
+	}
+	// Memory fraction should swing between the two phases' characters.
+	memFrac := func(n int) float64 {
+		m := 0
+		for i := 0; i < n; i++ {
+			if g.Next().Kind.IsMem() {
+				m++
+			}
+		}
+		return float64(m) / float64(n)
+	}
+	f1 := memFrac(1000) // phase 0: mcf-like, fmem 0.45
+	f2 := memFrac(1000) // phase 1: namd-like, fmem 0.28
+	if f1 < f2+0.08 {
+		t.Fatalf("phases not distinct: %v vs %v", f1, f2)
+	}
+	if g.Phase() != 1 {
+		t.Fatalf("phase = %d after two dwells... (expected 1 at boundary)", g.Phase())
+	}
+}
+
+func TestPhasedResetReproduces(t *testing.T) {
+	profiles, trans := twoPhases()
+	g := NewPhased("alt", profiles, trans, 500, 9)
+	first := make([]Instr, 3000)
+	for i := range first {
+		first[i] = g.Next()
+	}
+	g.Reset()
+	for i := range first {
+		if got := g.Next(); got != first[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestPhasedRandomTransitions(t *testing.T) {
+	profiles, _ := twoPhases()
+	trans := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	g := NewPhased("rand", profiles, trans, 100, 11)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 100; j++ {
+			g.Next()
+		}
+		seen[g.Phase()] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("visited %d phases, want 2", len(seen))
+	}
+}
+
+func TestPhasedAbsorbingPhase(t *testing.T) {
+	profiles, _ := twoPhases()
+	trans := [][]float64{{0, 0}, {1, 0}} // phase 0 absorbs
+	g := NewPhased("absorb", profiles, trans, 10, 3)
+	for i := 0; i < 1000; i++ {
+		g.Next()
+	}
+	if g.Phase() != 0 {
+		t.Fatalf("escaped absorbing phase to %d", g.Phase())
+	}
+}
+
+func TestPhasedPanicsOnBadInput(t *testing.T) {
+	profiles, trans := twoPhases()
+	cases := []func(){
+		func() { NewPhased("x", nil, nil, 10, 1) },
+		func() { NewPhased("x", profiles, [][]float64{{1}}, 10, 1) },
+		func() { NewPhased("x", profiles, [][]float64{{1}, {1}}, 10, 1) },
+		func() { NewPhased("x", profiles, trans, 0, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

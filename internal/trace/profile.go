@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile parameterises a synthetic workload. All probabilities are in
+// [0, 1]. The zero value is not useful; start from a named profile
+// (ProfileByName) or fill every field.
+type Profile struct {
+	// Name identifies the workload.
+	Name string
+	// MemFrac is the fraction of instructions that access memory
+	// (the paper's f_mem).
+	MemFrac float64
+	// StoreFrac is the fraction of memory instructions that are stores.
+	StoreFrac float64
+	// Footprint is the total data footprint in bytes. Addresses wrap
+	// within it.
+	Footprint uint64
+	// HotBytes is the size of the hot region; HotFrac of the non-
+	// sequential accesses fall in it with Zipf skew. HotBytes must be
+	// <= Footprint (0 disables the hot region).
+	HotBytes uint64
+	// HotFrac is the probability a non-sequential access targets the hot
+	// region.
+	HotFrac float64
+	// SeqFrac is the probability a memory access continues a sequential
+	// (strided) sweep rather than jumping.
+	SeqFrac float64
+	// Stride is the sequential stride in bytes (0 means 8).
+	Stride uint64
+	// ChaseFrac is the probability a load depends on the previous load
+	// (pointer chasing: the address cannot even be known before the
+	// producer returns, so the consumer serialises behind it).
+	ChaseFrac float64
+	// DepDist is the mean register-dependency distance for compute
+	// instructions; small values mean long dependence chains (low ILP).
+	DepDist float64
+	// ExecLat is the mean compute latency in cycles (>= 1).
+	ExecLat float64
+	// BurstLen and GapLen, when non-zero, alternate the stream between
+	// memory-intense bursts of BurstLen instructions (memory fraction
+	// boosted toward 1) and compute-only gaps of GapLen instructions.
+	// They model the periodic behaviour the paper exploits (§I, obs. 3).
+	BurstLen, GapLen int
+	// Seed determines the stream; two generators with the same profile
+	// produce identical traces.
+	Seed uint64
+}
+
+// Validate reports the first problem with the profile, or nil.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("trace: profile has no name")
+	case p.MemFrac < 0 || p.MemFrac > 1:
+		return fmt.Errorf("trace: %s: MemFrac %v out of [0,1]", p.Name, p.MemFrac)
+	case p.StoreFrac < 0 || p.StoreFrac > 1:
+		return fmt.Errorf("trace: %s: StoreFrac %v out of [0,1]", p.Name, p.StoreFrac)
+	case p.Footprint == 0:
+		return fmt.Errorf("trace: %s: zero footprint", p.Name)
+	case p.HotBytes > p.Footprint:
+		return fmt.Errorf("trace: %s: HotBytes %d exceeds footprint %d", p.Name, p.HotBytes, p.Footprint)
+	case p.HotFrac < 0 || p.HotFrac > 1:
+		return fmt.Errorf("trace: %s: HotFrac %v out of [0,1]", p.Name, p.HotFrac)
+	case p.SeqFrac < 0 || p.SeqFrac > 1:
+		return fmt.Errorf("trace: %s: SeqFrac %v out of [0,1]", p.Name, p.SeqFrac)
+	case p.ChaseFrac < 0 || p.ChaseFrac > 1:
+		return fmt.Errorf("trace: %s: ChaseFrac %v out of [0,1]", p.Name, p.ChaseFrac)
+	case p.ExecLat < 1:
+		return fmt.Errorf("trace: %s: ExecLat %v < 1", p.Name, p.ExecLat)
+	case p.BurstLen < 0 || p.GapLen < 0:
+		return fmt.Errorf("trace: %s: negative burst/gap length", p.Name)
+	}
+	return nil
+}
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// profiles holds the built-in SPEC CPU2006-like workload profiles. The
+// parameters encode the qualitative characteristics the paper's case
+// studies depend on (see the package comment); they are not fitted to
+// SPEC hardware counters.
+var profiles = map[string]Profile{
+	// Tiny working set: 4 KB L1 already captures it (paper §V-B:
+	// "4 KB is large enough for 401.bzip2").
+	"401.bzip2": {
+		Name: "401.bzip2", MemFrac: 0.34, StoreFrac: 0.30,
+		Footprint: 128 * kb, HotBytes: 3 * kb, HotFrac: 1.0,
+		SeqFrac: 0.15, Stride: 8, ChaseFrac: 0.02,
+		DepDist: 6, ExecLat: 1.2,
+	},
+	// Large instruction/data appetite: keeps gaining up to 64 KB
+	// (paper: "64 KB is needed for 403.gcc").
+	"403.gcc": {
+		Name: "403.gcc", MemFrac: 0.40, StoreFrac: 0.32,
+		Footprint: 512 * kb, HotBytes: 60 * kb, HotFrac: 1.0,
+		SeqFrac: 0.10, Stride: 16, ChaseFrac: 0.05,
+		DepDist: 5, ExecLat: 1.1,
+	},
+	// Pointer-chasing, memory bound; its APC2 "drops to its final value
+	// at the first cache size increase" — a small hot set plus a huge
+	// chased heap.
+	"429.mcf": {
+		Name: "429.mcf", MemFrac: 0.45, StoreFrac: 0.18,
+		Footprint: 16 * mb, HotBytes: 8 * kb, HotFrac: 0.45,
+		SeqFrac: 0.05, Stride: 8, ChaseFrac: 0.55,
+		DepDist: 3, ExecLat: 1.1,
+	},
+	// Compute-heavy quantum chemistry; L1 growth both speeds it up and
+	// cuts its L2 demand noticeably (paper §V-B).
+	"416.gamess": {
+		Name: "416.gamess", MemFrac: 0.30, StoreFrac: 0.25,
+		Footprint: 256 * kb, HotBytes: 40 * kb, HotFrac: 1.0,
+		SeqFrac: 0.30, Stride: 8, ChaseFrac: 0.01,
+		DepDist: 8, ExecLat: 1.6,
+	},
+	// Lattice QCD streaming: cache-size-oblivious (paper: "little
+	// performance improvement and little influence on L2 bandwidth").
+	"433.milc": {
+		Name: "433.milc", MemFrac: 0.38, StoreFrac: 0.22,
+		Footprint: 16 * mb, HotBytes: 2 * kb, HotFrac: 0.55,
+		SeqFrac: 0.80, Stride: 8, ChaseFrac: 0.01,
+		DepDist: 10, ExecLat: 1.4,
+	},
+	// Bandwidth-hungry blocked stencil sweeps with high MLP; the
+	// Table I subject.
+	"410.bwaves": {
+		Name: "410.bwaves", MemFrac: 0.42, StoreFrac: 0.20,
+		Footprint: 256 * kb, HotBytes: 24 * kb, HotFrac: 1.0,
+		SeqFrac: 0.75, Stride: 8, ChaseFrac: 0.01,
+		DepDist: 5, ExecLat: 1.3,
+		BurstLen: 4000, GapLen: 1500,
+	},
+	"450.soplex": {
+		Name: "450.soplex", MemFrac: 0.39, StoreFrac: 0.15,
+		Footprint: 512 * kb, HotBytes: 28 * kb, HotFrac: 1.0,
+		SeqFrac: 0.35, Stride: 16, ChaseFrac: 0.12,
+		DepDist: 6, ExecLat: 1.2,
+	},
+	"462.libquantum": {
+		Name: "462.libquantum", MemFrac: 0.33, StoreFrac: 0.25,
+		Footprint: 2 * mb, HotBytes: 4 * kb, HotFrac: 1.0,
+		SeqFrac: 0.92, Stride: 8, ChaseFrac: 0.0,
+		DepDist: 14, ExecLat: 1.1,
+	},
+	"470.lbm": {
+		Name: "470.lbm", MemFrac: 0.44, StoreFrac: 0.45,
+		Footprint: 8 * mb, HotBytes: 4 * kb, HotFrac: 0.50,
+		SeqFrac: 0.85, Stride: 8, ChaseFrac: 0.0,
+		DepDist: 12, ExecLat: 1.2,
+	},
+	"471.omnetpp": {
+		Name: "471.omnetpp", MemFrac: 0.41, StoreFrac: 0.30,
+		Footprint: 1 * mb, HotBytes: 36 * kb, HotFrac: 1.0,
+		SeqFrac: 0.08, Stride: 8, ChaseFrac: 0.35,
+		DepDist: 4, ExecLat: 1.1,
+	},
+	"437.leslie3d": {
+		Name: "437.leslie3d", MemFrac: 0.40, StoreFrac: 0.25,
+		Footprint: 1 * mb, HotBytes: 20 * kb, HotFrac: 1.0,
+		SeqFrac: 0.65, Stride: 8, ChaseFrac: 0.01,
+		DepDist: 10, ExecLat: 1.4,
+	},
+	"459.GemsFDTD": {
+		Name: "459.GemsFDTD", MemFrac: 0.43, StoreFrac: 0.28,
+		Footprint: 2 * mb, HotBytes: 16 * kb, HotFrac: 1.0,
+		SeqFrac: 0.60, Stride: 8, ChaseFrac: 0.02,
+		DepDist: 9, ExecLat: 1.3,
+	},
+	"482.sphinx3": {
+		Name: "482.sphinx3", MemFrac: 0.36, StoreFrac: 0.12,
+		Footprint: 512 * kb, HotBytes: 32 * kb, HotFrac: 1.0,
+		SeqFrac: 0.40, Stride: 16, ChaseFrac: 0.05,
+		DepDist: 7, ExecLat: 1.3,
+	},
+	"456.hmmer": {
+		Name: "456.hmmer", MemFrac: 0.37, StoreFrac: 0.35,
+		Footprint: 256 * kb, HotBytes: 10 * kb, HotFrac: 1.0,
+		SeqFrac: 0.45, Stride: 8, ChaseFrac: 0.0,
+		DepDist: 9, ExecLat: 1.2,
+	},
+	"444.namd": {
+		Name: "444.namd", MemFrac: 0.28, StoreFrac: 0.20,
+		Footprint: 256 * kb, HotBytes: 22 * kb, HotFrac: 1.0,
+		SeqFrac: 0.35, Stride: 8, ChaseFrac: 0.01,
+		DepDist: 11, ExecLat: 1.7,
+	},
+	"464.h264ref": {
+		Name: "464.h264ref", MemFrac: 0.35, StoreFrac: 0.30,
+		Footprint: 512 * kb, HotBytes: 14 * kb, HotFrac: 1.0,
+		SeqFrac: 0.50, Stride: 16, ChaseFrac: 0.02,
+		DepDist: 7, ExecLat: 1.3,
+	},
+}
+
+// ProfileNames returns the built-in profile names in sorted order.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileByName returns a copy of the named built-in profile.
+func ProfileByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown profile %q", name)
+	}
+	return p, nil
+}
+
+// MustProfile is ProfileByName for known-good names; it panics on error.
+func MustProfile(name string) Profile {
+	p, err := ProfileByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

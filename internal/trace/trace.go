@@ -1,0 +1,78 @@
+// Package trace models instruction streams for the LPM reproduction.
+//
+// The paper evaluates on SPEC CPU2006 reference runs (10-billion-instruction
+// SimPoint samples) executed under GEM5. Neither the suite nor the
+// simulator binaries are available here, so this package provides
+// deterministic synthetic generators whose locality and concurrency
+// characteristics reproduce the behaviours the paper relies on: bzip2's
+// tiny working set, gcc's 64 KB appetite, mcf's dependent pointer chasing,
+// milc's cache-oblivious streaming, bwaves' bandwidth-hungry sequential
+// sweeps, and so on. See DESIGN.md §1 for the substitution argument.
+//
+// A Generator yields one Instr at a time; the CPU model consumes them.
+// Streams are reproducible: the same profile and seed always produce the
+// same trace. Traces can also be recorded to and replayed from a compact
+// binary format (see Writer and Reader).
+package trace
+
+import "fmt"
+
+// Kind classifies an instruction.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	// Compute is a non-memory instruction (ALU/FPU).
+	Compute Kind = iota
+	// Load reads memory.
+	Load
+	// Store writes memory.
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsMem reports whether the kind accesses memory.
+func (k Kind) IsMem() bool { return k == Load || k == Store }
+
+// Instr is one dynamic instruction.
+type Instr struct {
+	// Kind is the instruction class.
+	Kind Kind
+	// Addr is the byte address accessed (memory instructions only).
+	Addr uint64
+	// Dep is the backward distance, in dynamic instructions, to the
+	// producer this instruction depends on; 0 means no register
+	// dependence. The consumer cannot begin execution until the producer
+	// completes. Dependent loads (Dep pointing at an earlier load) model
+	// pointer chasing.
+	Dep uint32
+	// Lat is the execution latency in cycles once operands are ready
+	// (compute instructions; memory instructions take their latency from
+	// the memory system).
+	Lat uint8
+}
+
+// Generator produces an instruction stream.
+type Generator interface {
+	// Name identifies the workload (e.g. "429.mcf").
+	Name() string
+	// Next returns the next dynamic instruction. Streams are unbounded;
+	// the simulator decides when to stop.
+	Next() Instr
+	// Reset rewinds the stream to its beginning. After Reset the
+	// generator reproduces exactly the same stream.
+	Reset()
+}

@@ -1,0 +1,462 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Compute: "compute", Load: "load", Store: "store", Kind(9): "Kind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestKindIsMem(t *testing.T) {
+	if Compute.IsMem() {
+		t.Fatal("compute is not mem")
+	}
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Fatal("load/store are mem")
+	}
+}
+
+func TestProfileNamesComplete(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 16 {
+		t.Fatalf("expected 16 built-in profiles, got %d", len(names))
+	}
+	for _, want := range []string{"401.bzip2", "403.gcc", "429.mcf", "410.bwaves", "416.gamess", "433.milc"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing paper benchmark %s", want)
+		}
+	}
+}
+
+func TestAllProfilesValidate(t *testing.T) {
+	for _, n := range ProfileNames() {
+		p := MustProfile(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("999.nope"); err == nil {
+		t.Fatal("expected error for unknown profile")
+	}
+}
+
+func TestMustProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustProfile("999.nope")
+}
+
+func TestProfileValidateCatchesBadFields(t *testing.T) {
+	good := MustProfile("401.bzip2")
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.MemFrac = 1.5 },
+		func(p *Profile) { p.MemFrac = -0.1 },
+		func(p *Profile) { p.StoreFrac = 2 },
+		func(p *Profile) { p.Footprint = 0 },
+		func(p *Profile) { p.HotBytes = p.Footprint + 1 },
+		func(p *Profile) { p.HotFrac = -1 },
+		func(p *Profile) { p.SeqFrac = 1.1 },
+		func(p *Profile) { p.ChaseFrac = -0.5 },
+		func(p *Profile) { p.ExecLat = 0.5 },
+		func(p *Profile) { p.BurstLen = -1 },
+	}
+	for i, mut := range mutations {
+		p := good
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := NewSynthetic(MustProfile("403.gcc"))
+	b := NewSynthetic(MustProfile("403.gcc"))
+	for i := 0; i < 5000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestSyntheticResetReproduces(t *testing.T) {
+	g := NewSynthetic(MustProfile("429.mcf"))
+	first := make([]Instr, 2000)
+	for i := range first {
+		first[i] = g.Next()
+	}
+	g.Reset()
+	for i := range first {
+		if got := g.Next(); got != first[i] {
+			t.Fatalf("after Reset, instruction %d = %+v, want %+v", i, got, first[i])
+		}
+	}
+}
+
+func TestSyntheticSeedsDiffer(t *testing.T) {
+	p := MustProfile("401.bzip2")
+	p2 := p
+	p2.Seed = 99
+	a, b := NewSynthetic(p), NewSynthetic(p2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced nearly identical streams (%d/1000 same)", same)
+	}
+}
+
+func TestSyntheticNamesDiffer(t *testing.T) {
+	// Same numeric parameters, different names: streams must differ.
+	p := MustProfile("401.bzip2")
+	q := p
+	q.Name = "401.bzip2-variant"
+	a, b := NewSynthetic(p), NewSynthetic(q)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatal("name not folded into seed")
+	}
+}
+
+func TestSyntheticMemFraction(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p := MustProfile(name)
+		g := NewSynthetic(p)
+		const n = 200000
+		mem := 0
+		for i := 0; i < n; i++ {
+			if g.Next().Kind.IsMem() {
+				mem++
+			}
+		}
+		frac := float64(mem) / n
+		if math.Abs(frac-p.MemFrac) > 0.03 {
+			t.Errorf("%s: memory fraction %.3f, profile says %.3f", name, frac, p.MemFrac)
+		}
+	}
+}
+
+func TestSyntheticStoreFraction(t *testing.T) {
+	p := MustProfile("470.lbm")
+	g := NewSynthetic(p)
+	const n = 300000
+	loads, stores := 0, 0
+	for i := 0; i < n; i++ {
+		switch g.Next().Kind {
+		case Load:
+			loads++
+		case Store:
+			stores++
+		}
+	}
+	frac := float64(stores) / float64(loads+stores)
+	if math.Abs(frac-p.StoreFrac) > 0.03 {
+		t.Fatalf("store fraction %.3f, want ~%.3f", frac, p.StoreFrac)
+	}
+}
+
+func TestSyntheticAddressesWithinFootprint(t *testing.T) {
+	p := MustProfile("456.hmmer")
+	g := NewSynthetic(p)
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Kind.IsMem() && in.Addr >= p.Footprint {
+			t.Fatalf("address %#x outside footprint %#x", in.Addr, p.Footprint)
+		}
+	}
+}
+
+func TestSyntheticDepNeverExceedsIndex(t *testing.T) {
+	g := NewSynthetic(MustProfile("471.omnetpp"))
+	for i := uint64(0); i < 100000; i++ {
+		in := g.Next()
+		if uint64(in.Dep) > i {
+			t.Fatalf("instruction %d has dep distance %d (reaches before stream start)", i, in.Dep)
+		}
+	}
+}
+
+func TestSyntheticChaseProducesDependentLoads(t *testing.T) {
+	g := NewSynthetic(MustProfile("429.mcf"))
+	depLoads := 0
+	loads := 0
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Kind == Load {
+			loads++
+			if in.Dep != 0 {
+				depLoads++
+			}
+		}
+	}
+	frac := float64(depLoads) / float64(loads)
+	if frac < 0.3 {
+		t.Fatalf("mcf dependent-load fraction %.3f, want >= 0.3 (pointer chasing)", frac)
+	}
+
+	// Streaming milc should have almost none.
+	g2 := NewSynthetic(MustProfile("433.milc"))
+	depLoads, loads = 0, 0
+	for i := 0; i < 100000; i++ {
+		in := g2.Next()
+		if in.Kind == Load {
+			loads++
+			if in.Dep != 0 {
+				depLoads++
+			}
+		}
+	}
+	if frac := float64(depLoads) / float64(loads); frac > 0.05 {
+		t.Fatalf("milc dependent-load fraction %.3f, want < 0.05", frac)
+	}
+}
+
+func TestSyntheticLocalityOrdering(t *testing.T) {
+	// bzip2's hot working set is tiny; the fraction of accesses landing in
+	// the first 4 KB must be far higher than gcc's.
+	frac4k := func(name string) float64 {
+		g := NewSynthetic(MustProfile(name))
+		in4k, mem := 0, 0
+		for i := 0; i < 300000; i++ {
+			in := g.Next()
+			if in.Kind.IsMem() {
+				mem++
+				if in.Addr < 4096 {
+					in4k++
+				}
+			}
+		}
+		return float64(in4k) / float64(mem)
+	}
+	bzip := frac4k("401.bzip2")
+	gcc := frac4k("403.gcc")
+	if bzip < gcc+0.15 {
+		t.Fatalf("bzip2 4KB locality %.3f not clearly above gcc %.3f", bzip, gcc)
+	}
+}
+
+func TestSyntheticBurstPhases(t *testing.T) {
+	p := MustProfile("410.bwaves")
+	if p.BurstLen == 0 {
+		t.Skip("bwaves profile no longer bursty")
+	}
+	g := NewSynthetic(p)
+	// Measure memory fraction in windows; bursty streams should show high
+	// variance across windows.
+	const win = 500
+	var fracs []float64
+	for w := 0; w < 60; w++ {
+		mem := 0
+		for i := 0; i < win; i++ {
+			if g.Next().Kind.IsMem() {
+				mem++
+			}
+		}
+		fracs = append(fracs, float64(mem)/win)
+	}
+	lo, hi := 1.0, 0.0
+	for _, f := range fracs {
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Fatalf("burst variation %.3f too small (lo=%.2f hi=%.2f)", hi-lo, lo, hi)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewSynthetic(MustProfile("482.sphinx3"))
+	orig := make([]Instr, 5000)
+	for i := range orig {
+		orig[i] = g.Next()
+	}
+	g.Reset()
+	var buf bytes.Buffer
+	if err := Record(&buf, g, len(orig)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "482.sphinx3" {
+		t.Fatalf("name = %q", tr.Name())
+	}
+	for i := range orig {
+		in, err := tr.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if in != orig[i] {
+			t.Fatalf("instruction %d: got %+v want %+v", i, in, orig[i])
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(kinds []uint8, addrs []uint64, deps []uint32, lats []uint8) bool {
+		n := len(kinds)
+		if n > len(addrs) {
+			n = len(addrs)
+		}
+		if n > len(deps) {
+			n = len(deps)
+		}
+		if n > len(lats) {
+			n = len(lats)
+		}
+		if n == 0 {
+			return true
+		}
+		orig := make([]Instr, n)
+		for i := 0; i < n; i++ {
+			in := Instr{Kind: Kind(kinds[i] % 3), Lat: 1}
+			if in.Kind.IsMem() {
+				in.Addr = addrs[i]
+			}
+			in.Dep = deps[i] % (1 << 30)
+			if lats[i] > 0 {
+				in.Lat = lats[i]
+			}
+			orig[i] = in
+		}
+		var buf bytes.Buffer
+		tw, err := NewWriter(&buf, "prop")
+		if err != nil {
+			return false
+		}
+		for _, in := range orig {
+			if err := tw.Write(in); err != nil {
+				return false
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return false
+		}
+		tr, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			in, err := tr.Read()
+			if err != nil || in != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE-------"))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReaderRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewSynthetic(MustProfile("444.namd"))
+	if err := Record(&buf, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := NewReader(bytes.NewReader(full[:4])); err == nil {
+		t.Fatal("expected error on truncated header")
+	}
+}
+
+func TestReplayerLoops(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewSynthetic(MustProfile("444.namd"))
+	if err := Record(&buf, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != 100 {
+		t.Fatalf("len = %d", rp.Len())
+	}
+	first := make([]Instr, 100)
+	for i := range first {
+		first[i] = rp.Next()
+	}
+	// Second pass must repeat the first.
+	for i := range first {
+		if got := rp.Next(); got != first[i] {
+			t.Fatalf("loop mismatch at %d", i)
+		}
+	}
+	rp.Reset()
+	if got := rp.Next(); got != first[0] {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestReplayerRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplayer(&buf); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+}
+
+func TestSequentialTraceCompression(t *testing.T) {
+	// Delta encoding should make a sequential trace much smaller than
+	// 8 bytes/address.
+	p := MustProfile("462.libquantum")
+	g := NewSynthetic(p)
+	var buf bytes.Buffer
+	const n = 10000
+	if err := Record(&buf, g, n); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > n*6 {
+		t.Fatalf("trace of %d instrs took %d bytes; delta encoding ineffective", n, buf.Len())
+	}
+}
