@@ -1,0 +1,23 @@
+# Build/test entry points; `make all` is the CI gate.
+GO ?= go
+
+.PHONY: all build test race vet bench
+
+all: build vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages that use or implement the parallel simulation fan-out.
+race:
+	$(GO) test -race ./internal/parallel ./internal/sched ./internal/explore .
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every benchmark, reporting the reproduced paper metrics.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -8,6 +8,7 @@ package lpm
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"lpm/internal/core"
@@ -47,6 +48,7 @@ func BenchmarkTable1ConfigurationsAtoE(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var m Measurement
 			for i := 0; i < b.N; i++ {
+				ResetSimCaches() // time the simulation, not a memo hit
 				tgt := explore.NewHardwareTarget(explore.DefaultSpace(),
 					explore.TableConfigs()[name], trace.MustProfile("410.bwaves"))
 				tgt.Warmup = benchScale().Warmup
@@ -70,6 +72,7 @@ func BenchmarkCaseStudyIAlgorithm(b *testing.B) {
 		b.Run(g.String(), func(b *testing.B) {
 			var res CaseStudyIResult
 			for i := 0; i < b.N; i++ {
+				ResetSimCaches() // time the walk's simulations, not memo hits
 				res = CaseStudyI(g, benchScale())
 			}
 			b.ReportMetric(float64(res.Evaluations), "simulations")
@@ -92,6 +95,7 @@ func BenchmarkFig6APC1Sweep(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var tbl *sched.ProfileTable
 			for i := 0; i < b.N; i++ {
+				ResetSimCaches() // time the profiling runs, not memo hits
 				var err error
 				tbl, err = sched.BuildProfileTable([]string{name}, chip.NUCAGroupSizes[:],
 					sched.ProfileOptions{Instructions: 12000, Warmup: 30000})
@@ -114,6 +118,7 @@ func BenchmarkFig7APC2Sweep(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var tbl *sched.ProfileTable
 			for i := 0; i < b.N; i++ {
+				ResetSimCaches() // time the profiling runs, not memo hits
 				var err error
 				tbl, err = sched.BuildProfileTable([]string{name}, chip.NUCAGroupSizes[:],
 					sched.ProfileOptions{Instructions: 12000, Warmup: 30000})
@@ -204,6 +209,75 @@ func BenchmarkIntervalPerception(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Parallel simulation runner: serial-vs-parallel pairs over the same
+// batch, memo-cold on every iteration so the runner's fan-out — not the
+// result cache — is what gets measured. On an n-core host the parallel
+// variants should approach n× the serial throughput; the determinism
+// tests pin that the results themselves are bit-identical.
+
+// benchTable1Batch times one full Table1 batch (five design-point
+// simulations) per iteration under the given worker bound.
+func benchTable1Batch(b *testing.B, workers int) {
+	b.Helper()
+	defer func() { SetWorkers(0); ResetSimCaches() }()
+	SetWorkers(workers)
+	var rows []Table1Row
+	for i := 0; i < b.N; i++ {
+		ResetSimCaches()
+		rows = Table1(QuickScale())
+	}
+	b.ReportMetric(rows[0].M.LPMR1(), "LPMR1(A)")
+	b.ReportMetric(float64(ParallelWorkers()), "workers")
+}
+
+// BenchmarkSerialTable1 is the single-worker baseline.
+func BenchmarkSerialTable1(b *testing.B) { benchTable1Batch(b, 1) }
+
+// BenchmarkParallelTable1 fans the batch out over GOMAXPROCS workers.
+func BenchmarkParallelTable1(b *testing.B) { benchTable1Batch(b, 0) }
+
+// benchAloneIPCs times the sixteen standalone reference runs of the
+// scheduler evaluation per iteration under the given worker bound.
+func benchAloneIPCs(b *testing.B, workers int) {
+	b.Helper()
+	defer func() { SetWorkers(0); ResetSimCaches() }()
+	SetWorkers(workers)
+	names := trace.ProfileNames()
+	opt := sched.EvalOptions{WindowCycles: 80000, WarmupCycles: 40000}
+	var alone []float64
+	for i := 0; i < b.N; i++ {
+		ResetSimCaches()
+		var err error
+		alone, err = sched.AloneIPCs(names, chip.NUCAGroupSizes[:], opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(alone[0], "IPC[0]")
+	b.ReportMetric(float64(ParallelWorkers()), "workers")
+}
+
+// BenchmarkSerialAloneIPCs is the single-worker baseline.
+func BenchmarkSerialAloneIPCs(b *testing.B) { benchAloneIPCs(b, 1) }
+
+// BenchmarkParallelAloneIPCs fans the runs out over GOMAXPROCS workers.
+func BenchmarkParallelAloneIPCs(b *testing.B) { benchAloneIPCs(b, 0) }
+
+// BenchmarkMemoisedTable1 times Table1 when every point is already in
+// the shared result memo — the cross-driver revisit cost.
+func BenchmarkMemoisedTable1(b *testing.B) {
+	defer ResetSimCaches()
+	ResetSimCaches()
+	Table1(QuickScale()) // warm the memo
+	b.ResetTimer()
+	var rows []Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = Table1(QuickScale())
+	}
+	b.ReportMetric(rows[0].M.LPMR1(), "LPMR1(A)")
+}
+
+// ---------------------------------------------------------------------
 // Ablations (DESIGN.md §4).
 
 // BenchmarkAblationPureVsConventionalMiss contrasts the stall predictions
@@ -239,7 +313,7 @@ func relErr(pred, truth float64) float64 {
 	if truth == 0 {
 		return 0
 	}
-	return abs(pred-truth) / truth
+	return math.Abs(pred-truth) / truth
 }
 
 // BenchmarkAblationCoalescing contrasts MSHR coalescing on/off on a
@@ -286,6 +360,7 @@ func (r reversedTarget) OptimizeL2() bool { return r.HardwareTarget.OptimizeL1()
 // order against an L2-first variant: evaluations spent and final stall.
 func BenchmarkAblationMatchOrder(b *testing.B) {
 	run := func(reversed bool) (evals int, stallPct float64) {
+		ResetSimCaches() // both variants walk overlapping points; keep runs cold
 		tgt := explore.NewHardwareTarget(explore.DefaultSpace(),
 			explore.TableConfigs()["A"], trace.MustProfile("410.bwaves"))
 		tgt.Warmup = benchScale().Warmup

@@ -15,19 +15,24 @@ import (
 
 	"lpm/internal/core"
 	"lpm/internal/explore"
+	"lpm/internal/parallel"
 	"lpm/internal/trace"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "410.bwaves", "built-in workload profile")
-		grain    = flag.String("grain", "fine", "stall target: fine (1%) or coarse (10%)")
-		warmup   = flag.Uint64("warmup", 250000, "warm-up instructions per evaluation")
-		window   = flag.Uint64("window", 30000, "measured instructions per evaluation")
-		start    = flag.String("start", "A", "starting Table I configuration (A..E)")
-		maxSteps = flag.Int("maxsteps", 32, "algorithm step bound")
+		workload  = flag.String("workload", "410.bwaves", "built-in workload profile")
+		grain     = flag.String("grain", "fine", "stall target: fine (1%) or coarse (10%)")
+		warmup    = flag.Uint64("warmup", 250000, "warm-up instructions per evaluation")
+		window    = flag.Uint64("window", 30000, "measured instructions per evaluation")
+		start     = flag.String("start", "A", "starting Table I configuration (A..E)")
+		maxSteps  = flag.Int("maxsteps", 32, "algorithm step bound")
+		workers   = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		speculate = flag.Bool("speculate", false,
+			"pre-evaluate the one-step knob frontier in parallel at each new point (same walk, more total simulation, less wall-clock)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	prof, err := trace.ProfileByName(*workload)
 	if err != nil {
@@ -48,6 +53,7 @@ func main() {
 	tgt := explore.NewHardwareTarget(space, startPt, prof)
 	tgt.Warmup = *warmup
 	tgt.Instructions = *window
+	tgt.Speculate = *speculate
 
 	fmt.Printf("design space: %d points; start: %s (%s)\n", space.Size(), *start, startPt)
 	res, final := tgt.RunAlgorithm(core.AlgorithmConfig{Grain: g, SlackFrac: 0.5, MaxSteps: *maxSteps})

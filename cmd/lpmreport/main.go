@@ -21,9 +21,11 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all",
 			"one of: fig1, table1, casestudy1, fig6, fig7, fig8, interval, identities, all")
-		quick = flag.Bool("quick", false, "reduced simulation budgets")
+		quick   = flag.Bool("quick", false, "reduced simulation budgets")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	lpm.SetWorkers(*workers)
 
 	scale := lpm.FullScale()
 	if *quick {

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
@@ -20,6 +21,7 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "410.bwaves", "built-in workload profile (see -list)")
+		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list built-in workloads and exit")
 		instr    = flag.Uint64("instructions", 30000, "instructions in the measured window")
 		warmup   = flag.Uint64("warmup", 150000, "warm-up instructions discarded before measuring")
@@ -33,6 +35,7 @@ func main() {
 		rob      = flag.Int("rob", 64, "ROB size")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *list {
 		fmt.Println(strings.Join(trace.ProfileNames(), "\n"))

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"lpm/internal/parallel"
 	"lpm/internal/sched"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
@@ -24,8 +25,10 @@ func main() {
 		window    = flag.Uint64("window", 120000, "shared-run measured window (cycles)")
 		warmup    = flag.Uint64("warmup", 60000, "shared-run warm-up (cycles)")
 		seed      = flag.Uint64("seed", 1, "random-scheduler seed")
+		workers   = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	names := trace.ProfileNames()
 	sizes := chip.NUCAGroupSizes[:]

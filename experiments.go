@@ -2,12 +2,14 @@ package lpm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"lpm/internal/analyzer"
 	"lpm/internal/core"
 	"lpm/internal/explore"
 	"lpm/internal/interval"
+	"lpm/internal/parallel"
 	"lpm/internal/sched"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
@@ -103,21 +105,27 @@ var table1Paper = map[string][3]float64{
 }
 
 // Table1 evaluates the five Table I configurations on the bwaves-like
-// workload and returns the rows in order A..E.
+// workload and returns the rows in order A..E. The five simulations are
+// independent (one target, generator, and chip each), so they run as one
+// parallel batch.
 func Table1(s Scale) []Table1Row {
 	cfgs := explore.TableConfigs()
 	names := []string{"A", "B", "C", "D", "E"}
-	rows := make([]Table1Row, 0, len(names))
-	for _, n := range names {
+	rows, err := parallel.Map(names, func(n string) (Table1Row, error) {
 		tgt := explore.NewHardwareTarget(explore.DefaultSpace(), cfgs[n], trace.MustProfile("410.bwaves"))
 		tgt.Warmup = s.Warmup
 		tgt.Instructions = s.Window
-		rows = append(rows, Table1Row{
+		return Table1Row{
 			Name:      n,
 			Point:     cfgs[n],
 			M:         tgt.Measure(),
 			PaperLPMR: table1Paper[n],
-		})
+		}, nil
+	})
+	if err != nil {
+		// The jobs themselves never fail; Map only errors on a panic,
+		// which the serial loop would also have raised.
+		panic(err)
 	}
 	return rows
 }
@@ -134,13 +142,25 @@ type CaseStudyIResult struct {
 	SpaceSize int
 }
 
-// CaseStudyI runs the LPM algorithm from Table I's configuration A over
-// the default design space on the bwaves-like workload.
-func CaseStudyI(grain Grain, s Scale) CaseStudyIResult {
+// newCaseStudyTarget returns the case study I hardware target: Table I's
+// configuration A over the default space on the bwaves-like workload.
+func newCaseStudyTarget(s Scale) *explore.HardwareTarget {
 	tgt := explore.NewHardwareTarget(explore.DefaultSpace(), explore.TableConfigs()["A"], trace.MustProfile("410.bwaves"))
 	tgt.Warmup = s.Warmup
 	tgt.Instructions = s.Window
-	res, final := tgt.RunAlgorithm(core.AlgorithmConfig{Grain: grain, SlackFrac: 0.5, MaxSteps: 32})
+	return tgt
+}
+
+// caseStudyConfig is the algorithm parameterisation of case study I.
+func caseStudyConfig(grain Grain) core.AlgorithmConfig {
+	return core.AlgorithmConfig{Grain: grain, SlackFrac: 0.5, MaxSteps: 32}
+}
+
+// CaseStudyI runs the LPM algorithm from Table I's configuration A over
+// the default design space on the bwaves-like workload.
+func CaseStudyI(grain Grain, s Scale) CaseStudyIResult {
+	tgt := newCaseStudyTarget(s)
+	res, final := tgt.RunAlgorithm(caseStudyConfig(grain))
 	return CaseStudyIResult{
 		Algorithm:   res,
 		Final:       final,
@@ -218,15 +238,15 @@ func Fig8(s Scale) ([]Fig8Row, error) {
 		sched.NUCASA{Table: tbl, TolFrac: 0.01},
 		sched.PIE{Table: tbl},
 	}
-	rows := make([]Fig8Row, 0, len(policies))
-	for _, p := range policies {
+	// The per-policy shared runs are independent 16-core simulations;
+	// fan them out. The profile table and alone-IPC slice are read-only.
+	return parallel.Map(policies, func(p sched.Scheduler) (Fig8Row, error) {
 		ev, err := sched.Evaluate(p, names, sizes, opt)
 		if err != nil {
-			return nil, err
+			return Fig8Row{}, err
 		}
-		rows = append(rows, Fig8Row{Scheduler: ev.Scheduler, Hsp: ev.Hsp, PaperHsp: fig8Paper[ev.Scheduler]})
-	}
-	return rows, nil
+		return Fig8Row{Scheduler: ev.Scheduler, Hsp: ev.Hsp, PaperHsp: fig8Paper[ev.Scheduler]}, nil
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -248,14 +268,25 @@ func IntervalStudy(samples int) []IntervalRow {
 	}
 	paper := []float64{0.96, 0.89, 0.73}
 	prof := interval.DefaultProfile()
-	rows := make([]IntervalRow, 0, 3)
+	type job struct {
+		i  int
+		sc interval.Scenario
+	}
+	jobs := make([]job, 0, 3)
 	for i, sc := range interval.PaperScenarios() {
-		rows = append(rows, IntervalRow{
-			Scenario:  sc.Name,
-			Analytic:  interval.PerceptionRate(prof, sc),
-			Simulated: interval.Simulate(prof, sc, samples, 42).Rate(),
-			Paper:     paper[i],
-		})
+		jobs = append(jobs, job{i: i, sc: sc})
+	}
+	// Each scenario's Monte Carlo run is seeded independently.
+	rows, err := parallel.Map(jobs, func(j job) (IntervalRow, error) {
+		return IntervalRow{
+			Scenario:  j.sc.Name,
+			Analytic:  interval.PerceptionRate(prof, j.sc),
+			Simulated: interval.Simulate(prof, j.sc, samples, 42).Rate(),
+			Paper:     paper[j.i],
+		}, nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return rows
 }
@@ -289,11 +320,11 @@ func Identities(s Scale, workloads ...string) ([]IdentityReport, error) {
 	if len(workloads) == 0 {
 		workloads = []string{"401.bzip2", "403.gcc", "429.mcf", "410.bwaves"}
 	}
-	var out []IdentityReport
-	for _, name := range workloads {
+	// One full single-core simulation per workload, all independent.
+	return parallel.Map(workloads, func(name string) (IdentityReport, error) {
 		prof, err := trace.ProfileByName(name)
 		if err != nil {
-			return nil, err
+			return IdentityReport{}, err
 		}
 		cfg := chip.SingleCore(name)
 		gen := trace.NewSynthetic(prof)
@@ -312,22 +343,14 @@ func Identities(s Scale, workloads ...string) ([]IdentityReport, error) {
 			StallMeasured: m.MeasuredStall,
 		}
 		if apc := l1.APC(); apc > 0 {
-			rep.CAMATvsInvAPC = abs(l1.CAMAT() - 1/apc)
+			rep.CAMATvsInvAPC = math.Abs(l1.CAMAT() - 1/apc)
 		}
 		if m.CAMAT1 > 0 {
 			rec := core.RecursiveCAMAT(m.H1, m.CH1, m.PMR1, m.Eta1(), m.CAMAT2)
-			rep.RecursionRelErr = abs(m.CAMAT1-rec) / m.CAMAT1
+			rep.RecursionRelErr = math.Abs(m.CAMAT1-rec) / m.CAMAT1
 		}
-		out = append(out, rep)
-	}
-	return out, nil
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
+		return rep, nil
+	})
 }
 
 // SortedWorkloads returns the built-in workload names sorted, a helper

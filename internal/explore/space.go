@@ -142,7 +142,7 @@ func ChipConfig(p Point, gen trace.Generator) chip.Config {
 	}
 	l1 := chip.DefaultL1("L1D-0", 32*chip.KB)
 	l1.Ports = p.L1Ports
-	l1.Banks = maxInt(p.L1Ports, 4)
+	l1.Banks = max(p.L1Ports, 4)
 	l1.MSHRs = p.MSHRs
 	l2 := chip.DefaultL2("L2", 4*chip.MB)
 	l2.Banks = p.L2Banks
@@ -152,11 +152,4 @@ func ChipConfig(p Point, gen trace.Generator) chip.Config {
 		L2:    l2,
 		Mem:   dram.DDR3("mem"),
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"lpm/internal/core"
+	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
@@ -31,6 +32,13 @@ type HardwareTarget struct {
 	Warmup uint64
 	// MaxCycles bounds each evaluation; 0 means (Warmup+Instructions)*400.
 	MaxCycles uint64
+	// Speculate, when set, makes each Measure cache miss pre-evaluate the
+	// whole one-step frontier (every single-knob bump and the
+	// ReduceOverprovision drops) in one parallel batch, so the serial
+	// LPMR-reduction loop afterwards consumes memoised results. The walk,
+	// its measurements, and the Evaluations() count are bit-identical to
+	// the non-speculative run; only wall-clock changes.
+	Speculate bool
 
 	ix      [6]int
 	rrL1    int // round-robin cursor over the L1-layer knobs
@@ -76,56 +84,121 @@ func (t *HardwareTarget) Measure() core.Measurement {
 	if m, ok := t.cache[t.ix]; ok {
 		return m
 	}
+	if t.Speculate {
+		t.PreEvaluate(t.frontier())
+	}
 	m := t.Evaluate(t.Current())
 	t.cache[t.ix] = m
 	return m
 }
 
-// Evaluate simulates an arbitrary point and returns its measurement.
-func (t *HardwareTarget) Evaluate(p Point) core.Measurement {
-	instr := t.Instructions
+// budgets resolves the per-run instruction and cycle budgets.
+func (t *HardwareTarget) budgets() (instr, warm, maxCy uint64) {
+	instr = t.Instructions
 	if instr == 0 {
 		instr = 20000
 	}
-	warm := t.Warmup
+	warm = t.Warmup
 	if warm == 0 {
 		warm = 5 * instr
 	}
-	maxCy := t.MaxCycles
+	maxCy = t.MaxCycles
 	if maxCy == 0 {
 		maxCy = (warm + instr) * 400
 	}
-	gen := trace.NewSynthetic(t.Profile)
-	cfg := ChipConfig(p, gen)
-	cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), instr)
-	ch := chip.New(cfg)
-	ch.RunUntilRetired(warm, maxCy)
-	ch.ResetCounters()
-	ch.Run(warm+instr, maxCy)
-	m := ch.Measure(0, cpiExe)
+	return instr, warm, maxCy
+}
+
+// simMemo shares design-point simulation results across every
+// HardwareTarget in the process: Table1, CaseStudyI, the benchmarks, and
+// speculative frontier batches all draw from (and fill) the same pool.
+var simMemo = parallel.NewMemo[core.Measurement]()
+
+// simulate runs the cycle-level simulation of point p under the target's
+// workload and budgets, memoised on the full input fingerprint. It is a
+// pure function of its key: it builds a fresh generator and chip per
+// call and touches no target state, so concurrent calls are safe and
+// deterministic.
+func (t *HardwareTarget) simulate(p Point) core.Measurement {
+	instr, warm, maxCy := t.budgets()
+	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy)
+	m, _ := simMemo.Do(key, func() (core.Measurement, error) {
+		gen := trace.NewSynthetic(t.Profile)
+		cfg := ChipConfig(p, gen)
+		cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), instr)
+		ch := chip.New(cfg)
+		ch.RunUntilRetired(warm, maxCy)
+		ch.ResetCounters()
+		ch.Run(warm+instr, maxCy)
+		return ch.Measure(0, cpiExe), nil
+	})
+	return m
+}
+
+// Evaluate simulates an arbitrary point and returns its measurement.
+// Evaluations() and History() record the call whether or not the result
+// came from the shared memo, so the reported simulation counts match the
+// serial, memo-cold walk exactly.
+func (t *HardwareTarget) Evaluate(p Point) core.Measurement {
+	m := t.simulate(p)
 	t.evals++
 	t.history = append(t.history, Evaluation{Point: p, M: m})
 	return m
 }
 
-// bump advances parameter k to its next menu value; false at the top.
-func (t *HardwareTarget) bump(k int) bool {
-	var menuLen int
+// PreEvaluate warms the shared memo with the given points in one
+// parallel batch. It records nothing in the target's history or
+// evaluation count — it only moves simulation work off the serial path.
+func (t *HardwareTarget) PreEvaluate(points []Point) {
+	// Simulation cannot fail and panics are surfaced by Map; speculation
+	// has no result to return.
+	_, _ = parallel.Map(points, func(p Point) (struct{}, error) {
+		t.simulate(p)
+		return struct{}{}, nil
+	})
+}
+
+// frontier returns the current point plus every configuration one
+// algorithm step away: each single-knob bump (the OptimizeL1/OptimizeL2
+// candidates) and each single-knob drop ReduceOverprovision may take.
+func (t *HardwareTarget) frontier() []Point {
+	points := []Point{t.Current()}
+	for k := 0; k < 6; k++ {
+		ix := t.ix
+		if ix[k]+1 < t.menuLen(k) {
+			ix[k]++
+			points = append(points, t.Space.At(ix))
+		}
+		if k < 4 && t.ix[k] > 0 { // drops only touch the four L1-layer knobs
+			ix = t.ix
+			ix[k]--
+			points = append(points, t.Space.At(ix))
+		}
+	}
+	return points
+}
+
+// menuLen returns the menu length of parameter k.
+func (t *HardwareTarget) menuLen(k int) int {
 	switch k {
 	case 0:
-		menuLen = len(t.Space.IssueWidths)
+		return len(t.Space.IssueWidths)
 	case 1:
-		menuLen = len(t.Space.IWSizes)
+		return len(t.Space.IWSizes)
 	case 2:
-		menuLen = len(t.Space.ROBSizes)
+		return len(t.Space.ROBSizes)
 	case 3:
-		menuLen = len(t.Space.L1Ports)
+		return len(t.Space.L1Ports)
 	case 4:
-		menuLen = len(t.Space.MSHRs)
+		return len(t.Space.MSHRs)
 	default:
-		menuLen = len(t.Space.L2Banks)
+		return len(t.Space.L2Banks)
 	}
-	if t.ix[k]+1 >= menuLen {
+}
+
+// bump advances parameter k to its next menu value; false at the top.
+func (t *HardwareTarget) bump(k int) bool {
+	if t.ix[k]+1 >= t.menuLen(k) {
 		return false
 	}
 	t.ix[k]++

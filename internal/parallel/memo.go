@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// KeyOf builds a deterministic memo key from the %#v representation of
+// each part. The simulation inputs fingerprinted this way (explore.Point,
+// trace.Profile, scale/window scalars) are plain value structs, so the
+// representation is a faithful content fingerprint: equal inputs produce
+// equal keys and differing inputs differ in at least one field's
+// rendering.
+func KeyOf(parts ...any) string {
+	var b strings.Builder
+	for _, p := range parts {
+		fmt.Fprintf(&b, "%#v\x1f", p)
+	}
+	return b.String()
+}
+
+// memoEntry is one in-flight or completed computation.
+type memoEntry[V any] struct {
+	ready chan struct{} // closed when val/err are final
+	val   V
+	err   error
+}
+
+// Memo is a content-keyed, single-flight result cache: concurrent Do
+// calls with the same key run the function once and share the result.
+// The experiment drivers keep one Memo per simulation kind (design-point
+// runs, profiling runs, alone-IPC runs), so a point evaluated by Table1
+// is free when CaseStudyI or a speculative frontier batch revisits it.
+type Memo[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry[V]
+	hits    int64
+	misses  int64
+}
+
+// NewMemo returns an empty memo registered for ResetAllMemos.
+func NewMemo[V any]() *Memo[V] {
+	m := &Memo[V]{entries: make(map[string]*memoEntry[V])}
+	registry.mu.Lock()
+	registry.memos = append(registry.memos, m)
+	registry.mu.Unlock()
+	return m
+}
+
+// Do returns the memoised result for key, computing it with fn on the
+// first call. Concurrent callers of a key in flight block until the
+// computation finishes and share its outcome. A panic in fn is captured
+// as the entry's error so waiters never deadlock; errors are memoised
+// like values (the simulations here are deterministic, so retrying
+// cannot succeed).
+func (m *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.hits++
+		m.mu.Unlock()
+		<-e.ready
+		return e.val, e.err
+	}
+	e := &memoEntry[V]{ready: make(chan struct{})}
+	m.entries[key] = e
+	m.misses++
+	m.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = fmt.Errorf("parallel: memoised computation panicked: %v", r)
+			}
+			close(e.ready)
+		}()
+		e.val, e.err = fn()
+	}()
+	return e.val, e.err
+}
+
+// Stats returns the cumulative hit and miss counts. A hit is any Do
+// call that found an existing entry, including one still in flight.
+func (m *Memo[V]) Stats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// Len returns the number of memoised keys.
+func (m *Memo[V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Reset drops every entry and zeroes the counters.
+func (m *Memo[V]) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[string]*memoEntry[V])
+	m.hits, m.misses = 0, 0
+}
+
+// resettable lets the registry hold memos of different value types.
+type resettable interface{ Reset() }
+
+var registry struct {
+	mu    sync.Mutex
+	memos []resettable
+}
+
+// ResetAllMemos clears every Memo created through NewMemo — the
+// serial-vs-parallel determinism tests use it to force real
+// re-simulation between runs.
+func ResetAllMemos() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, m := range registry.memos {
+		m.Reset()
+	}
+}

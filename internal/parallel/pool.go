@@ -1,0 +1,112 @@
+// Package parallel is the batch simulation runner shared by every
+// experiment driver: a bounded worker pool whose Map fans independent
+// jobs out over goroutines while preserving input order, plus a
+// content-keyed, single-flight result memo (memo.go) so repeated
+// evaluations of the same simulation are free across drivers.
+//
+// Every simulation in this repository is self-contained — each job
+// builds its own trace.Generator and chip.Chip and shares nothing — so
+// running jobs concurrently is bit-identical to running them serially.
+// The determinism regression tests in the root package pin that
+// guarantee.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the number of goroutines a Map call may use.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most workers jobs concurrently;
+// workers <= 0 means runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// defaultPool serves Map calls that do not carry their own pool. It is
+// swapped atomically so the -workers CLI flag can reconfigure it before
+// the drivers start.
+var defaultPool atomic.Pointer[Pool]
+
+func init() { defaultPool.Store(NewPool(0)) }
+
+// SetWorkers reconfigures the default pool; n <= 0 restores the
+// GOMAXPROCS default.
+func SetWorkers(n int) { defaultPool.Store(NewPool(n)) }
+
+// Workers returns the default pool's concurrency bound.
+func Workers() int { return defaultPool.Load().Workers() }
+
+// Map runs fn over jobs on the default pool. See MapPool.
+func Map[I, O any](jobs []I, fn func(I) (O, error)) ([]O, error) {
+	return MapPool(defaultPool.Load(), jobs, fn)
+}
+
+// MapPool runs fn over every job on at most p.Workers() goroutines and
+// returns the results in input order. A panic in fn is recovered and
+// reported as that job's error rather than crashing (or deadlocking)
+// the batch. If any job fails, MapPool still waits for the rest and
+// then returns the lowest-indexed error, so the error surfaced is the
+// same one the serial loop would have hit first.
+func MapPool[I, O any](p *Pool, jobs []I, fn func(I) (O, error)) ([]O, error) {
+	if p == nil {
+		p = defaultPool.Load()
+	}
+	out := make([]O, len(jobs))
+	if len(jobs) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(jobs))
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("parallel: job %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		out[i], errs[i] = fn(jobs[i])
+	}
+
+	workers := min(p.Workers(), len(jobs))
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

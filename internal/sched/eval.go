@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/stats"
 	"lpm/internal/trace"
@@ -50,27 +51,34 @@ type Evaluation struct {
 	Cycles uint64
 }
 
+// aloneMemo shares standalone-IPC runs across drivers: Fig. 8, lpmsched,
+// and the scheduler benchmarks all measure the same reference runs.
+var aloneMemo = parallel.NewMemo[float64]()
+
 // AloneIPCs measures each workload's standalone IPC on a reference core
 // whose L1 is the largest NUCA size, using exactly the same fixed-cycle
 // warmup/window protocol as the shared runs so the weighted speedups
 // compare like with like. The result is the denominator of the weighted
-// speedups; it is scheduling-invariant.
+// speedups; it is scheduling-invariant. The per-workload runs are
+// independent simulations, so they fan out over the parallel runner and
+// are memoised on the (profile, reference size, window) fingerprint.
 func AloneIPCs(workloads []string, groupSizes []uint64, opt EvalOptions) ([]float64, error) {
 	opt = opt.normalise()
 	ref := groupSizes[len(groupSizes)-1]
-	out := make([]float64, len(workloads))
-	for w, name := range workloads {
+	return parallel.Map(workloads, func(name string) (float64, error) {
 		prof, err := trace.ProfileByName(name)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		ch := chip.New(chip.NUCASingle(trace.NewSynthetic(prof), ref))
-		ch.RunCycles(opt.WarmupCycles)
-		ch.ResetCounters()
-		ch.RunCycles(opt.WindowCycles)
-		out[w] = ch.Snapshot().Cores[0].CPU.IPC()
-	}
-	return out, nil
+		key := parallel.KeyOf("sched.alone", prof, ref, opt.WindowCycles, opt.WarmupCycles)
+		return aloneMemo.Do(key, func() (float64, error) {
+			ch := chip.New(chip.NUCASingle(trace.NewSynthetic(prof), ref))
+			ch.RunCycles(opt.WarmupCycles)
+			ch.ResetCounters()
+			ch.RunCycles(opt.WindowCycles)
+			return ch.Snapshot().Cores[0].CPU.IPC(), nil
+		})
+	})
 }
 
 // Evaluate runs the workloads under the given assignment on the Fig. 5

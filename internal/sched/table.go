@@ -9,6 +9,7 @@ package sched
 import (
 	"fmt"
 
+	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
@@ -57,7 +58,10 @@ func (o ProfileOptions) normalise() ProfileOptions {
 
 // BuildProfileTable measures every workload alone on a single-core chip
 // at every L1 size in sizes. This is the paper's per-application
-// profiling pass (its Fig. 6 and Fig. 7 data).
+// profiling pass (its Fig. 6 and Fig. 7 data). The len(names)*len(sizes)
+// runs are independent, so they fan out over the parallel runner; each
+// run builds its own generator and chip, and results land back in input
+// order.
 func BuildProfileTable(names []string, sizes []uint64, opt ProfileOptions) (*ProfileTable, error) {
 	opt = opt.normalise()
 	t := &ProfileTable{
@@ -67,16 +71,34 @@ func BuildProfileTable(names []string, sizes []uint64, opt ProfileOptions) (*Pro
 		APC2:      make(map[string][]float64, len(names)),
 		IPC:       make(map[string][]float64, len(names)),
 	}
+	type job struct {
+		prof trace.Profile
+		size uint64
+	}
+	jobs := make([]job, 0, len(names)*len(sizes))
 	for _, name := range names {
 		prof, err := trace.ProfileByName(name)
 		if err != nil {
 			return nil, err
 		}
+		for _, size := range sizes {
+			jobs = append(jobs, job{prof: prof, size: size})
+		}
+	}
+	results, err := parallel.Map(jobs, func(j job) ([3]float64, error) {
+		apc1, apc2, ipc := profileOne(j.prof, j.size, opt)
+		return [3]float64{apc1, apc2, ipc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
 		a1 := make([]float64, len(sizes))
 		a2 := make([]float64, len(sizes))
 		ipc := make([]float64, len(sizes))
-		for si, size := range sizes {
-			a1[si], a2[si], ipc[si] = profileOne(prof, size, opt)
+		for si := range sizes {
+			r := results[ni*len(sizes)+si]
+			a1[si], a2[si], ipc[si] = r[0], r[1], r[2]
 		}
 		t.APC1[name] = a1
 		t.APC2[name] = a2
@@ -85,17 +107,26 @@ func BuildProfileTable(names []string, sizes []uint64, opt ProfileOptions) (*Pro
 	return t, nil
 }
 
+// profileMemo shares profiling runs across drivers and benchmark
+// iterations: Fig. 6, Fig. 7, and the scheduler evaluations all profile
+// the same (workload, L1 size, options) tuples.
+var profileMemo = parallel.NewMemo[[3]float64]()
+
 // profileOne runs one workload alone at one L1 size on the NUCA reference
 // platform and returns (APC1, APC2, IPC) of the measured window.
 func profileOne(prof trace.Profile, l1Size uint64, opt ProfileOptions) (apc1, apc2, ipc float64) {
 	opt = opt.normalise()
-	cfg := chip.NUCASingle(trace.NewSynthetic(prof), l1Size)
-	ch := chip.New(cfg)
-	ch.RunUntilRetired(opt.Warmup, opt.MaxCycles)
-	ch.ResetCounters()
-	ch.Run(opt.Warmup+opt.Instructions, opt.MaxCycles)
-	r := ch.Snapshot()
-	return r.Cores[0].L1.APC(), r.L2.APC(), r.Cores[0].CPU.IPC()
+	key := parallel.KeyOf("sched.profileOne", prof, l1Size, opt)
+	r, _ := profileMemo.Do(key, func() ([3]float64, error) {
+		cfg := chip.NUCASingle(trace.NewSynthetic(prof), l1Size)
+		ch := chip.New(cfg)
+		ch.RunUntilRetired(opt.Warmup, opt.MaxCycles)
+		ch.ResetCounters()
+		ch.Run(opt.Warmup+opt.Instructions, opt.MaxCycles)
+		r := ch.Snapshot()
+		return [3]float64{r.Cores[0].L1.APC(), r.L2.APC(), r.Cores[0].CPU.IPC()}, nil
+	})
+	return r[0], r[1], r[2]
 }
 
 // sizeIndex locates size in t.Sizes.

@@ -73,7 +73,7 @@ func (c *Chip) MeasureAggregate(cpiExe float64) core.Measurement {
 			continue
 		}
 		s := cr.Stats()
-		cs.Cycles = max64(cs.Cycles, s.Cycles)
+		cs.Cycles = max(cs.Cycles, s.Cycles)
 		cs.Instructions += s.Instructions
 		cs.MemInstructions += s.MemInstructions
 		cs.StallCycles += s.StallCycles
@@ -87,13 +87,6 @@ func (c *Chip) MeasureAggregate(cpiExe float64) core.Measurement {
 	mr1 := requestRate(primary1, l1.Completed)
 	mr2 := requestRate(c.l2.Stats().PrimaryMisses, l2.Completed)
 	return measurementFrom(cs, l1, l2, mr1, mr2, c.mem.Stats().APC(), cpiExe)
-}
-
-func max64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // MeasureChain returns the generalised multi-level chain view for core i:

@@ -29,6 +29,7 @@ import (
 	"lpm/internal/core"
 	"lpm/internal/explore"
 	"lpm/internal/interval"
+	"lpm/internal/parallel"
 	"lpm/internal/sched"
 	"lpm/internal/sim/cache"
 	"lpm/internal/sim/chip"
@@ -36,6 +37,23 @@ import (
 	"lpm/internal/sim/dram"
 	"lpm/internal/trace"
 )
+
+// Parallel simulation runner. Every experiment driver fans its
+// independent simulations out over a shared worker pool and memoises
+// results content-keyed on the full simulation input; see
+// EXPERIMENTS.md ("Parallel execution").
+
+// SetWorkers bounds the simulation fan-out concurrency; n <= 0 restores
+// the default, runtime.GOMAXPROCS(0). The CLIs expose it as -workers.
+func SetWorkers(n int) { parallel.SetWorkers(n) }
+
+// ParallelWorkers returns the current fan-out concurrency bound.
+func ParallelWorkers() int { return parallel.Workers() }
+
+// ResetSimCaches drops every memoised simulation result, forcing the
+// next evaluations to re-simulate. Benchmarks and determinism tests use
+// it; ordinary callers never need to.
+func ResetSimCaches() { parallel.ResetAllMemos() }
 
 // Model layer (the paper's contribution).
 type (

@@ -1,0 +1,99 @@
+package lpm
+
+import (
+	"reflect"
+	"testing"
+
+	"lpm/internal/sched"
+	"lpm/internal/sim/chip"
+)
+
+// The parallel runner must be invisible in the results: every simulation
+// builds its own generator and chip, so fanning the batch out over
+// workers has to produce bit-identical Measurements. Any divergence
+// means a job reached shared mutable state.
+
+func TestParallelTable1MatchesSerialExactly(t *testing.T) {
+	defer func() { SetWorkers(0); ResetSimCaches() }()
+
+	ResetSimCaches()
+	SetWorkers(1)
+	serial := Table1(QuickScale())
+
+	ResetSimCaches() // force real re-simulation, not memo hits
+	SetWorkers(4)
+	parallel := Table1(QuickScale())
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Table1 diverged from serial baseline:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+
+	// A repeat run without resetting must serve from the memo and still
+	// be bit-identical.
+	memoised := Table1(QuickScale())
+	if !reflect.DeepEqual(parallel, memoised) {
+		t.Fatal("memoised Table1 diverged from the run that filled the cache")
+	}
+}
+
+func TestParallelAloneIPCsMatchesSerialExactly(t *testing.T) {
+	defer func() { SetWorkers(0); ResetSimCaches() }()
+
+	names := Workloads()
+	sizes := chip.NUCAGroupSizes[:]
+	opt := sched.EvalOptions{WindowCycles: 20000, WarmupCycles: 10000}
+
+	ResetSimCaches()
+	SetWorkers(1)
+	serial, err := sched.AloneIPCs(names, sizes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ResetSimCaches()
+	SetWorkers(4)
+	parallel, err := sched.AloneIPCs(names, sizes, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel AloneIPCs diverged from serial baseline:\nserial:   %v\nparallel: %v",
+			serial, parallel)
+	}
+}
+
+// Speculative frontier pre-evaluation trades extra simulations for
+// wall-clock; the walk it feeds must be unchanged — same steps, same
+// final point, same per-point measurements, same Evaluations() count.
+func TestSpeculativeExplorationMatchesSerialWalk(t *testing.T) {
+	defer func() { SetWorkers(0); ResetSimCaches() }()
+
+	run := func(speculate bool, workers int) CaseStudyIResult {
+		ResetSimCaches()
+		SetWorkers(workers)
+		// A reduced budget: determinism does not depend on the scale, and
+		// speculation multiplies the simulated points per step.
+		s := Scale{Warmup: 30000, Window: 8000}
+		tgt := newCaseStudyTarget(s)
+		tgt.Speculate = speculate
+		cfg := caseStudyConfig(CoarseGrain)
+		cfg.MaxSteps = 6 // a 6-step walk already crosses several frontiers
+		res, final := tgt.RunAlgorithm(cfg)
+		return CaseStudyIResult{
+			Algorithm:   res,
+			Final:       final,
+			Evaluations: tgt.Evaluations(),
+			SpaceSize:   0,
+		}
+	}
+
+	serial := run(false, 1)
+	speculative := run(true, 4)
+
+	if !reflect.DeepEqual(serial, speculative) {
+		t.Fatalf("speculative walk diverged:\nserial:      %+v\nspeculative: %+v",
+			serial, speculative)
+	}
+}
