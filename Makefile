@@ -1,7 +1,7 @@
-# Build/test entry points; `make all` is the CI gate.
+# Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet bench fuzz ci golden
 
 all: build vet test race
 
@@ -21,3 +21,19 @@ vet:
 # One pass over every benchmark, reporting the reproduced paper metrics.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Short fuzz smoke over both fuzz targets; the checked-in corpora under
+# testdata/fuzz/ replay in ordinary `go test` runs regardless.
+fuzz:
+	$(GO) test -fuzz FuzzTraceDecode -fuzztime 15s -run '^$$' ./internal/trace
+	$(GO) test -fuzz FuzzCacheConfigValidate -fuzztime 15s -run '^$$' ./internal/sim/cache
+
+# Regenerate the golden files after an intentional model/simulator change.
+golden:
+	$(GO) test -run Golden -update .
+
+# Full CI gate: build, vet, the whole suite under the race detector, and
+# the fuzz smoke.
+ci: build vet
+	$(GO) test -race ./...
+	$(MAKE) fuzz

@@ -6,13 +6,20 @@
 // Usage:
 //
 //	lpmexplore -grain fine -workload 410.bwaves
+//	lpmexplore -json -observe       # machine-readable lpm-explore/v1 document
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
+	"lpm"
 	"lpm/internal/core"
 	"lpm/internal/explore"
 	"lpm/internal/parallel"
@@ -20,24 +27,54 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// startPprof serves net/http/pprof on addr in the background; an empty
+// addr disables it.
+func startPprof(addr string, stderr io.Writer) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(stderr, "pprof: %v\n", err)
+		}
+	}()
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmexplore", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "410.bwaves", "built-in workload profile")
-		grain     = flag.String("grain", "fine", "stall target: fine (1%) or coarse (10%)")
-		warmup    = flag.Uint64("warmup", 250000, "warm-up instructions per evaluation")
-		window    = flag.Uint64("window", 30000, "measured instructions per evaluation")
-		start     = flag.String("start", "A", "starting Table I configuration (A..E)")
-		maxSteps  = flag.Int("maxsteps", 32, "algorithm step bound")
-		workers   = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		speculate = flag.Bool("speculate", false,
+		workload  = fs.String("workload", "410.bwaves", "built-in workload profile")
+		grain     = fs.String("grain", "fine", "stall target: fine (1%) or coarse (10%)")
+		warmup    = fs.Uint64("warmup", 250000, "warm-up instructions per evaluation")
+		window    = fs.Uint64("window", 30000, "measured instructions per evaluation")
+		start     = fs.String("start", "A", "starting Table I configuration (A..E)")
+		maxSteps  = fs.Int("maxsteps", 32, "algorithm step bound")
+		workers   = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		speculate = fs.Bool("speculate", false,
 			"pre-evaluate the one-step knob frontier in parallel at each new point (same walk, more total simulation, less wall-clock)")
+		jsonOut  = fs.Bool("json", false, "emit a versioned lpm-explore/v1 JSON document on stdout")
+		observe  = fs.Bool("observe", false, "attach per-layer metrics snapshots to every measurement")
+		pprofCfg = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	parallel.SetWorkers(*workers)
+	startPprof(*pprofCfg, stderr)
 
 	prof, err := trace.ProfileByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	g := core.FineGrain
 	if *grain == "coarse" {
@@ -45,8 +82,7 @@ func main() {
 	}
 	startPt, ok := explore.TableConfigs()[*start]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown start configuration %q\n", *start)
-		os.Exit(1)
+		return fmt.Errorf("unknown start configuration %q", *start)
 	}
 
 	space := explore.DefaultSpace()
@@ -54,23 +90,34 @@ func main() {
 	tgt.Warmup = *warmup
 	tgt.Instructions = *window
 	tgt.Speculate = *speculate
+	tgt.Observe = *observe
 
-	fmt.Printf("design space: %d points; start: %s (%s)\n", space.Size(), *start, startPt)
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "design space: %d points; start: %s (%s)\n", space.Size(), *start, startPt)
+	}
 	res, final := tgt.RunAlgorithm(core.AlgorithmConfig{Grain: g, SlackFrac: 0.5, MaxSteps: *maxSteps})
+
+	if *jsonOut {
+		rep := lpm.NewExploreReport(*workload, g.String(), *start, tgt, res, final)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
 
 	for i, st := range res.Steps {
 		t2 := "-"
 		if st.T2Valid {
 			t2 = fmt.Sprintf("%.3f", st.T2)
 		}
-		fmt.Printf("step %2d  case %-26s LPMR1=%.3f LPMR2=%.3f  T1=%.3f T2=%s  stall=%.4f\n",
+		fmt.Fprintf(stdout, "step %2d  case %-26s LPMR1=%.3f LPMR2=%.3f  T1=%.3f T2=%s  stall=%.4f\n",
 			i+1, st.Case, st.Before.LPMR1(), st.Before.LPMR2(), st.T1, t2, st.Before.MeasuredStall)
 	}
-	fmt.Println()
-	fmt.Printf("final configuration: %s  (cost %.0f)\n", final, final.Cost())
-	fmt.Printf("final: %s  stall=%.4f (%.2f%% of CPIexe)\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "final configuration: %s  (cost %.0f)\n", final, final.Cost())
+	fmt.Fprintf(stdout, "final: %s  stall=%.4f (%.2f%% of CPIexe)\n",
 		res.Final, res.Final.MeasuredStall, 100*res.Final.MeasuredStall/res.Final.CPIexe)
-	fmt.Printf("converged=%v metTarget=%v  simulations=%d (%.4f%% of the space)\n",
+	fmt.Fprintf(stdout, "converged=%v metTarget=%v  simulations=%d (%.4f%% of the space)\n",
 		res.Converged, res.MetTarget, tgt.Evaluations(),
 		100*float64(tgt.Evaluations())/float64(space.Size()))
+	return nil
 }

@@ -7,72 +7,137 @@
 //	lpmreport                      # everything, full scale
 //	lpmreport -quick               # everything, reduced budgets
 //	lpmreport -experiment table1   # one experiment
+//	lpmreport -json -observe       # machine-readable lpm-report/v1 document
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"lpm"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// startPprof serves net/http/pprof on addr in the background; an empty
+// addr disables it.
+func startPprof(addr string, stderr io.Writer) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(stderr, "pprof: %v\n", err)
+		}
+	}()
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all",
+		experiment = fs.String("experiment", "all",
 			"one of: fig1, table1, casestudy1, fig6, fig7, fig8, interval, identities, all")
-		quick   = flag.Bool("quick", false, "reduced simulation budgets")
-		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		quick    = fs.Bool("quick", false, "reduced simulation budgets")
+		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut  = fs.Bool("json", false, "emit a versioned lpm-report/v1 JSON document on stdout")
+		observe  = fs.Bool("observe", false, "attach per-layer metrics snapshots to Table I rows (JSON output)")
+		pprofCfg = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	lpm.SetWorkers(*workers)
+	startPprof(*pprofCfg, stderr)
 
 	scale := lpm.FullScale()
 	if *quick {
 		scale = lpm.QuickScale()
 	}
 
-	run := func(name string, f func() error) {
-		if *experiment != "all" && *experiment != name {
-			return
-		}
-		fmt.Printf("==== %s ====\n", name)
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
+	if *jsonOut {
+		return runJSON(*experiment, scale, *observe, stdout)
 	}
 
-	run("fig1", func() error { return fig1() })
-	run("table1", func() error { return table1(scale) })
-	run("casestudy1", func() error { return caseStudy1(scale) })
-	run("fig6", func() error { return fig67(scale, true) })
-	run("fig7", func() error { return fig67(scale, false) })
-	run("fig8", func() error { return fig8(scale) })
-	run("interval", func() error { return intervalStudy() })
-	run("identities", func() error { return identities(scale) })
+	var failed error
+	runExp := func(name string, f func() error) {
+		if failed != nil || (*experiment != "all" && *experiment != name) {
+			return
+		}
+		fmt.Fprintf(stdout, "==== %s ====\n", name)
+		if err := f(); err != nil {
+			failed = fmt.Errorf("%s: %w", name, err)
+			return
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	runExp("fig1", func() error { return fig1(stdout) })
+	runExp("table1", func() error { return table1(stdout, scale) })
+	runExp("casestudy1", func() error { return caseStudy1(stdout, scale) })
+	runExp("fig6", func() error { return fig67(stdout, scale, true) })
+	runExp("fig7", func() error { return fig67(stdout, scale, false) })
+	runExp("fig8", func() error { return fig8(stdout, scale) })
+	runExp("interval", func() error { return intervalStudy(stdout) })
+	runExp("identities", func() error { return identities(stdout, scale) })
+	return failed
 }
 
-func fig1() error {
+// runJSON emits the machine-readable report. The text report's fig6 and
+// fig7 views share one profiling table, so both keys select the fig67
+// experiment here.
+func runJSON(experiment string, scale lpm.Scale, observe bool, stdout io.Writer) error {
+	var want []string
+	switch experiment {
+	case "all":
+		want = nil
+	case "fig6", "fig7":
+		want = []string{"fig67"}
+	default:
+		want = []string{experiment}
+	}
+	rep, err := lpm.BuildReport(lpm.ReportOptions{Scale: scale, Experiments: want, Observe: observe})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func fig1(w io.Writer) error {
 	p := lpm.Fig1()
 	ref := lpm.Fig1Reference()
-	fmt.Println("Fig. 1 worked example (paper vs measured):")
-	fmt.Printf("  C-AMAT  %.3f  vs  %.3f\n", ref.CAMAT, p.CAMAT())
-	fmt.Printf("  AMAT    %.3f  vs  %.3f\n", ref.AMAT, p.AMAT())
-	fmt.Printf("  C_H     %.3f  vs  %.3f\n", ref.CH, p.CH())
-	fmt.Printf("  C_M     %.3f  vs  %.3f\n", ref.CM, p.CM())
-	fmt.Printf("  pAMP    %.3f  vs  %.3f\n", ref.PAMP, p.PAMP())
-	fmt.Printf("  pMR     %.3f  vs  %.3f\n", ref.PMR, p.PMR())
-	fmt.Printf("  1/APC = %.3f (Eq. 3 check)\n", 1/p.APC())
+	fmt.Fprintln(w, "Fig. 1 worked example (paper vs measured):")
+	fmt.Fprintf(w, "  C-AMAT  %.3f  vs  %.3f\n", ref.CAMAT, p.CAMAT())
+	fmt.Fprintf(w, "  AMAT    %.3f  vs  %.3f\n", ref.AMAT, p.AMAT())
+	fmt.Fprintf(w, "  C_H     %.3f  vs  %.3f\n", ref.CH, p.CH())
+	fmt.Fprintf(w, "  C_M     %.3f  vs  %.3f\n", ref.CM, p.CM())
+	fmt.Fprintf(w, "  pAMP    %.3f  vs  %.3f\n", ref.PAMP, p.PAMP())
+	fmt.Fprintf(w, "  pMR     %.3f  vs  %.3f\n", ref.PMR, p.PMR())
+	fmt.Fprintf(w, "  1/APC = %.3f (Eq. 3 check)\n", 1/p.APC())
 	return nil
 }
 
-func table1(s lpm.Scale) error {
-	fmt.Println("Table I — LPMRs under configurations with incremental parallelism (410.bwaves-like):")
-	fmt.Printf("%-4s %-48s %-24s %-24s %s\n", "cfg", "point", "paper LPMR1/2/3", "measured LPMR1/2/3", "stall% of CPIexe")
+func table1(w io.Writer, s lpm.Scale) error {
+	fmt.Fprintln(w, "Table I — LPMRs under configurations with incremental parallelism (410.bwaves-like):")
+	fmt.Fprintf(w, "%-4s %-48s %-24s %-24s %s\n", "cfg", "point", "paper LPMR1/2/3", "measured LPMR1/2/3", "stall% of CPIexe")
 	for _, r := range lpm.Table1(s) {
-		fmt.Printf("%-4s %-48s %4.1f / %4.1f / %4.1f       %5.2f / %5.2f / %5.2f     %5.1f%%\n",
+		fmt.Fprintf(w, "%-4s %-48s %4.1f / %4.1f / %4.1f       %5.2f / %5.2f / %5.2f     %5.1f%%\n",
 			r.Name, r.Point,
 			r.PaperLPMR[0], r.PaperLPMR[1], r.PaperLPMR[2],
 			r.M.LPMR1(), r.M.LPMR2(), r.M.LPMR3(),
@@ -81,14 +146,14 @@ func table1(s lpm.Scale) error {
 	return nil
 }
 
-func caseStudy1(s lpm.Scale) error {
+func caseStudy1(w io.Writer, s lpm.Scale) error {
 	for _, g := range []lpm.Grain{lpm.CoarseGrain, lpm.FineGrain} {
 		res := lpm.CaseStudyI(g, s)
-		fmt.Printf("case study I, %s: steps=%d simulations=%d of %d (%.4f%%)\n",
+		fmt.Fprintf(w, "case study I, %s: steps=%d simulations=%d of %d (%.4f%%)\n",
 			g, len(res.Algorithm.Steps), res.Evaluations, res.SpaceSize,
 			100*float64(res.Evaluations)/float64(res.SpaceSize))
-		fmt.Printf("  final point: %s (cost %.0f)\n", res.Final, res.Final.Cost())
-		fmt.Printf("  final LPMR1=%.3f stall=%.4f (%.2f%% of CPIexe) converged=%v met=%v\n",
+		fmt.Fprintf(w, "  final point: %s (cost %.0f)\n", res.Final, res.Final.Cost())
+		fmt.Fprintf(w, "  final LPMR1=%.3f stall=%.4f (%.2f%% of CPIexe) converged=%v met=%v\n",
 			res.Algorithm.Final.LPMR1(), res.Algorithm.Final.MeasuredStall,
 			100*res.Algorithm.Final.MeasuredStall/res.Algorithm.Final.CPIexe,
 			res.Algorithm.Converged, res.Algorithm.MetTarget)
@@ -96,7 +161,7 @@ func caseStudy1(s lpm.Scale) error {
 	return nil
 }
 
-func fig67(s lpm.Scale, apc1 bool) error {
+func fig67(w io.Writer, s lpm.Scale, apc1 bool) error {
 	res, err := lpm.Fig67(s)
 	if err != nil {
 		return err
@@ -108,50 +173,50 @@ func fig67(s lpm.Scale, apc1 bool) error {
 		which = "APC2 (Fig. 7: L2 demand)"
 		data = t.APC2
 	}
-	fmt.Printf("%s per private L1 data cache size:\n", which)
-	fmt.Printf("%-16s", "workload")
+	fmt.Fprintf(w, "%s per private L1 data cache size:\n", which)
+	fmt.Fprintf(w, "%-16s", "workload")
 	for _, sz := range t.Sizes {
-		fmt.Printf(" %7dKB", sz/1024)
+		fmt.Fprintf(w, " %7dKB", sz/1024)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, n := range t.Workloads {
-		fmt.Printf("%-16s", n)
+		fmt.Fprintf(w, "%-16s", n)
 		for i := range t.Sizes {
-			fmt.Printf(" %9.4f", data[n][i])
+			fmt.Fprintf(w, " %9.4f", data[n][i])
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
 }
 
-func fig8(s lpm.Scale) error {
+func fig8(w io.Writer, s lpm.Scale) error {
 	rows, err := lpm.Fig8(s)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Fig. 8 — Hsp of scheduling schemes on the NUCA 16-core CMP (paper vs measured):")
+	fmt.Fprintln(w, "Fig. 8 — Hsp of scheduling schemes on the NUCA 16-core CMP (paper vs measured):")
 	for _, r := range rows {
-		fmt.Printf("  %-12s %.4f  vs  %.4f\n", r.Scheduler, r.PaperHsp, r.Hsp)
+		fmt.Fprintf(w, "  %-12s %.4f  vs  %.4f\n", r.Scheduler, r.PaperHsp, r.Hsp)
 	}
 	return nil
 }
 
-func intervalStudy() error {
-	fmt.Println("Interval study — burst patterns perceived and processed timely (paper vs analytic vs simulated):")
+func intervalStudy(w io.Writer) error {
+	fmt.Fprintln(w, "Interval study — burst patterns perceived and processed timely (paper vs analytic vs simulated):")
 	for _, r := range lpm.IntervalStudy(0) {
-		fmt.Printf("  %-16s %.2f  vs  %.4f  vs  %.4f\n", r.Scenario, r.Paper, r.Analytic, r.Simulated)
+		fmt.Fprintf(w, "  %-16s %.2f  vs  %.4f  vs  %.4f\n", r.Scenario, r.Paper, r.Analytic, r.Simulated)
 	}
 	return nil
 }
 
-func identities(s lpm.Scale) error {
+func identities(w io.Writer, s lpm.Scale) error {
 	reps, err := lpm.Identities(s)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Model identities on live simulations:")
+	fmt.Fprintln(w, "Model identities on live simulations:")
 	for _, r := range reps {
-		fmt.Printf("  %-14s |C-AMAT-1/APC|=%.2g  Eq4 rel.err=%.1f%%  stall model=%.4f measured=%.4f\n",
+		fmt.Fprintf(w, "  %-14s |C-AMAT-1/APC|=%.2g  Eq4 rel.err=%.1f%%  stall model=%.4f measured=%.4f\n",
 			r.Workload, r.CAMATvsInvAPC, 100*r.RecursionRelErr, r.StallModel, r.StallMeasured)
 	}
 	return nil

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lpm"
+)
+
+// The smoke tests exercise the report CLI in-process: the cheap text
+// experiments, the versioned JSON document (with per-layer snapshots
+// under -observe), and the error paths.
+
+func TestRunTextFig1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-experiment", "fig1"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v\n%s", err, errb.String())
+	}
+	for _, want := range []string{"==== fig1 ====", "C-AMAT", "Eq. 3 check"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("fig1 report lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONFig1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-json", "-experiment", "fig1"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v\n%s", err, errb.String())
+	}
+	var rep lpm.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Schema != lpm.ReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, lpm.ReportSchema)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "fig1" || rep.Experiments[0].Fig1 == nil {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	if rep.Experiments[0].Fig1.Measured.CAMAT != 1.6 {
+		t.Fatalf("fig1 measured C-AMAT = %v, want 1.6", rep.Experiments[0].Fig1.Measured.CAMAT)
+	}
+}
+
+func TestRunJSONTable1Observed(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-json", "-quick", "-observe", "-experiment", "table1"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v\n%s", err, errb.String())
+	}
+	var rep lpm.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Experiments) != 1 || len(rep.Experiments[0].Table1) != 5 {
+		t.Fatalf("experiments = %+v", rep.Experiments)
+	}
+	for _, row := range rep.Experiments[0].Table1 {
+		if row.Layers == nil || len(row.Layers.Metrics) == 0 {
+			t.Fatalf("row %s: -observe produced no per-layer snapshot", row.Name)
+		}
+		if row.Layers.Counter("l1.0.accesses") == 0 {
+			t.Fatalf("row %s: snapshot recorded zero L1 accesses", row.Name)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-json", "-experiment", "nonsense"}, &out, &errb); err == nil {
+		t.Fatal("unknown experiment did not error in JSON mode")
+	}
+	if err := run([]string{"-nosuchflag"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+	// In text mode an unknown experiment simply selects nothing; that is
+	// the historical behaviour and must not start failing.
+	out.Reset()
+	if err := run([]string{"-experiment", "nonsense"}, &out, &errb); err != nil {
+		t.Fatalf("text mode with unknown experiment errored: %v", err)
+	}
+	if strings.Contains(out.String(), "====") {
+		t.Fatalf("unknown experiment ran something:\n%s", out.String())
+	}
+}

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,32 +21,46 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "410.bwaves", "built-in workload profile (see -list)")
-		workers  = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		list     = flag.Bool("list", false, "list built-in workloads and exit")
-		instr    = flag.Uint64("instructions", 30000, "instructions in the measured window")
-		warmup   = flag.Uint64("warmup", 150000, "warm-up instructions discarded before measuring")
-		l1Size   = flag.Uint64("l1", 32*chip.KB, "L1 data cache size in bytes")
-		l1Ports  = flag.Int("l1ports", 2, "L1 ports")
-		l1MSHRs  = flag.Int("mshrs", 8, "L1 MSHR count")
-		l2Size   = flag.Uint64("l2", 4*chip.MB, "L2 size in bytes")
-		l2Banks  = flag.Int("l2banks", 8, "L2 interleaving (banks)")
-		issue    = flag.Int("issue", 4, "pipeline issue width")
-		iw       = flag.Int("iw", 32, "instruction window size")
-		rob      = flag.Int("rob", 64, "ROB size")
+		workload = fs.String("workload", "410.bwaves", "built-in workload profile (see -list)")
+		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		list     = fs.Bool("list", false, "list built-in workloads and exit")
+		instr    = fs.Uint64("instructions", 30000, "instructions in the measured window")
+		warmup   = fs.Uint64("warmup", 150000, "warm-up instructions discarded before measuring")
+		l1Size   = fs.Uint64("l1", 32*chip.KB, "L1 data cache size in bytes")
+		l1Ports  = fs.Int("l1ports", 2, "L1 ports")
+		l1MSHRs  = fs.Int("mshrs", 8, "L1 MSHR count")
+		l2Size   = fs.Uint64("l2", 4*chip.MB, "L2 size in bytes")
+		l2Banks  = fs.Int("l2banks", 8, "L2 interleaving (banks)")
+		issue    = fs.Int("issue", 4, "pipeline issue width")
+		iw       = fs.Int("iw", 32, "instruction window size")
+		rob      = fs.Int("rob", 64, "ROB size")
+		metrics  = fs.Bool("metrics", false, "print the per-layer metrics snapshot after the report")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	parallel.SetWorkers(*workers)
 
 	if *list {
-		fmt.Println(strings.Join(trace.ProfileNames(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(trace.ProfileNames(), "\n"))
+		return nil
 	}
 	prof, err := trace.ProfileByName(*workload)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
 	cfg := chip.SingleCore(*workload)
@@ -62,6 +78,9 @@ func main() {
 	cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), *instr)
 
 	ch := chip.New(cfg)
+	if *metrics {
+		ch.EnableObs()
+	}
 	budget := (*warmup + *instr) * 600
 	ch.RunUntilRetired(*warmup, budget)
 	ch.ResetCounters()
@@ -70,21 +89,38 @@ func main() {
 	r := ch.Snapshot()
 	m := ch.Measure(0, cpiExe)
 
-	fmt.Printf("workload   %s  (fmem=%.3f, footprint=%d KB)\n", *workload, m.Fmem, prof.Footprint/1024)
-	fmt.Printf("core       issue=%d IW=%d ROB=%d   CPIexe=%.3f  IPC=%.3f\n", *issue, *iw, *rob, cpiExe, m.IPC)
-	fmt.Printf("L1         %s\n", r.Cores[0].L1)
-	fmt.Printf("L2         %s\n", r.L2)
-	fmt.Printf("memory     reads=%d writes=%d avgReadLat=%.1f APC3=%.4f rowHit/miss/conf=%d/%d/%d\n",
+	fmt.Fprintf(stdout, "workload   %s  (fmem=%.3f, footprint=%d KB)\n", *workload, m.Fmem, prof.Footprint/1024)
+	fmt.Fprintf(stdout, "core       issue=%d IW=%d ROB=%d   CPIexe=%.3f  IPC=%.3f\n", *issue, *iw, *rob, cpiExe, m.IPC)
+	fmt.Fprintf(stdout, "L1         %s\n", r.Cores[0].L1)
+	fmt.Fprintf(stdout, "L2         %s\n", r.L2)
+	fmt.Fprintf(stdout, "memory     reads=%d writes=%d avgReadLat=%.1f APC3=%.4f rowHit/miss/conf=%d/%d/%d\n",
 		r.Mem.Reads, r.Mem.Writes, r.Mem.AvgReadLatency(), r.Mem.APC(),
 		r.Mem.RowHits, r.Mem.RowMisses, r.Mem.RowConflicts)
-	fmt.Println()
-	fmt.Printf("LPMR1=%.3f  LPMR2=%.3f  LPMR3=%.3f   eta=%.4f  overlap=%.3f\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "LPMR1=%.3f  LPMR2=%.3f  LPMR3=%.3f   eta=%.4f  overlap=%.3f\n",
 		m.LPMR1(), m.LPMR2(), m.LPMR3(), m.Eta(), m.OverlapRatio)
-	fmt.Printf("thresholds T1(1%%)=%.3f T1(10%%)=%.3f", m.T1(1), m.T1(10))
+	fmt.Fprintf(stdout, "thresholds T1(1%%)=%.3f T1(10%%)=%.3f", m.T1(1), m.T1(10))
 	if t2, ok := m.T2(1); ok {
-		fmt.Printf("  T2(1%%)=%.3f", t2)
+		fmt.Fprintf(stdout, "  T2(1%%)=%.3f", t2)
 	}
-	fmt.Println()
-	fmt.Printf("data stall per instruction: model(Eq.12)=%.4f  model(Eq.13)=%.4f  measured=%.4f  (%.1f%% of CPIexe)\n",
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "data stall per instruction: model(Eq.12)=%.4f  model(Eq.13)=%.4f  measured=%.4f  (%.1f%% of CPIexe)\n",
 		m.StallEq12(), m.StallEq13(), m.MeasuredStall, 100*m.MeasuredStall/cpiExe)
+
+	if *metrics && m.Obs != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "metrics (snapshot v%d):\n", m.Obs.Version)
+		for _, mv := range m.Obs.Metrics {
+			switch mv.Kind {
+			case "counter":
+				fmt.Fprintf(stdout, "  %-24s %d\n", mv.Name, mv.Count)
+			case "gauge":
+				fmt.Fprintf(stdout, "  %-24s %.4f\n", mv.Name, mv.Value)
+			default:
+				fmt.Fprintf(stdout, "  %-24s n=%d mean=%.2f p50=%.1f p90=%.1f p99=%.1f\n",
+					mv.Name, mv.Hist.Count, mv.Hist.Mean, mv.Hist.P50, mv.Hist.P90, mv.Hist.P99)
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The smoke tests drive run() in-process at tiny simulation budgets:
+// they pin the CLI contract (flags parse, reports print, errors return)
+// without the cost of a real measurement run.
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errb); err != nil {
+		t.Fatalf("run -list: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "403.gcc") {
+		t.Fatalf("-list output lacks built-in workloads:\n%s", out.String())
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "403.gcc", "-instructions", "2000", "-warmup", "3000"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v\n%s", err, errb.String())
+	}
+	for _, want := range []string{"workload   403.gcc", "LPMR1=", "data stall per instruction"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "metrics (snapshot") {
+		t.Fatalf("metrics printed without -metrics:\n%s", out.String())
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "403.gcc", "-instructions", "2000", "-warmup", "3000", "-metrics"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run -metrics: %v\n%s", err, errb.String())
+	}
+	for _, want := range []string{"metrics (snapshot v", "l1.0.accesses", "cpu.0.rob_occupancy", "dram.reads"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-metrics output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-workload", "no.such"}, &out, &errb); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	if err := run([]string{"-nosuchflag"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}

@@ -9,8 +9,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"lpm/internal/parallel"
@@ -20,42 +24,69 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// startPprof serves net/http/pprof on addr in the background; an empty
+// addr disables it.
+func startPprof(addr string, stderr io.Writer) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(stderr, "pprof: %v\n", err)
+		}
+	}()
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		profInstr = flag.Uint64("profinstr", 15000, "instructions per profiling run")
-		window    = flag.Uint64("window", 120000, "shared-run measured window (cycles)")
-		warmup    = flag.Uint64("warmup", 60000, "shared-run warm-up (cycles)")
-		seed      = flag.Uint64("seed", 1, "random-scheduler seed")
-		workers   = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		profInstr = fs.Uint64("profinstr", 15000, "instructions per profiling run")
+		window    = fs.Uint64("window", 120000, "shared-run measured window (cycles)")
+		warmup    = fs.Uint64("warmup", 60000, "shared-run warm-up (cycles)")
+		seed      = fs.Uint64("seed", 1, "random-scheduler seed")
+		workers   = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		pprofCfg  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	parallel.SetWorkers(*workers)
+	startPprof(*pprofCfg, stderr)
 
 	names := trace.ProfileNames()
 	sizes := chip.NUCAGroupSizes[:]
 
-	fmt.Println("profiling standalone APC1 / APC2 per L1 size (Fig. 6 / Fig. 7 data)...")
+	fmt.Fprintln(stdout, "profiling standalone APC1 / APC2 per L1 size (Fig. 6 / Fig. 7 data)...")
 	tbl, err := sched.BuildProfileTable(names, sizes, sched.ProfileOptions{Instructions: *profInstr})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("%-16s %28s %28s %s\n", "workload", "APC1 @ 4/16/32/64 KB", "APC2 @ 4/16/32/64 KB", "req(fg)")
+	fmt.Fprintf(stdout, "%-16s %28s %28s %s\n", "workload", "APC1 @ 4/16/32/64 KB", "APC2 @ 4/16/32/64 KB", "req(fg)")
 	for _, n := range names {
 		req, _ := tbl.RequiredSize(n, 0.01)
 		a1, a2 := tbl.APC1[n], tbl.APC2[n]
-		fmt.Printf("%-16s %.3f %.3f %.3f %.3f     %.4f %.4f %.4f %.4f   %dKB\n",
+		fmt.Fprintf(stdout, "%-16s %.3f %.3f %.3f %.3f     %.4f %.4f %.4f %.4f   %dKB\n",
 			n, a1[0], a1[1], a1[2], a1[3], a2[0], a2[1], a2[2], a2[3], req/1024)
 	}
 
 	opt := sched.EvalOptions{WindowCycles: *window, WarmupCycles: *warmup}
 	alone, err := sched.AloneIPCs(names, sizes, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	opt.AloneIPC = alone
 
-	fmt.Println("\nevaluating schedulers (Fig. 8)...")
+	fmt.Fprintln(stdout, "\nevaluating schedulers (Fig. 8)...")
 	policies := []sched.Scheduler{
 		sched.Random{Seed: *seed},
 		sched.RoundRobin{},
@@ -65,16 +96,16 @@ func main() {
 	for _, p := range policies {
 		ev, err := sched.Evaluate(p, names, sizes, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("%-12s Hsp=%.4f\n", ev.Scheduler, ev.Hsp)
+		fmt.Fprintf(stdout, "%-12s Hsp=%.4f\n", ev.Scheduler, ev.Hsp)
 		if _, isNUCA := p.(sched.NUCASA); isNUCA {
 			for core, w := range ev.Assignment {
 				if w >= 0 {
-					fmt.Printf("    core %2d (%2d KB) <- %s\n", core, sizes[core/4]/1024, names[w])
+					fmt.Fprintf(stdout, "    core %2d (%2d KB) <- %s\n", core, sizes[core/4]/1024, names[w])
 				}
 			}
 		}
 	}
+	return nil
 }

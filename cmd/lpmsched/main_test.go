@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// One end-to-end smoke run of the scheduling case study at a tiny
+// budget: profiling table, scheduler evaluations, and the NUCA-SA
+// placement listing all have to appear.
+
+func TestRunSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-profinstr", "500", "-window", "3000", "-warmup", "1000"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v\n%s", err, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"profiling standalone APC1", "410.bwaves", "Hsp=", "NUCA-SA", "core "} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output lacks %q:\n%s", want, s)
+		}
+	}
+	if n := strings.Count(s, "Hsp="); n != 4 {
+		t.Fatalf("scheduler evaluations = %d, want 4", n)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-nosuchflag"}, &out, &errb); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}

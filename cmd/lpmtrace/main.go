@@ -6,53 +6,67 @@
 //	lpmtrace -record gcc.trc -workload 403.gcc -n 100000   # record
 //	lpmtrace -stat gcc.trc                                 # inspect
 //	lpmtrace -replay gcc.trc -instructions 50000           # simulate
+//	lpmtrace -replay gcc.trc -events out.json              # + event trace
+//
+// With -events, the replay emits a Chrome-trace-format JSON file of
+// every memory-request lifecycle (L1/L2 hits and misses, DRAM reads and
+// writes) loadable in chrome://tracing or Perfetto; a path ending in
+// .jsonl selects the line-delimited form instead.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"lpm/internal/obs"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
 
 func main() {
-	var (
-		record   = flag.String("record", "", "record a trace to this file")
-		stat     = flag.String("stat", "", "print statistics of this trace file")
-		replay   = flag.String("replay", "", "simulate this trace file on a single-core chip")
-		workload = flag.String("workload", "403.gcc", "built-in workload to record")
-		n        = flag.Int("n", 100000, "instructions to record")
-		instr    = flag.Uint64("instructions", 50000, "instructions to simulate on replay")
-	)
-	flag.Parse()
-
-	switch {
-	case *record != "":
-		if err := doRecord(*record, *workload, *n); err != nil {
-			fail(err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
 		}
-	case *stat != "":
-		if err := doStat(*stat); err != nil {
-			fail(err)
-		}
-	case *replay != "":
-		if err := doReplay(*replay, *instr); err != nil {
-			fail(err)
-		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		record   = fs.String("record", "", "record a trace to this file")
+		stat     = fs.String("stat", "", "print statistics of this trace file")
+		replay   = fs.String("replay", "", "simulate this trace file on a single-core chip")
+		workload = fs.String("workload", "403.gcc", "built-in workload to record")
+		n        = fs.Int("n", 100000, "instructions to record")
+		instr    = fs.Uint64("instructions", 50000, "instructions to simulate on replay")
+		events   = fs.String("events", "", "on replay, write memory-request lifecycle events to this file (Chrome trace JSON; .jsonl for line-delimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *record != "":
+		return doRecord(stdout, *record, *workload, *n)
+	case *stat != "":
+		return doStat(stdout, *stat)
+	case *replay != "":
+		return doReplay(stdout, *replay, *instr, *events)
+	default:
+		fs.Usage()
+		return flag.ErrHelp
+	}
 }
 
-func doRecord(path, workload string, n int) error {
+func doRecord(w io.Writer, path, workload string, n int) error {
 	prof, err := trace.ProfileByName(workload)
 	if err != nil {
 		return err
@@ -69,12 +83,12 @@ func doRecord(path, workload string, n int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("recorded %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
+	fmt.Fprintf(w, "recorded %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
 		n, workload, path, info.Size(), float64(info.Size())/float64(n))
 	return nil
 }
 
-func doStat(path string) error {
+func doStat(w io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -100,16 +114,16 @@ func doStat(path string) error {
 		}
 	}
 	total := uint64(rp.Len())
-	fmt.Printf("trace      %s (%q)\n", path, rp.Name())
-	fmt.Printf("instrs     %d\n", total)
-	fmt.Printf("loads      %d (%.1f%%)\n", loads, 100*float64(loads)/float64(total))
-	fmt.Printf("stores     %d (%.1f%%)\n", stores, 100*float64(stores)/float64(total))
-	fmt.Printf("compute    %d (%.1f%%)\n", compute, 100*float64(compute)/float64(total))
-	fmt.Printf("dependent  %d (%.1f%%)\n", deps, 100*float64(deps)/float64(total))
+	fmt.Fprintf(w, "trace      %s (%q)\n", path, rp.Name())
+	fmt.Fprintf(w, "instrs     %d\n", total)
+	fmt.Fprintf(w, "loads      %d (%.1f%%)\n", loads, 100*float64(loads)/float64(total))
+	fmt.Fprintf(w, "stores     %d (%.1f%%)\n", stores, 100*float64(stores)/float64(total))
+	fmt.Fprintf(w, "compute    %d (%.1f%%)\n", compute, 100*float64(compute)/float64(total))
+	fmt.Fprintf(w, "dependent  %d (%.1f%%)\n", deps, 100*float64(deps)/float64(total))
 	return nil
 }
 
-func doReplay(path string, instr uint64) error {
+func doReplay(w io.Writer, path string, instr uint64, events string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -123,11 +137,32 @@ func doReplay(path string, instr uint64) error {
 	cfg.Name = "replay-" + rp.Name()
 	cfg.Cores[0].Workload = rp
 	ch := chip.New(cfg)
+	var tr *obs.Tracer
+	if events != "" {
+		tr = obs.NewTracer()
+		ch.AttachTracer(tr)
+	}
 	cycles, done := ch.Run(instr, instr*2000)
 	r := ch.Snapshot()
-	fmt.Printf("replayed %q: %d instructions in %d cycles (IPC %.3f, complete=%v)\n",
+	fmt.Fprintf(w, "replayed %q: %d instructions in %d cycles (IPC %.3f, complete=%v)\n",
 		rp.Name(), r.Cores[0].CPU.Instructions, cycles, r.Cores[0].CPU.IPC(), done)
-	fmt.Printf("L1: %s\n", r.Cores[0].L1)
-	fmt.Printf("L2: %s\n", r.L2)
+	fmt.Fprintf(w, "L1: %s\n", r.Cores[0].L1)
+	fmt.Fprintf(w, "L2: %s\n", r.L2)
+	if tr != nil {
+		out, err := os.Create(events)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if strings.HasSuffix(events, ".jsonl") {
+			err = tr.WriteJSONL(out)
+		} else {
+			err = tr.WriteChromeTrace(out)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "events: %d spans (%d dropped) -> %s\n", tr.Len(), tr.Dropped(), events)
+	}
 	return nil
 }

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpm/internal/obs"
+)
+
+// The smoke test drives the full record -> stat -> replay -> events
+// pipeline in-process through run(), in a temp dir.
+
+func TestRecordStatReplayEvents(t *testing.T) {
+	dir := t.TempDir()
+	trc := filepath.Join(dir, "gcc.trc")
+
+	var out, errb bytes.Buffer
+	if err := run([]string{"-record", trc, "-workload", "403.gcc", "-n", "3000"}, &out, &errb); err != nil {
+		t.Fatalf("record: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "recorded 3000 instructions") {
+		t.Fatalf("record output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-stat", trc}, &out, &errb); err != nil {
+		t.Fatalf("stat: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "instrs     3000") {
+		t.Fatalf("stat output:\n%s", out.String())
+	}
+
+	// Replay with a Chrome-trace events file.
+	events := filepath.Join(dir, "events.json")
+	out.Reset()
+	if err := run([]string{"-replay", trc, "-instructions", "2000", "-events", events}, &out, &errb); err != nil {
+		t.Fatalf("replay: %v\n%s", err, errb.String())
+	}
+	if !strings.Contains(out.String(), "replayed") || !strings.Contains(out.String(), "events:") {
+		t.Fatalf("replay output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []obs.Event       `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("events file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("replay emitted no trace events")
+	}
+	if doc.OtherData["schema"] != obs.TraceSchema {
+		t.Fatalf("events schema = %q, want %q", doc.OtherData["schema"], obs.TraceSchema)
+	}
+
+	// A .jsonl path selects the line-delimited form.
+	jsonl := filepath.Join(dir, "events.jsonl")
+	out.Reset()
+	if err := run([]string{"-replay", trc, "-instructions", "2000", "-events", jsonl}, &out, &errb); err != nil {
+		t.Fatalf("replay jsonl: %v\n%s", err, errb.String())
+	}
+	data, err = os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(string(data), "\n")
+	var hdr struct {
+		Schema string `json:"schema"`
+		Events int    `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(first), &hdr); err != nil {
+		t.Fatalf("jsonl header: %v", err)
+	}
+	if hdr.Schema != obs.TraceSchema || hdr.Events == 0 {
+		t.Fatalf("jsonl header = %+v", hdr)
+	}
+}
+
+func TestRunNoModeIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	err := run(nil, &out, &errb)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("no mode returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errb.String(), "Usage") {
+		t.Fatalf("usage not printed:\n%s", errb.String())
+	}
+}
+
+func TestRunMissingFileErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-stat", filepath.Join(t.TempDir(), "absent.trc")}, &out, &errb); err == nil {
+		t.Fatal("stat of a missing file did not error")
+	}
+}

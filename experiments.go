@@ -109,12 +109,23 @@ var table1Paper = map[string][3]float64{
 // independent (one target, generator, and chip each), so they run as one
 // parallel batch.
 func Table1(s Scale) []Table1Row {
+	return table1(s, false)
+}
+
+// Table1Observed is Table1 with per-layer observability enabled: every
+// row's Measurement carries an obs.Snapshot of the measurement window.
+func Table1Observed(s Scale) []Table1Row {
+	return table1(s, true)
+}
+
+func table1(s Scale, observe bool) []Table1Row {
 	cfgs := explore.TableConfigs()
 	names := []string{"A", "B", "C", "D", "E"}
 	rows, err := parallel.Map(names, func(n string) (Table1Row, error) {
 		tgt := explore.NewHardwareTarget(explore.DefaultSpace(), cfgs[n], trace.MustProfile("410.bwaves"))
 		tgt.Warmup = s.Warmup
 		tgt.Instructions = s.Window
+		tgt.Observe = observe
 		return Table1Row{
 			Name:      n,
 			Point:     cfgs[n],

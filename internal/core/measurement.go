@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"lpm/internal/obs"
+)
 
 // Measurement is one interval's worth of LPM model inputs for a
 // three-layer hierarchy (L1, LLC=L2, main memory), as produced by the
@@ -32,6 +36,11 @@ type Measurement struct {
 	// informational simulator ground truth, not model inputs.
 	IPC           float64
 	MeasuredStall float64
+
+	// Obs is the per-layer metrics snapshot for the measurement window —
+	// nil unless the chip ran with observability enabled (chip.EnableObs).
+	// It is informational and never feeds the model equations.
+	Obs *obs.Snapshot `json:"Obs,omitempty"`
 }
 
 // LPMR1 evaluates Eq. (9): the request/supply mismatch between the

@@ -39,6 +39,11 @@ type HardwareTarget struct {
 	// its measurements, and the Evaluations() count are bit-identical to
 	// the non-speculative run; only wall-clock changes.
 	Speculate bool
+	// Observe, when set, enables the chip's metrics registry for every
+	// evaluation so each Measurement carries a per-layer obs.Snapshot.
+	// The flag is part of the memo key: observed and unobserved runs
+	// never share cached results.
+	Observe bool
 
 	ix      [6]int
 	rrL1    int // round-robin cursor over the L1-layer knobs
@@ -121,12 +126,15 @@ var simMemo = parallel.NewMemo[core.Measurement]()
 // deterministic.
 func (t *HardwareTarget) simulate(p Point) core.Measurement {
 	instr, warm, maxCy := t.budgets()
-	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy)
+	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy, t.Observe)
 	m, _ := simMemo.Do(key, func() (core.Measurement, error) {
 		gen := trace.NewSynthetic(t.Profile)
 		cfg := ChipConfig(p, gen)
 		cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), instr)
 		ch := chip.New(cfg)
+		if t.Observe {
+			ch.EnableObs()
+		}
 		ch.RunUntilRetired(warm, maxCy)
 		ch.ResetCounters()
 		ch.Run(warm+instr, maxCy)

@@ -1,0 +1,299 @@
+// Package obs is the observability layer of the LPM reproduction: a
+// typed, allocation-light metrics registry the simulator components
+// (cores, caches, NoC, DRAM, chip) publish into, plus an opt-in event
+// tracer emitting Chrome-trace-format JSON of memory-request lifecycles
+// (see trace.go).
+//
+// The paper's whole method is measurement-driven — every layer exposes
+// hit/miss concurrency and stall accounting — and this package makes
+// those internal numbers inspectable: per-layer counters are snapshotted
+// per measurement window into a versioned, JSON-serialisable Snapshot
+// that rides along on core.Measurement and in the CLIs' -json output.
+//
+// Instrumentation is zero-cost when disabled: a nil *Registry hands out
+// nil handles, and every handle method nil-checks its receiver, so an
+// unobserved component pays one predictable branch per touch point. A
+// Registry is owned by a single simulation (one goroutine); it is not
+// synchronised.
+package obs
+
+import (
+	"sort"
+
+	"lpm/internal/stats"
+)
+
+// SnapshotVersion is the schema version stamped on every Snapshot; bump
+// it on any incompatible change to the snapshot JSON shape.
+const SnapshotVersion = 1
+
+// Kind classifies a metric.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// KindCounter is a monotonic event count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous or derived value.
+	KindGauge
+	// KindHistogram is a bucketed distribution of observations.
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonic event count. A nil Counter (from a nil
+// Registry) is a no-op; this is the disabled fast path.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Set overwrites the count — used by components that publish an
+// already-accumulated Stats counter into the registry at snapshot time.
+func (c *Counter) Set(v uint64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous or derived value. A nil Gauge is a no-op.
+type Gauge struct{ v float64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket distribution backed by stats.Histogram.
+// A nil Histogram is a no-op.
+type Histogram struct{ h *stats.Histogram }
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if h != nil {
+		h.h.Add(x)
+	}
+}
+
+// metric is one registered metric with its typed backing store.
+type metric struct {
+	name string
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	// histogram bounds, kept for reset
+	lo, hi  float64
+	buckets int
+}
+
+// Registry holds a simulation's metrics. The nil *Registry is valid and
+// hands out nil handles, making every downstream update a cheap no-op.
+// Create with NewRegistry. Registration order is deterministic (single
+// goroutine), and Snapshot sorts by name, so two identical simulations
+// produce bit-identical snapshots regardless of wiring order.
+type Registry struct {
+	metrics []*metric
+	index   map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+// lookup returns the named metric, creating it with mk on first use. It
+// panics on a kind clash: metric names are program constants.
+func (r *Registry) lookup(name string, kind Kind, mk func() *metric) *metric {
+	if m, ok := r.index[name]; ok {
+		if m.kind != kind {
+			panic("obs: metric " + name + " re-registered as a different kind")
+		}
+		return m
+	}
+	m := mk()
+	r.metrics = append(r.metrics, m)
+	r.index[name] = m
+	return m
+}
+
+// Counter registers (or fetches) the named counter. A nil registry
+// returns a nil handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindCounter, func() *metric {
+		return &metric{name: name, kind: KindCounter, c: &Counter{}}
+	}).c
+}
+
+// Gauge registers (or fetches) the named gauge. A nil registry returns a
+// nil handle.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindGauge, func() *metric {
+		return &metric{name: name, kind: KindGauge, g: &Gauge{}}
+	}).g
+}
+
+// Histogram registers (or fetches) the named histogram with n uniform
+// buckets over [lo, hi). A nil registry returns a nil handle.
+func (r *Registry) Histogram(name string, lo, hi float64, n int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindHistogram, func() *metric {
+		return &metric{
+			name: name, kind: KindHistogram,
+			h:  &Histogram{h: stats.NewHistogram(lo, hi, n)},
+			lo: lo, hi: hi, buckets: n,
+		}
+	}).h
+}
+
+// ResetCounters zeroes every metric's accumulated state while keeping
+// the registrations, mirroring the simulator's per-window counter reset
+// (chip.ResetCounters) so snapshots cover exactly one measurement
+// window.
+func (r *Registry) ResetCounters() {
+	if r == nil {
+		return
+	}
+	for _, m := range r.metrics {
+		switch m.kind {
+		case KindCounter:
+			m.c.v = 0
+		case KindGauge:
+			m.g.v = 0
+		case KindHistogram:
+			m.h.h = stats.NewHistogram(m.lo, m.hi, m.buckets)
+		}
+	}
+}
+
+// HistValue summarises a histogram in a snapshot.
+type HistValue struct {
+	// Count is the number of observations (under/overflow included).
+	Count uint64 `json:"count"`
+	// Mean is the arithmetic mean of all observations.
+	Mean float64 `json:"mean"`
+	// P50, P90, P99 are bucket-midpoint quantile approximations.
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+}
+
+// MetricValue is one metric's value in a snapshot.
+type MetricValue struct {
+	// Name is the registered metric name (e.g. "l1.0.hits").
+	Name string `json:"name"`
+	// Kind is "counter", "gauge" or "histogram".
+	Kind string `json:"kind"`
+	// Count carries a counter's value (0 for other kinds).
+	Count uint64 `json:"count"`
+	// Value carries a gauge's value (0 for other kinds).
+	Value float64 `json:"value"`
+	// Hist carries a histogram's summary (nil for other kinds).
+	Hist *HistValue `json:"hist,omitempty"`
+}
+
+// Snapshot is a versioned, JSON-serialisable capture of every metric in
+// a registry, sorted by name.
+type Snapshot struct {
+	// Version is SnapshotVersion at capture time.
+	Version int `json:"version"`
+	// Metrics lists every metric sorted by name.
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// Snapshot captures the current state of every metric. A nil registry
+// yields a nil snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{Version: SnapshotVersion, Metrics: make([]MetricValue, 0, len(r.metrics))}
+	for _, m := range r.metrics {
+		mv := MetricValue{Name: m.name, Kind: m.kind.String()}
+		switch m.kind {
+		case KindCounter:
+			mv.Count = m.c.v
+		case KindGauge:
+			mv.Value = m.g.v
+		case KindHistogram:
+			h := m.h.h
+			mv.Hist = &HistValue{
+				Count: h.Total(),
+				Mean:  h.Mean(),
+				P50:   h.Quantile(0.50),
+				P90:   h.Quantile(0.90),
+				P99:   h.Quantile(0.99),
+			}
+		}
+		s.Metrics = append(s.Metrics, mv)
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
+	return s
+}
+
+// Metric returns the named metric's value and whether it exists.
+func (s *Snapshot) Metric(name string) (MetricValue, bool) {
+	if s == nil {
+		return MetricValue{}, false
+	}
+	i := sort.Search(len(s.Metrics), func(i int) bool { return s.Metrics[i].Name >= name })
+	if i < len(s.Metrics) && s.Metrics[i].Name == name {
+		return s.Metrics[i], true
+	}
+	return MetricValue{}, false
+}
+
+// Counter returns the named counter's value (0 when absent), a shorthand
+// for tests and report consumers.
+func (s *Snapshot) Counter(name string) uint64 {
+	mv, _ := s.Metric(name)
+	return mv.Count
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestNilRegistryHandsOutNilHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", 0, 10, 4)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil handles: %v %v %v", c, g, h)
+	}
+	// Every handle method must be a safe no-op on nil.
+	c.Inc()
+	c.Add(3)
+	c.Set(9)
+	g.Set(1.5)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("nil handles reported non-zero values")
+	}
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", s)
+	}
+	r.ResetCounters() // must not panic
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("l1.hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Set(7)
+	if c.Value() != 7 {
+		t.Fatalf("counter after Set = %d, want 7", c.Value())
+	}
+	g := r.Gauge("l1.miss_rate")
+	g.Set(0.25)
+	if g.Value() != 0.25 {
+		t.Fatalf("gauge = %v, want 0.25", g.Value())
+	}
+	h := r.Histogram("l1.occ", 0, 8, 8)
+	for i := 0; i < 8; i++ {
+		h.Observe(float64(i))
+	}
+
+	s := r.Snapshot()
+	if s.Version != SnapshotVersion {
+		t.Fatalf("snapshot version = %d, want %d", s.Version, SnapshotVersion)
+	}
+	if len(s.Metrics) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(s.Metrics))
+	}
+	if got := s.Counter("l1.hits"); got != 7 {
+		t.Fatalf("snapshot counter = %d, want 7", got)
+	}
+	mv, ok := s.Metric("l1.occ")
+	if !ok || mv.Hist == nil {
+		t.Fatalf("histogram missing from snapshot: %+v ok=%v", mv, ok)
+	}
+	if mv.Hist.Count != 8 || mv.Hist.Mean != 3.5 {
+		t.Fatalf("hist count/mean = %d/%v, want 8/3.5", mv.Hist.Count, mv.Hist.Mean)
+	}
+	if _, ok := s.Metric("absent"); ok {
+		t.Fatalf("lookup of absent metric succeeded")
+	}
+}
+
+func TestRegistryReusesAndPanicsOnKindClash(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup")
+	b := r.Counter("dup")
+	if a != b {
+		t.Fatalf("same name returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind clash did not panic")
+		}
+	}()
+	r.Gauge("dup")
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Set(1)
+	r.Counter("a.first").Set(2)
+	r.Gauge("m.mid").Set(3)
+	s := r.Snapshot()
+	names := []string{s.Metrics[0].Name, s.Metrics[1].Name, s.Metrics[2].Name}
+	want := []string{"a.first", "m.mid", "z.last"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("snapshot order = %v, want %v", names, want)
+	}
+	// Two snapshots of the same state must be deeply equal — the
+	// property the parallel determinism tests rely on.
+	if !reflect.DeepEqual(s, r.Snapshot()) {
+		t.Fatalf("repeated snapshots differ")
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Set(10)
+	g := r.Gauge("g")
+	g.Set(1.5)
+	h := r.Histogram("h", 0, 4, 4)
+	h.Observe(1)
+	r.ResetCounters()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("reset left counter=%d gauge=%v", c.Value(), g.Value())
+	}
+	s := r.Snapshot()
+	if mv, _ := s.Metric("h"); mv.Hist.Count != 0 {
+		t.Fatalf("reset left histogram count %d", mv.Hist.Count)
+	}
+	// Handles stay live after reset.
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("counter dead after reset")
+	}
+	h.Observe(2)
+	if mv, _ := r.Snapshot().Metric("h"); mv.Hist.Count != 1 {
+		t.Fatalf("histogram dead after reset")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Set(42)
+	r.Gauge("b").Set(0.5)
+	r.Histogram("c", 0, 10, 5).Observe(3)
+	s := r.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Fatalf("round trip changed snapshot:\n%+v\n%+v", *s, back)
+	}
+}

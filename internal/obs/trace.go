@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// TraceSchema versions the event-trace JSON output; it is embedded in
+// the Chrome-trace document's otherData and in the JSONL header line.
+const TraceSchema = "lpm-trace/v1"
+
+// defaultEventLimit bounds a tracer's buffered events when the caller
+// does not set Limit; past it events are dropped (and counted), keeping
+// long replays from exhausting memory.
+const defaultEventLimit = 1 << 20
+
+// Event is one memory-request lifecycle span in Chrome trace format
+// ("X" complete events). Cycles map to microseconds in the viewer, so
+// one timeline unit is one simulated cycle.
+type Event struct {
+	// Name is the event kind: "hit", "miss", "read" or "write".
+	Name string `json:"name"`
+	// Cat is the emitting layer (the component's configured name).
+	Cat string `json:"cat"`
+	// Ph is the Chrome trace phase, always "X" (complete event).
+	Ph string `json:"ph"`
+	// Ts is the start cycle, Dur the span length in cycles.
+	Ts  uint64 `json:"ts"`
+	Dur uint64 `json:"dur"`
+	// Pid is always 0 (one chip); Tid is the requestor (core index for
+	// L1s, upstream cache SrcID below).
+	Pid int `json:"pid"`
+	Tid int `json:"tid"`
+	// Args carries the accessed address.
+	Args EventArgs `json:"args"`
+}
+
+// EventArgs is the per-event payload.
+type EventArgs struct {
+	// Addr is the byte address (block-aligned below the L1).
+	Addr uint64 `json:"addr"`
+}
+
+// Tracer buffers memory-request lifecycle events. The nil *Tracer is
+// valid and ignores every Emit — components hold a nil tracer unless one
+// is attached, so tracing costs one branch per completion when off.
+// Create with NewTracer; a Tracer is owned by a single simulation.
+type Tracer struct {
+	// Limit bounds buffered events; 0 means defaultEventLimit. Events
+	// past the limit are dropped and counted.
+	Limit int
+
+	events  []Event
+	dropped uint64
+}
+
+// NewTracer returns an empty tracer with the default event limit.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Emit records one completed span. Nil tracers ignore the call.
+func (t *Tracer) Emit(layer, name string, src int, start, end, addr uint64) {
+	if t == nil {
+		return
+	}
+	limit := t.Limit
+	if limit == 0 {
+		limit = defaultEventLimit
+	}
+	if len(t.events) >= limit {
+		t.dropped++
+		return
+	}
+	dur := uint64(0)
+	if end > start {
+		dur = end - start
+	}
+	t.events = append(t.events, Event{
+		Name: name, Cat: layer, Ph: "X",
+		Ts: start, Dur: dur, Tid: src,
+		Args: EventArgs{Addr: addr},
+	})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns the number of events discarded past Limit.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the buffered events (shared slice; callers must not
+// mutate).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// chromeDoc is the Chrome trace file shape ("JSON object format").
+type chromeDoc struct {
+	TraceEvents     []Event           `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteChromeTrace writes the buffered events as a Chrome trace JSON
+// document loadable by chrome://tracing and Perfetto. Timestamps are
+// simulated cycles (rendered as microseconds by the viewer).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	doc := chromeDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"schema": TraceSchema, "timeUnit": "cycle"},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// jsonlHeader is the first line of a JSONL trace stream.
+type jsonlHeader struct {
+	Schema string `json:"schema"`
+	Events int    `json:"events"`
+	// Dropped counts events lost to the buffer limit.
+	Dropped uint64 `json:"dropped"`
+}
+
+// WriteJSONL writes a schema header line followed by one event per
+// line — the streaming-friendly form of the same data.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Schema: TraceSchema, Events: t.Len(), Dropped: t.Dropped()}); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("l1", "hit", 0, 1, 2, 0x40) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer reported state")
+	}
+}
+
+func TestEmitAndLimits(t *testing.T) {
+	tr := &Tracer{Limit: 2}
+	tr.Emit("l1", "hit", 1, 10, 13, 0x100)
+	tr.Emit("l1", "miss", 1, 10, 50, 0x140)
+	tr.Emit("l1", "hit", 1, 20, 22, 0x180) // past the limit
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+	e := tr.Events()[0]
+	if e.Name != "hit" || e.Cat != "l1" || e.Ph != "X" || e.Ts != 10 || e.Dur != 3 ||
+		e.Tid != 1 || e.Args.Addr != 0x100 {
+		t.Fatalf("bad event: %+v", e)
+	}
+	// end <= start clamps duration to 0 rather than underflowing.
+	tr2 := NewTracer()
+	tr2.Emit("l1", "hit", 0, 5, 5, 0)
+	if d := tr2.Events()[0].Dur; d != 0 {
+		t.Fatalf("zero-span dur = %d, want 0", d)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit("l1", "miss", 0, 1, 40, 0x40)
+	tr.Emit("dram", "read", 0, 5, 38, 0x40)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var doc struct {
+		TraceEvents     []Event           `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("traceEvents = %d, want 2", len(doc.TraceEvents))
+	}
+	if doc.OtherData["schema"] != TraceSchema {
+		t.Fatalf("schema = %q, want %q", doc.OtherData["schema"], TraceSchema)
+	}
+	// An empty tracer still produces a loadable document with an array,
+	// not null.
+	buf.Reset()
+	if err := NewTracer().WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("empty write: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty trace emitted %q, want empty array", buf.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit("l2", "miss", 3, 7, 90, 0x2000)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatalf("no header line")
+	}
+	var hdr struct {
+		Schema  string `json:"schema"`
+		Events  int    `json:"events"`
+		Dropped uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if hdr.Schema != TraceSchema || hdr.Events != 1 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("event line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 1 {
+		t.Fatalf("event lines = %d, want 1", lines)
+	}
+}

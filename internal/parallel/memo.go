@@ -120,3 +120,22 @@ func ResetAllMemos() {
 		m.Reset()
 	}
 }
+
+// statser lets the registry aggregate counters across memos of different
+// value types.
+type statser interface{ Stats() (int64, int64) }
+
+// MemoStats sums hit and miss counts over every Memo created through
+// NewMemo — the process-wide view the observability facade publishes.
+func MemoStats() (hits, misses int64) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, m := range registry.memos {
+		if s, ok := m.(statser); ok {
+			h, mi := s.Stats()
+			hits += h
+			misses += mi
+		}
+	}
+	return hits, misses
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lpm/internal/analyzer"
+	"lpm/internal/obs"
 	"lpm/internal/stats"
 )
 
@@ -30,6 +31,7 @@ type inflight struct {
 	addr  uint64
 	write bool
 	src   int
+	start uint64 // cycle service began (event tracing)
 	ready uint64 // cycle the hit operation resolves
 	done  func(cycle uint64)
 	rec   *analyzer.Access
@@ -38,6 +40,8 @@ type inflight struct {
 // target is one access coalesced under an MSHR.
 type target struct {
 	write bool
+	src   int
+	start uint64 // cycle service began (event tracing)
 	done  func(cycle uint64)
 	rec   *analyzer.Access
 }
@@ -113,6 +117,77 @@ type Cache struct {
 	allWays    []int // cached identity way list for unpartitioned sources
 
 	st Stats
+	ob *cacheObs   // nil unless AttachObs was called
+	tr *obs.Tracer // nil unless AttachTracer was called
+}
+
+// cacheObs holds the cache's registered metric handles.
+type cacheObs struct {
+	accesses, hits, misses, primaryMisses, coalesced, mshrWaits, quotaWaits,
+	rejected, writebacks, evictions, prefetches, prefetchUseful, invalidations *obs.Counter
+	missRate *obs.Gauge
+	mshrOcc  *obs.Histogram
+}
+
+// AttachObs registers this cache's metrics under prefix (e.g. "l1.0")
+// and starts per-cycle MSHR-occupancy sampling. A nil registry leaves
+// the cache unobserved (the zero-cost default).
+func (c *Cache) AttachObs(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	buckets := c.cfg.MSHRs + 1
+	if buckets > 32 {
+		buckets = 32
+	}
+	c.ob = &cacheObs{
+		accesses:       r.Counter(prefix + ".accesses"),
+		hits:           r.Counter(prefix + ".hits"),
+		misses:         r.Counter(prefix + ".misses"),
+		primaryMisses:  r.Counter(prefix + ".primary_misses"),
+		coalesced:      r.Counter(prefix + ".coalesced"),
+		mshrWaits:      r.Counter(prefix + ".mshr_waits"),
+		quotaWaits:     r.Counter(prefix + ".quota_waits"),
+		rejected:       r.Counter(prefix + ".rejected"),
+		writebacks:     r.Counter(prefix + ".writebacks"),
+		evictions:      r.Counter(prefix + ".evictions"),
+		prefetches:     r.Counter(prefix + ".prefetches"),
+		prefetchUseful: r.Counter(prefix + ".prefetch_useful"),
+		invalidations:  r.Counter(prefix + ".invalidations"),
+		missRate:       r.Gauge(prefix + ".miss_rate"),
+		mshrOcc:        r.Histogram(prefix+".mshr_occupancy", 0, float64(c.cfg.MSHRs+1), buckets),
+	}
+}
+
+// AttachTracer starts emitting one lifecycle event per completed demand
+// access (hits and miss fills). A nil tracer disables tracing.
+func (c *Cache) AttachTracer(t *obs.Tracer) { c.tr = t }
+
+// PublishObs copies the current event counters into the registry; the
+// chip calls it before snapshotting so registry values always reflect
+// the measurement window (Stats is reset by ResetCounters).
+func (c *Cache) PublishObs() {
+	if c.ob == nil {
+		return
+	}
+	c.ob.accesses.Set(c.st.Accesses)
+	c.ob.hits.Set(c.st.Hits)
+	c.ob.misses.Set(c.st.Misses)
+	c.ob.primaryMisses.Set(c.st.PrimaryMisses)
+	c.ob.coalesced.Set(c.st.Coalesced)
+	c.ob.mshrWaits.Set(c.st.MSHRWaits)
+	c.ob.quotaWaits.Set(c.st.QuotaWaits)
+	c.ob.rejected.Set(c.st.Rejected)
+	c.ob.writebacks.Set(c.st.Writebacks)
+	c.ob.evictions.Set(c.st.Evictions)
+	c.ob.prefetches.Set(c.st.Prefetches)
+	c.ob.prefetchUseful.Set(c.st.PrefetchUseful)
+	c.ob.invalidations.Set(c.st.Invalidations)
+	if done := c.st.Hits + c.st.Misses; done > 0 {
+		c.ob.missRate.Set(float64(c.st.Misses) / float64(done))
+	} else {
+		c.ob.missRate.Set(0)
+	}
 }
 
 // New returns a cache built from cfg with an attached analyzer. It panics
@@ -260,6 +335,10 @@ func (c *Cache) Tick(cycle uint64) {
 
 	// 6. Classify the cycle.
 	c.an.Tick()
+
+	if c.ob != nil {
+		c.ob.mshrOcc.Observe(float64(len(c.mshrs)))
+	}
 }
 
 // install writes a filled block into its set and completes all coalesced
@@ -284,6 +363,7 @@ func (c *Cache) install(m *mshrEntry) {
 	for _, t := range m.targets {
 		c.an.Done(t.rec, c.now)
 		c.st.Misses++
+		c.tr.Emit(c.cfg.Name, "miss", t.src, t.start, c.now, m.block<<c.blockBits)
 		if t.done != nil {
 			t.done(c.now)
 		}
@@ -383,6 +463,7 @@ func (c *Cache) completeResolved() {
 		if c.lookup(blk, f.write) {
 			c.st.Hits++
 			c.an.Done(f.rec, c.now)
+			c.tr.Emit(c.cfg.Name, "hit", f.src, f.start, c.now, f.addr)
 			if f.done != nil {
 				f.done(c.now)
 			}
@@ -418,7 +499,7 @@ func (c *Cache) attachMiss(f inflight) bool {
 			return false
 		}
 		c.st.Coalesced++
-		m.targets = append(m.targets, target{write: f.write, done: f.done, rec: f.rec})
+		m.targets = append(m.targets, target{write: f.write, src: f.src, start: f.start, done: f.done, rec: f.rec})
 		m.write = m.write || f.write
 		return true
 	}
@@ -430,7 +511,7 @@ func (c *Cache) attachMiss(f inflight) bool {
 		return false
 	}
 	m := &mshrEntry{block: blk, src: f.src, write: f.write}
-	m.targets = append(m.targets, target{write: f.write, done: f.done, rec: f.rec})
+	m.targets = append(m.targets, target{write: f.write, src: f.src, start: f.start, done: f.done, rec: f.rec})
 	c.mshrs[blk] = m
 	c.issueQ = append(c.issueQ, m)
 	c.srcMSHRs[f.src]++
@@ -482,6 +563,7 @@ func (c *Cache) retryWaiting() {
 			// Filled while waiting; completes as a (short) miss.
 			c.st.Misses++
 			c.an.Done(f.rec, c.now)
+			c.tr.Emit(c.cfg.Name, "miss", f.src, f.start, c.now, f.addr)
 			if f.done != nil {
 				f.done(c.now)
 			}
@@ -521,6 +603,7 @@ func (c *Cache) startAccesses() {
 			addr:  req.addr,
 			write: req.write,
 			src:   req.src,
+			start: c.now,
 			ready: c.now + uint64(c.cfg.HitLatency),
 			done:  req.done,
 			rec:   rec,

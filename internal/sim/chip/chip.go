@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"lpm/internal/analyzer"
+	"lpm/internal/obs"
 	"lpm/internal/sim/cache"
 	"lpm/internal/sim/coherence"
 	"lpm/internal/sim/cpu"
@@ -103,6 +104,8 @@ type Chip struct {
 	dir    *coherence.Directory // nil unless coherent
 	mem    *dram.DRAM
 	now    uint64
+	reg    *obs.Registry // nil unless EnableObs was called
+	tr     *obs.Tracer   // nil unless AttachTracer was called
 }
 
 // New builds the chip; it panics on invalid configuration.
@@ -179,6 +182,77 @@ func (c *Chip) Directory() *coherence.Directory { return c.dir }
 
 // Mem returns the DRAM model.
 func (c *Chip) Mem() *dram.DRAM { return c.mem }
+
+// EnableObs creates a metrics registry and attaches every component to
+// it under stable prefixes (cpu.N, l1.N, l2, l3, noc, dram). Idempotent:
+// repeat calls return the existing registry. The registry is owned by
+// this chip's simulation goroutine.
+func (c *Chip) EnableObs() *obs.Registry {
+	if c.reg != nil {
+		return c.reg
+	}
+	c.reg = obs.NewRegistry()
+	for i, core := range c.cores {
+		if core != nil {
+			core.AttachObs(c.reg, fmt.Sprintf("cpu.%d", i))
+		}
+		c.l1s[i].AttachObs(c.reg, fmt.Sprintf("l1.%d", i))
+	}
+	c.l2.AttachObs(c.reg, "l2")
+	if c.l3 != nil {
+		c.l3.AttachObs(c.reg, "l3")
+	}
+	if c.router != nil {
+		c.router.AttachObs(c.reg, "noc")
+	}
+	c.mem.AttachObs(c.reg, "dram")
+	return c.reg
+}
+
+// Registry returns the chip's metrics registry (nil unless EnableObs was
+// called).
+func (c *Chip) Registry() *obs.Registry { return c.reg }
+
+// AttachTracer routes memory-request lifecycle events from every cache
+// level and the DRAM into t. Pass nil to detach.
+func (c *Chip) AttachTracer(t *obs.Tracer) {
+	c.tr = t
+	for _, l1 := range c.l1s {
+		l1.AttachTracer(t)
+	}
+	c.l2.AttachTracer(t)
+	if c.l3 != nil {
+		c.l3.AttachTracer(t)
+	}
+	c.mem.AttachTracer(t)
+}
+
+// Tracer returns the attached event tracer (nil when tracing is off).
+func (c *Chip) Tracer() *obs.Tracer { return c.tr }
+
+// ObsSnapshot publishes every component's accumulated stats into the
+// registry and captures a snapshot. It returns nil when observability is
+// not enabled.
+func (c *Chip) ObsSnapshot() *obs.Snapshot {
+	if c.reg == nil {
+		return nil
+	}
+	for i, core := range c.cores {
+		if core != nil {
+			core.PublishObs()
+		}
+		c.l1s[i].PublishObs()
+	}
+	c.l2.PublishObs()
+	if c.l3 != nil {
+		c.l3.PublishObs()
+	}
+	if c.router != nil {
+		c.router.PublishObs()
+	}
+	c.mem.PublishObs()
+	return c.reg.Snapshot()
+}
 
 // Tick advances the whole chip one cycle.
 func (c *Chip) Tick() {
@@ -316,6 +390,9 @@ func (c *Chip) ResetCounters() {
 		c.dir.ResetCounters()
 	}
 	c.mem.ResetCounters()
+	// The registry mirrors the per-window counters, so it resets with
+	// them; the next ObsSnapshot covers exactly one measurement window.
+	c.reg.ResetCounters()
 }
 
 // CoreReport aggregates one core's view of the system.

@@ -57,7 +57,9 @@ func (c *Chip) Measure(i int, cpiExe float64) core.Measurement {
 	l2 := c.l2.Analyzer().Snapshot()
 	mr1 := requestRate(c.l1s[i].Stats().PrimaryMisses, l1.Completed)
 	mr2 := requestRate(c.l2.Stats().PrimaryMisses, l2.Completed)
-	return measurementFrom(cs, l1, l2, mr1, mr2, c.mem.Stats().APC(), cpiExe)
+	m := measurementFrom(cs, l1, l2, mr1, mr2, c.mem.Stats().APC(), cpiExe)
+	m.Obs = c.ObsSnapshot()
+	return m
 }
 
 // MeasureAggregate returns a chip-wide measurement: per-core CPU counters
@@ -86,7 +88,9 @@ func (c *Chip) MeasureAggregate(cpiExe float64) core.Measurement {
 	l2 := c.l2.Analyzer().Snapshot()
 	mr1 := requestRate(primary1, l1.Completed)
 	mr2 := requestRate(c.l2.Stats().PrimaryMisses, l2.Completed)
-	return measurementFrom(cs, l1, l2, mr1, mr2, c.mem.Stats().APC(), cpiExe)
+	m := measurementFrom(cs, l1, l2, mr1, mr2, c.mem.Stats().APC(), cpiExe)
+	m.Obs = c.ObsSnapshot()
+	return m
 }
 
 // MeasureChain returns the generalised multi-level chain view for core i:

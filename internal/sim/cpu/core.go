@@ -21,6 +21,7 @@ package cpu
 import (
 	"fmt"
 
+	"lpm/internal/obs"
 	"lpm/internal/trace"
 )
 
@@ -168,6 +169,51 @@ type Core struct {
 	halted bool
 
 	st Stats
+	ob *coreObs
+}
+
+// coreObs holds the core's registry handles (nil when unobserved).
+type coreObs struct {
+	instructions, cycles, stalls, memStalls, lsqFull, rejected *obs.Counter
+	ipc                                                        *obs.Gauge
+	robOcc                                                     *obs.Histogram
+}
+
+// AttachObs registers this core's metrics under prefix (e.g. "cpu.0") in
+// r. A nil registry leaves the core unobserved.
+func (c *Core) AttachObs(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	n := c.cfg.ROBSize + 1
+	if n > 32 {
+		n = 32
+	}
+	c.ob = &coreObs{
+		instructions: r.Counter(prefix + ".instructions"),
+		cycles:       r.Counter(prefix + ".cycles"),
+		stalls:       r.Counter(prefix + ".stalls"),
+		memStalls:    r.Counter(prefix + ".mem_stalls"),
+		lsqFull:      r.Counter(prefix + ".lsq_full"),
+		rejected:     r.Counter(prefix + ".rejected_accesses"),
+		ipc:          r.Gauge(prefix + ".ipc"),
+		robOcc:       r.Histogram(prefix+".rob_occupancy", 0, float64(c.cfg.ROBSize+1), n),
+	}
+}
+
+// PublishObs copies the accumulated Stats into the attached registry;
+// call before snapshotting. No-op when unobserved.
+func (c *Core) PublishObs() {
+	if c.ob == nil {
+		return
+	}
+	c.ob.instructions.Set(c.st.Instructions)
+	c.ob.cycles.Set(c.st.Cycles)
+	c.ob.stalls.Set(c.st.StallCycles)
+	c.ob.memStalls.Set(c.st.MemStallCycles)
+	c.ob.lsqFull.Set(c.st.LSQFullEvents)
+	c.ob.rejected.Set(c.st.RejectedAccesses)
+	c.ob.ipc.Set(c.st.IPC())
 }
 
 // New builds a core running gen against mem. It panics on invalid
@@ -331,5 +377,8 @@ func (c *Core) Tick(cycle uint64) {
 		if computeExecuting || retired > 0 {
 			c.st.OverlapCycles++
 		}
+	}
+	if c.ob != nil {
+		c.ob.robOcc.Observe(float64(c.count))
 	}
 }

@@ -11,6 +11,8 @@ package dram
 
 import (
 	"fmt"
+
+	"lpm/internal/obs"
 )
 
 // Sched selects the memory controller's scheduling policy.
@@ -98,6 +100,7 @@ func DDR3(name string) Config {
 type request struct {
 	block uint64
 	write bool
+	src   int
 	done  func(cycle uint64)
 	at    uint64 // arrival cycle
 }
@@ -164,6 +167,61 @@ type DRAM struct {
 	pend     []pending
 	now      uint64
 	st       Stats
+	ob       *dramObs
+	tr       *obs.Tracer
+}
+
+// dramObs holds the controller's registry handles (nil when unobserved).
+type dramObs struct {
+	reads, writes, rowHits, rowMisses, rowConflicts, rejected *obs.Counter
+	rowHitRate, avgReadLatency                                *obs.Gauge
+	queueOcc                                                  *obs.Histogram
+}
+
+// AttachObs registers this memory's metrics under prefix (e.g. "dram")
+// in r. A nil registry leaves the controller unobserved.
+func (d *DRAM) AttachObs(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	depth := d.cfg.QueueDepth*d.cfg.Channels + 1
+	n := depth
+	if n > 32 {
+		n = 32
+	}
+	d.ob = &dramObs{
+		reads:          r.Counter(prefix + ".reads"),
+		writes:         r.Counter(prefix + ".writes"),
+		rowHits:        r.Counter(prefix + ".row_hits"),
+		rowMisses:      r.Counter(prefix + ".row_misses"),
+		rowConflicts:   r.Counter(prefix + ".row_conflicts"),
+		rejected:       r.Counter(prefix + ".rejected"),
+		rowHitRate:     r.Gauge(prefix + ".row_hit_rate"),
+		avgReadLatency: r.Gauge(prefix + ".avg_read_latency"),
+		queueOcc:       r.Histogram(prefix+".queue_occupancy", 0, float64(depth), n),
+	}
+}
+
+// AttachTracer routes request-lifecycle events ("read"/"write" spans,
+// arrival to data-ready) into t. A nil tracer disables tracing.
+func (d *DRAM) AttachTracer(t *obs.Tracer) { d.tr = t }
+
+// PublishObs copies the accumulated Stats into the attached registry;
+// call before snapshotting. No-op when unobserved.
+func (d *DRAM) PublishObs() {
+	if d.ob == nil {
+		return
+	}
+	d.ob.reads.Set(d.st.Reads)
+	d.ob.writes.Set(d.st.Writes)
+	d.ob.rowHits.Set(d.st.RowHits)
+	d.ob.rowMisses.Set(d.st.RowMisses)
+	d.ob.rowConflicts.Set(d.st.RowConflicts)
+	d.ob.rejected.Set(d.st.Rejected)
+	if total := d.st.RowHits + d.st.RowMisses + d.st.RowConflicts; total > 0 {
+		d.ob.rowHitRate.Set(float64(d.st.RowHits) / float64(total))
+	}
+	d.ob.avgReadLatency.Set(d.st.AvgReadLatency())
 }
 
 // New builds a DRAM from cfg; it panics on invalid configuration.
@@ -209,7 +267,7 @@ func (d *DRAM) Request(cycle uint64, src int, block uint64, write bool, done fun
 		d.st.Rejected++
 		return false
 	}
-	ch.queue = append(ch.queue, request{block: block, write: write, done: done, at: cycle})
+	ch.queue = append(ch.queue, request{block: block, write: write, src: src, done: done, at: cycle})
 	return true
 }
 
@@ -242,6 +300,13 @@ func (d *DRAM) Tick(cycle uint64) {
 	}
 	if active {
 		d.st.ActiveCycles++
+	}
+	if d.ob != nil {
+		queued := 0
+		for ci := range d.channels {
+			queued += len(d.channels[ci].queue)
+		}
+		d.ob.queueOcc.Observe(float64(queued))
 	}
 }
 
@@ -315,12 +380,14 @@ func (d *DRAM) serviceChannel(ch *channel) {
 	if r.done == nil {
 		// Writeback: completes silently once scheduled.
 		d.st.Writes++
+		d.tr.Emit(d.cfg.Name, "write", r.src, r.at, ready, r.block)
 		return
 	}
 	// Demand fetch (read, or read-for-ownership when write intent is
 	// set): data returns to the requestor either way.
 	d.st.Reads++
 	d.st.LatencySum += ready - r.at
+	d.tr.Emit(d.cfg.Name, "read", r.src, r.at, ready, r.block)
 	d.pend = append(d.pend, pending{done: r.done, at: ready})
 }
 

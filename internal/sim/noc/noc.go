@@ -16,6 +16,7 @@ package noc
 import (
 	"fmt"
 
+	"lpm/internal/obs"
 	"lpm/internal/sim/cache"
 )
 
@@ -112,6 +113,39 @@ type Router struct {
 	now      uint64
 
 	st Stats
+	ob *nocObs
+}
+
+// nocObs holds the router's registry handles (nil when unobserved).
+type nocObs struct {
+	requests, responses, rejected *obs.Counter
+	avgQueueing                   *obs.Gauge
+}
+
+// AttachObs registers this router's metrics under prefix (e.g. "noc")
+// in r. A nil registry leaves the router unobserved.
+func (r *Router) AttachObs(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	r.ob = &nocObs{
+		requests:    reg.Counter(prefix + ".requests"),
+		responses:   reg.Counter(prefix + ".responses"),
+		rejected:    reg.Counter(prefix + ".rejected"),
+		avgQueueing: reg.Gauge(prefix + ".avg_queueing"),
+	}
+}
+
+// PublishObs copies the accumulated Stats into the attached registry;
+// call before snapshotting. No-op when unobserved.
+func (r *Router) PublishObs() {
+	if r.ob == nil {
+		return
+	}
+	r.ob.requests.Set(r.st.Requests)
+	r.ob.responses.Set(r.st.Responses)
+	r.ob.rejected.Set(r.st.Rejected)
+	r.ob.avgQueueing.Set(r.st.AvgQueueing())
 }
 
 // New builds a router; it panics on invalid configuration.

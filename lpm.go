@@ -29,6 +29,7 @@ import (
 	"lpm/internal/core"
 	"lpm/internal/explore"
 	"lpm/internal/interval"
+	"lpm/internal/obs"
 	"lpm/internal/parallel"
 	"lpm/internal/sched"
 	"lpm/internal/sim/cache"
@@ -50,10 +51,46 @@ func SetWorkers(n int) { parallel.SetWorkers(n) }
 // ParallelWorkers returns the current fan-out concurrency bound.
 func ParallelWorkers() int { return parallel.Workers() }
 
-// ResetSimCaches drops every memoised simulation result, forcing the
-// next evaluations to re-simulate. Benchmarks and determinism tests use
-// it; ordinary callers never need to.
+// ResetSimCaches drops every memoised simulation result (and zeroes the
+// memo hit/miss counters), forcing the next evaluations to re-simulate.
+// Benchmarks and determinism tests use it; ordinary callers never need
+// to.
 func ResetSimCaches() { parallel.ResetAllMemos() }
+
+// Observability layer (see internal/obs and EXPERIMENTS.md
+// "Observability").
+type (
+	// MetricsRegistry is a typed counter/gauge/histogram registry the
+	// simulator components publish into; attach one with
+	// Chip.EnableObs.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a versioned, JSON-serialisable capture of a
+	// registry; Measurement.Obs carries one per measurement window.
+	MetricsSnapshot = obs.Snapshot
+	// EventTracer buffers memory-request lifecycle events for
+	// Chrome-trace / JSONL export; attach one with Chip.AttachTracer.
+	EventTracer = obs.Tracer
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventTracer returns an empty event tracer with the default buffer
+// limit.
+func NewEventTracer() *EventTracer { return obs.NewTracer() }
+
+// SimCacheStats returns the cumulative hit and miss counts of the
+// process-wide simulation memo pool.
+func SimCacheStats() (hits, misses int64) { return parallel.MemoStats() }
+
+// PublishRuntimeMetrics copies process-level runtime counters (the
+// simulation memo pool's hits and misses) into r as "sim.memo.hits" and
+// "sim.memo.misses". A nil registry is a no-op.
+func PublishRuntimeMetrics(r *MetricsRegistry) {
+	hits, misses := parallel.MemoStats()
+	r.Counter("sim.memo.hits").Set(uint64(hits))
+	r.Counter("sim.memo.misses").Set(uint64(misses))
+}
 
 // Model layer (the paper's contribution).
 type (

@@ -37,6 +37,56 @@ func TestParallelTable1MatchesSerialExactly(t *testing.T) {
 	}
 }
 
+// Observability must not perturb determinism: snapshots are taken from
+// per-simulation registries, so observed runs fanned over workers have
+// to match the serial baseline metric for metric — and must never
+// collide with unobserved runs in the memo.
+func TestParallelObservedTable1SnapshotsMatchSerial(t *testing.T) {
+	defer func() { SetWorkers(0); ResetSimCaches() }()
+
+	// A reduced budget: snapshot determinism does not depend on scale.
+	s := Scale{Warmup: 30000, Window: 8000}
+
+	ResetSimCaches()
+	SetWorkers(1)
+	serial := Table1Observed(s)
+
+	ResetSimCaches()
+	SetWorkers(4)
+	parallel := Table1Observed(s)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel observed Table1 diverged from serial baseline:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+
+	for _, r := range serial {
+		if r.M.Obs == nil {
+			t.Fatalf("row %s: observed run carries no snapshot", r.Name)
+		}
+		for _, name := range []string{
+			"cpu.0.instructions", "cpu.0.cycles", "l1.0.accesses",
+			"l1.0.misses", "l2.accesses", "dram.reads",
+		} {
+			if _, ok := r.M.Obs.Metric(name); !ok {
+				t.Fatalf("row %s: snapshot lacks %q", r.Name, name)
+			}
+		}
+		if r.M.Obs.Counter("l1.0.accesses") == 0 {
+			t.Fatalf("row %s: snapshot recorded zero L1 accesses", r.Name)
+		}
+	}
+
+	// An unobserved run at the same scale must not be served the observed
+	// result: the Observe flag is part of the memo key.
+	plain := Table1(s)
+	for _, r := range plain {
+		if r.M.Obs != nil {
+			t.Fatalf("row %s: unobserved run returned a snapshot (memo key collision)", r.Name)
+		}
+	}
+}
+
 func TestParallelAloneIPCsMatchesSerialExactly(t *testing.T) {
 	defer func() { SetWorkers(0); ResetSimCaches() }()
 

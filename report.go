@@ -1,0 +1,288 @@
+package lpm
+
+// This file defines the machine-readable run output: versioned JSON
+// documents mirroring the experiment harnesses, consumed by
+// `lpmreport -json` and `lpmexplore -json` so downstream tooling can
+// diff runs. The text reports remain the human-facing view; the JSON
+// schema is the stable contract (bump the schema string on any
+// incompatible shape change).
+
+import (
+	"fmt"
+
+	"lpm/internal/obs"
+)
+
+// Report schema identifiers.
+const (
+	// ReportSchema versions the lpmreport -json document.
+	ReportSchema = "lpm-report/v1"
+	// ExploreSchema versions the lpmexplore -json document.
+	ExploreSchema = "lpm-explore/v1"
+)
+
+// IntervalSeed is the fixed Monte Carlo seed of the interval study, the
+// only stochastic input of the report; it is recorded in the document so
+// two reports are comparable.
+const IntervalSeed = 42
+
+// Report is the versioned document `lpmreport -json` emits.
+type Report struct {
+	// Schema is ReportSchema.
+	Schema string `json:"schema"`
+	// Tool names the producing command.
+	Tool string `json:"tool"`
+	// Scale records the simulation budgets used.
+	Scale Scale `json:"scale"`
+	// Seed is the interval study's Monte Carlo seed (the simulations
+	// themselves are deterministic).
+	Seed uint64 `json:"seed"`
+	// Experiments holds one entry per experiment run, in request order.
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// ExperimentReport is one experiment's data; exactly one payload field
+// is non-empty, keyed by Name.
+type ExperimentReport struct {
+	// Name is the experiment key (fig1, table1, casestudy1, fig67, fig8,
+	// interval, identities).
+	Name string `json:"name"`
+
+	Fig1       *Fig1JSON        `json:"fig1,omitempty"`
+	Table1     []Table1JSON     `json:"table1,omitempty"`
+	CaseStudy1 []CaseStudyJSON  `json:"casestudy1,omitempty"`
+	Fig67      *Fig67JSON       `json:"fig67,omitempty"`
+	Fig8       []Fig8Row        `json:"fig8,omitempty"`
+	Interval   []IntervalRow    `json:"interval,omitempty"`
+	Identities []IdentityReport `json:"identities,omitempty"`
+}
+
+// Fig1JSON carries the Fig. 1 worked example, paper vs measured.
+type Fig1JSON struct {
+	Paper    Fig1Paper `json:"paper"`
+	Measured Fig1Paper `json:"measured"`
+	// InvAPC is 1/APC, the Eq. (3) cross-check against C-AMAT.
+	InvAPC float64 `json:"inv_apc"`
+}
+
+// Table1JSON is one Table I row with derived quantities evaluated.
+type Table1JSON struct {
+	// Name is the configuration label A..E; Point its rendering.
+	Name  string `json:"name"`
+	Point string `json:"point"`
+	// LPMR and PaperLPMR are measured vs paper-reported LPMR1/2/3.
+	LPMR      [3]float64 `json:"lpmr"`
+	PaperLPMR [3]float64 `json:"paper_lpmr"`
+	IPC       float64    `json:"ipc"`
+	CPIexe    float64    `json:"cpi_exe"`
+	Eta       float64    `json:"eta"`
+	// StallModel is Eq. (12); StallMeasured the simulator ground truth.
+	StallModel    float64 `json:"stall_model"`
+	StallMeasured float64 `json:"stall_measured"`
+	// Layers is the per-layer metrics snapshot (nil unless the report
+	// ran with observability enabled).
+	Layers *obs.Snapshot `json:"layers,omitempty"`
+}
+
+// CaseStudyJSON summarises one grain's LPM-guided exploration.
+type CaseStudyJSON struct {
+	Grain       string  `json:"grain"`
+	Steps       int     `json:"steps"`
+	Evaluations int     `json:"evaluations"`
+	SpaceSize   int     `json:"space_size"`
+	FinalPoint  string  `json:"final_point"`
+	FinalCost   float64 `json:"final_cost"`
+	FinalLPMR1  float64 `json:"final_lpmr1"`
+	FinalStall  float64 `json:"final_stall"`
+	Converged   bool    `json:"converged"`
+	MetTarget   bool    `json:"met_target"`
+}
+
+// Fig67JSON carries the Fig. 6/7 profiling table.
+type Fig67JSON struct {
+	// Sizes are the profiled L1 capacities in bytes, ascending.
+	Sizes []uint64 `json:"sizes"`
+	// Workloads lists profile names in table order.
+	Workloads []string `json:"workloads"`
+	// APC1, APC2 and IPC are indexed [workload][size index].
+	APC1 map[string][]float64 `json:"apc1"`
+	APC2 map[string][]float64 `json:"apc2"`
+	IPC  map[string][]float64 `json:"ipc"`
+}
+
+// ReportOptions parameterise BuildReport.
+type ReportOptions struct {
+	// Scale sets the simulation budgets (zero value: FullScale).
+	Scale Scale
+	// Experiments selects which experiments run; nil or empty means all.
+	Experiments []string
+	// Observe enables per-layer metrics snapshots on the Table I rows.
+	Observe bool
+	// IntervalSamples overrides the interval study's Monte Carlo sample
+	// count (0 = default).
+	IntervalSamples int
+}
+
+// ReportExperiments lists the valid experiment keys in run order.
+func ReportExperiments() []string {
+	return []string{"fig1", "table1", "casestudy1", "fig67", "fig8", "interval", "identities"}
+}
+
+// BuildReport runs the selected experiments and assembles the versioned
+// JSON document.
+func BuildReport(opts ReportOptions) (*Report, error) {
+	s := opts.Scale
+	if s == (Scale{}) {
+		s = FullScale()
+	}
+	want := opts.Experiments
+	if len(want) == 0 {
+		want = ReportExperiments()
+	}
+	rep := &Report{Schema: ReportSchema, Tool: "lpmreport", Scale: s, Seed: IntervalSeed}
+	for _, name := range want {
+		er := ExperimentReport{Name: name}
+		switch name {
+		case "fig1":
+			p := Fig1()
+			er.Fig1 = &Fig1JSON{
+				Paper: Fig1Reference(),
+				Measured: Fig1Paper{
+					CAMAT: p.CAMAT(), AMAT: p.AMAT(), CH: p.CH(),
+					CM: p.CM(), PAMP: p.PAMP(), PMR: p.PMR(),
+				},
+			}
+			if apc := p.APC(); apc > 0 {
+				er.Fig1.InvAPC = 1 / apc
+			}
+		case "table1":
+			rows := table1(s, opts.Observe)
+			for _, r := range rows {
+				er.Table1 = append(er.Table1, Table1JSON{
+					Name:          r.Name,
+					Point:         r.Point.String(),
+					LPMR:          [3]float64{r.M.LPMR1(), r.M.LPMR2(), r.M.LPMR3()},
+					PaperLPMR:     r.PaperLPMR,
+					IPC:           r.M.IPC,
+					CPIexe:        r.M.CPIexe,
+					Eta:           r.M.Eta(),
+					StallModel:    r.M.StallEq12(),
+					StallMeasured: r.M.MeasuredStall,
+					Layers:        r.M.Obs,
+				})
+			}
+		case "casestudy1":
+			for _, g := range []Grain{CoarseGrain, FineGrain} {
+				res := CaseStudyI(g, s)
+				er.CaseStudy1 = append(er.CaseStudy1, CaseStudyJSON{
+					Grain:       g.String(),
+					Steps:       len(res.Algorithm.Steps),
+					Evaluations: res.Evaluations,
+					SpaceSize:   res.SpaceSize,
+					FinalPoint:  res.Final.String(),
+					FinalCost:   res.Final.Cost(),
+					FinalLPMR1:  res.Algorithm.Final.LPMR1(),
+					FinalStall:  res.Algorithm.Final.MeasuredStall,
+					Converged:   res.Algorithm.Converged,
+					MetTarget:   res.Algorithm.MetTarget,
+				})
+			}
+		case "fig67":
+			res, err := Fig67(s)
+			if err != nil {
+				return nil, fmt.Errorf("fig67: %w", err)
+			}
+			t := res.Table
+			er.Fig67 = &Fig67JSON{
+				Sizes: t.Sizes, Workloads: t.Workloads,
+				APC1: t.APC1, APC2: t.APC2, IPC: t.IPC,
+			}
+		case "fig8":
+			rows, err := Fig8(s)
+			if err != nil {
+				return nil, fmt.Errorf("fig8: %w", err)
+			}
+			er.Fig8 = rows
+		case "interval":
+			er.Interval = IntervalStudy(opts.IntervalSamples)
+		case "identities":
+			reps, err := Identities(s)
+			if err != nil {
+				return nil, fmt.Errorf("identities: %w", err)
+			}
+			er.Identities = reps
+		default:
+			return nil, fmt.Errorf("unknown experiment %q (valid: %v)", name, ReportExperiments())
+		}
+		rep.Experiments = append(rep.Experiments, er)
+	}
+	return rep, nil
+}
+
+// ExploreReport is the versioned document `lpmexplore -json` emits.
+type ExploreReport struct {
+	// Schema is ExploreSchema.
+	Schema string `json:"schema"`
+	// Workload, Grain and Start record the run's inputs.
+	Workload string `json:"workload"`
+	Grain    string `json:"grain"`
+	Start    string `json:"start"`
+	// Warmup and Window are the per-evaluation instruction budgets.
+	Warmup uint64 `json:"warmup"`
+	Window uint64 `json:"window"`
+	// SpaceSize is the full design-space cardinality; Evaluations the
+	// simulations actually run.
+	SpaceSize   int `json:"space_size"`
+	Evaluations int `json:"evaluations"`
+	// Steps traces the algorithm walk.
+	Steps []ExploreStep `json:"steps"`
+	// FinalPoint and FinalCost describe the configuration reached.
+	FinalPoint string  `json:"final_point"`
+	FinalCost  float64 `json:"final_cost"`
+	// Final is the last measurement (carrying a Layers snapshot when
+	// the run observed).
+	Final     Measurement `json:"final"`
+	Converged bool        `json:"converged"`
+	MetTarget bool        `json:"met_target"`
+}
+
+// ExploreStep is one algorithm iteration in the JSON trace.
+type ExploreStep struct {
+	Case    string     `json:"case"`
+	LPMR    [3]float64 `json:"lpmr"`
+	T1      float64    `json:"t1"`
+	T2      float64    `json:"t2"`
+	T2Valid bool       `json:"t2_valid"`
+	Stall   float64    `json:"stall"`
+}
+
+// NewExploreReport assembles the lpmexplore JSON document from a
+// completed run.
+func NewExploreReport(workload, grain, start string, tgt *HardwareTarget, res Result, final DesignPoint) *ExploreReport {
+	rep := &ExploreReport{
+		Schema:      ExploreSchema,
+		Workload:    workload,
+		Grain:       grain,
+		Start:       start,
+		Warmup:      tgt.Warmup,
+		Window:      tgt.Instructions,
+		SpaceSize:   tgt.Space.Size(),
+		Evaluations: tgt.Evaluations(),
+		FinalPoint:  final.String(),
+		FinalCost:   final.Cost(),
+		Final:       res.Final,
+		Converged:   res.Converged,
+		MetTarget:   res.MetTarget,
+	}
+	for _, st := range res.Steps {
+		rep.Steps = append(rep.Steps, ExploreStep{
+			Case:    st.Case.String(),
+			LPMR:    [3]float64{st.Before.LPMR1(), st.Before.LPMR2(), st.Before.LPMR3()},
+			T1:      st.T1,
+			T2:      st.T2,
+			T2Valid: st.T2Valid,
+			Stall:   st.Before.MeasuredStall,
+		})
+	}
+	return rep
+}
