@@ -1,9 +1,9 @@
 # Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet bench fuzz ci golden
+.PHONY: all build test race vet lint fmt-check bench fuzz ci golden
 
-all: build vet test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,16 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# The repository's own static-analysis suite (see DESIGN.md §8).
+lint:
+	$(GO) run ./cmd/lpmlint ./...
+
+# gofmt gate: fails listing the offending files, which gofmt -l alone
+# would not (it always exits 0).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # One pass over every benchmark, reporting the reproduced paper metrics.
 bench:
@@ -32,8 +42,8 @@ fuzz:
 golden:
 	$(GO) test -run Golden -update .
 
-# Full CI gate: build, vet, the whole suite under the race detector, and
-# the fuzz smoke.
-ci: build vet
+# Full CI gate: formatting, build, vet, lint, the whole suite under the
+# race detector, and the fuzz smoke.
+ci: fmt-check build vet lint
 	$(GO) test -race ./...
 	$(MAKE) fuzz

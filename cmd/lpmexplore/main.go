@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"lpm"
+	"lpm/internal/cliutil"
 	"lpm/internal/core"
 	"lpm/internal/explore"
 	"lpm/internal/parallel"
@@ -92,8 +93,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	tgt.Speculate = *speculate
 	tgt.Observe = *observe
 
+	pr := cliutil.NewPrinter(stdout)
 	if !*jsonOut {
-		fmt.Fprintf(stdout, "design space: %d points; start: %s (%s)\n", space.Size(), *start, startPt)
+		pr.Printf("design space: %d points; start: %s (%s)\n", space.Size(), *start, startPt)
 	}
 	res, final := tgt.RunAlgorithm(core.AlgorithmConfig{Grain: g, SlackFrac: 0.5, MaxSteps: *maxSteps})
 
@@ -109,15 +111,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if st.T2Valid {
 			t2 = fmt.Sprintf("%.3f", st.T2)
 		}
-		fmt.Fprintf(stdout, "step %2d  case %-26s LPMR1=%.3f LPMR2=%.3f  T1=%.3f T2=%s  stall=%.4f\n",
+		pr.Printf("step %2d  case %-26s LPMR1=%.3f LPMR2=%.3f  T1=%.3f T2=%s  stall=%.4f\n",
 			i+1, st.Case, st.Before.LPMR1(), st.Before.LPMR2(), st.T1, t2, st.Before.MeasuredStall)
 	}
-	fmt.Fprintln(stdout)
-	fmt.Fprintf(stdout, "final configuration: %s  (cost %.0f)\n", final, final.Cost())
-	fmt.Fprintf(stdout, "final: %s  stall=%.4f (%.2f%% of CPIexe)\n",
+	pr.Println()
+	pr.Printf("final configuration: %s  (cost %.0f)\n", final, final.Cost())
+	pr.Printf("final: %s  stall=%.4f (%.2f%% of CPIexe)\n",
 		res.Final, res.Final.MeasuredStall, 100*res.Final.MeasuredStall/res.Final.CPIexe)
-	fmt.Fprintf(stdout, "converged=%v metTarget=%v  simulations=%d (%.4f%% of the space)\n",
+	pr.Printf("converged=%v metTarget=%v  simulations=%d (%.4f%% of the space)\n",
 		res.Converged, res.MetTarget, tgt.Evaluations(),
 		100*float64(tgt.Evaluations())/float64(space.Size()))
-	return nil
+	return pr.Err()
 }

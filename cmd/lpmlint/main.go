@@ -1,0 +1,144 @@
+// Command lpmlint runs the repository's custom static-analysis suite
+// (internal/lint): stdlib-only analyzers enforcing the simulator's
+// determinism, accounting and observability invariants. It is the
+// `make lint` gate.
+//
+// Usage:
+//
+//	lpmlint ./...                        # whole module
+//	lpmlint internal/sim/...             # one subtree
+//	lpmlint -enable determinism ./...    # one analyzer
+//	lpmlint -disable errcheck ./...      # all but one
+//	lpmlint -scope floateq=internal/core ./...
+//	lpmlint -list                        # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type errors.
+// Suppress a single finding with `//lint:ignore analyzer reason` on or
+// directly above the offending line; the reason is mandatory.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lpm/internal/cliutil"
+	"lpm/internal/lint"
+)
+
+// errFindings marks the "lint ran fine and found problems" exit path.
+var errFindings = errors.New("lint: findings")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
+		os.Exit(1)
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir     = fs.String("C", ".", "module root directory (containing go.mod)")
+		tags    = fs.String("tags", "", "comma-separated build tags for //go:build evaluation")
+		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable = fs.String("disable", "", "comma-separated analyzers to skip")
+		list    = fs.Bool("list", false, "describe the registered analyzers and exit")
+	)
+	scopes := map[string][]string{}
+	fs.Func("scope", "analyzer=path[,path] — override an analyzer's default path scoping (repeatable)", func(v string) error {
+		name, paths, ok := strings.Cut(v, "=")
+		if !ok || name == "" || paths == "" {
+			return fmt.Errorf("-scope wants analyzer=path[,path], got %q", v)
+		}
+		scopes[name] = append(scopes[name], splitList(paths)...)
+		return nil
+	})
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := cliutil.NewPrinter(stdout)
+	if *list {
+		for _, a := range lint.Analyzers() {
+			scope := "all packages"
+			if len(a.Paths) > 0 {
+				scope = strings.Join(a.Paths, ", ")
+			}
+			p.Printf("%-14s %s\n%14s   scope: %s\n", a.Name, a.Doc, "", scope)
+		}
+		return p.Err()
+	}
+
+	paths, err := argPaths(fs.Args())
+	if err != nil {
+		return err
+	}
+	diags, err := lint.Run(lint.Config{
+		Dir:     *dir,
+		Tags:    splitList(*tags),
+		Enable:  splitList(*enable),
+		Disable: splitList(*disable),
+		Scopes:  scopes,
+		Paths:   paths,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		p.Println(d)
+	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "lpmlint: %d finding(s)\n", len(diags))
+		return errFindings
+	}
+	return nil
+}
+
+// argPaths maps package patterns to module-relative prefixes: "./..."
+// (or no argument) lints everything; "internal/sim/..." a subtree; a
+// plain directory exactly that package's subtree.
+func argPaths(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			return nil, nil // everything
+		case strings.HasSuffix(a, "/..."):
+			out = append(out, strings.TrimSuffix(a, "/..."))
+		case strings.HasPrefix(a, "-"):
+			return nil, fmt.Errorf("lpmlint: flag %q must precede package patterns", a)
+		default:
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

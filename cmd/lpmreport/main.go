@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"lpm"
+	"lpm/internal/cliutil"
 )
 
 func main() {
@@ -73,28 +74,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runJSON(*experiment, scale, *observe, stdout)
 	}
 
+	p := cliutil.NewPrinter(stdout)
 	var failed error
 	runExp := func(name string, f func() error) {
 		if failed != nil || (*experiment != "all" && *experiment != name) {
 			return
 		}
-		fmt.Fprintf(stdout, "==== %s ====\n", name)
+		p.Printf("==== %s ====\n", name)
 		if err := f(); err != nil {
 			failed = fmt.Errorf("%s: %w", name, err)
 			return
 		}
-		fmt.Fprintln(stdout)
+		p.Println()
 	}
 
-	runExp("fig1", func() error { return fig1(stdout) })
-	runExp("table1", func() error { return table1(stdout, scale) })
-	runExp("casestudy1", func() error { return caseStudy1(stdout, scale) })
-	runExp("fig6", func() error { return fig67(stdout, scale, true) })
-	runExp("fig7", func() error { return fig67(stdout, scale, false) })
-	runExp("fig8", func() error { return fig8(stdout, scale) })
-	runExp("interval", func() error { return intervalStudy(stdout) })
-	runExp("identities", func() error { return identities(stdout, scale) })
-	return failed
+	runExp("fig1", func() error { return fig1(p) })
+	runExp("table1", func() error { return table1(p, scale) })
+	runExp("casestudy1", func() error { return caseStudy1(p, scale) })
+	runExp("fig6", func() error { return fig67(p, scale, true) })
+	runExp("fig7", func() error { return fig67(p, scale, false) })
+	runExp("fig8", func() error { return fig8(p, scale) })
+	runExp("interval", func() error { return intervalStudy(p) })
+	runExp("identities", func() error { return identities(p, scale) })
+	if failed != nil {
+		return failed
+	}
+	return p.Err()
 }
 
 // runJSON emits the machine-readable report. The text report's fig6 and
@@ -119,49 +124,49 @@ func runJSON(experiment string, scale lpm.Scale, observe bool, stdout io.Writer)
 	return enc.Encode(rep)
 }
 
-func fig1(w io.Writer) error {
-	p := lpm.Fig1()
+func fig1(p *cliutil.Printer) error {
+	pt := lpm.Fig1()
 	ref := lpm.Fig1Reference()
-	fmt.Fprintln(w, "Fig. 1 worked example (paper vs measured):")
-	fmt.Fprintf(w, "  C-AMAT  %.3f  vs  %.3f\n", ref.CAMAT, p.CAMAT())
-	fmt.Fprintf(w, "  AMAT    %.3f  vs  %.3f\n", ref.AMAT, p.AMAT())
-	fmt.Fprintf(w, "  C_H     %.3f  vs  %.3f\n", ref.CH, p.CH())
-	fmt.Fprintf(w, "  C_M     %.3f  vs  %.3f\n", ref.CM, p.CM())
-	fmt.Fprintf(w, "  pAMP    %.3f  vs  %.3f\n", ref.PAMP, p.PAMP())
-	fmt.Fprintf(w, "  pMR     %.3f  vs  %.3f\n", ref.PMR, p.PMR())
-	fmt.Fprintf(w, "  1/APC = %.3f (Eq. 3 check)\n", 1/p.APC())
-	return nil
+	p.Println("Fig. 1 worked example (paper vs measured):")
+	p.Printf("  C-AMAT  %.3f  vs  %.3f\n", ref.CAMAT, pt.CAMAT())
+	p.Printf("  AMAT    %.3f  vs  %.3f\n", ref.AMAT, pt.AMAT())
+	p.Printf("  C_H     %.3f  vs  %.3f\n", ref.CH, pt.CH())
+	p.Printf("  C_M     %.3f  vs  %.3f\n", ref.CM, pt.CM())
+	p.Printf("  pAMP    %.3f  vs  %.3f\n", ref.PAMP, pt.PAMP())
+	p.Printf("  pMR     %.3f  vs  %.3f\n", ref.PMR, pt.PMR())
+	p.Printf("  1/APC = %.3f (Eq. 3 check)\n", 1/pt.APC())
+	return p.Err()
 }
 
-func table1(w io.Writer, s lpm.Scale) error {
-	fmt.Fprintln(w, "Table I — LPMRs under configurations with incremental parallelism (410.bwaves-like):")
-	fmt.Fprintf(w, "%-4s %-48s %-24s %-24s %s\n", "cfg", "point", "paper LPMR1/2/3", "measured LPMR1/2/3", "stall% of CPIexe")
+func table1(p *cliutil.Printer, s lpm.Scale) error {
+	p.Println("Table I — LPMRs under configurations with incremental parallelism (410.bwaves-like):")
+	p.Printf("%-4s %-48s %-24s %-24s %s\n", "cfg", "point", "paper LPMR1/2/3", "measured LPMR1/2/3", "stall% of CPIexe")
 	for _, r := range lpm.Table1(s) {
-		fmt.Fprintf(w, "%-4s %-48s %4.1f / %4.1f / %4.1f       %5.2f / %5.2f / %5.2f     %5.1f%%\n",
+		p.Printf("%-4s %-48s %4.1f / %4.1f / %4.1f       %5.2f / %5.2f / %5.2f     %5.1f%%\n",
 			r.Name, r.Point,
 			r.PaperLPMR[0], r.PaperLPMR[1], r.PaperLPMR[2],
 			r.M.LPMR1(), r.M.LPMR2(), r.M.LPMR3(),
 			100*r.M.MeasuredStall/r.M.CPIexe)
 	}
-	return nil
+	return p.Err()
 }
 
-func caseStudy1(w io.Writer, s lpm.Scale) error {
+func caseStudy1(p *cliutil.Printer, s lpm.Scale) error {
 	for _, g := range []lpm.Grain{lpm.CoarseGrain, lpm.FineGrain} {
 		res := lpm.CaseStudyI(g, s)
-		fmt.Fprintf(w, "case study I, %s: steps=%d simulations=%d of %d (%.4f%%)\n",
+		p.Printf("case study I, %s: steps=%d simulations=%d of %d (%.4f%%)\n",
 			g, len(res.Algorithm.Steps), res.Evaluations, res.SpaceSize,
 			100*float64(res.Evaluations)/float64(res.SpaceSize))
-		fmt.Fprintf(w, "  final point: %s (cost %.0f)\n", res.Final, res.Final.Cost())
-		fmt.Fprintf(w, "  final LPMR1=%.3f stall=%.4f (%.2f%% of CPIexe) converged=%v met=%v\n",
+		p.Printf("  final point: %s (cost %.0f)\n", res.Final, res.Final.Cost())
+		p.Printf("  final LPMR1=%.3f stall=%.4f (%.2f%% of CPIexe) converged=%v met=%v\n",
 			res.Algorithm.Final.LPMR1(), res.Algorithm.Final.MeasuredStall,
 			100*res.Algorithm.Final.MeasuredStall/res.Algorithm.Final.CPIexe,
 			res.Algorithm.Converged, res.Algorithm.MetTarget)
 	}
-	return nil
+	return p.Err()
 }
 
-func fig67(w io.Writer, s lpm.Scale, apc1 bool) error {
+func fig67(p *cliutil.Printer, s lpm.Scale, apc1 bool) error {
 	res, err := lpm.Fig67(s)
 	if err != nil {
 		return err
@@ -173,51 +178,51 @@ func fig67(w io.Writer, s lpm.Scale, apc1 bool) error {
 		which = "APC2 (Fig. 7: L2 demand)"
 		data = t.APC2
 	}
-	fmt.Fprintf(w, "%s per private L1 data cache size:\n", which)
-	fmt.Fprintf(w, "%-16s", "workload")
+	p.Printf("%s per private L1 data cache size:\n", which)
+	p.Printf("%-16s", "workload")
 	for _, sz := range t.Sizes {
-		fmt.Fprintf(w, " %7dKB", sz/1024)
+		p.Printf(" %7dKB", sz/1024)
 	}
-	fmt.Fprintln(w)
+	p.Println()
 	for _, n := range t.Workloads {
-		fmt.Fprintf(w, "%-16s", n)
+		p.Printf("%-16s", n)
 		for i := range t.Sizes {
-			fmt.Fprintf(w, " %9.4f", data[n][i])
+			p.Printf(" %9.4f", data[n][i])
 		}
-		fmt.Fprintln(w)
+		p.Println()
 	}
-	return nil
+	return p.Err()
 }
 
-func fig8(w io.Writer, s lpm.Scale) error {
+func fig8(p *cliutil.Printer, s lpm.Scale) error {
 	rows, err := lpm.Fig8(s)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "Fig. 8 — Hsp of scheduling schemes on the NUCA 16-core CMP (paper vs measured):")
+	p.Println("Fig. 8 — Hsp of scheduling schemes on the NUCA 16-core CMP (paper vs measured):")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-12s %.4f  vs  %.4f\n", r.Scheduler, r.PaperHsp, r.Hsp)
+		p.Printf("  %-12s %.4f  vs  %.4f\n", r.Scheduler, r.PaperHsp, r.Hsp)
 	}
-	return nil
+	return p.Err()
 }
 
-func intervalStudy(w io.Writer) error {
-	fmt.Fprintln(w, "Interval study — burst patterns perceived and processed timely (paper vs analytic vs simulated):")
+func intervalStudy(p *cliutil.Printer) error {
+	p.Println("Interval study — burst patterns perceived and processed timely (paper vs analytic vs simulated):")
 	for _, r := range lpm.IntervalStudy(0) {
-		fmt.Fprintf(w, "  %-16s %.2f  vs  %.4f  vs  %.4f\n", r.Scenario, r.Paper, r.Analytic, r.Simulated)
+		p.Printf("  %-16s %.2f  vs  %.4f  vs  %.4f\n", r.Scenario, r.Paper, r.Analytic, r.Simulated)
 	}
-	return nil
+	return p.Err()
 }
 
-func identities(w io.Writer, s lpm.Scale) error {
+func identities(p *cliutil.Printer, s lpm.Scale) error {
 	reps, err := lpm.Identities(s)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "Model identities on live simulations:")
+	p.Println("Model identities on live simulations:")
 	for _, r := range reps {
-		fmt.Fprintf(w, "  %-14s |C-AMAT-1/APC|=%.2g  Eq4 rel.err=%.1f%%  stall model=%.4f measured=%.4f\n",
+		p.Printf("  %-14s |C-AMAT-1/APC|=%.2g  Eq4 rel.err=%.1f%%  stall model=%.4f measured=%.4f\n",
 			r.Workload, r.CAMATvsInvAPC, 100*r.RecursionRelErr, r.StallModel, r.StallMeasured)
 	}
-	return nil
+	return p.Err()
 }

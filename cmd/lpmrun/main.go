@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"lpm/internal/cliutil"
 	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
@@ -54,9 +55,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	parallel.SetWorkers(*workers)
 
+	p := cliutil.NewPrinter(stdout)
 	if *list {
-		fmt.Fprintln(stdout, strings.Join(trace.ProfileNames(), "\n"))
-		return nil
+		p.Println(strings.Join(trace.ProfileNames(), "\n"))
+		return p.Err()
 	}
 	prof, err := trace.ProfileByName(*workload)
 	if err != nil {
@@ -89,38 +91,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 	r := ch.Snapshot()
 	m := ch.Measure(0, cpiExe)
 
-	fmt.Fprintf(stdout, "workload   %s  (fmem=%.3f, footprint=%d KB)\n", *workload, m.Fmem, prof.Footprint/1024)
-	fmt.Fprintf(stdout, "core       issue=%d IW=%d ROB=%d   CPIexe=%.3f  IPC=%.3f\n", *issue, *iw, *rob, cpiExe, m.IPC)
-	fmt.Fprintf(stdout, "L1         %s\n", r.Cores[0].L1)
-	fmt.Fprintf(stdout, "L2         %s\n", r.L2)
-	fmt.Fprintf(stdout, "memory     reads=%d writes=%d avgReadLat=%.1f APC3=%.4f rowHit/miss/conf=%d/%d/%d\n",
+	p.Printf("workload   %s  (fmem=%.3f, footprint=%d KB)\n", *workload, m.Fmem, prof.Footprint/1024)
+	p.Printf("core       issue=%d IW=%d ROB=%d   CPIexe=%.3f  IPC=%.3f\n", *issue, *iw, *rob, cpiExe, m.IPC)
+	p.Printf("L1         %s\n", r.Cores[0].L1)
+	p.Printf("L2         %s\n", r.L2)
+	p.Printf("memory     reads=%d writes=%d avgReadLat=%.1f APC3=%.4f rowHit/miss/conf=%d/%d/%d\n",
 		r.Mem.Reads, r.Mem.Writes, r.Mem.AvgReadLatency(), r.Mem.APC(),
 		r.Mem.RowHits, r.Mem.RowMisses, r.Mem.RowConflicts)
-	fmt.Fprintln(stdout)
-	fmt.Fprintf(stdout, "LPMR1=%.3f  LPMR2=%.3f  LPMR3=%.3f   eta=%.4f  overlap=%.3f\n",
+	p.Println()
+	p.Printf("LPMR1=%.3f  LPMR2=%.3f  LPMR3=%.3f   eta=%.4f  overlap=%.3f\n",
 		m.LPMR1(), m.LPMR2(), m.LPMR3(), m.Eta(), m.OverlapRatio)
-	fmt.Fprintf(stdout, "thresholds T1(1%%)=%.3f T1(10%%)=%.3f", m.T1(1), m.T1(10))
+	p.Printf("thresholds T1(1%%)=%.3f T1(10%%)=%.3f", m.T1(1), m.T1(10))
 	if t2, ok := m.T2(1); ok {
-		fmt.Fprintf(stdout, "  T2(1%%)=%.3f", t2)
+		p.Printf("  T2(1%%)=%.3f", t2)
 	}
-	fmt.Fprintln(stdout)
-	fmt.Fprintf(stdout, "data stall per instruction: model(Eq.12)=%.4f  model(Eq.13)=%.4f  measured=%.4f  (%.1f%% of CPIexe)\n",
+	p.Println()
+	p.Printf("data stall per instruction: model(Eq.12)=%.4f  model(Eq.13)=%.4f  measured=%.4f  (%.1f%% of CPIexe)\n",
 		m.StallEq12(), m.StallEq13(), m.MeasuredStall, 100*m.MeasuredStall/cpiExe)
 
 	if *metrics && m.Obs != nil {
-		fmt.Fprintln(stdout)
-		fmt.Fprintf(stdout, "metrics (snapshot v%d):\n", m.Obs.Version)
+		p.Println()
+		p.Printf("metrics (snapshot v%d):\n", m.Obs.Version)
 		for _, mv := range m.Obs.Metrics {
 			switch mv.Kind {
 			case "counter":
-				fmt.Fprintf(stdout, "  %-24s %d\n", mv.Name, mv.Count)
+				p.Printf("  %-24s %d\n", mv.Name, mv.Count)
 			case "gauge":
-				fmt.Fprintf(stdout, "  %-24s %.4f\n", mv.Name, mv.Value)
+				p.Printf("  %-24s %.4f\n", mv.Name, mv.Value)
 			default:
-				fmt.Fprintf(stdout, "  %-24s n=%d mean=%.2f p50=%.1f p90=%.1f p99=%.1f\n",
+				p.Printf("  %-24s n=%d mean=%.2f p50=%.1f p90=%.1f p99=%.1f\n",
 					mv.Name, mv.Hist.Count, mv.Hist.Mean, mv.Hist.P50, mv.Hist.P90, mv.Hist.P99)
 			}
 		}
 	}
-	return nil
+	return p.Err()
 }

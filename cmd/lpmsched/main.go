@@ -17,6 +17,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 
+	"lpm/internal/cliutil"
 	"lpm/internal/parallel"
 	"lpm/internal/sched"
 	"lpm/internal/sim/chip"
@@ -65,17 +66,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	names := trace.ProfileNames()
 	sizes := chip.NUCAGroupSizes[:]
+	pr := cliutil.NewPrinter(stdout)
 
-	fmt.Fprintln(stdout, "profiling standalone APC1 / APC2 per L1 size (Fig. 6 / Fig. 7 data)...")
+	pr.Println("profiling standalone APC1 / APC2 per L1 size (Fig. 6 / Fig. 7 data)...")
 	tbl, err := sched.BuildProfileTable(names, sizes, sched.ProfileOptions{Instructions: *profInstr})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "%-16s %28s %28s %s\n", "workload", "APC1 @ 4/16/32/64 KB", "APC2 @ 4/16/32/64 KB", "req(fg)")
+	pr.Printf("%-16s %28s %28s %s\n", "workload", "APC1 @ 4/16/32/64 KB", "APC2 @ 4/16/32/64 KB", "req(fg)")
 	for _, n := range names {
 		req, _ := tbl.RequiredSize(n, 0.01)
 		a1, a2 := tbl.APC1[n], tbl.APC2[n]
-		fmt.Fprintf(stdout, "%-16s %.3f %.3f %.3f %.3f     %.4f %.4f %.4f %.4f   %dKB\n",
+		pr.Printf("%-16s %.3f %.3f %.3f %.3f     %.4f %.4f %.4f %.4f   %dKB\n",
 			n, a1[0], a1[1], a1[2], a1[3], a2[0], a2[1], a2[2], a2[3], req/1024)
 	}
 
@@ -86,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	opt.AloneIPC = alone
 
-	fmt.Fprintln(stdout, "\nevaluating schedulers (Fig. 8)...")
+	pr.Println("\nevaluating schedulers (Fig. 8)...")
 	policies := []sched.Scheduler{
 		sched.Random{Seed: *seed},
 		sched.RoundRobin{},
@@ -98,14 +100,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "%-12s Hsp=%.4f\n", ev.Scheduler, ev.Hsp)
+		pr.Printf("%-12s Hsp=%.4f\n", ev.Scheduler, ev.Hsp)
 		if _, isNUCA := p.(sched.NUCASA); isNUCA {
 			for core, w := range ev.Assignment {
 				if w >= 0 {
-					fmt.Fprintf(stdout, "    core %2d (%2d KB) <- %s\n", core, sizes[core/4]/1024, names[w])
+					pr.Printf("    core %2d (%2d KB) <- %s\n", core, sizes[core/4]/1024, names[w])
 				}
 			}
 		}
 	}
-	return nil
+	return pr.Err()
 }

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"lpm/internal/cliutil"
 	"lpm/internal/obs"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
@@ -75,17 +76,24 @@ func doRecord(w io.Writer, path, workload string, n int) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := trace.Record(f, trace.NewSynthetic(prof), n); err != nil {
+		_ = f.Close() // the record error is the interesting one
 		return err
 	}
 	info, err := f.Stat()
 	if err != nil {
+		_ = f.Close()
 		return err
 	}
-	fmt.Fprintf(w, "recorded %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
+	// An explicit close: a recording whose final buffers never hit the
+	// disk is worse than an error.
+	if err := f.Close(); err != nil {
+		return err
+	}
+	p := cliutil.NewPrinter(w)
+	p.Printf("recorded %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
 		n, workload, path, info.Size(), float64(info.Size())/float64(n))
-	return nil
+	return p.Err()
 }
 
 func doStat(w io.Writer, path string) error {
@@ -114,13 +122,14 @@ func doStat(w io.Writer, path string) error {
 		}
 	}
 	total := uint64(rp.Len())
-	fmt.Fprintf(w, "trace      %s (%q)\n", path, rp.Name())
-	fmt.Fprintf(w, "instrs     %d\n", total)
-	fmt.Fprintf(w, "loads      %d (%.1f%%)\n", loads, 100*float64(loads)/float64(total))
-	fmt.Fprintf(w, "stores     %d (%.1f%%)\n", stores, 100*float64(stores)/float64(total))
-	fmt.Fprintf(w, "compute    %d (%.1f%%)\n", compute, 100*float64(compute)/float64(total))
-	fmt.Fprintf(w, "dependent  %d (%.1f%%)\n", deps, 100*float64(deps)/float64(total))
-	return nil
+	p := cliutil.NewPrinter(w)
+	p.Printf("trace      %s (%q)\n", path, rp.Name())
+	p.Printf("instrs     %d\n", total)
+	p.Printf("loads      %d (%.1f%%)\n", loads, 100*float64(loads)/float64(total))
+	p.Printf("stores     %d (%.1f%%)\n", stores, 100*float64(stores)/float64(total))
+	p.Printf("compute    %d (%.1f%%)\n", compute, 100*float64(compute)/float64(total))
+	p.Printf("dependent  %d (%.1f%%)\n", deps, 100*float64(deps)/float64(total))
+	return p.Err()
 }
 
 func doReplay(w io.Writer, path string, instr uint64, events string) error {
@@ -144,25 +153,31 @@ func doReplay(w io.Writer, path string, instr uint64, events string) error {
 	}
 	cycles, done := ch.Run(instr, instr*2000)
 	r := ch.Snapshot()
-	fmt.Fprintf(w, "replayed %q: %d instructions in %d cycles (IPC %.3f, complete=%v)\n",
+	p := cliutil.NewPrinter(w)
+	p.Printf("replayed %q: %d instructions in %d cycles (IPC %.3f, complete=%v)\n",
 		rp.Name(), r.Cores[0].CPU.Instructions, cycles, r.Cores[0].CPU.IPC(), done)
-	fmt.Fprintf(w, "L1: %s\n", r.Cores[0].L1)
-	fmt.Fprintf(w, "L2: %s\n", r.L2)
+	p.Printf("L1: %s\n", r.Cores[0].L1)
+	p.Printf("L2: %s\n", r.L2)
 	if tr != nil {
 		out, err := os.Create(events)
 		if err != nil {
 			return err
 		}
-		defer out.Close()
 		if strings.HasSuffix(events, ".jsonl") {
 			err = tr.WriteJSONL(out)
 		} else {
 			err = tr.WriteChromeTrace(out)
 		}
 		if err != nil {
+			_ = out.Close() // the write error is the interesting one
 			return err
 		}
-		fmt.Fprintf(w, "events: %d spans (%d dropped) -> %s\n", tr.Len(), tr.Dropped(), events)
+		// Explicit close: the trace file must be fully flushed before
+		// we report success.
+		if err := out.Close(); err != nil {
+			return err
+		}
+		p.Printf("events: %d spans (%d dropped) -> %s\n", tr.Len(), tr.Dropped(), events)
 	}
-	return nil
+	return p.Err()
 }

@@ -1,0 +1,46 @@
+// Package cliutil holds the small helpers shared by the cmd/
+// front-ends.
+//
+// Printer implements the errWriter idiom for the CLIs' report
+// printers: they emit dozens of formatted lines, and checking every
+// fmt.Fprintf individually would drown the formatting in plumbing.
+// Printer remembers the first write error and makes every later print a
+// no-op, so a printer function writes its whole report and returns
+// p.Err() once. This is what makes `lpmreport | head` exit non-zero on
+// EPIPE instead of silently truncating: the errcheck-lite lint rule
+// forbids dropping io/encoding write errors in cmd/, and Printer is the
+// sanctioned way to satisfy it.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+)
+
+// Printer wraps an io.Writer, latching the first write error.
+type Printer struct {
+	w   io.Writer
+	err error
+}
+
+// NewPrinter returns a Printer writing to w.
+func NewPrinter(w io.Writer) *Printer { return &Printer{w: w} }
+
+// Printf formats to the underlying writer unless an earlier write
+// failed.
+func (p *Printer) Printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// Println writes its arguments and a newline unless an earlier write
+// failed.
+func (p *Printer) Println(args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintln(p.w, args...)
+	}
+}
+
+// Err returns the first write error, nil if every write succeeded.
+func (p *Printer) Err() error { return p.err }

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// analyzerDeterminism forbids wall-clock and global-RNG nondeterminism
+// in the simulation substrate. The paper's C-AMAT parameters and the
+// Fig. 3 LPMR loop are only meaningful if a configuration reproduces
+// the same Measurement bit-for-bit on every run, so internal/sim,
+// internal/core and internal/analyzer must derive all time from cycle
+// counters and all randomness from stats.NewRNG with an explicit seed.
+var analyzerDeterminism = &Analyzer{
+	Name:  "determinism",
+	Doc:   "forbid time.Now/time.Since/math/rand in the simulation substrate; the only sanctioned RNG is stats.NewRNG with an explicit seed",
+	Paths: []string{"internal/sim", "internal/core", "internal/analyzer"},
+	Run:   runDeterminism,
+}
+
+// forbiddenTimeFuncs are the wall-clock entry points; time's types and
+// constants (time.Duration arithmetic on simulated quantities) remain
+// allowed.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+func runDeterminism(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Syntax {
+		// Even a blank import of math/rand signals an escape hatch.
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s: simulations must draw all randomness from stats.NewRNG with an explicit seed", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if forbiddenTimeFuncs[obj.Name()] {
+					p.Reportf(sel.Pos(), "time.%s is wall-clock nondeterminism; simulations must be reproducible from their seed (count cycles instead)", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(sel.Pos(), "%s.%s is global/unseeded randomness; the only sanctioned RNG is stats.NewRNG with an explicit seed", obj.Pkg().Path(), obj.Name())
+			}
+			return true
+		})
+	}
+}

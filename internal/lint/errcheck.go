@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerErrcheck is the errcheck-lite rule: in the CLIs (cmd/...) and
+// the root-package report builders, an io/encoding write whose error is
+// silently dropped hides truncated output — a CLI piped into `head`
+// gets EPIPE, keeps "succeeding", and exits 0 with a partial report.
+// Errors must be checked; a deliberate drop is spelled `_ = call(...)`
+// so the discard is visible in review.
+//
+// Two idioms stay legal: deferred Close/Flush (the usual best-effort
+// teardown) and fmt.Fprint* to a stderr-named writer (diagnostics are
+// best-effort by design).
+var analyzerErrcheck = &Analyzer{
+	Name:  "errcheck",
+	Doc:   "flag dropped errors from io/encoding writes in the CLIs and report builders",
+	Paths: []string{"cmd", "."},
+	Run:   runErrcheck,
+}
+
+// errcheckPkgs are the call-by-package rules: package path → function
+// name prefixes whose dropped error is flagged.
+var errcheckPkgs = map[string][]string{
+	"fmt":             {"Fprint", "Print"},
+	"io":              {"Copy", "WriteString", "ReadFull", "ReadAll"},
+	"os":              {"WriteFile", "Mkdir", "MkdirAll", "Remove", "Rename", "Chdir"},
+	"bufio":           {},
+	"encoding/json":   {},
+	"encoding/csv":    {},
+	"encoding/binary": {},
+	"encoding/gob":    {},
+}
+
+// errcheckMethods are the call-by-method-name rules, package
+// independent: byte sinks and teardown whose error reports data loss.
+var errcheckMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "ReadFrom": true, "Encode": true, "Flush": true,
+	"Close": true, "Sync": true,
+}
+
+func runErrcheck(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return false // deferred best-effort teardown is legal
+			}
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := droppedErrCall(info, call); name != "" {
+				p.Reportf(call.Pos(),
+					"%s returns an error that is dropped; check it or discard explicitly with `_ = %s(...)`",
+					name, name)
+			}
+			return true
+		})
+	}
+}
+
+// droppedErrCall returns a display name when the call's error result is
+// being dropped and the callee falls under the errcheck rules, "" when
+// the statement is fine.
+func droppedErrCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return ""
+	}
+	if sig.Recv() != nil {
+		if errcheckMethods[fn.Name()] {
+			return recvTypeName(sig) + "." + fn.Name()
+		}
+		return ""
+	}
+	prefixes, ok := errcheckPkgs[fn.Pkg().Path()]
+	if !ok {
+		return ""
+	}
+	if len(prefixes) == 0 {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	for _, pre := range prefixes {
+		if strings.HasPrefix(fn.Name(), pre) {
+			if fn.Pkg().Path() == "fmt" && writerIsStderr(call) {
+				return ""
+			}
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// lastResultIsError reports whether the signature's final result is the
+// built-in error type.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	named, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// writerIsStderr recognises fmt.Fprint*(os.Stderr, ...) and writers
+// named stderr: diagnostics to the error stream are best-effort.
+func writerIsStderr(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	switch a := ast.Unparen(call.Args[0]).(type) {
+	case *ast.Ident:
+		return strings.EqualFold(a.Name, "stderr")
+	case *ast.SelectorExpr:
+		return a.Sel.Name == "Stderr"
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive in a line comment:
+//
+//	//lint:ignore analyzer[,analyzer...] reason
+//
+// The directive suppresses the named analyzers on the same source line
+// when trailing code, or on the next code line when it stands alone.
+// The reason is mandatory — a suppression must document why the
+// invariant does not apply — and a directive that suppresses nothing is
+// itself reported, so stale suppressions cannot accumulate.
+const ignorePrefix = "//lint:ignore"
+
+// ParseIgnoreDirective parses one comment's text. ok is false when the
+// comment is not a lint:ignore directive at all. When it is one, err
+// describes a malformed directive (missing analyzer list, empty
+// analyzer name, missing reason); malformed directives never suppress.
+func ParseIgnoreDirective(text string) (analyzers []string, reason string, ok bool, err error) {
+	text = strings.TrimSpace(text)
+	rest, found := strings.CutPrefix(text, ignorePrefix)
+	if !found {
+		return nil, "", false, nil
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. "//lint:ignoreall" — some other token, not a directive.
+		return nil, "", false, nil
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, "", true, fmt.Errorf("malformed %s directive: missing analyzer list and reason", ignorePrefix)
+	}
+	list, reason, _ := strings.Cut(rest, " ")
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return nil, "", true, fmt.Errorf("malformed %s directive: a non-empty reason is required after the analyzer list", ignorePrefix)
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, "", true, fmt.Errorf("malformed %s directive: empty analyzer name in %q", ignorePrefix, list)
+		}
+		for _, r := range name {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_' {
+				continue
+			}
+			return nil, "", true, fmt.Errorf("malformed %s directive: invalid analyzer name %q", ignorePrefix, name)
+		}
+		analyzers = append(analyzers, name)
+	}
+	return analyzers, reason, true, nil
+}
+
+// suppression is one well-formed directive attached to a target line.
+type suppression struct {
+	analyzers map[string]bool
+	pos       token.Pos
+	used      bool
+}
+
+// fileSuppressions holds a file's directives: byLine for lookup during
+// diagnostic filtering, all in source order for deterministic
+// unused-suppression reporting.
+type fileSuppressions struct {
+	byLine map[int][]*suppression
+	all    []*suppression
+}
+
+// buildSuppressions scans one parsed file for lint:ignore directives.
+// Malformed directives are reported through report and never suppress.
+// lines is the file's source split by line (1-based access via idx-1).
+func buildSuppressions(fset *token.FileSet, f *ast.File, lines []string, report func(pos token.Pos, msg string)) *fileSuppressions {
+	sup := &fileSuppressions{byLine: make(map[int][]*suppression)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			names, _, ok, err := ParseIgnoreDirective(c.Text)
+			if !ok {
+				continue
+			}
+			if err != nil {
+				report(c.Slash, err.Error())
+				continue
+			}
+			for _, n := range names {
+				if analyzerByName(n) == nil && n != "lint" {
+					report(c.Slash, fmt.Sprintf("%s names unknown analyzer %q (known: %s)", ignorePrefix, n, analyzerNames()))
+				}
+			}
+			pos := fset.Position(c.Slash)
+			target := pos.Line
+			if standaloneComment(lines, pos) {
+				target = nextCodeLine(lines, pos.Line)
+			}
+			set := make(map[string]bool, len(names))
+			for _, n := range names {
+				set[n] = true
+			}
+			s := &suppression{analyzers: set, pos: c.Slash}
+			sup.byLine[target] = append(sup.byLine[target], s)
+			sup.all = append(sup.all, s)
+		}
+	}
+	return sup
+}
+
+// standaloneComment reports whether only whitespace precedes the comment
+// on its line, i.e. the directive is not trailing a statement.
+func standaloneComment(lines []string, pos token.Position) bool {
+	if pos.Line-1 >= len(lines) {
+		return true
+	}
+	prefix := lines[pos.Line-1]
+	if pos.Column-1 <= len(prefix) {
+		prefix = prefix[:pos.Column-1]
+	}
+	return strings.TrimSpace(prefix) == ""
+}
+
+// nextCodeLine returns the first line after start that is neither blank
+// nor a line comment — the line a standalone directive covers.
+func nextCodeLine(lines []string, start int) int {
+	for l := start + 1; l <= len(lines); l++ {
+		t := strings.TrimSpace(lines[l-1])
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		return l
+	}
+	return start + 1
+}
+
+// suppress consumes a matching suppression for the diagnostic, marking
+// it used. It returns true when the finding is suppressed.
+func (fs *fileSuppressions) suppress(d Diagnostic) bool {
+	for _, s := range fs.byLine[d.Pos.Line] {
+		if s.analyzers[d.Analyzer] {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// analyzerNames lists the registered analyzer names for messages.
+func analyzerNames() string {
+	names := make([]string, 0, 8)
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	// Path is the full import path (module path + "/" + Rel).
+	Path string
+	// Rel is the module-relative directory ("" for the root package).
+	Rel string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset is the module-wide file set (shared across packages).
+	Fset *token.FileSet
+	// Syntax holds the parsed files, sorted by filename.
+	Syntax []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+
+	// srcLines maps each file's path to its source split into lines,
+	// used by the suppression-directive scanner.
+	srcLines map[string][]string
+
+	imports []string // module-internal import paths, for topo sort
+}
+
+// Module is the loaded module: every non-test package, type-checked in
+// dependency order against a shared file set.
+type Module struct {
+	// Root is the absolute module root directory.
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	// Fset is the shared file set.
+	Fset *token.FileSet
+	// Packages lists every package in dependency order.
+	Packages []*Package
+}
+
+// Load parses and type-checks every package under root (the directory
+// containing go.mod). Test files (*_test.go), testdata, vendor and
+// hidden directories are skipped: the linted surface is the shipped
+// tree. tags are extra build tags for //go:build evaluation.
+//
+// Load fails if any file does not parse or any package does not
+// type-check — the lint gate presumes a compiling tree.
+func Load(root string, tags []string) (*Module, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(absRoot)
+	if err != nil {
+		return nil, err
+	}
+	tagSet := buildTagSet(tags)
+	fset := token.NewFileSet()
+
+	dirs, err := packageDirs(absRoot)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*Package)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, absRoot, modPath, dir, tagSet)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable files
+		}
+		byPath[pkg.Path] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+
+	ordered, err := topoSort(pkgs, byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := &moduleImporter{byPath: byPath, std: std}
+	var typeErrs []string
+	for _, pkg := range ordered {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if len(typeErrs) < 20 {
+					typeErrs = append(typeErrs, err.Error())
+				}
+			},
+		}
+		tpkg, _ := conf.Check(pkg.Path, fset, pkg.Syntax, info)
+		pkg.Types = tpkg
+		pkg.Info = info
+	}
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors:\n  %s", strings.Join(typeErrs, "\n  "))
+	}
+	return &Module{Root: absRoot, Path: modPath, Fset: fset, Packages: ordered}, nil
+}
+
+// moduleImporter resolves module-internal imports to the packages we
+// type-checked ourselves and everything else through the stdlib source
+// importer.
+type moduleImporter struct {
+	byPath map[string]*Package
+	std    types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.byPath[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: import cycle or unordered import of %q", path)
+		}
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			if p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// packageDirs walks root collecting directories that may hold Go
+// packages, skipping hidden, vendor and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses dir's buildable non-test files into a Package (nil if
+// the directory holds none).
+func parseDir(fset *token.FileSet, root, modPath, dir string, tags map[string]bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	importPath := modPath
+	if rel != "" {
+		importPath = modPath + "/" + rel
+	}
+
+	pkg := &Package{
+		Path: importPath, Rel: rel, Dir: dir, Fset: fset,
+		srcLines: make(map[string][]string),
+	}
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !filenameMatchesTarget(name) {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !constraintsSatisfied(src, tags) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed package names %q and %q", dir, pkgName, f.Name.Name)
+		}
+		pkg.Syntax = append(pkg.Syntax, f)
+		pkg.srcLines[full] = strings.Split(string(src), "\n")
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == modPath || strings.HasPrefix(p, modPath+"/") {
+				pkg.imports = append(pkg.imports, p)
+			}
+		}
+	}
+	if len(pkg.Syntax) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// topoSort orders packages so every module-internal dependency precedes
+// its dependents.
+func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(pkgs))
+	ordered := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle through %s", p.Path)
+		}
+		state[p.Path] = visiting
+		for _, dep := range p.imports {
+			if d, ok := byPath[dep]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = done
+		ordered = append(ordered, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// buildTagSet assembles the tag universe for //go:build evaluation:
+// user tags plus the host GOOS/GOARCH and compiler.
+func buildTagSet(tags []string) map[string]bool {
+	set := map[string]bool{runtime.GOOS: true, runtime.GOARCH: true, "gc": true}
+	if runtime.GOOS == "linux" {
+		set["unix"] = true
+	}
+	for _, t := range tags {
+		if t = strings.TrimSpace(t); t != "" {
+			set[t] = true
+		}
+	}
+	return set
+}
+
+// constraintsSatisfied evaluates a file's //go:build line (if any,
+// before the package clause) against the tag set. Release tags
+// ("go1.N") always evaluate true.
+func constraintsSatisfied(src []byte, tags map[string]bool) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return false // unparseable constraint: skip the file
+		}
+		return expr.Eval(func(tag string) bool {
+			if strings.HasPrefix(tag, "go1.") {
+				return true
+			}
+			return tags[tag]
+		})
+	}
+	return true
+}
+
+// knownOS and knownArch drive _GOOS/_GOARCH filename filtering.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// filenameMatchesTarget applies Go's _GOOS/_GOARCH filename convention
+// against the host platform.
+func filenameMatchesTarget(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerMapOrder flags range statements over maps whose body feeds an
+// order-sensitive sink: appending to a slice that is never sorted
+// afterwards, writing output (fmt printing, Write*/Encode methods), or
+// building a hash/memo key (parallel.KeyOf, fmt.Sprint*). Go randomises
+// map iteration order, so any of these silently breaks bit-identical
+// reports, obs snapshots and cross-driver memo hits. The compliant
+// pattern is: collect keys, sort, iterate the sorted slice.
+var analyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration feeding slices (unsorted), output writers or memo/hash keys; map order is nondeterministic",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges inspects one function body (not descending into nested
+// function literals, which are visited on their own) for map ranges
+// with order-sensitive sinks.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	inspectSameFunc(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkRangeBody(p, body, rs)
+		return true
+	})
+}
+
+// checkRangeBody reports every order-sensitive sink inside one map
+// range. Sinks inside nested function literals count too: a closure
+// created per iteration still observes map order.
+func checkRangeBody(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			// Builtin append: find the destination and check for a
+			// subsequent sort in the same function.
+			if dest := appendDest(call, rs); dest != "" && !sortedAfter(info, fnBody, rs, dest) {
+				p.Reportf(call.Pos(),
+					"append to %q in map-iteration order with no later sort of %q in this function; collect and sort keys first",
+					dest, dest)
+			}
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")):
+			p.Reportf(call.Pos(), "fmt.%s inside a map range writes output in nondeterministic order; iterate sorted keys instead", fn.Name())
+		case fn.Pkg().Path() == "fmt" && (strings.HasPrefix(fn.Name(), "Sprint") || strings.HasPrefix(fn.Name(), "Append")):
+			p.Reportf(call.Pos(), "fmt.%s inside a map range builds a string in nondeterministic order; iterate sorted keys instead", fn.Name())
+		case strings.HasSuffix(fn.Pkg().Path(), "internal/parallel") && fn.Name() == "KeyOf":
+			p.Reportf(call.Pos(), "parallel.KeyOf inside a map range folds map order into a memo key; memo keys must be order-independent (sort first)")
+		case isOrderSensitiveMethod(info, call, fn):
+			p.Reportf(call.Pos(), "%s inside a map range emits bytes in nondeterministic order; iterate sorted keys instead", fn.Name())
+		}
+		return true
+	})
+}
+
+// orderSensitiveMethods are writer/hash/encoder methods whose call order
+// is observable in the produced bytes.
+var orderSensitiveMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Sum": true,
+}
+
+// isOrderSensitiveMethod reports whether call invokes a method whose
+// name marks it as an ordered byte sink.
+func isOrderSensitiveMethod(info *types.Info, call *ast.CallExpr, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return orderSensitiveMethods[fn.Name()]
+}
+
+// appendDest extracts the destination expression the append result is
+// assigned to (the `x = append(x, ...)` idiom, rendered with
+// types.ExprString so selector destinations like t.rows work); "" when
+// the pattern is anything else. Destinations declared with := inside
+// the range body are local to one iteration and therefore order-safe.
+func appendDest(call *ast.CallExpr, rs *ast.RangeStmt) string {
+	path, _ := pathToNode(rs.Body, call)
+	for i := len(path) - 1; i >= 0; i-- {
+		as, ok := path[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for j, rhs := range as.Rhs {
+			if !containsNode(rhs, call) {
+				continue
+			}
+			if j >= len(as.Lhs) {
+				continue
+			}
+			lhs := ast.Unparen(as.Lhs[j])
+			if _, isIdent := lhs.(*ast.Ident); isIdent && as.Tok == token.DEFINE {
+				return "" // iteration-local slice
+			}
+			if e, ok := lhs.(ast.Expr); ok {
+				return types.ExprString(e)
+			}
+		}
+	}
+	return ""
+}
+
+// sortedAfter reports whether the function body contains, after the
+// range statement, a sort call taking dest: sort.Strings/Ints/Float64s/
+// Slice/SliceStable/Sort/Stable or slices.Sort*.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt, dest string) bool {
+	found := false
+	inspectSameFunc(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		isSort := (fn.Pkg().Path() == "sort" && (fn.Name() == "Strings" || fn.Name() == "Ints" ||
+			fn.Name() == "Float64s" || fn.Name() == "Slice" || fn.Name() == "SliceStable" ||
+			fn.Name() == "Sort" || fn.Name() == "Stable")) ||
+			(fn.Pkg().Path() == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == dest || mentionsIdent(arg, dest) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// pathToNode returns the ancestor chain from root down to target.
+func pathToNode(root, target ast.Node) ([]ast.Node, bool) {
+	var path []ast.Node
+	var found bool
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if n == nil {
+			if !found && len(path) > 0 {
+				path = path[:len(path)-1]
+			}
+			return true
+		}
+		path = append(path, n)
+		if n == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return path, found
+}
+
+// containsNode reports whether target occurs in root's subtree.
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsIdent reports whether expr mentions an identifier named name.
+func mentionsIdent(expr ast.Node, name string) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

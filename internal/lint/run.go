@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+)
+
+// Config parameterises one lint run.
+type Config struct {
+	// Dir is the module root (a directory containing go.mod). Empty
+	// means the current directory.
+	Dir string
+	// Tags are extra build tags for //go:build evaluation (-tags).
+	Tags []string
+	// Enable, when non-empty, restricts the run to the named analyzers.
+	Enable []string
+	// Disable removes the named analyzers from the run.
+	Disable []string
+	// Scopes overrides an analyzer's default path scoping with
+	// module-relative prefixes, e.g. {"determinism": {"internal/sim"}}.
+	Scopes map[string][]string
+	// Paths, when non-empty, restricts linted packages to these
+	// module-relative prefixes ("." is the root package).
+	Paths []string
+}
+
+// Run loads the module and applies every selected analyzer to every
+// selected package, returning the surviving findings sorted by
+// position. Suppressions (//lint:ignore) are applied here; malformed
+// and unused directives surface as "lint" findings.
+func Run(cfg Config) ([]Diagnostic, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	mod, err := Load(dir, cfg.Tags)
+	if err != nil {
+		return nil, err
+	}
+
+	analyzers, err := selectAnalyzers(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Unused-suppression tracking is only sound when every analyzer a
+	// directive could name actually ran.
+	fullSuite := len(analyzers) == len(Analyzers())
+
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		if !matchAny(pkg.Rel, normalizePaths(cfg.Paths)) {
+			continue
+		}
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			paths := a.Paths
+			if override, ok := cfg.Scopes[a.Name]; ok {
+				paths = override
+			}
+			if !matchAny(pkg.Rel, paths) {
+				continue
+			}
+			pass := &Pass{Pkg: pkg, analyzer: a, diags: &pkgDiags}
+			a.Run(pass)
+		}
+
+		// Apply per-file suppressions; malformed directives report here.
+		// Syntax is in sorted-filename order, so the ordered walk over
+		// every directive below is deterministic.
+		sups := make(map[string]*fileSuppressions, len(pkg.Syntax))
+		ordered := make([]*fileSuppressions, 0, len(pkg.Syntax))
+		for _, f := range pkg.Syntax {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			fs := buildSuppressions(pkg.Fset, f, pkg.srcLines[name], func(pos token.Pos, msg string) {
+				out = append(out, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "lint", Message: msg})
+			})
+			sups[name] = fs
+			ordered = append(ordered, fs)
+		}
+		for _, d := range pkgDiags {
+			if fs, ok := sups[d.Pos.Filename]; ok && fs.suppress(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+		if fullSuite {
+			for _, fs := range ordered {
+				for _, s := range fs.all {
+					if !s.used {
+						out = append(out, Diagnostic{
+							Pos:      pkg.Fset.Position(s.pos),
+							Analyzer: "lint",
+							Message:  "suppression matches no finding on its target line; delete the stale //lint:ignore",
+						})
+					}
+				}
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// selectAnalyzers applies -enable/-disable to the registry.
+func selectAnalyzers(cfg Config) ([]*Analyzer, error) {
+	for _, name := range append(append([]string{}, cfg.Enable...), cfg.Disable...) {
+		if analyzerByName(name) == nil {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", name, analyzerNames())
+		}
+	}
+	for name := range cfg.Scopes {
+		if analyzerByName(name) == nil {
+			return nil, fmt.Errorf("lint: -scope names unknown analyzer %q (known: %s)", name, analyzerNames())
+		}
+	}
+	disabled := make(map[string]bool, len(cfg.Disable))
+	for _, name := range cfg.Disable {
+		disabled[name] = true
+	}
+	enabled := make(map[string]bool, len(cfg.Enable))
+	for _, name := range cfg.Enable {
+		enabled[name] = true
+	}
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if disabled[a.Name] {
+			continue
+		}
+		if len(enabled) > 0 && !enabled[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// normalizePaths cleans CLI path patterns ("./internal/sim/" →
+// "internal/sim").
+func normalizePaths(paths []string) []string {
+	var out []string
+	for _, p := range paths {
+		p = filepath.ToSlash(filepath.Clean(p))
+		if p == "" {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Command tool sits outside the determinism scope: wall clocks are fine
+// in the CLIs, which report real elapsed time to humans.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}

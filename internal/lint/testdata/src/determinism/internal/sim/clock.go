@@ -1,0 +1,24 @@
+// Package sim is the determinism fixture's positive case: wall clocks
+// and global randomness inside the simulation substrate.
+package sim
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	t := time.Now() // want "time.Now is wall-clock nondeterminism"
+	return t.UnixNano()
+}
+
+// Elapsed measures wall time.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since is wall-clock nondeterminism"
+}
+
+// Draw uses the global generator.
+func Draw() int {
+	return rand.Intn(10) // want "math/rand.Intn is global/unseeded randomness"
+}

@@ -1,0 +1,17 @@
+// Package stats is a miniature of the real stats package: just enough
+// surface for the fixture's sanctioned-RNG case.
+package stats
+
+// RNG is a tiny xorshift generator.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator; the stream is fully determined by seed.
+func NewRNG(seed uint64) *RNG { return &RNG{s: seed | 1} }
+
+// Float64 returns the next value in [0, 1).
+func (r *RNG) Float64() float64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return float64(r.s%1000) / 1000
+}

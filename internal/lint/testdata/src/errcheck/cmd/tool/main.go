@@ -1,0 +1,33 @@
+// Command tool is the errcheck fixture's CLI case.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(stdout, stderr *os.File) error {
+	fmt.Fprintln(stdout, "report") // want "fmt.Fprintln returns an error that is dropped"
+	fmt.Fprintln(stderr, "progress: ok")
+
+	f, err := os.Create("out.json")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	enc := json.NewEncoder(f)
+	enc.Encode(map[string]int{"rows": 1}) // want "Encoder.Encode returns an error that is dropped"
+	_ = enc.Encode("an explicit discard is visible in review")
+
+	os.Remove("out.tmp") // want "os.Remove returns an error that is dropped"
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package quiet sits outside errcheck's cmd/root scope; dropped writes
+// are tolerated in library code.
+package quiet
+
+import "fmt"
+
+// Log prints best-effort.
+func Log(args ...any) {
+	fmt.Println(args...)
+}

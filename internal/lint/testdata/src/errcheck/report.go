@@ -1,0 +1,19 @@
+// Package report sits at the module root, which errcheck covers: the
+// report builders feed the CLIs, so their dropped writes matter too.
+package report
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Build assembles a report.
+func Build(rows []string) string {
+	var buf bytes.Buffer
+	for _, r := range rows {
+		buf.WriteString(r) // want "Buffer.WriteString returns an error that is dropped"
+		_ = buf.WriteByte('\n')
+	}
+	fmt.Fprintf(&buf, "%d rows\n", len(rows)) // want "fmt.Fprintf returns an error that is dropped"
+	return buf.String()
+}

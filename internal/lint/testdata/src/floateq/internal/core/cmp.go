@@ -1,0 +1,48 @@
+// Package core is the floateq fixture: the two findings, then every
+// idiom that stays legal.
+package core
+
+// Equal compares model quantities exactly: flagged.
+func Equal(a, b float64) bool {
+	return a == b // want "floating-point == on model quantities"
+}
+
+// Diverged is the != form.
+func Diverged(a, b float64) bool {
+	return a != b // want "floating-point != on model quantities"
+}
+
+// ZeroGuard has exact-zero semantics (division/sentinel guards): legal.
+func ZeroGuard(x float64) bool {
+	return x == 0
+}
+
+// IsNaN is the x != x idiom: legal.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Ints compares integers; the rule only covers floats.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// approxEqual is a tolerance helper: the exact compare inside it is the
+// implementation of the tolerance fast path.
+func approxEqual(a, b float64) bool {
+	return a == b || diff(a, b) < 1e-9
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+const third = 1.0 / 3
+
+// ConstFold compares two compile-time constants: legal.
+func ConstFold() bool {
+	return third == 0.3333333333333333
+}

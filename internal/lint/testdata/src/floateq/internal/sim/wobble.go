@@ -1,0 +1,7 @@
+// Package sim sits outside floateq's default scope; the exact compare
+// below only surfaces under a -scope override (the driver test relies
+// on this).
+package sim
+
+// Wobble compares floats outside the scoped packages.
+func Wobble(a, b float64) bool { return a == b }

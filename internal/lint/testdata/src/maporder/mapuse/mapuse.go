@@ -1,0 +1,94 @@
+// Package mapuse is the maporder fixture: every order-sensitive sink
+// once, next to its compliant counterpart.
+package mapuse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lpm/internal/parallel"
+)
+
+// Unsorted leaks map order into the returned slice.
+func Unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" in map-iteration order"
+	}
+	return out
+}
+
+// Sorted is the compliant pattern: collect, then sort.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerIteration appends to a slice declared inside the loop body; each
+// iteration sees a fresh slice, so order cannot leak.
+func PerIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		doubled := append([]int(nil), vs...)
+		total += len(doubled)
+	}
+	return total
+}
+
+// SliceRange shows the rule only fires on map ranges.
+func SliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// PrintAll writes output in map order.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside a map range"
+	}
+}
+
+// Join builds a string in map order.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s = fmt.Sprintf("%s,%s", s, k) // want "fmt.Sprintf inside a map range"
+	}
+	return s
+}
+
+// Build streams bytes into a builder in map order.
+func Build(m map[string]string) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "WriteString inside a map range"
+	}
+	return sb.String()
+}
+
+// MemoKey folds map order into a memo key.
+func MemoKey(m map[string]int) string {
+	key := ""
+	for k := range m {
+		key = parallel.KeyOf(key, k) // want "parallel.KeyOf inside a map range"
+	}
+	return key
+}
+
+// Deferred shows sinks inside closures created per iteration count too.
+func Deferred(m map[string]int) []func() {
+	var fns []func()
+	for k := range m {
+		k := k
+		fns = append(fns, func() { fmt.Println(k) }) // want "append to \"fns\"" "fmt.Println inside a map range"
+	}
+	return fns
+}

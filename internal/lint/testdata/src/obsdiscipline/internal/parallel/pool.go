@@ -1,0 +1,8 @@
+// Package parallel sits outside the no-goroutine scope: concurrency
+// belongs here by contract.
+package parallel
+
+// Spawn forks a worker; legal outside internal/sim and internal/core.
+func Spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,32 @@
+// Package sim is the obsdiscipline fixture's call-site case: metric and
+// event naming plus the no-goroutine rule.
+package sim
+
+import (
+	"fmt"
+
+	"lpm/internal/obs"
+)
+
+// Core owns per-instance metric handles.
+type Core struct {
+	id  int
+	reg *obs.Registry
+}
+
+// Wire registers this core's metrics.
+func (c *Core) Wire(reg *obs.Registry, tr *obs.Tracer) {
+	prefix := fmt.Sprintf("cpu.%d", c.id)
+	reg.Counter(prefix + ".instructions")
+	reg.Gauge("sim.cycles")
+	reg.Histogram(prefix)                           // want "metric name passed to Registry.Histogram"
+	reg.Counter(fmt.Sprintf("cpu.%d.stalls", c.id)) // want "metric name passed to Registry.Counter"
+	tr.Emit(1, "miss")
+	tr.Emit(1, prefix) // want "event name passed to Tracer.Emit"
+	c.reg = reg
+}
+
+// Spawn forks inside the simulation substrate.
+func (c *Core) Spawn() {
+	go func() { c.id++ }() // want "goroutine spawned inside the simulation substrate"
+}

@@ -1,0 +1,51 @@
+// Package core is the suppression-machinery fixture: every directive
+// form appears once. The test asserts the exact diagnostic set (want
+// comments cannot ride on directive lines without changing the
+// directive's reason).
+package core
+
+// Approx is the sanctioned tolerance helper; exact compares inside it
+// are legal without any directive.
+func Approx(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+
+// SameBits exercises the trailing-directive form.
+func SameBits(a, b float64) bool {
+	return a == b //lint:ignore floateq fixture exercises exact equality on purpose
+}
+
+// SameBits2 exercises the standalone-directive form.
+func SameBits2(a, b float64) bool {
+	//lint:ignore floateq fixture exercises exact equality on purpose
+	return a == b
+}
+
+// Multi exercises a directive naming several analyzers.
+func Multi(a, b float64) bool {
+	//lint:ignore floateq,maporder fixture exercises the list form
+	return a == b
+}
+
+// Malformed's directive is missing its reason, so it must report and
+// must not suppress the finding below it.
+func Malformed(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+
+// Unknown names an analyzer that does not exist.
+func Unknown(a, b int) bool {
+	//lint:ignore nosuch the analyzer name is wrong on purpose
+	return a == b
+}
+
+// Stale suppresses a line that produces no finding.
+func Stale(x float64) bool {
+	//lint:ignore floateq zero guards are already exempt
+	return x == 0
+}

@@ -113,7 +113,9 @@ func (r *RNG) Zipf(n int, s float64) int {
 	}
 	// Approximate inverse CDF for Zipf via the continuous bounded Pareto
 	// distribution; adequate for workload shaping (not for statistics).
-	if s == 1 {
+	// The s→1 limit divides by 1-s below, so nudge a whole neighbourhood
+	// of 1 (not just the exact value) off the singularity.
+	if math.Abs(s-1) < 1e-7 {
 		s = 1.0000001
 	}
 	u := r.Float64()
