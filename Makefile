@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench fuzz ci golden
+.PHONY: all build test race vet lint fmt-check bench fuzz ci golden diffgate race-serve
 
 all: build vet lint test race
 
@@ -42,8 +42,23 @@ fuzz:
 golden:
 	$(GO) test -run Golden -update .
 
+# Golden-report regression gate: rebuild the pinned fig1+interval report
+# fresh and structurally diff it against the checked-in golden with
+# lpmdiff. The build is deterministic, so the gate runs at zero
+# tolerance; lpmdiff exits 1 on any drift.
+diffgate:
+	$(GO) run ./cmd/lpmreport -json -quick -experiment fig1,interval \
+		-interval-samples 50000 > /tmp/lpm-report-fresh.json
+	$(GO) run ./cmd/lpmdiff testdata/golden/report_fig1_interval.json /tmp/lpm-report-fresh.json
+
+# Race-detector pass over the live exposition server: the -serve
+# endpoints are scraped while windows are being published.
+race-serve:
+	$(GO) test -race -run 'TestServeEndpoints|TestRunServeMidRun' ./cmd/lpmrun
+
 # Full CI gate: formatting, build, vet, lint, the whole suite under the
-# race detector, and the fuzz smoke.
+# race detector, the golden-report diff gate, and the fuzz smoke.
 ci: fmt-check build vet lint
 	$(GO) test -race ./...
+	$(MAKE) diffgate
 	$(MAKE) fuzz

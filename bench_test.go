@@ -14,6 +14,7 @@ import (
 	"lpm/internal/core"
 	"lpm/internal/explore"
 	"lpm/internal/interval"
+	"lpm/internal/obs/timeseries"
 	"lpm/internal/sched"
 	"lpm/internal/sim/cache"
 	"lpm/internal/sim/chip"
@@ -604,6 +605,30 @@ func BenchmarkSingleCoreChipTick(b *testing.B) {
 	ch := chip.New(chip.SingleCore("403.gcc"))
 	b.ResetTimer()
 	ch.RunCycles(uint64(b.N))
+}
+
+// BenchmarkTimeseriesOffPath is the windowed sampler's disabled fast
+// path: no sampler attached, so each chip cycle pays exactly one nil
+// check over the serial baseline (BenchmarkSingleCoreChipTick). The two
+// must stay within 1% of each other — compare with benchstat after any
+// change to the Tick tail.
+func BenchmarkTimeseriesOffPath(b *testing.B) {
+	ch := chip.New(chip.SingleCore("403.gcc"))
+	b.ResetTimer()
+	ch.RunCycles(uint64(b.N))
+}
+
+// BenchmarkTimeseriesAttached is the full on-path cost: per-cycle stall
+// classification and occupancy sums, plus a window collection every
+// 2048 cycles.
+func BenchmarkTimeseriesAttached(b *testing.B) {
+	ch := chip.New(chip.SingleCore("403.gcc"))
+	s := ch.EnableTimeseries(timeseries.Config{Width: 2048, CPIexe: 0.5})
+	b.ResetTimer()
+	ch.RunCycles(uint64(b.N))
+	b.StopTimer()
+	ch.FlushTimeseries()
+	b.ReportMetric(float64(s.Windows()), "windows")
 }
 
 // BenchmarkDRAMRequest measures the memory controller's per-request cost.

@@ -1,0 +1,214 @@
+// Command lpmdiff structurally compares two lpm-report JSON documents
+// (any mix of lpm-report/v1 and /v2) and lists every field that moved:
+// metric deltas, per-window timeline regressions, added and removed
+// paths. It is the CI regression gate — exit status 0 means the reports
+// match within tolerance, 1 means differences were found, 2 means the
+// inputs could not be read.
+//
+// Usage:
+//
+//	lpmdiff old.json new.json
+//	lpmdiff -threshold 0.05 -abs 1e-9 golden.json fresh.json
+//
+// Numeric fields compare with a relative tolerance (-threshold) over an
+// absolute floor (-abs); everything else must match exactly.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"lpm"
+	"lpm/internal/cliutil"
+)
+
+// errDifferences signals a clean run that found diffs (exit status 1).
+var errDifferences = errors.New("reports differ")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, errDifferences):
+		os.Exit(1)
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 0, "relative tolerance for numeric fields (0 = exact)")
+		absFloor  = fs.Float64("abs", 0, "ignore numeric differences smaller than this absolute value")
+		maxLines  = fs.Int("max", 50, "print at most this many differences (0 = all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: lpmdiff [flags] old.json new.json")
+		return flag.ErrHelp
+	}
+
+	oldDoc, err := loadReport(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadReport(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	diffs, suppressed := diffReports(oldDoc, newDoc, *threshold, *absFloor)
+	p := cliutil.NewPrinter(stdout)
+	if len(diffs) == 0 {
+		p.Printf("reports match (%d numeric fields within tolerance)\n", suppressed)
+		return p.Err()
+	}
+	shown := len(diffs)
+	if *maxLines > 0 && shown > *maxLines {
+		shown = *maxLines
+	}
+	for _, d := range diffs[:shown] {
+		p.Println(d)
+	}
+	if shown < len(diffs) {
+		p.Printf("... and %d more differences (raise -max to see them)\n", len(diffs)-shown)
+	}
+	p.Printf("%d differences (%d numeric fields within tolerance)\n", len(diffs), suppressed)
+	if err := p.Err(); err != nil {
+		return err
+	}
+	return errDifferences
+}
+
+// loadReport reads and schema-checks one report document, then re-decodes
+// it into a generic JSON tree for the structural walk. Decoding through
+// lpm.DecodeReport first rejects non-report inputs up front.
+func loadReport(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := lpm.DecodeReport(data); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// flatten walks a decoded JSON tree into path→leaf pairs. Object keys
+// are visited in sorted order so the output is deterministic. An array
+// element that is an object with a string "name" field is addressed by
+// that name instead of its index, which keeps experiment, table-row and
+// metric paths stable when ordering or cardinality changes.
+func flatten(prefix string, v any, out map[string]any) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			flatten(prefix+"."+k, t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			label := fmt.Sprintf("[%d]", i)
+			if m, ok := e.(map[string]any); ok {
+				if name, ok := m["name"].(string); ok && name != "" {
+					label = "[" + name + "]"
+				}
+			}
+			flatten(prefix+label, e, out)
+		}
+	default:
+		out[strings.TrimPrefix(prefix, ".")] = v
+	}
+}
+
+// diffReports compares the flattened documents. Numeric leaves within
+// the relative threshold (over the absolute floor) are counted as
+// suppressed rather than reported; all other mismatches, additions and
+// removals become difference lines, sorted by path.
+func diffReports(oldDoc, newDoc any, threshold, absFloor float64) (diffs []string, suppressed int) {
+	oldFlat := map[string]any{}
+	newFlat := map[string]any{}
+	flatten("", oldDoc, oldFlat)
+	flatten("", newDoc, newFlat)
+
+	paths := make([]string, 0, len(oldFlat))
+	for p := range oldFlat {
+		paths = append(paths, p)
+	}
+	for p := range newFlat {
+		if _, ok := oldFlat[p]; !ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	for _, p := range paths {
+		ov, inOld := oldFlat[p]
+		nv, inNew := newFlat[p]
+		switch {
+		case !inNew:
+			diffs = append(diffs, fmt.Sprintf("- %s = %v (only in old)", p, ov))
+		case !inOld:
+			diffs = append(diffs, fmt.Sprintf("+ %s = %v (only in new)", p, nv))
+		default:
+			of, oNum := ov.(float64)
+			nf, nNum := nv.(float64)
+			if oNum && nNum {
+				if withinTolerance(of, nf, threshold, absFloor) {
+					if of != nf {
+						suppressed++
+					}
+					continue
+				}
+				diffs = append(diffs, fmt.Sprintf("~ %s: %v -> %v (delta %+g, rel %.3g)",
+					p, of, nf, nf-of, relDelta(of, nf)))
+				continue
+			}
+			if fmt.Sprintf("%v", ov) != fmt.Sprintf("%v", nv) {
+				diffs = append(diffs, fmt.Sprintf("~ %s: %v -> %v", p, ov, nv))
+			}
+		}
+	}
+	return diffs, suppressed
+}
+
+// withinTolerance reports whether old→new stays inside the relative
+// threshold, after discarding sub-floor absolute noise.
+func withinTolerance(o, n, threshold, absFloor float64) bool {
+	d := math.Abs(n - o)
+	if d <= absFloor {
+		return true
+	}
+	return d <= threshold*math.Max(math.Abs(o), math.Abs(n))
+}
+
+// relDelta is the relative change magnitude used in difference lines.
+func relDelta(o, n float64) float64 {
+	base := math.Max(math.Abs(o), math.Abs(n))
+	if base == 0 {
+		return 0
+	}
+	return math.Abs(n-o) / base
+}

@@ -7,7 +7,7 @@
 //	lpmreport                      # everything, full scale
 //	lpmreport -quick               # everything, reduced budgets
 //	lpmreport -experiment table1   # one experiment
-//	lpmreport -json -observe       # machine-readable lpm-report/v1 document
+//	lpmreport -json -observe       # machine-readable lpm-report/v2 document
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"lpm"
 	"lpm/internal/cliutil"
@@ -52,12 +53,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		experiment = fs.String("experiment", "all",
-			"one of: fig1, table1, casestudy1, fig6, fig7, fig8, interval, identities, all")
-		quick    = fs.Bool("quick", false, "reduced simulation budgets")
-		workers  = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		jsonOut  = fs.Bool("json", false, "emit a versioned lpm-report/v1 JSON document on stdout")
-		observe  = fs.Bool("observe", false, "attach per-layer metrics snapshots to Table I rows (JSON output)")
-		pprofCfg = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+			"comma-separated subset of: fig1, table1, casestudy1, fig6, fig7, fig8, interval, identities, timeline, all")
+		quick     = fs.Bool("quick", false, "reduced simulation budgets")
+		workers   = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut   = fs.Bool("json", false, "emit a versioned lpm-report/v2 JSON document on stdout")
+		observe   = fs.Bool("observe", false, "attach per-layer metrics snapshots to Table I rows (JSON output)")
+		intervalN = fs.Int("interval-samples", 0, "interval study Monte Carlo sample count (0 = default)")
+		pprofCfg  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,13 +73,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonOut {
-		return runJSON(*experiment, scale, *observe, stdout)
+		return runJSON(*experiment, scale, *observe, *intervalN, stdout)
+	}
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*experiment, ",") {
+		selected[strings.TrimSpace(name)] = true
 	}
 
 	p := cliutil.NewPrinter(stdout)
 	var failed error
 	runExp := func(name string, f func() error) {
-		if failed != nil || (*experiment != "all" && *experiment != name) {
+		if failed != nil || (!selected["all"] && !selected[name]) {
 			return
 		}
 		p.Printf("==== %s ====\n", name)
@@ -96,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	runExp("fig8", func() error { return fig8(p, scale) })
 	runExp("interval", func() error { return intervalStudy(p) })
 	runExp("identities", func() error { return identities(p, scale) })
+	runExp("timeline", func() error { return timeline(p, scale) })
 	if failed != nil {
 		return failed
 	}
@@ -105,17 +113,35 @@ func run(args []string, stdout, stderr io.Writer) error {
 // runJSON emits the machine-readable report. The text report's fig6 and
 // fig7 views share one profiling table, so both keys select the fig67
 // experiment here.
-func runJSON(experiment string, scale lpm.Scale, observe bool, stdout io.Writer) error {
+func runJSON(experiment string, scale lpm.Scale, observe bool, intervalN int, stdout io.Writer) error {
 	var want []string
-	switch experiment {
-	case "all":
-		want = nil
-	case "fig6", "fig7":
-		want = []string{"fig67"}
-	default:
-		want = []string{experiment}
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			want = append(want, name)
+		}
 	}
-	rep, err := lpm.BuildReport(lpm.ReportOptions{Scale: scale, Experiments: want, Observe: observe})
+	for _, name := range strings.Split(experiment, ",") {
+		switch name = strings.TrimSpace(name); name {
+		case "all":
+			want = nil
+			seen = nil
+		case "fig6", "fig7":
+			add("fig67")
+		default:
+			add(name)
+		}
+		if seen == nil {
+			break
+		}
+	}
+	rep, err := lpm.BuildReport(lpm.ReportOptions{
+		Scale:           scale,
+		Experiments:     want,
+		Observe:         observe,
+		IntervalSamples: intervalN,
+	})
 	if err != nil {
 		return err
 	}
@@ -210,6 +236,26 @@ func intervalStudy(p *cliutil.Printer) error {
 	p.Println("Interval study — burst patterns perceived and processed timely (paper vs analytic vs simulated):")
 	for _, r := range lpm.IntervalStudy(0) {
 		p.Printf("  %-16s %.2f  vs  %.4f  vs  %.4f\n", r.Scenario, r.Paper, r.Analytic, r.Simulated)
+	}
+	return p.Err()
+}
+
+func timeline(p *cliutil.Printer, s lpm.Scale) error {
+	p.Println("Timeline — windowed LPMR1 over the measurement interval (410.bwaves-like):")
+	for _, r := range lpm.TimelineStudy(s) {
+		ser := r.M.Timeline
+		if ser == nil || len(ser.Windows) == 0 {
+			p.Printf("  %-4s (no windows)\n", r.Name)
+			continue
+		}
+		lpmr1 := ser.LPMR1Series()
+		lo, hi := lpmr1[0], lpmr1[0]
+		for _, v := range lpmr1 {
+			lo = min(lo, v)
+			hi = max(hi, v)
+		}
+		p.Printf("  cfg %-4s windows=%-4d width=%-6d LPMR1 min=%.2f max=%.2f (mean %.2f)\n",
+			r.Name, len(ser.Windows), ser.Width, lo, hi, r.M.LPMR1())
 	}
 	return p.Err()
 }

@@ -5,21 +5,75 @@
 // Usage:
 //
 //	lpmrun -workload 403.gcc -instructions 30000 -l1 32768
+//	lpmrun -timeline -tswindow 1024          # windowed LPMR timeline
+//	lpmrun -serve localhost:9090 -serve-hold 30s
+//
+// With -serve, the run exposes live observability over HTTP while it
+// executes: /metrics is Prometheus text (latest-window LPMR/C-AMAT
+// gauges, stall attribution, and the per-layer metrics snapshot) and
+// /timeline is the full windowed series as JSON.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"lpm/internal/cliutil"
+	"lpm/internal/obs/timeseries"
 	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
+
+// timelineSchema versions the /timeline JSON document.
+const timelineSchema = "lpm-timeline/v1"
+
+// timelineDoc is the /timeline response envelope.
+type timelineDoc struct {
+	// Schema is timelineSchema.
+	Schema string `json:"schema"`
+	// Done reports whether the simulation has finished.
+	Done bool `json:"done"`
+	// Series is the windowed timeline published so far.
+	Series timeseries.Series `json:"series"`
+}
+
+// newServeMux builds the -serve handler: Prometheus text exposition on
+// /metrics, the JSON timeline on /timeline.
+func newServeMux(live *timeseries.Live) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := live.Snapshot().WritePromText(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		ser, _ := live.Timeline()
+		if err := ser.WritePromText(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The scrape response is best-effort: a vanished client is its
+		// own problem.
+		_, _ = w.Write(buf.Bytes())
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		ser, done := live.Timeline()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(timelineDoc{Schema: timelineSchema, Done: done, Series: ser})
+	})
+	return mux
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -49,6 +103,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		iw       = fs.Int("iw", 32, "instruction window size")
 		rob      = fs.Int("rob", 64, "ROB size")
 		metrics  = fs.Bool("metrics", false, "print the per-layer metrics snapshot after the report")
+		timeline = fs.Bool("timeline", false, "attach the cycle-windowed sampler and print a timeline summary")
+		tsWindow = fs.Uint64("tswindow", 0, "timeline window width in cycles (0 = default)")
+		tsAdapt  = fs.Bool("tsadaptive", false, "merge timeline windows into phase-aligned spans")
+		serve    = fs.String("serve", "", "serve live /metrics and /timeline on this address during the run")
+		hold     = fs.Duration("serve-hold", 0, "keep the -serve endpoints up this long after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,9 +139,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), *instr)
 
 	ch := chip.New(cfg)
-	if *metrics {
+	if *metrics || *serve != "" {
 		ch.EnableObs()
 	}
+
+	var live *timeseries.Live
+	if *serve != "" {
+		live = timeseries.NewLive()
+	}
+	if *timeline || live != nil {
+		tcfg := timeseries.Config{Width: *tsWindow, Adaptive: *tsAdapt, CPIexe: cpiExe}
+		if live != nil {
+			// Windows (and the aggregate snapshot) are handed off to the
+			// HTTP side as they close; the simulation itself stays
+			// single-goroutine.
+			tcfg.OnWindow = func(w timeseries.Window) {
+				live.Publish(w)
+				live.PublishSnapshot(ch.ObsSnapshot())
+			}
+		}
+		s := ch.EnableTimeseries(tcfg)
+		live.SetMeta(s.Width(), *tsAdapt)
+	}
+	if live != nil {
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: newServeMux(live)}
+		defer srv.Close()
+		go func() { _ = srv.Serve(ln) }()
+		p.Printf("serving /metrics and /timeline on http://%s\n", ln.Addr())
+	}
+
 	budget := (*warmup + *instr) * 600
 	ch.RunUntilRetired(*warmup, budget)
 	ch.ResetCounters()
@@ -90,6 +179,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	r := ch.Snapshot()
 	m := ch.Measure(0, cpiExe)
+	live.PublishSnapshot(ch.ObsSnapshot())
+	live.Finish()
 
 	p.Printf("workload   %s  (fmem=%.3f, footprint=%d KB)\n", *workload, m.Fmem, prof.Footprint/1024)
 	p.Printf("core       issue=%d IW=%d ROB=%d   CPIexe=%.3f  IPC=%.3f\n", *issue, *iw, *rob, cpiExe, m.IPC)
@@ -124,5 +215,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+
+	if *timeline && m.Timeline != nil {
+		p.Println()
+		printTimeline(p, m.Timeline)
+	}
+	if live != nil && *hold > 0 {
+		p.Printf("holding exposition server for %s\n", *hold)
+		time.Sleep(*hold)
+	}
 	return p.Err()
+}
+
+// printTimeline renders the windowed series as a compact table: one row
+// per window (eliding the middle of long runs), with the window's IPC,
+// LPMR1 and the fraction of core cycles attributed to memory stalls.
+func printTimeline(p *cliutil.Printer, ser *timeseries.Series) {
+	p.Printf("timeline   %d windows (width=%d adaptive=%v dropped=%d):\n",
+		len(ser.Windows), ser.Width, ser.Adaptive, ser.Dropped)
+	p.Printf("  %-6s %-12s %-8s %-8s %-8s %s\n", "win", "cycles", "ipc", "lpmr1", "lpmr2", "memstall%")
+	const headTail = 6
+	for i, w := range ser.Windows {
+		if len(ser.Windows) > 2*headTail && i == headTail {
+			p.Printf("  ... %d windows elided ...\n", len(ser.Windows)-2*headTail)
+		}
+		if len(ser.Windows) > 2*headTail && i >= headTail && i < len(ser.Windows)-headTail {
+			continue
+		}
+		st := w.AggregateStall()
+		memPct := 0.0
+		if t := st.Total(); t > 0 {
+			memPct = 100 * float64(st.MemStall()) / float64(t)
+		}
+		p.Printf("  %-6d %5d-%-6d %-8.3f %-8.3f %-8.3f %5.1f%%\n",
+			w.Index, w.Start, w.End, w.Derived.IPC, w.Derived.LPMR1, w.Derived.LPMR2, memPct)
+	}
 }

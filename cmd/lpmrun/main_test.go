@@ -2,8 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"lpm/internal/obs/timeseries"
 )
 
 // The smoke tests drive run() in-process at tiny simulation budgets:
@@ -57,4 +65,181 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-nosuchflag"}, &out, &errb); err == nil {
 		t.Fatal("unknown flag did not error")
 	}
+}
+
+func TestRunTimelineSummary(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "403.gcc", "-instructions", "2000", "-warmup", "3000",
+		"-timeline", "-tswindow", "512"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run -timeline: %v\n%s", err, errb.String())
+	}
+	for _, want := range []string{"timeline", "windows (width=512", "lpmr1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-timeline output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestServeEndpoints drives the exposition handler the way -serve wires
+// it, including concurrent scrapes while windows are still being
+// published — the race-detector CI job leans on this test.
+func TestServeEndpoints(t *testing.T) {
+	live := timeseries.NewLive()
+	srv := httptest.NewServer(newServeMux(live))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Before any window: both endpoints respond, /timeline is valid JSON.
+	body, ctype := get("/timeline")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/timeline content type %q", ctype)
+	}
+	var doc timelineDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("empty /timeline not JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != timelineSchema || doc.Done {
+		t.Fatalf("empty timeline doc: %+v", doc)
+	}
+
+	// Publish windows from a "simulation" goroutine while scraping.
+	stop := make(chan struct{})
+	go func() {
+		defer close(stop)
+		for i := 0; i < 50; i++ {
+			w := timeseries.Window{Index: i, Start: uint64(i * 100), End: uint64(i*100 + 100)}
+			w.Derived.LPMR1 = 1 + float64(i)
+			live.Publish(w)
+		}
+		live.Finish()
+	}()
+	for i := 0; i < 20; i++ {
+		get("/metrics")
+		get("/timeline")
+	}
+	<-stop
+
+	body, ctype = get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE lpm_timeline_lpmr1 gauge",
+		"lpm_timeline_lpmr1 50",
+		"lpm_timeline_stall_cycles{bucket=\"busy\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics lacks %q:\n%s", want, body)
+		}
+	}
+
+	body, _ = get("/timeline")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/timeline not JSON: %v", err)
+	}
+	if !doc.Done || len(doc.Series.Windows) != 50 {
+		t.Fatalf("final timeline doc: done=%v windows=%d", doc.Done, len(doc.Series.Windows))
+	}
+}
+
+// TestRunServeMidRun starts a real -serve run and scrapes it while the
+// simulation executes, pinning the acceptance criterion end to end.
+func TestRunServeMidRun(t *testing.T) {
+	out := &syncWriter{buf: &bytes.Buffer{}}
+	var errb bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-workload", "429.mcf", "-instructions", "20000",
+			"-warmup", "40000", "-serve", "127.0.0.1:0", "-serve-hold", "2s",
+			"-tswindow", "256"}, out, &errb)
+	}()
+
+	// Wait for the server address to appear on stdout.
+	var addr string
+	for i := 0; i < 200 && addr == ""; i++ {
+		time.Sleep(10 * time.Millisecond)
+		for _, line := range strings.Split(out.string(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "serving /metrics and /timeline on http://"); ok {
+				addr = strings.TrimSpace(rest)
+			}
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server address never printed:\n%s", out.string())
+	}
+
+	// Scrape until a window shows up (mid-run or during the hold).
+	deadline := time.Now().Add(5 * time.Second)
+	seen := false
+	for time.Now().Before(deadline) && !seen {
+		resp, err := http.Get("http://" + addr + "/timeline")
+		if err != nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		var doc timelineDoc
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("/timeline not JSON: %v", err)
+		}
+		if doc.Schema != timelineSchema {
+			t.Fatalf("/timeline schema %q", doc.Schema)
+		}
+		seen = len(doc.Series.Windows) > 0
+	}
+	if !seen {
+		t.Fatal("no timeline windows observed over 5s of scraping")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	promText, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(promText), "lpm_timeline_lpmr1") {
+		t.Fatalf("/metrics lacks timeline gauges:\n%s", promText)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run -serve: %v\n%s", err, errb.String())
+	}
+}
+
+// syncWriter makes a bytes.Buffer safe to share between the run()
+// goroutine and the test's polling reads.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) string() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
 }

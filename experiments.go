@@ -141,6 +141,39 @@ func table1(s Scale, observe bool) []Table1Row {
 	return rows
 }
 
+// TimelineRow couples one Table I configuration with its cycle-windowed
+// time series over the measurement interval.
+type TimelineRow struct {
+	// Name is the configuration label.
+	Name string
+	// Point is the hardware configuration.
+	Point DesignPoint
+	// M is the measurement; M.Timeline carries the windowed series.
+	M Measurement
+}
+
+// TimelineStudy measures the mismatched (A) and matched (E) ends of the
+// Table I spectrum with the cycle-windowed sampler attached, so reports
+// carry per-window C-AMAT/LPMR timelines showing *when* the mismatch
+// occurs, not just its average. The two simulations run as one parallel
+// batch.
+func TimelineStudy(s Scale) []TimelineRow {
+	cfgs := explore.TableConfigs()
+	names := []string{"A", "E"}
+	rows, err := parallel.Map(names, func(n string) (TimelineRow, error) {
+		tgt := explore.NewHardwareTarget(explore.DefaultSpace(), cfgs[n], trace.MustProfile("410.bwaves"))
+		tgt.Warmup = s.Warmup
+		tgt.Instructions = s.Window
+		tgt.Timeline = true
+		return TimelineRow{Name: n, Point: cfgs[n], M: tgt.Measure()}, nil
+	})
+	if err != nil {
+		// As in table1: jobs never fail, Map only surfaces panics.
+		panic(err)
+	}
+	return rows
+}
+
 // CaseStudyIResult summarises an LPM-guided design space exploration.
 type CaseStudyIResult struct {
 	// Algorithm is the Fig. 3 run trace.

@@ -80,7 +80,7 @@ func TestGoldenIntervalStudy(t *testing.T) {
 	goldenJSON(t, "interval_50k.json", IntervalStudy(50000))
 }
 
-// TestGoldenReport pins the lpm-report/v1 document shape itself: schema
+// TestGoldenReport pins the lpm-report/v2 document shape itself: schema
 // string, experiment envelope, and field names. It uses the two cheap
 // experiments so the test exercises BuildReport end to end without
 // re-running the simulations pinned above.

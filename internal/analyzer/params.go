@@ -107,6 +107,27 @@ func (p Params) String() string {
 		p.Cm(), p.CM(), p.APC(), p.CAMAT(), p.AMAT())
 }
 
+// Sub returns the counter-wise difference p - q, for windowed deltas of
+// cumulative counters (q must be an earlier snapshot of the same layer).
+// The derived C-AMAT parameters of the difference are the window's own.
+func (p Params) Sub(q Params) Params {
+	return Params{
+		Accesses:         p.Accesses - q.Accesses,
+		Completed:        p.Completed - q.Completed,
+		Misses:           p.Misses - q.Misses,
+		PureMisses:       p.PureMisses - q.PureMisses,
+		Cycles:           p.Cycles - q.Cycles,
+		ActiveCycles:     p.ActiveCycles - q.ActiveCycles,
+		HitActiveCycles:  p.HitActiveCycles - q.HitActiveCycles,
+		HitAccessCycles:  p.HitAccessCycles - q.HitAccessCycles,
+		MissActiveCycles: p.MissActiveCycles - q.MissActiveCycles,
+		MissAccessCycles: p.MissAccessCycles - q.MissAccessCycles,
+		PureCycles:       p.PureCycles - q.PureCycles,
+		PureAccessCycles: p.PureAccessCycles - q.PureAccessCycles,
+		MissPenaltySum:   p.MissPenaltySum - q.MissPenaltySum,
+	}
+}
+
 // Add returns the counter-wise sum of p and q, used to aggregate per-core
 // analyzers into a chip-level view.
 func (p Params) Add(q Params) Params {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lpm/internal/obs"
+	"lpm/internal/obs/timeseries"
 )
 
 // Measurement is one interval's worth of LPM model inputs for a
@@ -41,6 +42,11 @@ type Measurement struct {
 	// nil unless the chip ran with observability enabled (chip.EnableObs).
 	// It is informational and never feeds the model equations.
 	Obs *obs.Snapshot `json:"Obs,omitempty"`
+
+	// Timeline is the cycle-windowed time series for the measurement
+	// window — nil unless the chip ran with a sampler attached
+	// (chip.EnableTimeseries). Like Obs, it is informational.
+	Timeline *timeseries.Series `json:"Timeline,omitempty"`
 }
 
 // LPMR1 evaluates Eq. (9): the request/supply mismatch between the

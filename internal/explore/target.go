@@ -2,6 +2,7 @@ package explore
 
 import (
 	"lpm/internal/core"
+	"lpm/internal/obs/timeseries"
 	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
@@ -44,6 +45,14 @@ type HardwareTarget struct {
 	// The flag is part of the memo key: observed and unobserved runs
 	// never share cached results.
 	Observe bool
+	// Timeline, when set, attaches a cycle-windowed sampler to every
+	// evaluation (after warm-up, so windows cover exactly the measured
+	// interval) and each Measurement carries a timeseries.Series. Like
+	// Observe, the flag is part of the memo key.
+	Timeline bool
+	// TimelineWindow overrides the sampler's base window width in cycles
+	// (0 = the sampler default); only meaningful with Timeline set.
+	TimelineWindow uint64
 
 	ix      [6]int
 	rrL1    int // round-robin cursor over the L1-layer knobs
@@ -126,7 +135,7 @@ var simMemo = parallel.NewMemo[core.Measurement]()
 // deterministic.
 func (t *HardwareTarget) simulate(p Point) core.Measurement {
 	instr, warm, maxCy := t.budgets()
-	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy, t.Observe)
+	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy, t.Observe, t.Timeline, t.TimelineWindow)
 	m, _ := simMemo.Do(key, func() (core.Measurement, error) {
 		gen := trace.NewSynthetic(t.Profile)
 		cfg := ChipConfig(p, gen)
@@ -137,6 +146,11 @@ func (t *HardwareTarget) simulate(p Point) core.Measurement {
 		}
 		ch.RunUntilRetired(warm, maxCy)
 		ch.ResetCounters()
+		if t.Timeline {
+			// Attached after warm-up and reset so the windows tile exactly
+			// the measured interval.
+			ch.EnableTimeseries(timeseries.Config{Width: t.TimelineWindow, CPIexe: cpiExe})
+		}
 		ch.Run(warm+instr, maxCy)
 		return ch.Measure(0, cpiExe), nil
 	})

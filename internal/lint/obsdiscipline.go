@@ -12,12 +12,15 @@ import (
 //
 //  1. Metric names passed to the internal/obs Registry
 //     (Counter/Gauge/Histogram) must be compile-time string constants
-//     or end in a constant suffix (`prefix + ".hits"`), and tracer
-//     event names (Tracer.Emit) must be constants, so snapshots stay
-//     stable, greppable and name-sorted across runs.
-//  2. Exported pointer-receiver methods in internal/obs that touch
-//     receiver state must open with the nil-receiver guard — the
-//     zero-cost off path every simulator component relies on.
+//     or end in a constant suffix (`prefix + ".hits"`), tracer event
+//     names (Tracer.Emit) must be constants, and time-series probe
+//     names (timeseries Sampler.Track) follow the same
+//     constant-suffix rule, so snapshots and timelines stay stable,
+//     greppable and name-sorted across runs.
+//  2. Exported pointer-receiver methods in internal/obs (the
+//     timeseries subpackage included) that touch receiver state must
+//     open with the nil-receiver guard — the zero-cost off path every
+//     simulator component relies on.
 //  3. The simulation substrate (internal/sim, internal/core) must not
 //     spawn goroutines: a Registry is unsynchronised and owned by one
 //     simulation goroutine; concurrency belongs in internal/parallel.
@@ -29,7 +32,7 @@ var analyzerObsDiscipline = &Analyzer{
 
 func runObsDiscipline(p *Pass) {
 	checkMetricNames(p)
-	if strings.HasSuffix(p.Pkg.Rel, "internal/obs") || p.Pkg.Rel == "internal/obs" {
+	if matchAny(p.Pkg.Rel, []string{"internal/obs"}) {
 		checkNilGuards(p)
 	}
 	if matchAny(p.Pkg.Rel, []string{"internal/sim", "internal/core"}) {
@@ -47,7 +50,11 @@ func checkMetricNames(p *Pass) {
 				return true
 			}
 			fn := calleeFunc(info, call)
-			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/obs") {
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkgPath := fn.Pkg().Path()
+			if !strings.HasSuffix(pkgPath, "internal/obs") && !strings.HasSuffix(pkgPath, "internal/obs/timeseries") {
 				return true
 			}
 			sig, ok := fn.Type().(*types.Signature)
@@ -56,6 +63,11 @@ func checkMetricNames(p *Pass) {
 			}
 			recv := recvTypeName(sig)
 			switch {
+			case recv == "Sampler" && fn.Name() == "Track":
+				if len(call.Args) > 0 && !constSuffixedName(info, call.Args[0]) {
+					p.Reportf(call.Args[0].Pos(),
+						"probe name passed to Sampler.Track must be a string constant or end in a constant suffix (prefix + \".name\"); dynamic names destabilise timeline probe ordering")
+				}
 			case recv == "Registry" && (fn.Name() == "Counter" || fn.Name() == "Gauge" || fn.Name() == "Histogram"):
 				if len(call.Args) > 0 && !constSuffixedName(info, call.Args[0]) {
 					p.Reportf(call.Args[0].Pos(),

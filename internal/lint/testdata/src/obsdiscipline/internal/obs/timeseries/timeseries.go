@@ -1,0 +1,34 @@
+// Package timeseries is a miniature of the windowed sampler: enough
+// surface for the probe-name and nil-guard rules in the subpackage.
+package timeseries
+
+// Sampler accumulates cycle windows.
+type Sampler struct {
+	probes []string
+	n      int
+}
+
+// Track registers a named probe.
+func (s *Sampler) Track(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
+	s.probes = append(s.probes, name)
+	_ = fn
+}
+
+// Tick advances the sampler. It dereferences the receiver without the
+// guard, so a nil sampler panics here.
+func (s *Sampler) Tick(cycle uint64) { // want "exported obs method Tick dereferences its receiver"
+	s.n++
+	_ = cycle
+}
+
+// Flush closes the open window.
+func (s *Sampler) Flush(cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.n = 0
+	_ = cycle
+}

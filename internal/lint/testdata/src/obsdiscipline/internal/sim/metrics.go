@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"lpm/internal/obs"
+	"lpm/internal/obs/timeseries"
 )
 
 // Core owns per-instance metric handles.
@@ -24,6 +25,15 @@ func (c *Core) Wire(reg *obs.Registry, tr *obs.Tracer) {
 	tr.Emit(1, "miss")
 	tr.Emit(1, prefix) // want "event name passed to Tracer.Emit"
 	c.reg = reg
+}
+
+// WireProbes registers this core's time-series probes.
+func (c *Core) WireProbes(s *timeseries.Sampler) {
+	prefix := fmt.Sprintf("cpu.%d", c.id)
+	s.Track(prefix+".rob_occupancy", func() float64 { return 0 })
+	s.Track("dram.queue_depth", func() float64 { return 0 })
+	s.Track(prefix, func() float64 { return 0 })                         // want "probe name passed to Sampler.Track"
+	s.Track(fmt.Sprintf("cpu.%d.iw", c.id), func() float64 { return 0 }) // want "probe name passed to Sampler.Track"
 }
 
 // Spawn forks inside the simulation substrate.

@@ -1,0 +1,77 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4) for snapshots, so a
+// running simulation can be scraped with standard tooling. Only the
+// snapshot is exposed — the registry itself is single-goroutine, so
+// serving code captures a Snapshot under its own lock and writes that.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName converts a registry metric name ("l1.0.hits") into a valid
+// Prometheus metric name ("lpm_l1_0_hits"): dots become underscores and
+// everything is prefixed with the exporter namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("lpm_") + len(name))
+	b.WriteString("lpm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promType maps a snapshot kind onto a Prometheus TYPE keyword.
+// Histograms are exported as quantile summaries, matching HistValue.
+func promType(kind string) string {
+	switch kind {
+	case "counter":
+		return "counter"
+	case "histogram":
+		return "summary"
+	default:
+		return "gauge"
+	}
+}
+
+// WritePromText writes the snapshot in the Prometheus text exposition
+// format 0.0.4. Metrics keep their snapshot order (sorted by name);
+// histograms are written as a summary: quantile series plus _sum-less
+// _count and _mean companions. A nil snapshot writes nothing.
+func (s *Snapshot) WritePromText(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	for _, mv := range s.Metrics {
+		name := promName(mv.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType(mv.Kind)); err != nil {
+			return err
+		}
+		var err error
+		switch mv.Kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", name, mv.Count)
+		case "histogram":
+			if mv.Hist == nil {
+				continue
+			}
+			_, err = fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.9\"} %g\n%s{quantile=\"0.99\"} %g\n%s_count %d\n%s_mean %g\n",
+				name, mv.Hist.P50, name, mv.Hist.P90, name, mv.Hist.P99,
+				name, mv.Hist.Count, name, mv.Hist.Mean)
+		default:
+			_, err = fmt.Fprintf(w, "%s %g\n", name, mv.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

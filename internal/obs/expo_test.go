@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePromText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("l1.0.hits").Add(42)
+	r.Gauge("dram.bus_util").Set(0.75)
+	h := r.Histogram("mem.read_latency", 0, 100, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(50)
+	}
+	var b strings.Builder
+	if err := r.Snapshot().WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lpm_dram_bus_util gauge\nlpm_dram_bus_util 0.75\n",
+		"# TYPE lpm_l1_0_hits counter\nlpm_l1_0_hits 42\n",
+		"# TYPE lpm_mem_read_latency summary\n",
+		"lpm_mem_read_latency{quantile=\"0.5\"} ",
+		"lpm_mem_read_latency_count 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be name<space>value with a sane name.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Errorf("malformed line %q", line)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if strings.ContainsAny(name, ".-") || !strings.HasPrefix(name, "lpm_") {
+			t.Errorf("invalid metric name %q", name)
+		}
+	}
+}
+
+func TestWritePromTextNilSnapshot(t *testing.T) {
+	var s *Snapshot
+	var b strings.Builder
+	if err := s.WritePromText(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil snapshot wrote %q, err %v", b.String(), err)
+	}
+}

@@ -1,0 +1,67 @@
+package timeseries
+
+// Prometheus text exposition of the timeline's most recent window, the
+// live complement of the obs snapshot exporter: scrapers poll the
+// current LPMR/C-AMAT state while the JSON timeline endpoint serves the
+// full history.
+
+import (
+	"fmt"
+	"io"
+)
+
+// WritePromText writes the latest closed window's derived metrics and
+// aggregate stall attribution in the Prometheus text exposition format
+// 0.0.4. A nil or empty series writes nothing.
+func (s *Series) WritePromText(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Windows) == 0 {
+		return nil
+	}
+	last := s.Windows[len(s.Windows)-1]
+	gauges := []struct {
+		name string
+		v    float64
+	}{
+		{"lpm_timeline_window_index", float64(last.Index)},
+		{"lpm_timeline_window_start_cycles", float64(last.Start)},
+		{"lpm_timeline_window_end_cycles", float64(last.End)},
+		{"lpm_timeline_windows_total", float64(len(s.Windows))},
+		{"lpm_timeline_windows_dropped", float64(s.Dropped)},
+		{"lpm_timeline_ipc", last.Derived.IPC},
+		{"lpm_timeline_fmem", last.Derived.Fmem},
+		{"lpm_timeline_camat1", last.Derived.CAMAT1},
+		{"lpm_timeline_camat2", last.Derived.CAMAT2},
+		{"lpm_timeline_camat3", last.Derived.CAMAT3},
+		{"lpm_timeline_lpmr1", last.Derived.LPMR1},
+		{"lpm_timeline_lpmr2", last.Derived.LPMR2},
+		{"lpm_timeline_lpmr3", last.Derived.LPMR3},
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", g.name, g.name, g.v); err != nil {
+			return err
+		}
+	}
+	st := last.AggregateStall()
+	buckets := []struct {
+		name string
+		v    uint64
+	}{
+		{"busy", st.Busy}, {"empty", st.Empty}, {"compute", st.Compute},
+		{"l1_hit", st.L1Hit}, {"l1_miss", st.L1Miss}, {"l2_miss", st.L2Miss},
+		{"l3_miss", st.L3Miss}, {"noc", st.NoC},
+		{"dram_queue", st.DRAMQueue}, {"dram_service", st.DRAMService},
+		{"other", st.Other},
+	}
+	if _, err := fmt.Fprintln(w, "# TYPE lpm_timeline_stall_cycles gauge"); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		if _, err := fmt.Fprintf(w, "lpm_timeline_stall_cycles{bucket=%q} %d\n", b.name, b.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package timeseries
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesWritePromText(t *testing.T) {
+	var ser Series
+	var b strings.Builder
+	if err := (&ser).WritePromText(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("empty series wrote %q, err %v", b.String(), err)
+	}
+	var nilSer *Series
+	if err := nilSer.WritePromText(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil series wrote %q, err %v", b.String(), err)
+	}
+
+	w := Window{Index: 3, Start: 300, End: 400}
+	w.Derived.IPC = 1.5
+	w.Derived.LPMR1 = 2.25
+	w.Stall = []StallTree{{Busy: 60, L1Miss: 30, DRAMQueue: 10}}
+	ser.Windows = append(ser.Windows, w)
+	if err := (&ser).WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lpm_timeline_lpmr1 gauge\nlpm_timeline_lpmr1 2.25\n",
+		"lpm_timeline_ipc 1.5\n",
+		"lpm_timeline_window_index 3\n",
+		"lpm_timeline_stall_cycles{bucket=\"busy\"} 60\n",
+		"lpm_timeline_stall_cycles{bucket=\"dram_queue\"} 10\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}

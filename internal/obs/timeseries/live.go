@@ -1,0 +1,103 @@
+package timeseries
+
+import (
+	"sync"
+
+	"lpm/internal/obs"
+)
+
+// Live is the synchronised hand-off between the (single-goroutine)
+// simulation and concurrent readers — the substrate of lpmrun's -serve
+// mode. The simulator publishes each closed window and the latest
+// metrics snapshot; HTTP handlers read consistent copies under the
+// lock. This is the only concurrency-aware type in the observability
+// layer: samplers and registries stay unsynchronised and goroutines
+// stay out of internal/sim (enforced by lpmlint).
+//
+// The nil *Live is valid and ignores every call, so wiring it through
+// OnWindow costs nothing when serving is off.
+type Live struct {
+	mu       sync.Mutex
+	series   Series
+	byIndex  map[int]int // window index -> position in series.Windows
+	snapshot *obs.Snapshot
+	done     bool
+}
+
+// NewLive returns an empty live publisher.
+func NewLive() *Live {
+	return &Live{byIndex: make(map[int]int)}
+}
+
+// Publish records a closed (or re-merged) window. Re-publishing an
+// index replaces the previous version — adaptive samplers re-emit a
+// window each time a merge extends it.
+func (l *Live) Publish(w Window) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if pos, ok := l.byIndex[w.Index]; ok {
+		l.series.Windows[pos] = w
+		return
+	}
+	l.byIndex[w.Index] = len(l.series.Windows)
+	l.series.Windows = append(l.series.Windows, w)
+}
+
+// PublishSnapshot records the latest aggregate metrics snapshot.
+func (l *Live) PublishSnapshot(s *obs.Snapshot) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.snapshot = s
+}
+
+// SetMeta stamps the series header (width/adaptive) so Timeline copies
+// carry the sampler's configuration.
+func (l *Live) SetMeta(width uint64, adaptive bool) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.series.Version = SeriesVersion
+	l.series.Width = width
+	l.series.Adaptive = adaptive
+}
+
+// Finish marks the run complete (reported by Timeline consumers).
+func (l *Live) Finish() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.done = true
+}
+
+// Timeline returns a consistent copy of the published series and
+// whether the run has finished.
+func (l *Live) Timeline() (Series, bool) {
+	if l == nil {
+		return Series{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.series
+	s.Windows = append([]Window(nil), l.series.Windows...)
+	return s, l.done
+}
+
+// Snapshot returns the last published metrics snapshot (nil if none).
+func (l *Live) Snapshot() *obs.Snapshot {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshot
+}

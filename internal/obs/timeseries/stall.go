@@ -1,0 +1,129 @@
+package timeseries
+
+// StallTree is the top-down stall attribution for one core over one
+// window: every core cycle is charged to exactly one bucket, so the
+// bucket sum equals the window length — a conservation law the tests
+// enforce on every Table 1 workload.
+//
+// The decomposition follows the paper's top-down reading of Eq. (7):
+// cycles are first split by what the core did (retired / had nothing /
+// stalled), and stall cycles are then attributed to the deepest layer
+// that was actually holding the oldest memory operation back at that
+// cycle — the same "who is the bottleneck *now*" question the LPMRs
+// answer in aggregate.
+type StallTree struct {
+	// Busy cycles retired at least one instruction.
+	Busy uint64 `json:"busy"`
+	// Empty cycles had an empty ROB (trace drained or front-end starved).
+	Empty uint64 `json:"empty"`
+	// Compute cycles stalled on a non-memory instruction at ROB head
+	// (dependency chains, structural hazards).
+	Compute uint64 `json:"compute"`
+
+	// The remaining buckets split memory-stall cycles by mechanism,
+	// deepest responsible layer first.
+
+	// L1Hit charges stalls where L1 had no outstanding miss: the head
+	// access is in its hit phase, so insufficient hit concurrency
+	// (ports, pipeline depth) is the limiter.
+	L1Hit uint64 `json:"l1_hit"`
+	// L1Miss charges stalls where the miss is outstanding at L1 but no
+	// deeper layer is occupied — L1 miss handling itself (MSHR dwell,
+	// fill latency) is the limiter.
+	L1Miss uint64 `json:"l1_miss"`
+	// L2Miss / L3Miss charge stalls to the deepest on-chip cache still
+	// working a miss.
+	L2Miss uint64 `json:"l2_miss"`
+	L3Miss uint64 `json:"l3_miss"`
+	// NoC charges stalls where the interconnect holds the request.
+	NoC uint64 `json:"noc"`
+	// DRAMQueue charges stalls where the request sits in a bank queue
+	// (waiting for the bank/bus); DRAMService where DRAM is actively
+	// servicing it (row activation, burst transfer).
+	DRAMQueue   uint64 `json:"dram_queue"`
+	DRAMService uint64 `json:"dram_service"`
+	// Other collects memory-stall cycles no probe claimed (e.g. the
+	// boundary cycle where a fill is in flight between layers).
+	Other uint64 `json:"other"`
+}
+
+// Total returns the sum of all buckets; conservation requires it to
+// equal the window's cycle count for every core.
+func (t StallTree) Total() uint64 {
+	return t.Busy + t.Empty + t.Compute +
+		t.L1Hit + t.L1Miss + t.L2Miss + t.L3Miss +
+		t.NoC + t.DRAMQueue + t.DRAMService + t.Other
+}
+
+// MemStall returns the memory-attributed stall cycles.
+func (t StallTree) MemStall() uint64 {
+	return t.L1Hit + t.L1Miss + t.L2Miss + t.L3Miss +
+		t.NoC + t.DRAMQueue + t.DRAMService + t.Other
+}
+
+// Add accumulates o into t (window merging and cross-core aggregation).
+func (t *StallTree) Add(o StallTree) {
+	if t == nil {
+		return
+	}
+	t.Busy += o.Busy
+	t.Empty += o.Empty
+	t.Compute += o.Compute
+	t.L1Hit += o.L1Hit
+	t.L1Miss += o.L1Miss
+	t.L2Miss += o.L2Miss
+	t.L3Miss += o.L3Miss
+	t.NoC += o.NoC
+	t.DRAMQueue += o.DRAMQueue
+	t.DRAMService += o.DRAMService
+	t.Other += o.Other
+}
+
+// Bucket classification codes, produced once per core per cycle by the
+// chip's attribution pass and folded into the tree with Charge.
+const (
+	ClassBusy = iota
+	ClassEmpty
+	ClassCompute
+	ClassL1Hit
+	ClassL1Miss
+	ClassL2Miss
+	ClassL3Miss
+	ClassNoC
+	ClassDRAMQueue
+	ClassDRAMService
+	ClassOther
+	numClasses
+)
+
+// Charge adds one cycle to the bucket identified by class; unknown
+// codes land in Other so conservation cannot be violated by a bad code.
+func (t *StallTree) Charge(class int) {
+	if t == nil {
+		return
+	}
+	switch class {
+	case ClassBusy:
+		t.Busy++
+	case ClassEmpty:
+		t.Empty++
+	case ClassCompute:
+		t.Compute++
+	case ClassL1Hit:
+		t.L1Hit++
+	case ClassL1Miss:
+		t.L1Miss++
+	case ClassL2Miss:
+		t.L2Miss++
+	case ClassL3Miss:
+		t.L3Miss++
+	case ClassNoC:
+		t.NoC++
+	case ClassDRAMQueue:
+		t.DRAMQueue++
+	case ClassDRAMService:
+		t.DRAMService++
+	default:
+		t.Other++
+	}
+}

@@ -1,0 +1,583 @@
+// Package timeseries is the time-resolved half of the observability
+// layer: a cycle-windowed sampler every simulator layer publishes into,
+// turning the aggregate per-run metrics of package obs into per-window
+// series — IPC, per-layer C-AMAT parameters, DRAM row behaviour, NoC
+// queueing — plus a top-down stall-attribution tree whose buckets
+// partition every core cycle exactly (see stall.go).
+//
+// The paper's argument is that layered mismatch is *time-varying*:
+// LPMR1/2/3 open and close as program phases shift. A Sampler makes that
+// visible. It closes a Window every Width cycles (fixed mode) or merges
+// consecutive same-phase windows into one (adaptive mode, reusing the
+// internal/phase detector), and each Window carries enough raw counters
+// to recompute the per-window C-AMAT and LPMR values after any merge.
+//
+// Like the rest of the observability layer, the sampler is zero-cost
+// when disabled: a nil *Sampler ignores every call, so an unobserved
+// chip pays one predictable branch per cycle. A Sampler is owned by a
+// single simulation goroutine and is not synchronised; Live (live.go) is
+// the synchronised hand-off point for serving windows mid-run.
+package timeseries
+
+import (
+	"sort"
+
+	"lpm/internal/analyzer"
+	"lpm/internal/phase"
+)
+
+// SeriesVersion is the schema version stamped on every Series; bump it
+// on any incompatible change to the timeline JSON shape.
+const SeriesVersion = 1
+
+// DefaultWidth is the base window width in cycles when Config.Width is
+// zero.
+const DefaultWidth = 2048
+
+// DefaultMaxWindows bounds stored windows when Config.MaxWindows is
+// zero; the oldest windows are dropped (and counted) past it.
+const DefaultMaxWindows = 4096
+
+// Config parameterises a Sampler.
+type Config struct {
+	// Width is the base window width in cycles (0 = DefaultWidth).
+	Width uint64
+	// Adaptive merges consecutive base windows that classify into the
+	// same phase, yielding variable-length phase-aligned windows.
+	Adaptive bool
+	// PhaseThreshold is the phase detector's distance threshold in
+	// adaptive mode (0 = the detector's default).
+	PhaseThreshold float64
+	// MaxWindows bounds stored windows (0 = DefaultMaxWindows).
+	MaxWindows int
+	// CPIexe, when positive, enables the per-window LPMR derivation
+	// (Eq. 9-11 need the perfect-cache CPI calibration constant).
+	CPIexe float64
+	// OnWindow, when non-nil, receives every closed window in order —
+	// the live-export hook. It runs on the simulation goroutine.
+	OnWindow func(Window)
+}
+
+// probe is one named instantaneous gauge sampled at window boundaries.
+type probe struct {
+	name string
+	fn   func() float64
+}
+
+// Sampler accumulates cycle windows. The nil *Sampler is valid and
+// ignores every call — the disabled fast path. Create with New; the
+// owning component (the chip) wires a collector with SetCollector and
+// calls Tick once per simulated cycle.
+type Sampler struct {
+	cfg     Config
+	collect func(cycles uint64) Window
+	det     *phase.Detector
+	probes  []probe
+
+	windows   []Window
+	winCycles uint64
+	dropped   uint64
+	lastPhase int
+}
+
+// New returns a sampler for cfg.
+func New(cfg Config) *Sampler {
+	s := &Sampler{cfg: cfg, lastPhase: -1}
+	if cfg.Adaptive {
+		s.det = phase.NewDetector(cfg.PhaseThreshold)
+	}
+	return s
+}
+
+// Config returns the sampler's configuration (zero value on nil).
+func (s *Sampler) Config() Config {
+	if s == nil {
+		return Config{}
+	}
+	return s.cfg
+}
+
+// Width returns the effective base window width.
+func (s *Sampler) Width() uint64 {
+	if s == nil {
+		return 0
+	}
+	if s.cfg.Width == 0 {
+		return DefaultWidth
+	}
+	return s.cfg.Width
+}
+
+func (s *Sampler) maxWindows() int {
+	if s.cfg.MaxWindows == 0 {
+		return DefaultMaxWindows
+	}
+	return s.cfg.MaxWindows
+}
+
+// SetCollector wires the payload builder: collect(cycles) must return a
+// Window covering the last `cycles` ticks (Start/End are stamped by the
+// sampler). The chip installs a closure that deltas every layer's
+// cumulative counters.
+func (s *Sampler) SetCollector(collect func(cycles uint64) Window) {
+	if s == nil {
+		return
+	}
+	s.collect = collect
+}
+
+// Track registers a named instantaneous probe sampled at every window
+// boundary (e.g. an occupancy or a derived gauge). Names must be
+// program constants or constant-suffixed (prefix + ".name") so series
+// stay stable across runs — enforced by lpmlint's obsdiscipline rule.
+// Registration order is deterministic; probe values are sorted by name
+// in each window.
+func (s *Sampler) Track(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
+	s.probes = append(s.probes, probe{name: name, fn: fn})
+}
+
+// Tick advances the sampler one cycle; on a base-window boundary it
+// collects, derives and stores the window. Call exactly once per
+// simulated cycle, after every component has ticked.
+func (s *Sampler) Tick(cycle uint64) {
+	if s == nil {
+		return
+	}
+	s.winCycles++
+	if s.winCycles >= s.Width() {
+		s.close(cycle)
+	}
+}
+
+// Flush closes the in-progress partial window, if any cycles have
+// accumulated since the last boundary. Call at end of run so the tail
+// of the timeline is not lost.
+func (s *Sampler) Flush(cycle uint64) {
+	if s == nil {
+		return
+	}
+	if s.winCycles > 0 {
+		s.close(cycle)
+	}
+}
+
+// close builds the window ending at cycle (inclusive), derives its
+// model quantities, classifies its phase, and appends or merges it.
+func (s *Sampler) close(cycle uint64) {
+	if s.collect == nil {
+		s.winCycles = 0
+		return
+	}
+	w := s.collect(s.winCycles)
+	w.End = cycle + 1
+	w.Start = w.End - s.winCycles
+	s.winCycles = 0
+	w.Probes = s.sampleProbes()
+	w.Phase = -1
+	if s.det != nil {
+		w.Phase = s.det.Classify(w.signature())
+	}
+	w.finalize(s.cfg.CPIexe)
+
+	if s.cfg.Adaptive && len(s.windows) > 0 {
+		last := &s.windows[len(s.windows)-1]
+		if last.Phase == w.Phase && last.End == w.Start {
+			last.merge(w)
+			last.finalize(s.cfg.CPIexe)
+			if s.cfg.OnWindow != nil {
+				s.cfg.OnWindow(*last)
+			}
+			return
+		}
+	}
+	w.Index = s.nextIndex()
+	s.windows = append(s.windows, w)
+	if len(s.windows) > s.maxWindows() {
+		over := len(s.windows) - s.maxWindows()
+		s.dropped += uint64(over)
+		s.windows = append(s.windows[:0], s.windows[over:]...)
+	}
+	if s.cfg.OnWindow != nil {
+		s.cfg.OnWindow(w)
+	}
+}
+
+// nextIndex returns the index for a fresh window (monotonic even after
+// drops or merges).
+func (s *Sampler) nextIndex() int {
+	if len(s.windows) == 0 {
+		return int(s.dropped)
+	}
+	return s.windows[len(s.windows)-1].Index + 1
+}
+
+// sampleProbes evaluates every registered probe, sorted by name.
+func (s *Sampler) sampleProbes() []ProbeValue {
+	if len(s.probes) == 0 {
+		return nil
+	}
+	vals := make([]ProbeValue, 0, len(s.probes))
+	for _, p := range s.probes {
+		vals = append(vals, ProbeValue{Name: p.name, Value: p.fn()})
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Name < vals[j].Name })
+	return vals
+}
+
+// Windows returns the number of closed windows so far.
+func (s *Sampler) Windows() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.windows)
+}
+
+// Series returns a copy of the timeline accumulated so far.
+func (s *Sampler) Series() Series {
+	if s == nil {
+		return Series{}
+	}
+	out := Series{
+		Version:  SeriesVersion,
+		Width:    s.Width(),
+		Adaptive: s.cfg.Adaptive,
+		Dropped:  s.dropped,
+		Windows:  append([]Window(nil), s.windows...),
+	}
+	return out
+}
+
+// Series is a versioned, JSON-serialisable timeline: the ordered closed
+// windows of one sampler.
+type Series struct {
+	// Version is SeriesVersion at capture time.
+	Version int `json:"version"`
+	// Width is the base window width in cycles.
+	Width uint64 `json:"width"`
+	// Adaptive records whether windows were phase-merged.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// Dropped counts windows evicted by the MaxWindows bound.
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Windows is the timeline, oldest first.
+	Windows []Window `json:"windows"`
+}
+
+// LPMR1Series extracts the per-window LPMR1 values (a convenience for
+// plots and diffs); LPMR2Series and LPMR3Series mirror it.
+func (s Series) LPMR1Series() []float64 { return s.extract(func(d Derived) float64 { return d.LPMR1 }) }
+
+// LPMR2Series extracts the per-window LPMR2 values.
+func (s Series) LPMR2Series() []float64 { return s.extract(func(d Derived) float64 { return d.LPMR2 }) }
+
+// LPMR3Series extracts the per-window LPMR3 values.
+func (s Series) LPMR3Series() []float64 { return s.extract(func(d Derived) float64 { return d.LPMR3 }) }
+
+func (s Series) extract(f func(Derived) float64) []float64 {
+	out := make([]float64, len(s.Windows))
+	for i, w := range s.Windows {
+		out[i] = f(w.Derived)
+	}
+	return out
+}
+
+// TotalCycles returns the cycles covered by the series.
+func (s Series) TotalCycles() uint64 {
+	var n uint64
+	for _, w := range s.Windows {
+		n += w.Cycles()
+	}
+	return n
+}
+
+// ProbeValue is one named probe's value in a window.
+type ProbeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// CPUSample is one core's counter deltas over a window.
+type CPUSample struct {
+	// Instructions, MemInstructions, Cycles are retirements, retired
+	// memory ops, and core-active ticks in the window.
+	Instructions    uint64 `json:"instructions"`
+	MemInstructions uint64 `json:"mem_instructions"`
+	Cycles          uint64 `json:"cycles"`
+	// StallCycles / MemStallCycles / EmptyCycles mirror cpu.Stats over
+	// the window.
+	StallCycles    uint64 `json:"stall_cycles"`
+	MemStallCycles uint64 `json:"mem_stall_cycles"`
+	EmptyCycles    uint64 `json:"empty_cycles"`
+	// MemActiveCycles / OverlapCycles feed the per-window overlap ratio.
+	MemActiveCycles uint64 `json:"mem_active_cycles"`
+	OverlapCycles   uint64 `json:"overlap_cycles"`
+	// ROBOccupancySum accumulates per-cycle ROB occupancy (divide by the
+	// window width for the mean); IssueStalls counts LSQ-full plus
+	// rejected-access events.
+	ROBOccupancySum uint64 `json:"rob_occupancy_sum"`
+	IssueStalls     uint64 `json:"issue_stalls"`
+	// IPC is instructions per window cycle.
+	IPC float64 `json:"ipc"`
+}
+
+// add accumulates o into s (window merging).
+func (s *CPUSample) add(o CPUSample) {
+	s.Instructions += o.Instructions
+	s.MemInstructions += o.MemInstructions
+	s.Cycles += o.Cycles
+	s.StallCycles += o.StallCycles
+	s.MemStallCycles += o.MemStallCycles
+	s.EmptyCycles += o.EmptyCycles
+	s.MemActiveCycles += o.MemActiveCycles
+	s.OverlapCycles += o.OverlapCycles
+	s.ROBOccupancySum += o.ROBOccupancySum
+	s.IssueStalls += o.IssueStalls
+}
+
+// CacheSample is one cache level's deltas over a window. Params carries
+// the raw analyzer counters so the per-window C-AMAT parameters (H,
+// pMR, pAMP, C_H, C_M) are recomputable after merges; Level is the
+// stable instance label ("l1.0", "l2", "l3").
+type CacheSample struct {
+	Level  string          `json:"level"`
+	Params analyzer.Params `json:"params"`
+	// Hits/Misses/PrimaryMisses/MSHRWaits/Rejected are event-counter
+	// deltas from cache.Stats.
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	PrimaryMisses uint64 `json:"primary_misses"`
+	MSHRWaits     uint64 `json:"mshr_waits"`
+	Rejected      uint64 `json:"rejected"`
+	// MSHROccupancySum accumulates per-cycle outstanding-miss counts
+	// (port/bank pressure shows up in Params' hit-phase concurrency).
+	MSHROccupancySum uint64 `json:"mshr_occupancy_sum"`
+}
+
+// add accumulates o into s (window merging).
+func (s *CacheSample) add(o CacheSample) {
+	s.Params = s.Params.Add(o.Params)
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.PrimaryMisses += o.PrimaryMisses
+	s.MSHRWaits += o.MSHRWaits
+	s.Rejected += o.Rejected
+	s.MSHROccupancySum += o.MSHROccupancySum
+}
+
+// DRAMSample is the memory controller's deltas over a window.
+type DRAMSample struct {
+	Reads        uint64 `json:"reads"`
+	Writes       uint64 `json:"writes"`
+	RowHits      uint64 `json:"row_hits"`
+	RowMisses    uint64 `json:"row_misses"`
+	RowConflicts uint64 `json:"row_conflicts"`
+	Rejected     uint64 `json:"rejected"`
+	// ActiveCycles and LatencySum mirror dram.Stats over the window.
+	ActiveCycles uint64 `json:"active_cycles"`
+	LatencySum   uint64 `json:"latency_sum"`
+	// BusBusyCycles accumulates, per window cycle, the number of channel
+	// buses mid-burst; QueueOccupancySum the queued-request population.
+	BusBusyCycles     uint64 `json:"bus_busy_cycles"`
+	QueueOccupancySum uint64 `json:"queue_occupancy_sum"`
+}
+
+// RowHitRate returns row hits over all row outcomes in the window.
+func (s DRAMSample) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// add accumulates o into s (window merging).
+func (s *DRAMSample) add(o DRAMSample) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.RowConflicts += o.RowConflicts
+	s.Rejected += o.Rejected
+	s.ActiveCycles += o.ActiveCycles
+	s.LatencySum += o.LatencySum
+	s.BusBusyCycles += o.BusBusyCycles
+	s.QueueOccupancySum += o.QueueOccupancySum
+}
+
+// NoCSample is the interconnect's deltas over a window (nil when the
+// chip has no NoC).
+type NoCSample struct {
+	Requests      uint64 `json:"requests"`
+	Responses     uint64 `json:"responses"`
+	Rejected      uint64 `json:"rejected"`
+	QueueCycleSum uint64 `json:"queue_cycle_sum"`
+}
+
+// add accumulates o into s (window merging).
+func (s *NoCSample) add(o NoCSample) {
+	s.Requests += o.Requests
+	s.Responses += o.Responses
+	s.Rejected += o.Rejected
+	s.QueueCycleSum += o.QueueCycleSum
+}
+
+// Derived is the per-window model view the analyzer computes from the
+// raw samples: windowed C-AMAT per layer and the three LPMRs (Eq. 9-11;
+// zero when CPIexe was not configured).
+type Derived struct {
+	IPC    float64 `json:"ipc"`
+	Fmem   float64 `json:"fmem"`
+	CAMAT1 float64 `json:"camat1"`
+	CAMAT2 float64 `json:"camat2"`
+	CAMAT3 float64 `json:"camat3"`
+	MR1    float64 `json:"mr1"`
+	MR2    float64 `json:"mr2"`
+	LPMR1  float64 `json:"lpmr1"`
+	LPMR2  float64 `json:"lpmr2"`
+	LPMR3  float64 `json:"lpmr3"`
+}
+
+// Window is one sampled interval: [Start, End) in chip cycles.
+type Window struct {
+	// Index is the window's ordinal (monotonic across drops/merges).
+	Index int `json:"index"`
+	// Start and End bound the window: cycles Start..End-1 inclusive.
+	Start uint64 `json:"start"`
+	End   uint64 `json:"end"`
+	// Phase is the phase id in adaptive mode, -1 in fixed mode.
+	Phase int `json:"phase"`
+
+	// CPU holds one sample per core slot; Cache one per cache level
+	// (l1.* first, then l2, then l3 when present).
+	CPU   []CPUSample   `json:"cpu"`
+	Cache []CacheSample `json:"cache"`
+	DRAM  DRAMSample    `json:"dram"`
+	NoC   *NoCSample    `json:"noc,omitempty"`
+
+	// Stall holds one stall-attribution tree per core slot; every core
+	// cycle in the window lands in exactly one bucket, so each tree's
+	// Total equals Cycles().
+	Stall []StallTree `json:"stall"`
+
+	// Probes are the registered instantaneous gauges, sorted by name.
+	Probes []ProbeValue `json:"probes,omitempty"`
+
+	// Derived is the per-window model view.
+	Derived Derived `json:"derived"`
+}
+
+// Cycles returns the window length.
+func (w Window) Cycles() uint64 { return w.End - w.Start }
+
+// AggregateStall sums the per-core stall trees.
+func (w Window) AggregateStall() StallTree {
+	var t StallTree
+	for _, s := range w.Stall {
+		t.Add(s)
+	}
+	return t
+}
+
+// signature builds the phase-classification vector from the window's
+// aggregate behaviour (the same features phase.FromLPM standardises).
+func (w Window) signature() phase.Signature {
+	var instr, mem uint64
+	for _, c := range w.CPU {
+		instr += c.Instructions
+		mem += c.MemInstructions
+	}
+	l1, _, _ := w.layerParams()
+	fmem := 0.0
+	if instr > 0 {
+		fmem = float64(mem) / float64(instr)
+	}
+	ipc := 0.0
+	if cy := w.Cycles(); cy > 0 {
+		ipc = float64(instr) / float64(cy)
+	}
+	return phase.FromLPM(fmem, l1.MR(), l1.PMR(), l1.CH(), l1.CM(), ipc)
+}
+
+// layerParams aggregates the window's cache samples into the L1 (all
+// private caches summed), L2 and optional L3 views, plus the layer
+// primary-miss counts via pm1/pm2.
+func (w Window) layerParams() (l1, l2 analyzer.Params, pm [2]uint64) {
+	for _, cs := range w.Cache {
+		switch {
+		case len(cs.Level) >= 2 && cs.Level[:2] == "l1":
+			l1 = l1.Add(cs.Params)
+			pm[0] += cs.PrimaryMisses
+		case cs.Level == "l2":
+			l2 = cs.Params
+			pm[1] = cs.PrimaryMisses
+		}
+	}
+	return l1, l2, pm
+}
+
+// finalize recomputes the Derived view from the raw samples; the
+// sampler calls it on close and after every merge.
+func (w *Window) finalize(cpiExe float64) {
+	var instr, mem uint64
+	for _, c := range w.CPU {
+		instr += c.Instructions
+		mem += c.MemInstructions
+	}
+	d := Derived{}
+	if cy := w.Cycles(); cy > 0 {
+		d.IPC = float64(instr) / float64(cy)
+	}
+	if instr > 0 {
+		d.Fmem = float64(mem) / float64(instr)
+	}
+	l1, l2, pm := w.layerParams()
+	d.CAMAT1 = l1.CAMAT()
+	d.CAMAT2 = l2.CAMAT()
+	if l1.Completed > 0 {
+		d.MR1 = float64(pm[0]) / float64(l1.Completed)
+	}
+	if l2.Completed > 0 {
+		d.MR2 = float64(pm[1]) / float64(l2.Completed)
+	}
+	if w.DRAM.ActiveCycles > 0 {
+		apc3 := float64(w.DRAM.Reads+w.DRAM.Writes) / float64(w.DRAM.ActiveCycles)
+		if apc3 > 0 {
+			d.CAMAT3 = 1 / apc3
+		}
+	}
+	if cpiExe > 0 {
+		d.LPMR1 = d.CAMAT1 * d.Fmem / cpiExe
+		d.LPMR2 = d.CAMAT2 * d.Fmem * d.MR1 / cpiExe
+		d.LPMR3 = d.CAMAT3 * d.Fmem * d.MR1 * d.MR2 / cpiExe
+	}
+	w.Derived = d
+}
+
+// merge folds o (the next contiguous window) into w: counters sum,
+// stall trees sum, probes take o's (latest) values. The caller
+// re-finalizes afterwards.
+func (w *Window) merge(o Window) {
+	w.End = o.End
+	for i := range w.CPU {
+		if i < len(o.CPU) {
+			w.CPU[i].add(o.CPU[i])
+		}
+	}
+	for i := range w.Cache {
+		if i < len(o.Cache) {
+			w.Cache[i].add(o.Cache[i])
+		}
+	}
+	w.DRAM.add(o.DRAM)
+	if w.NoC != nil && o.NoC != nil {
+		w.NoC.add(*o.NoC)
+	}
+	for i := range w.Stall {
+		if i < len(o.Stall) {
+			w.Stall[i].Add(o.Stall[i])
+		}
+	}
+	w.Probes = o.Probes
+}

@@ -1,0 +1,365 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"lpm/internal/analyzer"
+	"lpm/internal/obs"
+)
+
+// fakeCollector returns a collector producing one-core windows whose
+// counters scale with the window length, so merges and derivations are
+// checkable arithmetically.
+func fakeCollector(ipcNum uint64) func(cycles uint64) Window {
+	return func(cycles uint64) Window {
+		instr := cycles * ipcNum / 10
+		var tree StallTree
+		tree.Busy = cycles // trivially conserved: every cycle busy
+		return Window{
+			CPU: []CPUSample{{
+				Instructions:    instr,
+				MemInstructions: instr / 2,
+				Cycles:          cycles,
+			}},
+			Cache: []CacheSample{{
+				Level: "l1.0",
+				Params: analyzer.Params{
+					Accesses: instr / 2, Completed: instr / 2,
+					Misses: instr / 20, PureMisses: instr / 40,
+					HitAccessCycles: instr, HitActiveCycles: instr / 2,
+					PureAccessCycles: instr / 10, PureCycles: instr / 20,
+					Cycles: cycles, ActiveCycles: cycles / 2,
+				},
+				Hits:   instr/2 - instr/20,
+				Misses: instr / 20,
+			}, {
+				Level: "l2",
+				Params: analyzer.Params{
+					Accesses: instr / 20, Completed: instr / 20,
+					HitAccessCycles: instr / 5, HitActiveCycles: instr / 20,
+				},
+			}},
+			DRAM:  DRAMSample{Reads: instr / 100, RowHits: 3, RowMisses: 1},
+			Stall: []StallTree{tree},
+		}
+	}
+}
+
+func TestNilSamplerIsNoOp(t *testing.T) {
+	var s *Sampler
+	s.Tick(1)
+	s.Flush(2)
+	s.SetCollector(nil)
+	s.Track("x.probe", func() float64 { return 1 })
+	if s.Windows() != 0 || s.Width() != 0 {
+		t.Fatalf("nil sampler not inert: windows=%d width=%d", s.Windows(), s.Width())
+	}
+	if got := s.Series(); len(got.Windows) != 0 {
+		t.Fatalf("nil sampler produced windows: %+v", got)
+	}
+	if cfg := s.Config(); cfg.Width != 0 || cfg.Adaptive || cfg.OnWindow != nil {
+		t.Fatalf("nil sampler config = %+v", cfg)
+	}
+}
+
+func TestFixedWindows(t *testing.T) {
+	s := New(Config{Width: 100, CPIexe: 0.5})
+	s.SetCollector(fakeCollector(8))
+	for cy := uint64(0); cy < 250; cy++ {
+		s.Tick(cy)
+	}
+	s.Flush(249)
+	ser := s.Series()
+	if len(ser.Windows) != 3 {
+		t.Fatalf("want 3 windows (100+100+50), got %d", len(ser.Windows))
+	}
+	wantBounds := [][2]uint64{{0, 100}, {100, 200}, {200, 250}}
+	for i, w := range ser.Windows {
+		if w.Start != wantBounds[i][0] || w.End != wantBounds[i][1] {
+			t.Errorf("window %d bounds [%d,%d), want [%d,%d)", i, w.Start, w.End, wantBounds[i][0], wantBounds[i][1])
+		}
+		if w.Index != i {
+			t.Errorf("window %d index = %d", i, w.Index)
+		}
+		if w.Phase != -1 {
+			t.Errorf("fixed-mode window %d has phase %d, want -1", i, w.Phase)
+		}
+	}
+	if got := ser.TotalCycles(); got != 250 {
+		t.Fatalf("series covers %d cycles, want 250", got)
+	}
+	// IPC of 8/10 per collector arithmetic.
+	if ipc := ser.Windows[0].Derived.IPC; math.Abs(ipc-0.8) > 1e-12 {
+		t.Errorf("window IPC = %v, want 0.8", ipc)
+	}
+	// LPMR1 = CAMAT1 * fmem / CPIexe must be positive with CPIexe set.
+	if l := ser.Windows[0].Derived.LPMR1; l <= 0 {
+		t.Errorf("LPMR1 = %v, want > 0", l)
+	}
+	if got := len(ser.LPMR1Series()); got != 3 {
+		t.Errorf("LPMR1Series length %d, want 3", got)
+	}
+}
+
+func TestPartialWindowOnlyOnFlush(t *testing.T) {
+	s := New(Config{Width: 100})
+	s.SetCollector(fakeCollector(10))
+	for cy := uint64(0); cy < 30; cy++ {
+		s.Tick(cy)
+	}
+	if s.Windows() != 0 {
+		t.Fatalf("partial window closed early: %d", s.Windows())
+	}
+	s.Flush(29)
+	if s.Windows() != 1 {
+		t.Fatalf("flush did not close partial window: %d", s.Windows())
+	}
+	w := s.Series().Windows[0]
+	if w.Start != 0 || w.End != 30 {
+		t.Fatalf("partial window bounds [%d,%d), want [0,30)", w.Start, w.End)
+	}
+	// Double flush must not emit an empty window.
+	s.Flush(29)
+	if s.Windows() != 1 {
+		t.Fatalf("second flush added a window: %d", s.Windows())
+	}
+}
+
+func TestAdaptiveMergesStablePhases(t *testing.T) {
+	s := New(Config{Width: 50, Adaptive: true})
+	s.SetCollector(fakeCollector(8)) // identical behaviour every window
+	for cy := uint64(0); cy < 500; cy++ {
+		s.Tick(cy)
+	}
+	ser := s.Series()
+	if len(ser.Windows) != 1 {
+		t.Fatalf("stable behaviour should merge to 1 window, got %d", len(ser.Windows))
+	}
+	w := ser.Windows[0]
+	if w.Start != 0 || w.End != 500 {
+		t.Fatalf("merged window bounds [%d,%d), want [0,500)", w.Start, w.End)
+	}
+	if w.Phase != 0 {
+		t.Fatalf("merged window phase = %d, want 0", w.Phase)
+	}
+	// Merged counters must equal the sum of the base windows.
+	if got := w.CPU[0].Instructions; got != 400 {
+		t.Fatalf("merged instructions = %d, want 400", got)
+	}
+	if got := w.AggregateStall().Total(); got != 500 {
+		t.Fatalf("merged stall total = %d, want 500", got)
+	}
+}
+
+func TestAdaptiveSplitsPhaseChange(t *testing.T) {
+	behaviour := uint64(9)
+	s := New(Config{Width: 50, Adaptive: true})
+	s.SetCollector(func(cycles uint64) Window { return fakeCollector(behaviour)(cycles) })
+	for cy := uint64(0); cy < 200; cy++ {
+		s.Tick(cy)
+	}
+	behaviour = 1 // drastic IPC shift => new phase
+	for cy := uint64(200); cy < 400; cy++ {
+		s.Tick(cy)
+	}
+	ser := s.Series()
+	if len(ser.Windows) != 2 {
+		t.Fatalf("want 2 phase windows, got %d", len(ser.Windows))
+	}
+	if ser.Windows[0].Phase == ser.Windows[1].Phase {
+		t.Fatalf("phase ids should differ: %d vs %d", ser.Windows[0].Phase, ser.Windows[1].Phase)
+	}
+	if ser.Windows[0].End != 200 || ser.Windows[1].Start != 200 {
+		t.Fatalf("phase boundary misplaced: [%d,%d) [%d,%d)",
+			ser.Windows[0].Start, ser.Windows[0].End, ser.Windows[1].Start, ser.Windows[1].End)
+	}
+	if got := ser.TotalCycles(); got != 400 {
+		t.Fatalf("series covers %d cycles, want 400", got)
+	}
+}
+
+func TestMaxWindowsDropsOldest(t *testing.T) {
+	s := New(Config{Width: 10, MaxWindows: 3})
+	s.SetCollector(fakeCollector(10))
+	for cy := uint64(0); cy < 100; cy++ { // 10 base windows
+		s.Tick(cy)
+	}
+	ser := s.Series()
+	if len(ser.Windows) != 3 {
+		t.Fatalf("stored %d windows, want 3", len(ser.Windows))
+	}
+	if ser.Dropped != 7 {
+		t.Fatalf("dropped = %d, want 7", ser.Dropped)
+	}
+	if first := ser.Windows[0]; first.Index != 7 || first.Start != 70 {
+		t.Fatalf("oldest kept window index=%d start=%d, want 7/70", first.Index, first.Start)
+	}
+}
+
+func TestTrackProbesSampledSorted(t *testing.T) {
+	s := New(Config{Width: 10})
+	s.SetCollector(fakeCollector(10))
+	occ := 5.0
+	s.Track("cpu.0"+".rob_occupancy", func() float64 { return occ })
+	s.Track("l1.0"+".mshr_occupancy", func() float64 { return 2 })
+	for cy := uint64(0); cy < 10; cy++ {
+		s.Tick(cy)
+	}
+	w := s.Series().Windows[0]
+	if len(w.Probes) != 2 {
+		t.Fatalf("probes = %+v, want 2", w.Probes)
+	}
+	if w.Probes[0].Name != "cpu.0.rob_occupancy" || w.Probes[1].Name != "l1.0.mshr_occupancy" {
+		t.Fatalf("probes not sorted by name: %+v", w.Probes)
+	}
+	if w.Probes[0].Value != 5 {
+		t.Fatalf("probe value = %v, want 5", w.Probes[0].Value)
+	}
+}
+
+func TestOnWindowHookFires(t *testing.T) {
+	var seen []Window
+	s := New(Config{Width: 10, OnWindow: func(w Window) { seen = append(seen, w) }})
+	s.SetCollector(fakeCollector(10))
+	for cy := uint64(0); cy < 25; cy++ {
+		s.Tick(cy)
+	}
+	s.Flush(24)
+	if len(seen) != 3 {
+		t.Fatalf("OnWindow fired %d times, want 3", len(seen))
+	}
+	if seen[2].End != 25 {
+		t.Fatalf("last hooked window ends at %d, want 25", seen[2].End)
+	}
+}
+
+func TestStallTreeChargeAndConservation(t *testing.T) {
+	var tree StallTree
+	classes := []int{
+		ClassBusy, ClassEmpty, ClassCompute, ClassL1Hit, ClassL1Miss,
+		ClassL2Miss, ClassL3Miss, ClassNoC, ClassDRAMQueue, ClassDRAMService,
+		ClassOther, 99, // unknown class lands in Other
+	}
+	for _, c := range classes {
+		tree.Charge(c)
+	}
+	if got := tree.Total(); got != uint64(len(classes)) {
+		t.Fatalf("Total = %d, want %d: charge leaks cycles", got, len(classes))
+	}
+	if tree.Other != 2 {
+		t.Fatalf("Other = %d, want 2 (explicit + unknown class)", tree.Other)
+	}
+	if got := tree.MemStall(); got != 9 {
+		t.Fatalf("MemStall = %d, want 9", got)
+	}
+	var sum StallTree
+	sum.Add(tree)
+	sum.Add(tree)
+	if sum.Total() != 2*tree.Total() {
+		t.Fatalf("Add not additive: %d vs %d", sum.Total(), 2*tree.Total())
+	}
+	// Nil receivers must be inert.
+	var np *StallTree
+	np.Charge(ClassBusy)
+	np.Add(tree)
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := New(Config{Width: 20, CPIexe: 0.5})
+	s.SetCollector(fakeCollector(10))
+	for cy := uint64(0); cy < 60; cy++ {
+		s.Tick(cy)
+	}
+	ser := s.Series()
+	b, err := json.Marshal(ser)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Series
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Version != SeriesVersion || len(back.Windows) != len(ser.Windows) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Windows[0].Derived.LPMR1 != ser.Windows[0].Derived.LPMR1 {
+		t.Fatalf("derived values drifted through JSON")
+	}
+}
+
+func TestLivePublishAndTimeline(t *testing.T) {
+	l := NewLive()
+	l.SetMeta(128, true)
+	l.Publish(Window{Index: 0, Start: 0, End: 128})
+	l.Publish(Window{Index: 1, Start: 128, End: 256})
+	// Re-publishing an index replaces (adaptive merges re-emit).
+	l.Publish(Window{Index: 1, Start: 128, End: 512})
+	ser, done := l.Timeline()
+	if done {
+		t.Fatalf("run reported done before Finish")
+	}
+	if len(ser.Windows) != 2 {
+		t.Fatalf("timeline has %d windows, want 2", len(ser.Windows))
+	}
+	if ser.Windows[1].End != 512 {
+		t.Fatalf("re-publish did not replace: end=%d", ser.Windows[1].End)
+	}
+	if ser.Width != 128 || !ser.Adaptive || ser.Version != SeriesVersion {
+		t.Fatalf("meta not carried: %+v", ser)
+	}
+	l.Finish()
+	if _, done := l.Timeline(); !done {
+		t.Fatalf("Finish not reported")
+	}
+	snap := &obs.Snapshot{Version: obs.SnapshotVersion}
+	l.PublishSnapshot(snap)
+	if l.Snapshot() != snap {
+		t.Fatalf("snapshot not stored")
+	}
+}
+
+func TestLiveNilIsNoOp(t *testing.T) {
+	var l *Live
+	l.SetMeta(1, false)
+	l.Publish(Window{})
+	l.PublishSnapshot(nil)
+	l.Finish()
+	if s, done := l.Timeline(); done || len(s.Windows) != 0 {
+		t.Fatalf("nil live not inert")
+	}
+	if l.Snapshot() != nil {
+		t.Fatalf("nil live returned snapshot")
+	}
+}
+
+func TestLiveConcurrentReaders(t *testing.T) {
+	l := NewLive()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			l.Publish(Window{Index: i, Start: uint64(i) * 10, End: uint64(i+1) * 10})
+		}
+		l.Finish()
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			ser, done := l.Timeline()
+			for j, w := range ser.Windows {
+				if w.Index != j {
+					t.Errorf("torn read: window %d has index %d", j, w.Index)
+					return
+				}
+			}
+			if done {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

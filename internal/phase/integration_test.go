@@ -1,8 +1,9 @@
-package phase
+package phase_test
 
 import (
 	"testing"
 
+	"lpm/internal/phase"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
@@ -22,7 +23,7 @@ func TestPhaseDetectionOnSimulatedIntervals(t *testing.T) {
 	cfg.Cores[0].Workload = gen
 	ch := chip.New(cfg)
 
-	tr := NewTracker(NewDetector(0.15))
+	tr := phase.NewTracker(phase.NewDetector(0.15))
 	var truth []int // generator phase at each interval end
 	var assigned []int
 
@@ -35,7 +36,7 @@ func TestPhaseDetectionOnSimulatedIntervals(t *testing.T) {
 		ch.RunUntilRetired(dwell, 200_000_000)
 		m := ch.Measure(0, 1)
 		l1 := ch.Snapshot().Cores[0].L1
-		sig := FromLPM(m.Fmem, m.MR1, m.PMR1, l1.CH(), l1.CM(), m.IPC)
+		sig := phase.FromLPM(m.Fmem, m.MR1, m.PMR1, l1.CH(), l1.CM(), m.IPC)
 		id, _ := tr.Observe(sig)
 		assigned = append(assigned, id)
 		ch.ResetCounters()

@@ -90,6 +90,26 @@ type Stats struct {
 	Invalidations uint64
 }
 
+// Sub returns the counter-wise difference s - o, for windowed deltas of
+// cumulative counters (o must be an earlier snapshot of the same cache).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Accesses:       s.Accesses - o.Accesses,
+		Hits:           s.Hits - o.Hits,
+		Misses:         s.Misses - o.Misses,
+		Coalesced:      s.Coalesced - o.Coalesced,
+		PrimaryMisses:  s.PrimaryMisses - o.PrimaryMisses,
+		MSHRWaits:      s.MSHRWaits - o.MSHRWaits,
+		Rejected:       s.Rejected - o.Rejected,
+		Writebacks:     s.Writebacks - o.Writebacks,
+		Evictions:      s.Evictions - o.Evictions,
+		Prefetches:     s.Prefetches - o.Prefetches,
+		PrefetchUseful: s.PrefetchUseful - o.PrefetchUseful,
+		QuotaWaits:     s.QuotaWaits - o.QuotaWaits,
+		Invalidations:  s.Invalidations - o.Invalidations,
+	}
+}
+
 // Cache is a cycle-driven non-blocking cache. Create with New, connect a
 // lower layer with SetLower, then call Tick once per cycle (upper layers
 // first). It implements Lower so caches stack directly.
@@ -253,6 +273,18 @@ func (c *Cache) Busy() bool {
 	return len(c.input) > 0 || len(c.pipe) > 0 || len(c.mshrs) > 0 ||
 		len(c.waiting) > 0 || len(c.issueQ) > 0 || len(c.wbQ) > 0 ||
 		len(c.fills) > 0 || len(c.fillsNext) > 0
+}
+
+// OutstandingMisses returns the current MSHR population — the per-cycle
+// occupancy probe of the time-series sampler and the "is this layer
+// still working a miss" signal of the stall attribution.
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+
+// ServiceActive reports whether the cache is actively working demand
+// accesses this cycle (queued, in the hit pipeline, or parked awaiting
+// MSHR capacity) — distinguishing hit-path pressure from idle.
+func (c *Cache) ServiceActive() bool {
+	return len(c.input) > 0 || len(c.pipe) > 0 || len(c.waiting) > 0
 }
 
 // block maps an address to its block address.

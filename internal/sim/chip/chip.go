@@ -106,6 +106,7 @@ type Chip struct {
 	now    uint64
 	reg    *obs.Registry // nil unless EnableObs was called
 	tr     *obs.Tracer   // nil unless AttachTracer was called
+	ts     *tsState      // nil unless EnableTimeseries was called
 }
 
 // New builds the chip; it panics on invalid configuration.
@@ -276,6 +277,10 @@ func (c *Chip) Tick() {
 		c.l3.Tick(c.now)
 	}
 	c.mem.Tick(c.now)
+	if c.ts != nil {
+		c.tsAccumulate()
+		c.ts.s.Tick(c.now)
+	}
 }
 
 // Busy reports whether any component still has work in flight.
@@ -371,6 +376,13 @@ func (c *Chip) Run(minInstr uint64, maxCycles uint64) (cycles uint64, completed 
 // preserving microarchitectural state — the online interval measurement
 // the LPM algorithm performs.
 func (c *Chip) ResetCounters() {
+	// Close the in-progress time-series window against the pre-reset
+	// counters first: its deltas and stall charges are only valid
+	// relative to the old baselines, and conservation requires every
+	// accumulated cycle to land in a window.
+	if c.ts != nil {
+		c.ts.s.Flush(c.now)
+	}
 	for _, core := range c.cores {
 		if core != nil {
 			core.ResetCounters()
@@ -393,6 +405,11 @@ func (c *Chip) ResetCounters() {
 	// The registry mirrors the per-window counters, so it resets with
 	// them; the next ObsSnapshot covers exactly one measurement window.
 	c.reg.ResetCounters()
+	// The sampler's delta baselines track the cumulative counters, so
+	// they re-anchor with them (at zero).
+	if c.ts != nil {
+		c.ts.rebase(c)
+	}
 }
 
 // CoreReport aggregates one core's view of the system.

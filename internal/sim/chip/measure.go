@@ -3,6 +3,7 @@ package chip
 import (
 	"lpm/internal/analyzer"
 	"lpm/internal/core"
+	"lpm/internal/obs/timeseries"
 	"lpm/internal/sim/cpu"
 )
 
@@ -59,7 +60,19 @@ func (c *Chip) Measure(i int, cpiExe float64) core.Measurement {
 	mr2 := requestRate(c.l2.Stats().PrimaryMisses, l2.Completed)
 	m := measurementFrom(cs, l1, l2, mr1, mr2, c.mem.Stats().APC(), cpiExe)
 	m.Obs = c.ObsSnapshot()
+	m.Timeline = c.timelineSeries()
 	return m
+}
+
+// timelineSeries flushes and copies the attached sampler's series (nil
+// without a sampler) so measurements carry the window timeline.
+func (c *Chip) timelineSeries() *timeseries.Series {
+	if c.ts == nil {
+		return nil
+	}
+	c.ts.s.Flush(c.now)
+	ser := c.ts.s.Series()
+	return &ser
 }
 
 // MeasureAggregate returns a chip-wide measurement: per-core CPU counters
@@ -90,6 +103,7 @@ func (c *Chip) MeasureAggregate(cpiExe float64) core.Measurement {
 	mr2 := requestRate(c.l2.Stats().PrimaryMisses, l2.Completed)
 	m := measurementFrom(cs, l1, l2, mr1, mr2, c.mem.Stats().APC(), cpiExe)
 	m.Obs = c.ObsSnapshot()
+	m.Timeline = c.timelineSeries()
 	return m
 }
 

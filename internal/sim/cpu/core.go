@@ -108,6 +108,23 @@ type Stats struct {
 	RejectedAccesses uint64
 }
 
+// Sub returns the counter-wise difference s - o, for windowed deltas of
+// cumulative counters (o must be an earlier snapshot of the same core).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Cycles:           s.Cycles - o.Cycles,
+		Instructions:     s.Instructions - o.Instructions,
+		MemInstructions:  s.MemInstructions - o.MemInstructions,
+		StallCycles:      s.StallCycles - o.StallCycles,
+		MemStallCycles:   s.MemStallCycles - o.MemStallCycles,
+		EmptyCycles:      s.EmptyCycles - o.EmptyCycles,
+		MemActiveCycles:  s.MemActiveCycles - o.MemActiveCycles,
+		OverlapCycles:    s.OverlapCycles - o.OverlapCycles,
+		LSQFullEvents:    s.LSQFullEvents - o.LSQFullEvents,
+		RejectedAccesses: s.RejectedAccesses - o.RejectedAccesses,
+	}
+}
+
 // IPC returns instructions per cycle.
 func (s Stats) IPC() float64 {
 	if s.Cycles == 0 {
@@ -151,6 +168,29 @@ func (s Stats) DataStallPerInstr() float64 {
 	return float64(s.MemStallCycles) / float64(s.Instructions)
 }
 
+// CycleClass classifies what a core did in its most recent Tick — the
+// per-cycle input of the time-series stall attribution. The chip refines
+// CycleMemStall into a per-layer bucket using the hierarchy's occupancy
+// probes.
+type CycleClass uint8
+
+// Cycle classes, set by Tick.
+const (
+	// CycleOff: the core is halted and drained; it did not consume the
+	// cycle (attributed as empty time by the chip).
+	CycleOff CycleClass = iota
+	// CycleBusy: at least one instruction retired.
+	CycleBusy
+	// CycleEmpty: zero retirements with an empty ROB.
+	CycleEmpty
+	// CycleComputeStall: zero retirements, non-memory (or completed)
+	// instruction at ROB head.
+	CycleComputeStall
+	// CycleMemStall: zero retirements, incomplete memory access at ROB
+	// head — the data-stall cycle of Eq. (5).
+	CycleMemStall
+)
+
 // Core is a cycle-driven out-of-order core. Create with New, then call
 // Tick once per cycle before the caches.
 type Core struct {
@@ -168,8 +208,9 @@ type Core struct {
 	inLSQ  int // memory accesses outstanding
 	halted bool
 
-	st Stats
-	ob *coreObs
+	st        Stats
+	lastClass CycleClass
+	ob        *coreObs
 }
 
 // coreObs holds the core's registry handles (nil when unobserved).
@@ -252,6 +293,18 @@ func (c *Core) Halted() bool { return c.halted }
 // Busy reports whether instructions are still in flight.
 func (c *Core) Busy() bool { return c.count > 0 }
 
+// LastClass returns the classification of the core's most recent cycle
+// (CycleOff before the first Tick or once drained).
+func (c *Core) LastClass() CycleClass { return c.lastClass }
+
+// ROBOccupancy returns the current in-flight instruction count, the
+// time-series ROB occupancy probe.
+func (c *Core) ROBOccupancy() int { return c.count }
+
+// IWOccupancy returns the dispatched-but-incomplete instruction count,
+// the instruction-window occupancy probe.
+func (c *Core) IWOccupancy() int { return c.inIW }
+
 // at returns the ROB entry holding seq; the caller guarantees it is in
 // flight.
 func (c *Core) at(seq uint64) *robEntry {
@@ -274,6 +327,7 @@ func (c *Core) depReady(e *robEntry) bool {
 // Tick advances the core one cycle.
 func (c *Core) Tick(cycle uint64) {
 	if c.halted && c.count == 0 {
+		c.lastClass = CycleOff
 		return // fully drained: the core is off, time no longer accrues
 	}
 	c.st.Cycles++
@@ -361,15 +415,18 @@ func (c *Core) Tick(cycle uint64) {
 	}
 
 	// 5. Cycle accounting.
-	if retired == 0 {
-		if c.count == 0 {
-			c.st.EmptyCycles++
-		} else {
-			c.st.StallCycles++
-			head := &c.rob[c.head]
-			if head.in.Kind.IsMem() && head.state != stDone {
-				c.st.MemStallCycles++
-			}
+	if retired > 0 {
+		c.lastClass = CycleBusy
+	} else if c.count == 0 {
+		c.st.EmptyCycles++
+		c.lastClass = CycleEmpty
+	} else {
+		c.st.StallCycles++
+		c.lastClass = CycleComputeStall
+		head := &c.rob[c.head]
+		if head.in.Kind.IsMem() && head.state != stDone {
+			c.st.MemStallCycles++
+			c.lastClass = CycleMemStall
 		}
 	}
 	if c.inLSQ > 0 {

@@ -139,6 +139,26 @@ type Stats struct {
 	// ActiveCycles counts cycles with any request queued or in service,
 	// the denominator of the memory layer's APC.
 	ActiveCycles uint64
+	// BusBusyCycles accumulates, per cycle, the number of channel data
+	// buses occupied by a burst — bus utilization is
+	// BusBusyCycles / (cycles * channels).
+	BusBusyCycles uint64
+}
+
+// Sub returns the counter-wise difference s - o, for windowed deltas of
+// cumulative counters (o must be an earlier snapshot of the same memory).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:         s.Reads - o.Reads,
+		Writes:        s.Writes - o.Writes,
+		RowHits:       s.RowHits - o.RowHits,
+		RowMisses:     s.RowMisses - o.RowMisses,
+		RowConflicts:  s.RowConflicts - o.RowConflicts,
+		Rejected:      s.Rejected - o.Rejected,
+		LatencySum:    s.LatencySum - o.LatencySum,
+		ActiveCycles:  s.ActiveCycles - o.ActiveCycles,
+		BusBusyCycles: s.BusBusyCycles - o.BusBusyCycles,
+	}
 }
 
 // APC returns requests serviced per memory-active cycle — the supply rate
@@ -258,6 +278,21 @@ func (d *DRAM) Busy() bool {
 	return false
 }
 
+// QueuedRequests returns the number of requests currently waiting in
+// channel queues — the bank-queue-depth probe of the time-series
+// sampler and the queueing signal of the stall attribution.
+func (d *DRAM) QueuedRequests() int {
+	n := 0
+	for i := range d.channels {
+		n += len(d.channels[i].queue)
+	}
+	return n
+}
+
+// InFlight returns the number of scheduled completions not yet
+// delivered — requests DRAM is actively servicing.
+func (d *DRAM) InFlight() int { return len(d.pend) }
+
 // Request implements cache.Lower; src is accepted for interface
 // compatibility (the controller does not partition). A false return
 // means the channel queue is full; retry next cycle.
@@ -296,6 +331,9 @@ func (d *DRAM) Tick(cycle uint64) {
 		d.serviceChannel(&d.channels[ci])
 		if len(d.channels[ci].queue) > 0 {
 			active = true
+		}
+		if d.channels[ci].busUntil > cycle {
+			d.st.BusBusyCycles++
 		}
 	}
 	if active {

@@ -91,6 +91,17 @@ type Stats struct {
 	QueueCycleSum uint64
 }
 
+// Sub returns the counter-wise difference s - o, for windowed deltas of
+// cumulative counters (o must be an earlier snapshot of the same router).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Requests:      s.Requests - o.Requests,
+		Responses:     s.Responses - o.Responses,
+		Rejected:      s.Rejected - o.Rejected,
+		QueueCycleSum: s.QueueCycleSum - o.QueueCycleSum,
+	}
+}
+
 // AvgQueueing returns the mean cycles a request waited for arbitration.
 func (s Stats) AvgQueueing() float64 {
 	if s.Requests == 0 {
@@ -183,6 +194,17 @@ func (r *Router) Busy() bool {
 		}
 	}
 	return false
+}
+
+// Pending returns the number of messages currently queued or traversing
+// in either direction — the interconnect-occupancy probe of the
+// time-series sampler and the NoC signal of the stall attribution.
+func (r *Router) Pending() int {
+	n := len(r.inflight) + len(r.resp)
+	for _, q := range r.queues {
+		n += len(q)
+	}
+	return n
 }
 
 // queueFor clamps a source id onto the allocated queues.

@@ -87,6 +87,43 @@ func TestParallelObservedTable1SnapshotsMatchSerial(t *testing.T) {
 	}
 }
 
+// Timelines are part of the measurement, so they obey the same law:
+// fanning the sampled runs over workers must reproduce the serial
+// timelines window for window — and the Timeline flag must never let a
+// sampled run and a plain run share a memo slot.
+func TestParallelTimelinesMatchSerialExactly(t *testing.T) {
+	defer func() { SetWorkers(0); ResetSimCaches() }()
+
+	// A reduced budget: timeline determinism does not depend on scale.
+	s := Scale{Warmup: 30000, Window: 8000}
+
+	ResetSimCaches()
+	SetWorkers(1)
+	serial := TimelineStudy(s)
+
+	ResetSimCaches()
+	SetWorkers(4)
+	parallel := TimelineStudy(s)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel timelines diverged from serial baseline:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+	for _, r := range serial {
+		if r.M.Timeline == nil || len(r.M.Timeline.Windows) == 0 {
+			t.Fatalf("row %s: sampled run carries no timeline", r.Name)
+		}
+	}
+
+	// A plain run at the same scale must not be served the sampled
+	// result: the Timeline flag is part of the memo key.
+	for _, r := range Table1(s) {
+		if r.M.Timeline != nil {
+			t.Fatalf("row %s: plain run returned a timeline (memo key collision)", r.Name)
+		}
+	}
+}
+
 func TestParallelAloneIPCsMatchesSerialExactly(t *testing.T) {
 	defer func() { SetWorkers(0); ResetSimCaches() }()
 

@@ -8,15 +8,23 @@ package lpm
 // incompatible shape change).
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"lpm/internal/obs"
+	"lpm/internal/obs/timeseries"
 )
 
 // Report schema identifiers.
 const (
-	// ReportSchema versions the lpmreport -json document.
-	ReportSchema = "lpm-report/v1"
+	// ReportSchema versions the lpmreport -json document. v2 adds the
+	// "timeline" experiment (windowed C-AMAT/LPMR series with stall
+	// attribution); every v1 field is unchanged, so v1 documents remain
+	// decodable — see DecodeReport.
+	ReportSchema = "lpm-report/v2"
+	// ReportSchemaV1 is the previous report schema, still accepted by
+	// DecodeReport.
+	ReportSchemaV1 = "lpm-report/v1"
 	// ExploreSchema versions the lpmexplore -json document.
 	ExploreSchema = "lpm-explore/v1"
 )
@@ -45,7 +53,7 @@ type Report struct {
 // is non-empty, keyed by Name.
 type ExperimentReport struct {
 	// Name is the experiment key (fig1, table1, casestudy1, fig67, fig8,
-	// interval, identities).
+	// interval, identities, timeline).
 	Name string `json:"name"`
 
 	Fig1       *Fig1JSON        `json:"fig1,omitempty"`
@@ -55,6 +63,19 @@ type ExperimentReport struct {
 	Fig8       []Fig8Row        `json:"fig8,omitempty"`
 	Interval   []IntervalRow    `json:"interval,omitempty"`
 	Identities []IdentityReport `json:"identities,omitempty"`
+	Timeline   []TimelineJSON   `json:"timeline,omitempty"`
+}
+
+// TimelineJSON is one configuration's windowed time series (schema v2).
+type TimelineJSON struct {
+	// Name and Point identify the Table I configuration measured.
+	Name  string `json:"name"`
+	Point string `json:"point"`
+	// CPIexe is the perfect-cache CPI the per-window LPMRs divide by.
+	CPIexe float64 `json:"cpi_exe"`
+	// Series is the windowed C-AMAT/LPMR timeline with per-core stall
+	// attribution.
+	Series *timeseries.Series `json:"series"`
 }
 
 // Fig1JSON carries the Fig. 1 worked example, paper vs measured.
@@ -125,7 +146,27 @@ type ReportOptions struct {
 
 // ReportExperiments lists the valid experiment keys in run order.
 func ReportExperiments() []string {
-	return []string{"fig1", "table1", "casestudy1", "fig67", "fig8", "interval", "identities"}
+	return []string{"fig1", "table1", "casestudy1", "fig67", "fig8", "interval", "identities", "timeline"}
+}
+
+// DecodeReport parses a JSON report document, accepting both the current
+// schema and v1 (which simply lacks the timeline payload). Unknown or
+// missing schema strings are an error: a silent best-effort decode would
+// make report diffs meaningless.
+func DecodeReport(data []byte) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("decode report: %w", err)
+	}
+	switch rep.Schema {
+	case ReportSchema, ReportSchemaV1:
+		return &rep, nil
+	case "":
+		return nil, fmt.Errorf("decode report: missing schema field")
+	default:
+		return nil, fmt.Errorf("decode report: unsupported schema %q (supported: %s, %s)",
+			rep.Schema, ReportSchema, ReportSchemaV1)
+	}
 }
 
 // BuildReport runs the selected experiments and assembles the versioned
@@ -211,6 +252,15 @@ func BuildReport(opts ReportOptions) (*Report, error) {
 				return nil, fmt.Errorf("identities: %w", err)
 			}
 			er.Identities = reps
+		case "timeline":
+			for _, r := range TimelineStudy(s) {
+				er.Timeline = append(er.Timeline, TimelineJSON{
+					Name:   r.Name,
+					Point:  r.Point.String(),
+					CPIexe: r.M.CPIexe,
+					Series: r.M.Timeline,
+				})
+			}
 		default:
 			return nil, fmt.Errorf("unknown experiment %q (valid: %v)", name, ReportExperiments())
 		}
