@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench fuzz ci golden diffgate race-serve
+.PHONY: all build test race vet lint fmt-check bench fuzz chaos ci golden diffgate race-serve
 
 all: build vet lint test race
 
@@ -38,6 +38,13 @@ fuzz:
 	$(GO) test -fuzz FuzzTraceDecode -fuzztime 15s -run '^$$' ./internal/trace
 	$(GO) test -fuzz FuzzCacheConfigValidate -fuzztime 15s -run '^$$' ./internal/sim/cache
 
+# Fault-injection suite: every recovery path (checkpoint/resume
+# bit-identity, watchdog livelock isolation, partial reports on
+# cancellation) under the race detector. Also part of the full -race
+# sweep in `make ci`; this target runs it standalone.
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaos' ./...
+
 # Regenerate the golden files after an intentional model/simulator change.
 golden:
 	$(GO) test -run Golden -update .
@@ -56,9 +63,11 @@ diffgate:
 race-serve:
 	$(GO) test -race -run 'TestServeEndpoints|TestRunServeMidRun' ./cmd/lpmrun
 
-# Full CI gate: formatting, build, vet, lint, the whole suite under the
-# race detector, the golden-report diff gate, and the fuzz smoke.
+# Full CI gate: formatting, build, vet, lint, the fault-injection suite,
+# the whole suite under the race detector, the golden-report diff gate,
+# and the fuzz smoke.
 ci: fmt-check build vet lint
+	$(MAKE) chaos
 	$(GO) test -race ./...
 	$(MAKE) diffgate
 	$(MAKE) fuzz

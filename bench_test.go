@@ -7,6 +7,7 @@ package lpm
 // regenerates the paper's rows alongside runtime cost.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -98,7 +99,7 @@ func BenchmarkFig6APC1Sweep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ResetSimCaches() // time the profiling runs, not memo hits
 				var err error
-				tbl, err = sched.BuildProfileTable([]string{name}, chip.NUCAGroupSizes[:],
+				tbl, err = sched.BuildProfileTable(context.Background(), []string{name}, chip.NUCAGroupSizes[:],
 					sched.ProfileOptions{Instructions: 12000, Warmup: 30000})
 				if err != nil {
 					b.Fatal(err)
@@ -121,7 +122,7 @@ func BenchmarkFig7APC2Sweep(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ResetSimCaches() // time the profiling runs, not memo hits
 				var err error
-				tbl, err = sched.BuildProfileTable([]string{name}, chip.NUCAGroupSizes[:],
+				tbl, err = sched.BuildProfileTable(context.Background(), []string{name}, chip.NUCAGroupSizes[:],
 					sched.ProfileOptions{Instructions: 12000, Warmup: 30000})
 				if err != nil {
 					b.Fatal(err)
@@ -154,12 +155,12 @@ func sizeLabel(sz uint64) string {
 func fig8Fixtures(b *testing.B) (*sched.ProfileTable, []float64, []string) {
 	b.Helper()
 	names := trace.ProfileNames()
-	tbl, err := sched.BuildProfileTable(names, chip.NUCAGroupSizes[:],
+	tbl, err := sched.BuildProfileTable(context.Background(), names, chip.NUCAGroupSizes[:],
 		sched.ProfileOptions{Instructions: 10000, Warmup: 25000})
 	if err != nil {
 		b.Fatal(err)
 	}
-	alone, err := sched.AloneIPCs(names, chip.NUCAGroupSizes[:],
+	alone, err := sched.AloneIPCs(context.Background(), names, chip.NUCAGroupSizes[:],
 		sched.EvalOptions{WindowCycles: 80000, WarmupCycles: 40000})
 	if err != nil {
 		b.Fatal(err)
@@ -182,7 +183,7 @@ func BenchmarkFig8SchedulingHsp(b *testing.B) {
 		b.Run(policy.Name(), func(b *testing.B) {
 			var hsp float64
 			for i := 0; i < b.N; i++ {
-				ev, err := sched.Evaluate(policy, names, chip.NUCAGroupSizes[:], opt)
+				ev, err := sched.Evaluate(context.Background(), policy, names, chip.NUCAGroupSizes[:], opt)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -249,7 +250,7 @@ func benchAloneIPCs(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		ResetSimCaches()
 		var err error
-		alone, err = sched.AloneIPCs(names, chip.NUCAGroupSizes[:], opt)
+		alone, err = sched.AloneIPCs(context.Background(), names, chip.NUCAGroupSizes[:], opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -416,7 +417,7 @@ func BenchmarkAblationSchedulerTwoFold(b *testing.B) {
 		b.Run(variant.name, func(b *testing.B) {
 			var hsp float64
 			for i := 0; i < b.N; i++ {
-				ev, err := sched.Evaluate(sched.NUCASA{Table: variant.tbl, TolFrac: 0.01},
+				ev, err := sched.Evaluate(context.Background(), sched.NUCASA{Table: variant.tbl, TolFrac: 0.01},
 					names, chip.NUCAGroupSizes[:], opt)
 				if err != nil {
 					b.Fatal(err)

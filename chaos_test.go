@@ -1,0 +1,87 @@
+package lpm
+
+// Chaos tests at the report level: a cancelled build must still produce
+// a decodable document marked partial, and a deterministic injected
+// fault must become one error cell in one table — never a dead run.
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lpm/internal/faultinject"
+	"lpm/internal/parallel"
+)
+
+func TestChaosPartialReportOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // SIGINT arrived before any experiment started
+
+	opts := ReportOptions{
+		Scale:       Scale{Warmup: 20000, Window: 5000},
+		Experiments: []string{"fig1", "table1"},
+	}
+	rep, err := BuildReportCtx(ctx, opts)
+	if err != nil {
+		t.Fatalf("BuildReportCtx on a cancelled context: %v", err)
+	}
+	if !rep.Partial {
+		t.Fatal("cancelled build is not marked partial")
+	}
+	if len(rep.Completed) != 0 || len(rep.Aborted) != 2 {
+		t.Fatalf("completed=%v aborted=%v, want nothing completed and both experiments aborted",
+			rep.Completed, rep.Aborted)
+	}
+
+	// The partial document must round-trip through the public decoder.
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal partial report: %v", err)
+	}
+	dec, err := DecodeReport(data)
+	if err != nil {
+		t.Fatalf("partial report does not decode: %v", err)
+	}
+	if !dec.Partial || len(dec.Aborted) != 2 {
+		t.Fatalf("decoded partial report lost its interruption record: %+v", dec)
+	}
+}
+
+func TestChaosInjectedFaultBecomesErrCell(t *testing.T) {
+	t.Cleanup(parallel.ResetAllMemos)
+	parallel.ResetAllMemos()
+
+	// Exactly one Table I evaluation dies (whichever of the five cells
+	// reaches the failpoint first); the other four must finish.
+	restore := faultinject.Arm(faultinject.NewPlan(7, faultinject.Rule{
+		Point: "explore.evaluate", Msg: "chaos: dead cell",
+	}))
+	defer restore()
+
+	rows := Table1Ctx(context.Background(), Scale{Warmup: 20000, Window: 5000}, false)
+	if len(rows) != 5 {
+		t.Fatalf("Table1Ctx returned %d rows, want 5", len(rows))
+	}
+	var bad, good int
+	for _, r := range rows {
+		if r.Err != "" {
+			bad++
+			if !strings.Contains(r.Err, "injected fault") {
+				t.Fatalf("error cell %s carries %q, want the injected fault", r.Name, r.Err)
+			}
+			// The cell keeps its identity so the table stays readable.
+			if r.Name == "" || r.PaperLPMR == [3]float64{} {
+				t.Fatalf("error cell lost its identifying fields: %+v", r)
+			}
+			continue
+		}
+		good++
+		if r.M.CPIexe <= 0 {
+			t.Fatalf("healthy cell %s has an empty measurement: %+v", r.Name, r.M)
+		}
+	}
+	if bad != 1 || good != 4 {
+		t.Fatalf("bad=%d good=%d, want exactly one error cell among five", bad, good)
+	}
+}

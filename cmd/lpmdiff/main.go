@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,13 +28,16 @@ import (
 
 	"lpm"
 	"lpm/internal/cliutil"
+	"lpm/internal/resilience"
 )
 
 // errDifferences signals a clean run that found diffs (exit status 1).
 var errDifferences = errors.New("reports differ")
 
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	switch {
 	case err == nil:
 	case errors.Is(err, errDifferences):
@@ -46,7 +50,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lpmdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -71,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	diffs, suppressed := diffReports(oldDoc, newDoc, *threshold, *absFloor)
 	p := cliutil.NewPrinter(stdout)
 	if len(diffs) == 0 {

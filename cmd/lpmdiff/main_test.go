@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"os"
@@ -55,7 +56,7 @@ func TestDiffIdenticalReports(t *testing.T) {
 	a := writeDoc(t, dir, "a.json", baseDoc)
 	b := writeDoc(t, dir, "b.json", baseDoc)
 	var out, errb bytes.Buffer
-	if err := run([]string{a, b}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{a, b}, &out, &errb); err != nil {
 		t.Fatalf("identical reports: %v\n%s", err, errb.String())
 	}
 	if !strings.Contains(out.String(), "reports match") {
@@ -69,7 +70,7 @@ func TestDiffFindsPerWindowRegression(t *testing.T) {
 	changed := strings.Replace(baseDoc, `"lpmr1": 2.5`, `"lpmr1": 4.5`, 1)
 	b := writeDoc(t, dir, "b.json", changed)
 	var out, errb bytes.Buffer
-	err := run([]string{a, b}, &out, &errb)
+	err := run(context.Background(), []string{a, b}, &out, &errb)
 	if !errors.Is(err, errDifferences) {
 		t.Fatalf("err = %v, want errDifferences\n%s", err, out.String())
 	}
@@ -86,7 +87,7 @@ func TestDiffThresholdSuppression(t *testing.T) {
 	b := writeDoc(t, dir, "b.json", changed)
 
 	var out, errb bytes.Buffer
-	if err := run([]string{"-threshold", "0.05", a, b}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-threshold", "0.05", a, b}, &out, &errb); err != nil {
 		t.Fatalf("within-threshold diff reported: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "reports match (1 numeric fields within tolerance)") {
@@ -94,7 +95,7 @@ func TestDiffThresholdSuppression(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run([]string{"-threshold", "0.001", a, b}, &out, &errb); !errors.Is(err, errDifferences) {
+	if err := run(context.Background(), []string{"-threshold", "0.001", a, b}, &out, &errb); !errors.Is(err, errDifferences) {
 		t.Fatalf("above-threshold diff not reported: %v", err)
 	}
 }
@@ -105,7 +106,7 @@ func TestDiffAbsFloor(t *testing.T) {
 	changed := strings.Replace(baseDoc, `"lpmr3": 0.6`, `"lpmr3": 0.6000000001`, 1)
 	b := writeDoc(t, dir, "b.json", changed)
 	var out, errb bytes.Buffer
-	if err := run([]string{"-abs", "1e-9", a, b}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-abs", "1e-9", a, b}, &out, &errb); err != nil {
 		t.Fatalf("sub-floor noise reported: %v\n%s", err, out.String())
 	}
 }
@@ -120,7 +121,7 @@ func TestDiffAddedAndRemovedPaths(t *testing.T) {
                "derived": {"ipc": 0.9, "lpmr1": 2.5, "lpmr2": 1.2}}`, 1)
 	b := writeDoc(t, dir, "b.json", changed)
 	var out, errb bytes.Buffer
-	if err := run([]string{a, b}, &out, &errb); !errors.Is(err, errDifferences) {
+	if err := run(context.Background(), []string{a, b}, &out, &errb); !errors.Is(err, errDifferences) {
 		t.Fatalf("missing path not reported: %v", err)
 	}
 	if !strings.Contains(out.String(), "(only in old)") {
@@ -133,11 +134,11 @@ func TestDiffRejectsNonReports(t *testing.T) {
 	a := writeDoc(t, dir, "a.json", baseDoc)
 	bad := writeDoc(t, dir, "bad.json", `{"schema": "other/v1"}`)
 	var out, errb bytes.Buffer
-	err := run([]string{a, bad}, &out, &errb)
+	err := run(context.Background(), []string{a, bad}, &out, &errb)
 	if err == nil || errors.Is(err, errDifferences) {
 		t.Fatalf("bad schema accepted: %v", err)
 	}
-	if err := run([]string{a}, &out, &errb); !errors.Is(err, flag.ErrHelp) {
+	if err := run(context.Background(), []string{a}, &out, &errb); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("one-arg usage error = %v, want flag.ErrHelp", err)
 	}
 }
@@ -149,7 +150,7 @@ func TestDiffAcceptsV1Documents(t *testing.T) {
 	b := writeDoc(t, dir, "b.json", baseDoc)
 	var out, errb bytes.Buffer
 	// v1 vs v2 of otherwise-identical content: only the schema line moves.
-	err := run([]string{a, b}, &out, &errb)
+	err := run(context.Background(), []string{a, b}, &out, &errb)
 	if !errors.Is(err, errDifferences) {
 		t.Fatalf("err = %v, want errDifferences", err)
 	}
@@ -174,7 +175,7 @@ func TestDiffMaxLines(t *testing.T) {
 	}
 	b := writeDoc(t, dir, "b.json", changed)
 	var out, errb bytes.Buffer
-	if err := run([]string{"-max", "1", a, b}, &out, &errb); !errors.Is(err, errDifferences) {
+	if err := run(context.Background(), []string{"-max", "1", a, b}, &out, &errb); !errors.Is(err, errDifferences) {
 		t.Fatalf("err = %v", err)
 	}
 	if !strings.Contains(out.String(), "and 2 more differences") {

@@ -7,14 +7,21 @@
 //
 //	lpmexplore -grain fine -workload 410.bwaves
 //	lpmexplore -json -observe       # machine-readable lpm-explore/v1 document
+//	lpmexplore -checkpoint run.ckpt # durable cache, survives kill -9
+//	lpmexplore -resume run.ckpt     # replay from the checkpoint
+//
+// SIGINT/SIGTERM drain the in-flight simulations and, in -json mode,
+// still emit a decodable document with "partial": true.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -24,11 +31,14 @@ import (
 	"lpm/internal/core"
 	"lpm/internal/explore"
 	"lpm/internal/parallel"
+	"lpm/internal/resilience"
 	"lpm/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
@@ -50,24 +60,27 @@ func startPprof(addr string, stderr io.Writer) {
 	}()
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("lpmexplore", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fset := flag.NewFlagSet("lpmexplore", flag.ContinueOnError)
+	fset.SetOutput(stderr)
 	var (
-		workload  = fs.String("workload", "410.bwaves", "built-in workload profile")
-		grain     = fs.String("grain", "fine", "stall target: fine (1%) or coarse (10%)")
-		warmup    = fs.Uint64("warmup", 250000, "warm-up instructions per evaluation")
-		window    = fs.Uint64("window", 30000, "measured instructions per evaluation")
-		start     = fs.String("start", "A", "starting Table I configuration (A..E)")
-		maxSteps  = fs.Int("maxsteps", 32, "algorithm step bound")
-		workers   = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		speculate = fs.Bool("speculate", false,
+		workload  = fset.String("workload", "410.bwaves", "built-in workload profile")
+		grain     = fset.String("grain", "fine", "stall target: fine (1%) or coarse (10%)")
+		warmup    = fset.Uint64("warmup", 250000, "warm-up instructions per evaluation")
+		window    = fset.Uint64("window", 30000, "measured instructions per evaluation")
+		start     = fset.String("start", "A", "starting Table I configuration (A..E)")
+		maxSteps  = fset.Int("maxsteps", 32, "algorithm step bound")
+		workers   = fset.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		speculate = fset.Bool("speculate", false,
 			"pre-evaluate the one-step knob frontier in parallel at each new point (same walk, more total simulation, less wall-clock)")
-		jsonOut  = fs.Bool("json", false, "emit a versioned lpm-explore/v1 JSON document on stdout")
-		observe  = fs.Bool("observe", false, "attach per-layer metrics snapshots to every measurement")
-		pprofCfg = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		jsonOut  = fset.Bool("json", false, "emit a versioned lpm-explore/v1 JSON document on stdout")
+		observe  = fset.Bool("observe", false, "attach per-layer metrics snapshots to every measurement")
+		ckpt     = fset.String("checkpoint", "", "persist every simulation result to this file (atomic rewrite per evaluation; survives kill -9)")
+		resume   = fset.String("resume", "", "seed the simulation cache from this checkpoint before running (missing file = cold start; implies -checkpoint to the same path)")
+		watchdog = fset.Uint64("watchdog", 0, "per-evaluation no-progress cycle budget before a livelock diagnostic (0 = default)")
+		pprofCfg = fset.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := fset.Parse(args); err != nil {
 		return err
 	}
 	parallel.SetWorkers(*workers)
@@ -92,18 +105,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 	tgt.Instructions = *window
 	tgt.Speculate = *speculate
 	tgt.Observe = *observe
+	tgt.WatchdogCycles = *watchdog
+
+	// The run key ties a checkpoint to the flags that shape simulation
+	// results; -resume refuses a file produced under different ones.
+	ckptPath := *ckpt
+	if ckptPath == "" {
+		ckptPath = *resume
+	}
+	key := fmt.Sprintf("lpmexplore|%s|%s|%s|%d|%d|%d|obs=%v",
+		*workload, g.String(), *start, *warmup, *window, *maxSteps, *observe)
+	if *resume != "" {
+		if _, err := lpm.LoadMemoCheckpoint(*resume, key); err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("resume: %w", err)
+			}
+			fmt.Fprintf(stderr, "resume: %s not found, starting cold\n", *resume)
+		}
+	}
+	if ckptPath != "" {
+		tgt.OnEvaluate = func(explore.Evaluation) {
+			if err := lpm.SaveMemoCheckpoint(ckptPath, "lpmexplore", key); err != nil {
+				fmt.Fprintf(stderr, "checkpoint: %v\n", err)
+			}
+		}
+	}
 
 	pr := cliutil.NewPrinter(stdout)
 	if !*jsonOut {
 		pr.Printf("design space: %d points; start: %s (%s)\n", space.Size(), *start, startPt)
 	}
-	res, final := tgt.RunAlgorithm(core.AlgorithmConfig{Grain: g, SlackFrac: 0.5, MaxSteps: *maxSteps})
+	res, final, runErr := tgt.RunAlgorithmCtx(ctx, core.AlgorithmConfig{Grain: g, SlackFrac: 0.5, MaxSteps: *maxSteps})
 
 	if *jsonOut {
 		rep := lpm.NewExploreReport(*workload, g.String(), *start, tgt, res, final)
+		if runErr != nil {
+			rep.Partial = true
+			rep.Error = runErr.Error()
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		return runErr
 	}
 
 	for i, st := range res.Steps {
@@ -113,6 +158,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		pr.Printf("step %2d  case %-26s LPMR1=%.3f LPMR2=%.3f  T1=%.3f T2=%s  stall=%.4f\n",
 			i+1, st.Case, st.Before.LPMR1(), st.Before.LPMR2(), st.T1, t2, st.Before.MeasuredStall)
+	}
+	if runErr != nil {
+		pr.Println()
+		pr.Printf("interrupted after %d steps (%d simulations): %v\n",
+			len(res.Steps), tgt.Evaluations(), runErr)
+		if err := pr.Err(); err != nil {
+			return err
+		}
+		return runErr
 	}
 	pr.Println()
 	pr.Printf("final configuration: %s  (cost %.0f)\n", final, final.Cost())

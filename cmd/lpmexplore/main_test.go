@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ import (
 func TestRunText(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-warmup", "20000", "-window", "5000", "-maxsteps", "2"}
-	if err := run(args, &out, &errb); err != nil {
+	if err := run(context.Background(), args, &out, &errb); err != nil {
 		t.Fatalf("run: %v\n%s", err, errb.String())
 	}
 	for _, want := range []string{"design space:", "final configuration:", "simulations="} {
@@ -28,7 +29,7 @@ func TestRunText(t *testing.T) {
 func TestRunJSONObserve(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-warmup", "20000", "-window", "5000", "-maxsteps", "3", "-json", "-observe"}
-	if err := run(args, &out, &errb); err != nil {
+	if err := run(context.Background(), args, &out, &errb); err != nil {
 		t.Fatalf("run: %v\n%s", err, errb.String())
 	}
 	if strings.Contains(out.String(), "design space:") {
@@ -57,10 +58,10 @@ func TestRunJSONObserve(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-start", "Z"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-start", "Z"}, &out, &errb); err == nil {
 		t.Fatal("unknown start configuration did not error")
 	}
-	if err := run([]string{"-workload", "no.such"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-workload", "no.such"}, &out, &errb); err == nil {
 		t.Fatal("unknown workload did not error")
 	}
 }

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,13 +28,16 @@ import (
 
 	"lpm/internal/cliutil"
 	"lpm/internal/lint"
+	"lpm/internal/resilience"
 )
 
 // errFindings marks the "lint ran fine and found problems" exit path.
 var errFindings = errors.New("lint: findings")
 
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
 	switch {
 	case err == nil:
 	case errors.Is(err, errFindings):
@@ -46,7 +50,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lpmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -83,6 +87,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	paths, err := argPaths(fs.Args())
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	diags, err := lint.Run(lint.Config{

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -14,7 +15,7 @@ func TestRunCleanRepo(t *testing.T) {
 		t.Skip("loads and type-checks the whole module")
 	}
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-C", "../..", "./..."}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-C", "../..", "./..."}, &out, &errBuf); err != nil {
 		t.Fatalf("lpmlint on the repo: %v\nstdout:\n%sstderr:\n%s", err, out.String(), errBuf.String())
 	}
 	if out.Len() != 0 {
@@ -26,7 +27,7 @@ func TestRunCleanRepo(t *testing.T) {
 // findings exit path and output format.
 func TestRunFindings(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-C", "../../internal/lint/testdata/src/errcheck", "-enable", "errcheck", "./..."}, &out, &errBuf)
+	err := run(context.Background(), []string{"-C", "../../internal/lint/testdata/src/errcheck", "-enable", "errcheck", "./..."}, &out, &errBuf)
 	if !errors.Is(err, errFindings) {
 		t.Fatalf("err = %v, want errFindings\nstdout:\n%s", err, out.String())
 	}
@@ -43,7 +44,7 @@ func TestRunFindings(t *testing.T) {
 // driver: the cmd subtree of the fixture has exactly 3 findings.
 func TestRunPathRestriction(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-C", "../../internal/lint/testdata/src/errcheck", "-enable", "errcheck", "cmd/..."}, &out, &errBuf)
+	err := run(context.Background(), []string{"-C", "../../internal/lint/testdata/src/errcheck", "-enable", "errcheck", "cmd/..."}, &out, &errBuf)
 	if !errors.Is(err, errFindings) {
 		t.Fatalf("err = %v, want errFindings", err)
 	}
@@ -54,7 +55,7 @@ func TestRunPathRestriction(t *testing.T) {
 
 func TestList(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if err := run([]string{"-list"}, &out, &errBuf); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"determinism", "maporder", "floateq", "obsdiscipline", "errcheck"} {
@@ -66,7 +67,7 @@ func TestList(t *testing.T) {
 
 func TestUnknownAnalyzerFlag(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	err := run([]string{"-C", "../..", "-enable", "nosuch", "./..."}, &out, &errBuf)
+	err := run(context.Background(), []string{"-C", "../..", "-enable", "nosuch", "./..."}, &out, &errBuf)
 	if err == nil || errors.Is(err, errFindings) {
 		t.Fatalf("err = %v, want a usage error", err)
 	}

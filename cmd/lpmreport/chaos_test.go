@@ -1,0 +1,51 @@
+package main
+
+// Chaos regression for the per-experiment checkpoint path: the merged
+// document a checkpointed (or resumed) run emits must be byte-identical
+// to the single-call run's. This pins the merge itself — a dropped or
+// duplicated experiment payload is a silent data loss the schema cannot
+// catch.
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"lpm/internal/parallel"
+)
+
+func TestChaosReportCheckpointMatchesPlain(t *testing.T) {
+	t.Cleanup(parallel.ResetAllMemos)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	base := []string{"-json", "-quick", "-experiment", "fig1,table1"}
+
+	parallel.ResetAllMemos()
+	var plain, errb bytes.Buffer
+	if err := run(context.Background(), base, &plain, &errb); err != nil {
+		t.Fatalf("plain run: %v\n%s", err, errb.String())
+	}
+
+	parallel.ResetAllMemos()
+	var checkpointed bytes.Buffer
+	if err := run(context.Background(), append(base, "-checkpoint", ckpt), &checkpointed, &errb); err != nil {
+		t.Fatalf("checkpointed run: %v\n%s", err, errb.String())
+	}
+	if !bytes.Equal(plain.Bytes(), checkpointed.Bytes()) {
+		t.Fatalf("checkpointed document differs from the plain run:\n--- plain\n%s--- checkpointed\n%s",
+			plain.String(), checkpointed.String())
+	}
+
+	// Resume from the finished checkpoint with a cold memo: every
+	// simulation replays from the cache, and the document must still
+	// match byte for byte.
+	parallel.ResetAllMemos()
+	var resumed bytes.Buffer
+	if err := run(context.Background(), append(base, "-resume", ckpt), &resumed, &errb); err != nil {
+		t.Fatalf("resumed run: %v\n%s", err, errb.String())
+	}
+	if !bytes.Equal(plain.Bytes(), resumed.Bytes()) {
+		t.Fatalf("resumed document differs from the plain run:\n--- plain\n%s--- resumed\n%s",
+			plain.String(), resumed.String())
+	}
+}

@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -23,10 +25,13 @@ import (
 
 	"lpm"
 	"lpm/internal/cliutil"
+	"lpm/internal/resilience"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
@@ -48,20 +53,22 @@ func startPprof(addr string, stderr io.Writer) {
 	}()
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("lpmreport", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fset := flag.NewFlagSet("lpmreport", flag.ContinueOnError)
+	fset.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all",
+		experiment = fset.String("experiment", "all",
 			"comma-separated subset of: fig1, table1, casestudy1, fig6, fig7, fig8, interval, identities, timeline, all")
-		quick     = fs.Bool("quick", false, "reduced simulation budgets")
-		workers   = fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		jsonOut   = fs.Bool("json", false, "emit a versioned lpm-report/v2 JSON document on stdout")
-		observe   = fs.Bool("observe", false, "attach per-layer metrics snapshots to Table I rows (JSON output)")
-		intervalN = fs.Int("interval-samples", 0, "interval study Monte Carlo sample count (0 = default)")
-		pprofCfg  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		quick     = fset.Bool("quick", false, "reduced simulation budgets")
+		workers   = fset.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut   = fset.Bool("json", false, "emit a versioned lpm-report/v2 JSON document on stdout")
+		observe   = fset.Bool("observe", false, "attach per-layer metrics snapshots to Table I rows (JSON output)")
+		intervalN = fset.Int("interval-samples", 0, "interval study Monte Carlo sample count (0 = default)")
+		ckpt      = fset.String("checkpoint", "", "persist simulation results to this file after every experiment (JSON mode; atomic rewrite)")
+		resume    = fset.String("resume", "", "seed the simulation cache from this checkpoint before running (missing file = cold start; implies -checkpoint)")
+		pprofCfg  = fset.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := fset.Parse(args); err != nil {
 		return err
 	}
 	lpm.SetWorkers(*workers)
@@ -73,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *jsonOut {
-		return runJSON(*experiment, scale, *observe, *intervalN, stdout)
+		return runJSON(ctx, *experiment, scale, *observe, *intervalN, *ckpt, *resume, stdout, stderr)
 	}
 
 	selected := map[string]bool{}
@@ -112,8 +119,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // runJSON emits the machine-readable report. The text report's fig6 and
 // fig7 views share one profiling table, so both keys select the fig67
-// experiment here.
-func runJSON(experiment string, scale lpm.Scale, observe bool, intervalN int, stdout io.Writer) error {
+// experiment here. With a checkpoint path, the experiments run one at a
+// time and the memo caches are persisted after each, so a killed run
+// resumes without redoing finished experiments' simulations; the merged
+// document is identical to a single uncheckpointed run.
+func runJSON(ctx context.Context, experiment string, scale lpm.Scale, observe bool, intervalN int, ckpt, resume string, stdout, stderr io.Writer) error {
 	var want []string
 	seen := map[string]bool{}
 	add := func(name string) {
@@ -136,18 +146,83 @@ func runJSON(experiment string, scale lpm.Scale, observe bool, intervalN int, st
 			break
 		}
 	}
-	rep, err := lpm.BuildReport(lpm.ReportOptions{
+	opts := lpm.ReportOptions{
 		Scale:           scale,
 		Experiments:     want,
 		Observe:         observe,
 		IntervalSamples: intervalN,
-	})
+	}
+
+	ckptPath := ckpt
+	if ckptPath == "" {
+		ckptPath = resume
+	}
+	key := fmt.Sprintf("lpmreport|%+v|obs=%v|samples=%d", scale, observe, intervalN)
+	if resume != "" {
+		if _, err := lpm.LoadMemoCheckpoint(resume, key); err != nil {
+			if !errors.Is(err, fs.ErrNotExist) {
+				return fmt.Errorf("resume: %w", err)
+			}
+			fmt.Fprintf(stderr, "resume: %s not found, starting cold\n", resume)
+		}
+	}
+
+	var rep *lpm.Report
+	var err error
+	if ckptPath == "" {
+		rep, err = lpm.BuildReportCtx(ctx, opts)
+	} else {
+		rep, err = buildCheckpointed(ctx, opts, ckptPath, key, stderr)
+	}
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if rep.Partial {
+		return fmt.Errorf("interrupted: completed %v, aborted %v", rep.Completed, rep.Aborted)
+	}
+	return nil
+}
+
+// buildCheckpointed runs the report one experiment at a time, saving the
+// memo caches after each, and merges the per-experiment documents into
+// one. Because every payload is a pure function of (scale, options) via
+// the memoised simulations, the merged document matches what a single
+// BuildReportCtx call would have produced.
+func buildCheckpointed(ctx context.Context, opts lpm.ReportOptions, path, key string, stderr io.Writer) (*lpm.Report, error) {
+	want := opts.Experiments
+	if len(want) == 0 {
+		want = lpm.ReportExperiments()
+	}
+	var rep *lpm.Report
+	for i, name := range want {
+		one := opts
+		one.Experiments = []string{name}
+		r, err := lpm.BuildReportCtx(ctx, one)
+		if err != nil {
+			return nil, err
+		}
+		if rep == nil {
+			rep = r
+		} else {
+			rep.Experiments = append(rep.Experiments, r.Experiments...)
+		}
+		if err := lpm.SaveMemoCheckpoint(path, "lpmreport", key); err != nil {
+			fmt.Fprintf(stderr, "checkpoint: %v\n", err)
+		}
+		if r.Partial {
+			rep.Partial = true
+			rep.Completed = append([]string(nil), want[:i]...)
+			rep.Completed = append(rep.Completed, r.Completed...)
+			rep.Aborted = append(r.Aborted, want[i+1:]...)
+			break
+		}
+	}
+	return rep, nil
 }
 
 func fig1(p *cliutil.Printer) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ import (
 
 func TestRunTextFig1(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-experiment", "fig1"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "fig1"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v\n%s", err, errb.String())
 	}
 	for _, want := range []string{"==== fig1 ====", "C-AMAT", "Eq. 3 check"} {
@@ -27,7 +28,7 @@ func TestRunTextFig1(t *testing.T) {
 
 func TestRunJSONFig1(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-json", "-experiment", "fig1"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-json", "-experiment", "fig1"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v\n%s", err, errb.String())
 	}
 	var rep lpm.Report
@@ -47,7 +48,7 @@ func TestRunJSONFig1(t *testing.T) {
 
 func TestRunJSONTable1Observed(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-json", "-quick", "-observe", "-experiment", "table1"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-json", "-quick", "-observe", "-experiment", "table1"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v\n%s", err, errb.String())
 	}
 	var rep lpm.Report
@@ -69,16 +70,16 @@ func TestRunJSONTable1Observed(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-json", "-experiment", "nonsense"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-json", "-experiment", "nonsense"}, &out, &errb); err == nil {
 		t.Fatal("unknown experiment did not error in JSON mode")
 	}
-	if err := run([]string{"-nosuchflag"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-nosuchflag"}, &out, &errb); err == nil {
 		t.Fatal("unknown flag did not error")
 	}
 	// In text mode an unknown experiment simply selects nothing; that is
 	// the historical behaviour and must not start failing.
 	out.Reset()
-	if err := run([]string{"-experiment", "nonsense"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-experiment", "nonsense"}, &out, &errb); err != nil {
 		t.Fatalf("text mode with unknown experiment errored: %v", err)
 	}
 	if strings.Contains(out.String(), "====") {

@@ -16,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,9 +28,11 @@ import (
 	"strings"
 	"time"
 
+	"lpm"
 	"lpm/internal/cliutil"
 	"lpm/internal/obs/timeseries"
 	"lpm/internal/parallel"
+	"lpm/internal/resilience"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
@@ -76,7 +79,9 @@ func newServeMux(live *timeseries.Live) *http.ServeMux {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
@@ -85,7 +90,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lpmrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -108,6 +113,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tsAdapt  = fs.Bool("tsadaptive", false, "merge timeline windows into phase-aligned spans")
 		serve    = fs.String("serve", "", "serve live /metrics and /timeline on this address during the run")
 		hold     = fs.Duration("serve-hold", 0, "keep the -serve endpoints up this long after the run")
+		jsonOut  = fs.Bool("json", false, "emit a versioned lpm-report/v2 document (single-run row) on stdout")
+		watchdog = fs.Uint64("watchdog", 0, "no-progress cycle budget before a livelock diagnostic (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +146,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), *instr)
 
 	ch := chip.New(cfg)
+	ch.SetContext(ctx)
+	if *watchdog > 0 {
+		ch.SetWatchdog(*watchdog)
+	}
 	if *metrics || *serve != "" {
 		ch.EnableObs()
 	}
@@ -176,11 +187,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ch.RunUntilRetired(*warmup, budget)
 	ch.ResetCounters()
 	ch.Run(*warmup+*instr, budget)
+	runErr := ch.Err()
+	live.PublishSnapshot(ch.ObsSnapshot())
+	live.Finish()
+
+	if *jsonOut {
+		return runJSON(stdout, *workload, *warmup, *instr, ch, cpiExe, runErr)
+	}
+	if runErr != nil {
+		p.Printf("interrupted at cycle %d: %v\n", ch.Now(), runErr)
+		if err := p.Err(); err != nil {
+			return err
+		}
+		return runErr
+	}
 
 	r := ch.Snapshot()
 	m := ch.Measure(0, cpiExe)
-	live.PublishSnapshot(ch.ObsSnapshot())
-	live.Finish()
 
 	p.Printf("workload   %s  (fmem=%.3f, footprint=%d KB)\n", *workload, m.Fmem, prof.Footprint/1024)
 	p.Printf("core       issue=%d IW=%d ROB=%d   CPIexe=%.3f  IPC=%.3f\n", *issue, *iw, *rob, cpiExe, m.IPC)
@@ -225,6 +248,45 @@ func run(args []string, stdout, stderr io.Writer) error {
 		time.Sleep(*hold)
 	}
 	return p.Err()
+}
+
+// runJSON emits the run as a minimal lpm-report/v2 document: one table1
+// row named after the workload. An interrupted or livelocked run still
+// produces a decodable document — the row carries the error, Partial is
+// set, and the process exits non-zero.
+func runJSON(stdout io.Writer, workload string, warmup, instr uint64, ch *chip.Chip, cpiExe float64, runErr error) error {
+	rep := &lpm.Report{
+		Schema: lpm.ReportSchema,
+		Tool:   "lpmrun",
+		Scale:  lpm.Scale{Warmup: warmup, Window: instr},
+	}
+	er := lpm.ExperimentReport{Name: "run"}
+	if runErr != nil {
+		// No Measure on an interrupted window: partial counters produce
+		// NaNs, which JSON cannot carry.
+		er.Table1 = []lpm.Table1JSON{{Name: workload, Err: runErr.Error()}}
+		rep.Partial = true
+		rep.Aborted = []string{"run"}
+	} else {
+		m := ch.Measure(0, cpiExe)
+		er.Table1 = []lpm.Table1JSON{{
+			Name:          workload,
+			LPMR:          [3]float64{m.LPMR1(), m.LPMR2(), m.LPMR3()},
+			IPC:           m.IPC,
+			CPIexe:        m.CPIexe,
+			Eta:           m.Eta(),
+			StallModel:    m.StallEq12(),
+			StallMeasured: m.MeasuredStall,
+			Layers:        m.Obs,
+		}}
+	}
+	rep.Experiments = append(rep.Experiments, er)
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	return runErr
 }
 
 // printTimeline renders the windowed series as a compact table: one row

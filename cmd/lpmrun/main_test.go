@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -14,13 +15,13 @@ import (
 	"lpm/internal/obs/timeseries"
 )
 
-// The smoke tests drive run() in-process at tiny simulation budgets:
+// The smoke tests drive run(context.Background(), ) in-process at tiny simulation budgets:
 // they pin the CLI contract (flags parse, reports print, errors return)
 // without the cost of a real measurement run.
 
 func TestRunList(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-list"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out, &errb); err != nil {
 		t.Fatalf("run -list: %v\n%s", err, errb.String())
 	}
 	if !strings.Contains(out.String(), "403.gcc") {
@@ -31,7 +32,7 @@ func TestRunList(t *testing.T) {
 func TestRunReport(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-workload", "403.gcc", "-instructions", "2000", "-warmup", "3000"}
-	if err := run(args, &out, &errb); err != nil {
+	if err := run(context.Background(), args, &out, &errb); err != nil {
 		t.Fatalf("run: %v\n%s", err, errb.String())
 	}
 	for _, want := range []string{"workload   403.gcc", "LPMR1=", "data stall per instruction"} {
@@ -47,7 +48,7 @@ func TestRunReport(t *testing.T) {
 func TestRunMetrics(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-workload", "403.gcc", "-instructions", "2000", "-warmup", "3000", "-metrics"}
-	if err := run(args, &out, &errb); err != nil {
+	if err := run(context.Background(), args, &out, &errb); err != nil {
 		t.Fatalf("run -metrics: %v\n%s", err, errb.String())
 	}
 	for _, want := range []string{"metrics (snapshot v", "l1.0.accesses", "cpu.0.rob_occupancy", "dram.reads"} {
@@ -59,10 +60,10 @@ func TestRunMetrics(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-workload", "no.such"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-workload", "no.such"}, &out, &errb); err == nil {
 		t.Fatal("unknown workload did not error")
 	}
-	if err := run([]string{"-nosuchflag"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-nosuchflag"}, &out, &errb); err == nil {
 		t.Fatal("unknown flag did not error")
 	}
 }
@@ -71,7 +72,7 @@ func TestRunTimelineSummary(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-workload", "403.gcc", "-instructions", "2000", "-warmup", "3000",
 		"-timeline", "-tswindow", "512"}
-	if err := run(args, &out, &errb); err != nil {
+	if err := run(context.Background(), args, &out, &errb); err != nil {
 		t.Fatalf("run -timeline: %v\n%s", err, errb.String())
 	}
 	for _, want := range []string{"timeline", "windows (width=512", "lpmr1"} {
@@ -166,7 +167,7 @@ func TestRunServeMidRun(t *testing.T) {
 	var errb bytes.Buffer
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-workload", "429.mcf", "-instructions", "20000",
+		done <- run(context.Background(), []string{"-workload", "429.mcf", "-instructions", "20000",
 			"-warmup", "40000", "-serve", "127.0.0.1:0", "-serve-hold", "2s",
 			"-tswindow", "256"}, out, &errb)
 	}()
@@ -225,7 +226,7 @@ func TestRunServeMidRun(t *testing.T) {
 	}
 }
 
-// syncWriter makes a bytes.Buffer safe to share between the run()
+// syncWriter makes a bytes.Buffer safe to share between the run(context.Background(), )
 // goroutine and the test's polling reads.
 type syncWriter struct {
 	mu  sync.Mutex

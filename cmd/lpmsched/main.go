@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,13 +20,16 @@ import (
 
 	"lpm/internal/cliutil"
 	"lpm/internal/parallel"
+	"lpm/internal/resilience"
 	"lpm/internal/sched"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
@@ -47,7 +51,7 @@ func startPprof(addr string, stderr io.Writer) {
 	}()
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lpmsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -69,7 +73,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	pr := cliutil.NewPrinter(stdout)
 
 	pr.Println("profiling standalone APC1 / APC2 per L1 size (Fig. 6 / Fig. 7 data)...")
-	tbl, err := sched.BuildProfileTable(names, sizes, sched.ProfileOptions{Instructions: *profInstr})
+	tbl, err := sched.BuildProfileTable(ctx, names, sizes, sched.ProfileOptions{Instructions: *profInstr})
 	if err != nil {
 		return err
 	}
@@ -82,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	opt := sched.EvalOptions{WindowCycles: *window, WarmupCycles: *warmup}
-	alone, err := sched.AloneIPCs(names, sizes, opt)
+	alone, err := sched.AloneIPCs(ctx, names, sizes, opt)
 	if err != nil {
 		return err
 	}
@@ -96,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sched.NUCASA{Table: tbl, TolFrac: 0.01},
 	}
 	for _, p := range policies {
-		ev, err := sched.Evaluate(p, names, sizes, opt)
+		ev, err := sched.Evaluate(ctx, p, names, sizes, opt)
 		if err != nil {
 			return err
 		}

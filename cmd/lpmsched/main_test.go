@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -13,7 +14,7 @@ import (
 func TestRunSmoke(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-profinstr", "500", "-window", "3000", "-warmup", "1000"}
-	if err := run(args, &out, &errb); err != nil {
+	if err := run(context.Background(), args, &out, &errb); err != nil {
 		t.Fatalf("run: %v\n%s", err, errb.String())
 	}
 	s := out.String()
@@ -29,7 +30,7 @@ func TestRunSmoke(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-nosuchflag"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-nosuchflag"}, &out, &errb); err == nil {
 		t.Fatal("unknown flag did not error")
 	}
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,12 +25,15 @@ import (
 
 	"lpm/internal/cliutil"
 	"lpm/internal/obs"
+	"lpm/internal/resilience"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(2)
 		}
@@ -38,7 +42,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lpmtrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -60,7 +64,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	case *stat != "":
 		return doStat(stdout, *stat)
 	case *replay != "":
-		return doReplay(stdout, *replay, *instr, *events)
+		return doReplay(ctx, stdout, *replay, *instr, *events)
 	default:
 		fs.Usage()
 		return flag.ErrHelp
@@ -72,27 +76,23 @@ func doRecord(w io.Writer, path, workload string, n int) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	f, err := cliutil.NewAtomicFile(path, 0o644)
 	if err != nil {
 		return err
 	}
 	if err := trace.Record(f, trace.NewSynthetic(prof), n); err != nil {
-		_ = f.Close() // the record error is the interesting one
+		f.Abort() // the record error is the interesting one
 		return err
 	}
-	info, err := f.Stat()
-	if err != nil {
-		_ = f.Close()
-		return err
-	}
-	// An explicit close: a recording whose final buffers never hit the
-	// disk is worse than an error.
-	if err := f.Close(); err != nil {
+	size := f.Size()
+	// Commit fsyncs and renames: a recording whose final buffers never
+	// hit the disk is worse than an error.
+	if err := f.Commit(); err != nil {
 		return err
 	}
 	p := cliutil.NewPrinter(w)
 	p.Printf("recorded %d instructions of %s to %s (%d bytes, %.2f B/instr)\n",
-		n, workload, path, info.Size(), float64(info.Size())/float64(n))
+		n, workload, path, size, float64(size)/float64(n))
 	return p.Err()
 }
 
@@ -132,7 +132,7 @@ func doStat(w io.Writer, path string) error {
 	return p.Err()
 }
 
-func doReplay(w io.Writer, path string, instr uint64, events string) error {
+func doReplay(ctx context.Context, w io.Writer, path string, instr uint64, events string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -146,12 +146,16 @@ func doReplay(w io.Writer, path string, instr uint64, events string) error {
 	cfg.Name = "replay-" + rp.Name()
 	cfg.Cores[0].Workload = rp
 	ch := chip.New(cfg)
+	ch.SetContext(ctx)
 	var tr *obs.Tracer
 	if events != "" {
 		tr = obs.NewTracer()
 		ch.AttachTracer(tr)
 	}
 	cycles, done := ch.Run(instr, instr*2000)
+	if err := ch.Err(); err != nil {
+		return fmt.Errorf("replay interrupted at cycle %d: %w", ch.Now(), err)
+	}
 	r := ch.Snapshot()
 	p := cliutil.NewPrinter(w)
 	p.Printf("replayed %q: %d instructions in %d cycles (IPC %.3f, complete=%v)\n",
@@ -159,7 +163,7 @@ func doReplay(w io.Writer, path string, instr uint64, events string) error {
 	p.Printf("L1: %s\n", r.Cores[0].L1)
 	p.Printf("L2: %s\n", r.L2)
 	if tr != nil {
-		out, err := os.Create(events)
+		out, err := cliutil.NewAtomicFile(events, 0o644)
 		if err != nil {
 			return err
 		}
@@ -169,12 +173,12 @@ func doReplay(w io.Writer, path string, instr uint64, events string) error {
 			err = tr.WriteChromeTrace(out)
 		}
 		if err != nil {
-			_ = out.Close() // the write error is the interesting one
+			out.Abort() // the write error is the interesting one
 			return err
 		}
-		// Explicit close: the trace file must be fully flushed before
-		// we report success.
-		if err := out.Close(); err != nil {
+		// Commit fsyncs and renames: the trace file must be fully
+		// flushed before we report success.
+		if err := out.Commit(); err != nil {
 			return err
 		}
 		p.Printf("events: %d spans (%d dropped) -> %s\n", tr.Len(), tr.Dropped(), events)

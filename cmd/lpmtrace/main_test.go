@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -14,14 +15,14 @@ import (
 )
 
 // The smoke test drives the full record -> stat -> replay -> events
-// pipeline in-process through run(), in a temp dir.
+// pipeline in-process through run(context.Background(), ), in a temp dir.
 
 func TestRecordStatReplayEvents(t *testing.T) {
 	dir := t.TempDir()
 	trc := filepath.Join(dir, "gcc.trc")
 
 	var out, errb bytes.Buffer
-	if err := run([]string{"-record", trc, "-workload", "403.gcc", "-n", "3000"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-record", trc, "-workload", "403.gcc", "-n", "3000"}, &out, &errb); err != nil {
 		t.Fatalf("record: %v\n%s", err, errb.String())
 	}
 	if !strings.Contains(out.String(), "recorded 3000 instructions") {
@@ -29,7 +30,7 @@ func TestRecordStatReplayEvents(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := run([]string{"-stat", trc}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-stat", trc}, &out, &errb); err != nil {
 		t.Fatalf("stat: %v\n%s", err, errb.String())
 	}
 	if !strings.Contains(out.String(), "instrs     3000") {
@@ -39,7 +40,7 @@ func TestRecordStatReplayEvents(t *testing.T) {
 	// Replay with a Chrome-trace events file.
 	events := filepath.Join(dir, "events.json")
 	out.Reset()
-	if err := run([]string{"-replay", trc, "-instructions", "2000", "-events", events}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-replay", trc, "-instructions", "2000", "-events", events}, &out, &errb); err != nil {
 		t.Fatalf("replay: %v\n%s", err, errb.String())
 	}
 	if !strings.Contains(out.String(), "replayed") || !strings.Contains(out.String(), "events:") {
@@ -66,7 +67,7 @@ func TestRecordStatReplayEvents(t *testing.T) {
 	// A .jsonl path selects the line-delimited form.
 	jsonl := filepath.Join(dir, "events.jsonl")
 	out.Reset()
-	if err := run([]string{"-replay", trc, "-instructions", "2000", "-events", jsonl}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-replay", trc, "-instructions", "2000", "-events", jsonl}, &out, &errb); err != nil {
 		t.Fatalf("replay jsonl: %v\n%s", err, errb.String())
 	}
 	data, err = os.ReadFile(jsonl)
@@ -88,7 +89,7 @@ func TestRecordStatReplayEvents(t *testing.T) {
 
 func TestRunNoModeIsUsageError(t *testing.T) {
 	var out, errb bytes.Buffer
-	err := run(nil, &out, &errb)
+	err := run(context.Background(), nil, &out, &errb)
 	if !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("no mode returned %v, want flag.ErrHelp", err)
 	}
@@ -99,7 +100,7 @@ func TestRunNoModeIsUsageError(t *testing.T) {
 
 func TestRunMissingFileErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-stat", filepath.Join(t.TempDir(), "absent.trc")}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-stat", filepath.Join(t.TempDir(), "absent.trc")}, &out, &errb); err == nil {
 		t.Fatal("stat of a missing file did not error")
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,11 +16,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	names := lpm.Workloads()
 	sizes := chip.NUCAGroupSizes[:]
 
 	fmt.Println("profiling 16 workloads x 4 L1 sizes (standalone)...")
-	table, err := sched.BuildProfileTable(names, sizes, sched.ProfileOptions{Instructions: 12000})
+	table, err := sched.BuildProfileTable(ctx, names, sizes, sched.ProfileOptions{Instructions: 12000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func main() {
 	}
 
 	opt := sched.EvalOptions{WindowCycles: 100000, WarmupCycles: 50000}
-	alone, err := sched.AloneIPCs(names, sizes, opt)
+	alone, err := sched.AloneIPCs(ctx, names, sizes, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +48,7 @@ func main() {
 		sched.NUCASA{Table: table, TolFrac: 0.10},
 		sched.NUCASA{Table: table, TolFrac: 0.01},
 	} {
-		ev, err := sched.Evaluate(policy, names, sizes, opt)
+		ev, err := sched.Evaluate(ctx, policy, names, sizes, opt)
 		if err != nil {
 			log.Fatal(err)
 		}

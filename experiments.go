@@ -1,6 +1,7 @@
 package lpm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -93,6 +94,10 @@ type Table1Row struct {
 	M Measurement
 	// PaperLPMR holds the paper's reported LPMR1/2/3 for the row.
 	PaperLPMR [3]float64
+	// Err marks a failed cell (cancelled, livelocked, or panicked
+	// evaluation): M is zero and only the identifying fields are set.
+	// Healthy rows omit it, so existing documents are unchanged.
+	Err string `json:",omitempty"`
 }
 
 // table1Paper are the LPMR values of the paper's Table I.
@@ -119,13 +124,32 @@ func Table1Observed(s Scale) []Table1Row {
 }
 
 func table1(s Scale, observe bool) []Table1Row {
+	rows := Table1Ctx(context.Background(), s, observe)
+	for _, r := range rows {
+		if r.Err != "" {
+			// Without a context there is no cancellation; any failure is
+			// a deterministic simulator fault the serial loop would also
+			// have raised — keep it loud.
+			panic(fmt.Errorf("table1 %s: %s", r.Name, r.Err))
+		}
+	}
+	return rows
+}
+
+// Table1Ctx is the failure-isolating form of Table1: each configuration
+// evaluates independently, and a cancelled, livelocked, or panicking
+// evaluation becomes a row with Err set instead of killing the batch.
+// Rows stay in A..E order; cells skipped by cancellation report the
+// context's error.
+func Table1Ctx(ctx context.Context, s Scale, observe bool) []Table1Row {
 	cfgs := explore.TableConfigs()
 	names := []string{"A", "B", "C", "D", "E"}
-	rows, err := parallel.Map(names, func(n string) (Table1Row, error) {
+	results := parallel.MapResults(ctx, names, func(ctx context.Context, n string) (Table1Row, error) {
 		tgt := explore.NewHardwareTarget(explore.DefaultSpace(), cfgs[n], trace.MustProfile("410.bwaves"))
 		tgt.Warmup = s.Warmup
 		tgt.Instructions = s.Window
 		tgt.Observe = observe
+		tgt.Ctx = ctx
 		return Table1Row{
 			Name:      n,
 			Point:     cfgs[n],
@@ -133,10 +157,13 @@ func table1(s Scale, observe bool) []Table1Row {
 			PaperLPMR: table1Paper[n],
 		}, nil
 	})
-	if err != nil {
-		// The jobs themselves never fail; Map only errors on a panic,
-		// which the serial loop would also have raised.
-		panic(err)
+	rows := make([]Table1Row, len(names))
+	for i, r := range results {
+		rows[i] = r.Val
+		if r.Err != nil {
+			rows[i] = Table1Row{Name: names[i], Point: cfgs[names[i]],
+				PaperLPMR: table1Paper[names[i]], Err: r.Err.Error()}
+		}
 	}
 	return rows
 }
@@ -150,6 +177,8 @@ type TimelineRow struct {
 	Point DesignPoint
 	// M is the measurement; M.Timeline carries the windowed series.
 	M Measurement
+	// Err marks a failed cell, as in Table1Row.
+	Err string `json:",omitempty"`
 }
 
 // TimelineStudy measures the mismatched (A) and matched (E) ends of the
@@ -158,18 +187,33 @@ type TimelineRow struct {
 // occurs, not just its average. The two simulations run as one parallel
 // batch.
 func TimelineStudy(s Scale) []TimelineRow {
+	rows := TimelineStudyCtx(context.Background(), s)
+	for _, r := range rows {
+		if r.Err != "" {
+			panic(fmt.Errorf("timeline %s: %s", r.Name, r.Err))
+		}
+	}
+	return rows
+}
+
+// TimelineStudyCtx is the failure-isolating form of TimelineStudy.
+func TimelineStudyCtx(ctx context.Context, s Scale) []TimelineRow {
 	cfgs := explore.TableConfigs()
 	names := []string{"A", "E"}
-	rows, err := parallel.Map(names, func(n string) (TimelineRow, error) {
+	results := parallel.MapResults(ctx, names, func(ctx context.Context, n string) (TimelineRow, error) {
 		tgt := explore.NewHardwareTarget(explore.DefaultSpace(), cfgs[n], trace.MustProfile("410.bwaves"))
 		tgt.Warmup = s.Warmup
 		tgt.Instructions = s.Window
 		tgt.Timeline = true
+		tgt.Ctx = ctx
 		return TimelineRow{Name: n, Point: cfgs[n], M: tgt.Measure()}, nil
 	})
-	if err != nil {
-		// As in table1: jobs never fail, Map only surfaces panics.
-		panic(err)
+	rows := make([]TimelineRow, len(names))
+	for i, r := range results {
+		rows[i] = r.Val
+		if r.Err != nil {
+			rows[i] = TimelineRow{Name: names[i], Point: cfgs[names[i]], Err: r.Err.Error()}
+		}
 	}
 	return rows
 }
@@ -203,14 +247,27 @@ func caseStudyConfig(grain Grain) core.AlgorithmConfig {
 // CaseStudyI runs the LPM algorithm from Table I's configuration A over
 // the default design space on the bwaves-like workload.
 func CaseStudyI(grain Grain, s Scale) CaseStudyIResult {
+	r, err := CaseStudyICtx(context.Background(), grain, s)
+	if err != nil {
+		// Background context never cancels; a failure here is a
+		// deterministic simulator fault that should stay loud.
+		panic(err)
+	}
+	return r
+}
+
+// CaseStudyICtx is the interruptible form of CaseStudyI. On cancellation
+// or a simulator fault it returns the partial walk alongside the error:
+// Algorithm holds the steps completed before the interruption.
+func CaseStudyICtx(ctx context.Context, grain Grain, s Scale) (CaseStudyIResult, error) {
 	tgt := newCaseStudyTarget(s)
-	res, final := tgt.RunAlgorithm(caseStudyConfig(grain))
+	res, final, err := tgt.RunAlgorithmCtx(ctx, caseStudyConfig(grain))
 	return CaseStudyIResult{
 		Algorithm:   res,
 		Final:       final,
 		Evaluations: tgt.Evaluations(),
 		SpaceSize:   explore.DefaultSpace().Size(),
-	}
+	}, err
 }
 
 // ---------------------------------------------------------------------
@@ -224,7 +281,12 @@ type Fig67Result struct {
 
 // Fig67 profiles every built-in workload at the four NUCA L1 sizes.
 func Fig67(s Scale) (Fig67Result, error) {
-	tbl, err := sched.BuildProfileTable(trace.ProfileNames(), chip.NUCAGroupSizes[:],
+	return Fig67Ctx(context.Background(), s)
+}
+
+// Fig67Ctx is the interruptible form of Fig67.
+func Fig67Ctx(ctx context.Context, s Scale) (Fig67Result, error) {
+	tbl, err := sched.BuildProfileTable(ctx, trace.ProfileNames(), chip.NUCAGroupSizes[:],
 		sched.ProfileOptions{Instructions: s.Window, Warmup: s.Warmup / 2})
 	if err != nil {
 		return Fig67Result{}, err
@@ -261,16 +323,21 @@ var fig8Paper = map[string]float64{
 // EXPERIMENTS.md), so the harness always reports the deterministic,
 // test-covered setting.
 func Fig8(s Scale) ([]Fig8Row, error) {
+	return Fig8Ctx(context.Background(), s)
+}
+
+// Fig8Ctx is the interruptible form of Fig8.
+func Fig8Ctx(ctx context.Context, s Scale) ([]Fig8Row, error) {
 	_ = s
 	names := trace.ProfileNames()
 	sizes := chip.NUCAGroupSizes[:]
-	tbl, err := sched.BuildProfileTable(names, sizes,
+	tbl, err := sched.BuildProfileTable(ctx, names, sizes,
 		sched.ProfileOptions{Instructions: 10000, Warmup: 25000})
 	if err != nil {
 		return nil, err
 	}
 	opt := sched.EvalOptions{WindowCycles: 80000, WarmupCycles: 40000}
-	alone, err := sched.AloneIPCs(names, sizes, opt)
+	alone, err := sched.AloneIPCs(ctx, names, sizes, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -284,8 +351,8 @@ func Fig8(s Scale) ([]Fig8Row, error) {
 	}
 	// The per-policy shared runs are independent 16-core simulations;
 	// fan them out. The profile table and alone-IPC slice are read-only.
-	return parallel.Map(policies, func(p sched.Scheduler) (Fig8Row, error) {
-		ev, err := sched.Evaluate(p, names, sizes, opt)
+	return parallel.MapCtx(ctx, policies, func(ctx context.Context, p sched.Scheduler) (Fig8Row, error) {
+		ev, err := sched.Evaluate(ctx, p, names, sizes, opt)
 		if err != nil {
 			return Fig8Row{}, err
 		}
@@ -356,16 +423,45 @@ type IdentityReport struct {
 	// StallModel and StallMeasured compare Eq. (12) with the simulator's
 	// ROB-head stall accounting.
 	StallModel, StallMeasured float64
+	// Err marks a failed cell, as in Table1Row.
+	Err string `json:",omitempty"`
 }
 
 // Identities runs the identity checks on a set of representative
 // workloads.
 func Identities(s Scale, workloads ...string) ([]IdentityReport, error) {
+	reports := IdentitiesCtx(context.Background(), s, workloads...)
+	for _, r := range reports {
+		if r.Err != "" {
+			return nil, fmt.Errorf("identities %s: %s", r.Workload, r.Err)
+		}
+	}
+	return reports, nil
+}
+
+// IdentitiesCtx is the failure-isolating form of Identities: each
+// workload's checks run independently, and a failed cell carries Err
+// instead of discarding the healthy ones.
+func IdentitiesCtx(ctx context.Context, s Scale, workloads ...string) []IdentityReport {
 	if len(workloads) == 0 {
 		workloads = []string{"401.bzip2", "403.gcc", "429.mcf", "410.bwaves"}
 	}
 	// One full single-core simulation per workload, all independent.
-	return parallel.Map(workloads, func(name string) (IdentityReport, error) {
+	results := parallel.MapResults(ctx, workloads, identityOne(s))
+	reports := make([]IdentityReport, len(workloads))
+	for i, r := range results {
+		reports[i] = r.Val
+		if r.Err != nil {
+			reports[i] = IdentityReport{Workload: workloads[i], Err: r.Err.Error()}
+		}
+	}
+	return reports
+}
+
+// identityOne builds the per-workload identity check used by
+// IdentitiesCtx.
+func identityOne(s Scale) func(context.Context, string) (IdentityReport, error) {
+	return func(ctx context.Context, name string) (IdentityReport, error) {
 		prof, err := trace.ProfileByName(name)
 		if err != nil {
 			return IdentityReport{}, err
@@ -374,9 +470,13 @@ func Identities(s Scale, workloads ...string) ([]IdentityReport, error) {
 		gen := trace.NewSynthetic(prof)
 		cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), s.Window)
 		ch := chip.New(cfg)
+		ch.SetContext(ctx)
 		ch.RunUntilRetired(s.Warmup/2, (s.Warmup+s.Window)*400)
 		ch.ResetCounters()
 		ch.Run(s.Warmup/2+s.Window, (s.Warmup+s.Window)*400)
+		if err := ch.Err(); err != nil {
+			return IdentityReport{}, fmt.Errorf("identity %s: %w", name, err)
+		}
 		m := ch.Measure(0, cpiExe)
 		l1 := ch.Snapshot().Cores[0].L1
 
@@ -394,7 +494,7 @@ func Identities(s Scale, workloads ...string) ([]IdentityReport, error) {
 			rep.RecursionRelErr = math.Abs(m.CAMAT1-rec) / m.CAMAT1
 		}
 		return rep, nil
-	})
+	}
 }
 
 // SortedWorkloads returns the built-in workload names sorted, a helper

@@ -1,6 +1,8 @@
 package lpm
 
 import (
+	"context"
+
 	"lpm/internal/phase"
 	"lpm/internal/sched"
 	"lpm/internal/sim/coherence"
@@ -106,11 +108,11 @@ func SchedProfileOptionsQuick() SchedProfileOptions {
 
 // BuildSchedProfileTable profiles workloads standalone at each L1 size.
 func BuildSchedProfileTable(names []string, sizes []uint64, opt SchedProfileOptions) (*SchedProfileTable, error) {
-	return sched.BuildProfileTable(names, sizes, opt)
+	return sched.BuildProfileTable(context.Background(), names, sizes, opt)
 }
 
 // EvaluateScheduler runs a policy on the Fig. 5 NUCA chip and returns
 // its Hsp evaluation.
 func EvaluateScheduler(s Scheduler, workloads []string, sizes []uint64, opt SchedEvalOptions) (*SchedEvaluation, error) {
-	return sched.Evaluate(s, workloads, sizes, opt)
+	return sched.Evaluate(context.Background(), s, workloads, sizes, opt)
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"lpm/internal/cliutil"
 )
 
 // Golden-file regression tests: the experiment harnesses are fully
@@ -33,7 +35,7 @@ func goldenJSON(t *testing.T, name string, v any) {
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
+		if err := cliutil.AtomicWriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Logf("rewrote %s (%d bytes)", path, len(got))

@@ -1,0 +1,179 @@
+package cliutil
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpm/internal/faultinject"
+)
+
+func TestAtomicWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite is atomic too: the old content is fully replaced.
+	if err := AtomicWriteFile(path, []byte("second version"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second version" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if leftovers := tempFiles(t, filepath.Dir(path)); len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestAtomicFileAbortLeavesOldContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewAtomicFile(path, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("half-written new conte")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("abort clobbered destination: %q", got)
+	}
+	if leftovers := tempFiles(t, filepath.Dir(path)); len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestAtomicWriteInjectedFaults drives the two failpoints inside the
+// atomic write path: a write that dies mid-stream and a rename that
+// never happens (the kill -9-equivalent). Both must preserve the old
+// file and clean up the temp file.
+func TestAtomicWriteInjectedFaults(t *testing.T) {
+	for _, point := range []string{"cliutil.atomic.write", "cliutil.atomic.rename"} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.json")
+			if err := AtomicWriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			restore := faultinject.Arm(faultinject.NewPlan(1,
+				faultinject.Rule{Point: point, Msg: "disk died"}))
+			defer restore()
+			err := AtomicWriteFile(path, []byte("new"), 0o644)
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("err = %v, want injected", err)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Fatalf("error %q does not name the destination", err)
+			}
+			got, _ := os.ReadFile(path)
+			if string(got) != "old" {
+				t.Fatalf("failed write clobbered destination: %q", got)
+			}
+			if leftovers := tempFiles(t, dir); len(leftovers) != 0 {
+				t.Fatalf("temp files left behind: %v", leftovers)
+			}
+		})
+	}
+}
+
+func TestAtomicFileSizeAndLatchedError(t *testing.T) {
+	f, err := NewAtomicFile(filepath.Join(t.TempDir(), "x"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 5 {
+		t.Fatalf("Size = %d, want 5", f.Size())
+	}
+	restore := faultinject.Arm(faultinject.NewPlan(1,
+		faultinject.Rule{Point: "cliutil.atomic.write", Msg: "x"}))
+	if _, err := f.Write([]byte("6")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("injected write err = %v", err)
+	}
+	restore()
+	// The error is latched: later writes and Commit both refuse even
+	// though the fault plan is gone.
+	if _, err := f.Write([]byte("7")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("post-fault write err = %v", err)
+	}
+	if err := f.Commit(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Commit after failed write = %v, want latched error", err)
+	}
+}
+
+// TestAtomicWriteThroughSymlink pins the non-regular-destination rule:
+// a destination that is a symlink (or device, fifo — anything Lstat
+// reports as non-regular) is written through, never renamed over, so
+// the node survives and the write lands in the link's target.
+func TestAtomicWriteThroughSymlink(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "real.json")
+	link := filepath.Join(dir, "link.json")
+	if err := os.WriteFile(target, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(target, link); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	if err := AtomicWriteFile(link, []byte("new"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Lstat(link)
+	if err != nil || fi.Mode()&os.ModeSymlink == 0 {
+		t.Fatalf("destination is no longer a symlink: %v %v", fi, err)
+	}
+	got, _ := os.ReadFile(target)
+	if string(got) != "new" {
+		t.Fatalf("link target holds %q, want the written content", got)
+	}
+	if leftovers := tempFiles(t, dir); len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+// TestAtomicWriteDeviceErrors pins that device write errors reach the
+// caller instead of landing on a temp file: /dev/full reports ENOSPC
+// and must stay a character device afterwards.
+func TestAtomicWriteDeviceErrors(t *testing.T) {
+	fi, err := os.Lstat("/dev/full")
+	if err != nil || fi.Mode()&os.ModeDevice == 0 {
+		t.Skipf("/dev/full unavailable: %v %v", fi, err)
+	}
+	if err := AtomicWriteFile("/dev/full", []byte("x"), 0o644); err == nil {
+		t.Fatal("writing /dev/full did not error")
+	}
+	fi, err = os.Lstat("/dev/full")
+	if err != nil || fi.Mode()&os.ModeDevice == 0 {
+		t.Fatalf("/dev/full is no longer a device: %v %v", fi, err)
+	}
+}
+
+// tempFiles lists the in-progress temp names AtomicFile uses, to assert
+// cleanup on every exit path.
+func tempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}

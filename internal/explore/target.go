@@ -1,9 +1,14 @@
 package explore
 
 import (
+	"context"
+	"fmt"
+
 	"lpm/internal/core"
+	"lpm/internal/faultinject"
 	"lpm/internal/obs/timeseries"
 	"lpm/internal/parallel"
+	"lpm/internal/resilience"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
@@ -53,6 +58,19 @@ type HardwareTarget struct {
 	// TimelineWindow overrides the sampler's base window width in cycles
 	// (0 = the sampler default); only meaningful with Timeline set.
 	TimelineWindow uint64
+	// Ctx, when non-nil, cancels in-flight simulations cooperatively:
+	// a cancelled evaluation surfaces as an error from RunAlgorithmCtx
+	// (via the resilience.Abort panic carrier) instead of a result.
+	// Neither Ctx nor WatchdogCycles joins the memo key — they cannot
+	// change a successful measurement.
+	Ctx context.Context
+	// WatchdogCycles is the no-progress budget armed on every evaluation
+	// chip; 0 uses DefaultWatchdogCycles.
+	WatchdogCycles uint64
+	// OnEvaluate, when non-nil, runs after every recorded evaluation —
+	// the checkpoint layer's hook for persisting the memo and frontier
+	// at simulation granularity.
+	OnEvaluate func(Evaluation)
 
 	ix      [6]int
 	rrL1    int // round-robin cursor over the L1-layer knobs
@@ -126,25 +144,52 @@ func (t *HardwareTarget) budgets() (instr, warm, maxCy uint64) {
 // simMemo shares design-point simulation results across every
 // HardwareTarget in the process: Table1, CaseStudyI, the benchmarks, and
 // speculative frontier batches all draw from (and fill) the same pool.
-var simMemo = parallel.NewMemo[core.Measurement]()
+// The name makes it persist through ExportMemos — the checkpoint layer's
+// durable cache.
+var simMemo = parallel.NewNamedMemo[core.Measurement]("explore.sim")
+
+// DefaultWatchdogCycles is the evaluation watchdog's no-progress budget
+// when the target does not set one. Healthy simulations retire something
+// every few hundred cycles (a DRAM round trip); a million dead cycles is
+// a livelock, not a slow phase.
+const DefaultWatchdogCycles = 1_000_000
+
+// ctx returns the cancellation context, defaulting to Background.
+func (t *HardwareTarget) ctx() context.Context {
+	if t.Ctx != nil {
+		return t.Ctx
+	}
+	return context.Background()
+}
 
 // simulate runs the cycle-level simulation of point p under the target's
 // workload and budgets, memoised on the full input fingerprint. It is a
 // pure function of its key: it builds a fresh generator and chip per
 // call and touches no target state, so concurrent calls are safe and
-// deterministic.
+// deterministic. A cancelled or livelocked run surfaces as a
+// resilience.Abort panic, since the core.Target interface has no error
+// channel; cancellations are not memoised, livelocks (deterministic) are.
 func (t *HardwareTarget) simulate(p Point) core.Measurement {
 	instr, warm, maxCy := t.budgets()
+	budget := t.WatchdogCycles
+	if budget == 0 {
+		budget = DefaultWatchdogCycles
+	}
 	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy, t.Observe, t.Timeline, t.TimelineWindow)
-	m, _ := simMemo.Do(key, func() (core.Measurement, error) {
+	m, err := simMemo.DoCtx(t.ctx(), key, func(ctx context.Context) (core.Measurement, error) {
 		gen := trace.NewSynthetic(t.Profile)
 		cfg := ChipConfig(p, gen)
 		cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), instr)
 		ch := chip.New(cfg)
+		ch.SetContext(ctx)
+		ch.SetWatchdog(budget)
 		if t.Observe {
 			ch.EnableObs()
 		}
 		ch.RunUntilRetired(warm, maxCy)
+		if err := ch.Err(); err != nil {
+			return core.Measurement{}, fmt.Errorf("simulate %s: %w", t.Profile.Name, err)
+		}
 		ch.ResetCounters()
 		if t.Timeline {
 			// Attached after warm-up and reset so the windows tile exactly
@@ -152,31 +197,54 @@ func (t *HardwareTarget) simulate(p Point) core.Measurement {
 			ch.EnableTimeseries(timeseries.Config{Width: t.TimelineWindow, CPIexe: cpiExe})
 		}
 		ch.Run(warm+instr, maxCy)
+		if err := ch.Err(); err != nil {
+			return core.Measurement{}, fmt.Errorf("simulate %s: %w", t.Profile.Name, err)
+		}
 		return ch.Measure(0, cpiExe), nil
 	})
+	if err != nil {
+		panic(resilience.Abort{Err: err})
+	}
 	return m
 }
 
 // Evaluate simulates an arbitrary point and returns its measurement.
 // Evaluations() and History() record the call whether or not the result
 // came from the shared memo, so the reported simulation counts match the
-// serial, memo-cold walk exactly.
+// serial, memo-cold walk exactly. The faultinject point "explore.evaluate"
+// (detail: workload name) lets the chaos tests kill a specific workload's
+// evaluation mid-walk.
 func (t *HardwareTarget) Evaluate(p Point) core.Measurement {
+	if err := faultinject.Hit("explore.evaluate", t.Profile.Name); err != nil {
+		panic(resilience.Abort{Err: err})
+	}
 	m := t.simulate(p)
 	t.evals++
-	t.history = append(t.history, Evaluation{Point: p, M: m})
+	ev := Evaluation{Point: p, M: m}
+	t.history = append(t.history, ev)
+	if t.OnEvaluate != nil {
+		t.OnEvaluate(ev)
+	}
 	return m
 }
 
 // PreEvaluate warms the shared memo with the given points in one
 // parallel batch. It records nothing in the target's history or
 // evaluation count — it only moves simulation work off the serial path.
+// Speculative errors are dropped: the serial walk re-encounters any
+// deterministic failure itself, and cancellations must not poison the
+// memo (DoCtx already drops them).
 func (t *HardwareTarget) PreEvaluate(points []Point) {
-	// Simulation cannot fail and panics are surfaced by Map; speculation
-	// has no result to return.
-	_, _ = parallel.Map(points, func(p Point) (struct{}, error) {
-		t.simulate(p)
-		return struct{}{}, nil
+	_, _ = parallel.MapCtx(t.ctx(), points, func(_ context.Context, p Point) (struct{}, error) {
+		return struct{}{}, func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = resilience.Recover(r)
+				}
+			}()
+			t.simulate(p)
+			return nil
+		}()
 	})
 }
 
@@ -279,4 +347,21 @@ func (t *HardwareTarget) ReduceOverprovision() bool {
 func (t *HardwareTarget) RunAlgorithm(cfg core.AlgorithmConfig) (core.Result, Point) {
 	res := core.Run(t, cfg)
 	return res, t.Current()
+}
+
+// RunAlgorithmCtx is RunAlgorithm under a cancellation context: it
+// recovers the resilience.Abort panics the evaluation path uses to
+// escape the error-less Target interface and returns them as ordinary
+// errors (errors.As reaches a *resilience.LivelockError through the
+// chain). Non-Abort panics — genuine bugs — keep propagating.
+func (t *HardwareTarget) RunAlgorithmCtx(ctx context.Context, cfg core.AlgorithmConfig) (res core.Result, p Point, err error) {
+	t.Ctx = ctx
+	defer func() {
+		p = t.Current()
+		if r := recover(); r != nil {
+			err = resilience.Recover(r)
+		}
+	}()
+	res = core.Run(t, cfg)
+	return res, t.Current(), nil
 }

@@ -1,0 +1,146 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestHitUnarmed(t *testing.T) {
+	if err := Hit("any.point", "detail"); err != nil {
+		t.Fatalf("unarmed Hit returned %v", err)
+	}
+}
+
+func TestErrorRuleFiresAfterN(t *testing.T) {
+	restore := Arm(NewPlan(1, Rule{Point: "p", After: 2, Msg: "boom"}))
+	defer restore()
+	for i := 0; i < 2; i++ {
+		if err := Hit("p", "d"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	err := Hit("p", "d")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error %q lacks rule message", err)
+	}
+	// Times defaults to once: the rule must not fire again.
+	if err := Hit("p", "d"); err != nil {
+		t.Fatalf("rule fired twice: %v", err)
+	}
+	if got := Hits("p"); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+}
+
+func TestMatchRestrictsDetail(t *testing.T) {
+	restore := Arm(NewPlan(1, Rule{Point: "p", Match: "429.mcf", Msg: "x"}))
+	defer restore()
+	if err := Hit("p", "410.bwaves"); err != nil {
+		t.Fatalf("non-matching detail fired: %v", err)
+	}
+	if err := Hit("p", "429.mcf@step3"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching detail = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	restore := Arm(NewPlan(1, Rule{Point: "p", Kind: KindPanic, Msg: "die"}))
+	defer restore()
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("recovered %v, want injected error", r)
+		}
+	}()
+	_ = Hit("p", "d")
+	t.Fatal("Hit did not panic")
+}
+
+// TestProbDeterministic pins that a probabilistic rule replays the same
+// firing sequence for the same seed.
+func TestProbDeterministic(t *testing.T) {
+	fire := func(seed int64) []bool {
+		restore := Arm(NewPlan(seed, Rule{Point: "p", Prob: 0.5, Times: 100}))
+		defer restore()
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, Hit("p", "d") != nil)
+		}
+		return out
+	}
+	a, b, c := fire(7), fire(7), fire(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different firing sequences")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical sequences (suspicious PRNG)")
+	}
+	hits := 0
+	for _, f := range a {
+		if f {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times", hits, len(a))
+	}
+}
+
+func TestFailingWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &FailingWriter{W: &buf, FailAfter: 10}
+	if n, err := w.Write(make([]byte, 8)); n != 8 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	// Crosses the quota: short write of 2 bytes plus the injected error.
+	n, err := w.Write(make([]byte, 8))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("boundary write = %d, %v", n, err)
+	}
+	if n, err := w.Write([]byte{1}); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-failure write = %d, %v", n, err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("sink holds %d bytes, want 10", buf.Len())
+	}
+}
+
+func TestFlipBitAndTruncate(t *testing.T) {
+	data := []byte("checkpoint payload bytes")
+	flipped := FlipBit(data, 3)
+	if bytes.Equal(flipped, data) {
+		t.Fatal("FlipBit changed nothing")
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != flipped[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("FlipBit touched %d bytes, want 1", diff)
+	}
+	if !bytes.Equal(FlipBit(data, 3), flipped) {
+		t.Fatal("FlipBit is not deterministic for a fixed seed")
+	}
+	if got := Truncate(data, 5); !bytes.Equal(got, data[:5]) {
+		t.Fatalf("Truncate = %q", got)
+	}
+	if got := Truncate(data, 999); !bytes.Equal(got, data) {
+		t.Fatalf("over-long Truncate = %q", got)
+	}
+}

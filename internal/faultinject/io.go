@@ -1,0 +1,74 @@
+package faultinject
+
+// IO fault primitives for the chaos tests: writers that fail or
+// short-write at a byte offset, and deterministic corruption of encoded
+// artifacts (checkpoints, reports) so decoder hardening is exercised
+// with realistic damage rather than random fuzz alone.
+
+import (
+	"fmt"
+	"io"
+)
+
+// FailingWriter wraps W and fails once FailAfter bytes have been
+// written: the write that crosses the boundary is truncated to the
+// remaining quota (a short write) and returns Err — the shape a full
+// disk or a killed pipe produces.
+type FailingWriter struct {
+	W io.Writer
+	// FailAfter is the byte quota before the injected failure.
+	FailAfter int64
+	// Err is returned from the failing write; nil defaults to an
+	// ErrInjected-wrapped error.
+	Err error
+
+	written int64
+}
+
+// Write implements io.Writer.
+func (w *FailingWriter) Write(p []byte) (int, error) {
+	remaining := w.FailAfter - w.written
+	if remaining >= int64(len(p)) {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	err := w.Err
+	if err == nil {
+		err = fmt.Errorf("%w: write failed after %d bytes", ErrInjected, w.FailAfter)
+	}
+	if remaining <= 0 {
+		return 0, err
+	}
+	n, werr := w.W.Write(p[:remaining])
+	w.written += int64(n)
+	if werr != nil {
+		return n, werr
+	}
+	return n, err
+}
+
+// FlipBit returns a copy of data with exactly one bit flipped, chosen
+// deterministically from seed. Empty input is returned unchanged.
+func FlipBit(data []byte, seed int64) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	p := NewPlan(seed)
+	bit := p.next64() % uint64(len(out)*8)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// Truncate returns the first n bytes of data (a copy); n past the end
+// returns the whole input.
+func Truncate(data []byte, n int) []byte {
+	if n > len(data) {
+		n = len(data)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return append([]byte(nil), data[:n]...)
+}

@@ -16,10 +16,14 @@ import (
 // Two idioms stay legal: deferred Close/Flush (the usual best-effort
 // teardown) and fmt.Fprint* to a stderr-named writer (diagnostics are
 // best-effort by design).
+//
+// internal/cliutil is in scope alongside the CLIs: it owns the atomic
+// temp-file+rename writes, where a dropped Rename, Close, or Sync error
+// silently publishes a torn or unsynced file.
 var analyzerErrcheck = &Analyzer{
 	Name:  "errcheck",
-	Doc:   "flag dropped errors from io/encoding writes in the CLIs and report builders",
-	Paths: []string{"cmd", "."},
+	Doc:   "flag dropped errors from io/encoding writes in the CLIs, cliutil, and report builders",
+	Paths: []string{"cmd", "internal/cliutil", "."},
 	Run:   runErrcheck,
 }
 

@@ -1,0 +1,25 @@
+// Package cliutil is the errcheck fixture's atomic-write case: the
+// temp-file+rename commit path where every dropped error publishes a
+// torn or unsynced file.
+package cliutil
+
+import "os"
+
+// Commit is the broken commit sequence: each step's error vanishes, so
+// a failed fsync or rename still reports success to the caller.
+func Commit(tmp *os.File, dst string) {
+	tmp.Sync()                 // want "File.Sync returns an error that is dropped"
+	tmp.Close()                // want "File.Close returns an error that is dropped"
+	os.Rename(tmp.Name(), dst) // want "os.Rename returns an error that is dropped"
+}
+
+// CommitChecked is the legal form: explicit discards and deferred
+// teardown stay quiet.
+func CommitChecked(tmp *os.File, dst string) error {
+	defer tmp.Close()
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	_ = os.Rename(tmp.Name(), dst)
+	return nil
+}

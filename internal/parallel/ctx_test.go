@@ -1,0 +1,176 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCtxCancellationSkipsQueuedJobs(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPool(1) // serial: cancellation inside job 1 must skip 2..9
+	var ran atomic.Int32
+	results := MapPoolResults(ctx, p, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			if i == 1 {
+				cancel()
+			}
+			return i * i, nil
+		})
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("%d jobs ran, want 2", got)
+	}
+	for i, r := range results {
+		switch {
+		case i <= 1:
+			if !r.Ran || r.Err != nil || r.Val != i*i {
+				t.Fatalf("job %d: %+v, want completed", i, r)
+			}
+		default:
+			if r.Ran || !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("job %d: %+v, want skipped with Canceled", i, r)
+			}
+		}
+	}
+}
+
+func TestMapResultsIsolatesFailures(t *testing.T) {
+	sentinel := errors.New("cell failed")
+	results := MapResults(context.Background(), []int{0, 1, 2, 3},
+		func(_ context.Context, i int) (string, error) {
+			switch i {
+			case 1:
+				return "", sentinel
+			case 2:
+				panic(fmt.Errorf("wrapped: %w", sentinel))
+			}
+			return fmt.Sprintf("ok%d", i), nil
+		})
+	if results[0].Val != "ok0" || results[3].Val != "ok3" {
+		t.Fatalf("healthy cells lost: %+v", results)
+	}
+	if !errors.Is(results[1].Err, sentinel) {
+		t.Fatalf("error cell: %v", results[1].Err)
+	}
+	// The panic carried an error value: %w wrapping must keep the chain
+	// intact so errors.Is/As reach structured errors.
+	if !errors.Is(results[2].Err, sentinel) {
+		t.Fatalf("panicked cell lost the error chain: %v", results[2].Err)
+	}
+	if !results[2].Ran {
+		t.Fatal("panicked job not marked Ran")
+	}
+}
+
+func TestMapCtxFirstErrorSemantics(t *testing.T) {
+	e := errors.New("boom")
+	out, err := MapCtx(context.Background(), []int{1, 2, 3},
+		func(_ context.Context, i int) (int, error) {
+			if i == 2 {
+				return 0, e
+			}
+			return i, nil
+		})
+	if !errors.Is(err, e) {
+		t.Fatalf("err = %v", err)
+	}
+	if out[0] != 1 || out[2] != 3 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestDoCtxDropsCancelledEntries(t *testing.T) {
+	m := NewMemo[int]()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.DoCtx(ctx, "k", func(ctx context.Context) (int, error) {
+		return 0, ctx.Err()
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("cancelled entry was memoised")
+	}
+	// A fresh context recomputes and memoises.
+	v, err := m.DoCtx(context.Background(), "k", func(context.Context) (int, error) { return 7, nil })
+	if v != 7 || err != nil {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if m.Len() != 1 {
+		t.Fatal("successful retry not memoised")
+	}
+	// Deterministic failures stay memoised.
+	det := errors.New("deterministic failure")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := m.DoCtx(context.Background(), "fail", func(context.Context) (int, error) {
+			calls++
+			return 0, det
+		})
+		if !errors.Is(err, det) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("deterministic failure recomputed %d times", calls)
+	}
+}
+
+func TestMemoSnapshotSeed(t *testing.T) {
+	m := NewMemo[float64]()
+	if _, err := m.Do("good", func() (float64, error) { return 1.5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Do("bad", func() (float64, error) { return 0, errors.New("x") }); err == nil {
+		t.Fatal("want error")
+	}
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap["good"] != 1.5 {
+		t.Fatalf("snapshot = %v, want only the successful entry", snap)
+	}
+	m2 := NewMemo[float64]()
+	m2.Seed(snap)
+	v, err := m2.Do("good", func() (float64, error) {
+		t.Fatal("seeded key recomputed")
+		return 0, nil
+	})
+	if v != 1.5 || err != nil {
+		t.Fatalf("seeded Do = %v, %v", v, err)
+	}
+}
+
+func TestExportImportMemos(t *testing.T) {
+	// Distinct names per test run are unnecessary: the registry is
+	// process-global, so use names unlikely to collide with production
+	// memos.
+	a := NewNamedMemo[int]("test.export.a")
+	if _, err := a.Do("k1", func() (int, error) { return 41, nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ExportMemos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap["test.export.a"]; !ok {
+		t.Fatalf("export lacks named memo: %v", snap)
+	}
+	a.Reset()
+	if err := ImportMemos(snap); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Do("k1", func() (int, error) {
+		t.Fatal("imported key recomputed")
+		return 0, nil
+	})
+	if v != 41 || err != nil {
+		t.Fatalf("after import: %v, %v", v, err)
+	}
+	// Unknown names in the snapshot are ignored.
+	snap["test.export.ghost"] = []byte(`{"k":1}`)
+	if err := ImportMemos(snap); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,9 @@
 package parallel
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -33,6 +36,7 @@ type memoEntry[V any] struct {
 // runs, profiling runs, alone-IPC runs), so a point evaluated by Table1
 // is free when CaseStudyI or a speculative frontier batch revisits it.
 type Memo[V any] struct {
+	name    string // non-empty for checkpointable memos (NewNamedMemo)
 	mu      sync.Mutex
 	entries map[string]*memoEntry[V]
 	hits    int64
@@ -48,6 +52,16 @@ func NewMemo[V any]() *Memo[V] {
 	return m
 }
 
+// NewNamedMemo is NewMemo plus a stable name under which the memo's
+// completed entries appear in ExportMemos/ImportMemos — the hook the
+// checkpoint layer uses to persist simulation results across process
+// deaths. V must round-trip through JSON.
+func NewNamedMemo[V any](name string) *Memo[V] {
+	m := NewMemo[V]()
+	m.name = name
+	return m
+}
+
 // Do returns the memoised result for key, computing it with fn on the
 // first call. Concurrent callers of a key in flight block until the
 // computation finishes and share its outcome. A panic in fn is captured
@@ -55,6 +69,17 @@ func NewMemo[V any]() *Memo[V] {
 // like values (the simulations here are deterministic, so retrying
 // cannot succeed).
 func (m *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
+	return m.DoCtx(context.Background(), key, func(context.Context) (V, error) { return fn() })
+}
+
+// DoCtx is Do with cooperative cancellation. A result whose error is
+// the context's cancellation is NOT memoised — the entry is dropped so
+// a later retry (or a resumed run) recomputes instead of replaying the
+// aborted attempt. Deterministic failures (including livelocks) are
+// memoised like values, since retrying cannot change them. A panic
+// whose value is an error is wrapped with %w so structured errors
+// survive the memo boundary.
+func (m *Memo[V]) DoCtx(ctx context.Context, key string, fn func(context.Context) (V, error)) (V, error) {
 	m.mu.Lock()
 	if e, ok := m.entries[key]; ok {
 		m.hits++
@@ -70,13 +95,58 @@ func (m *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				e.err = fmt.Errorf("parallel: memoised computation panicked: %v", r)
+				if err, ok := r.(error); ok {
+					e.err = fmt.Errorf("parallel: memoised computation panicked: %w", err)
+				} else {
+					e.err = fmt.Errorf("parallel: memoised computation panicked: %v", r)
+				}
 			}
 			close(e.ready)
 		}()
-		e.val, e.err = fn()
+		e.val, e.err = fn(ctx)
 	}()
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		m.mu.Lock()
+		if m.entries[key] == e {
+			delete(m.entries, key)
+		}
+		m.mu.Unlock()
+	}
 	return e.val, e.err
+}
+
+// Snapshot copies every successfully completed entry — the persistable
+// portion of the cache. In-flight and failed entries are skipped: a
+// checkpoint must only replay results that are certainly final.
+func (m *Memo[V]) Snapshot() map[string]V {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]V, len(m.entries))
+	for k, e := range m.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out[k] = e.val
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// Seed inserts completed entries, as produced by Snapshot. Existing
+// keys are left alone (the live entry may be in flight).
+func (m *Memo[V]) Seed(vals map[string]V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range vals {
+		if _, ok := m.entries[k]; ok {
+			continue
+		}
+		e := &memoEntry[V]{ready: make(chan struct{}), val: v}
+		close(e.ready)
+		m.entries[k] = e
+	}
 }
 
 // Stats returns the cumulative hit and miss counts. A hit is any Do
@@ -119,6 +189,92 @@ func ResetAllMemos() {
 	for _, m := range registry.memos {
 		m.Reset()
 	}
+}
+
+// export marshals the memo's completed entries; part of the porter
+// interface behind ExportMemos.
+func (m *Memo[V]) export() (json.RawMessage, error) {
+	return json.Marshal(m.Snapshot())
+}
+
+// load unmarshals a previously exported snapshot and seeds it.
+func (m *Memo[V]) load(data json.RawMessage) error {
+	var vals map[string]V
+	if err := json.Unmarshal(data, &vals); err != nil {
+		return err
+	}
+	m.Seed(vals)
+	return nil
+}
+
+// porter lets the registry export/import memos of different value
+// types.
+type porter interface {
+	export() (json.RawMessage, error)
+	load(json.RawMessage) error
+}
+
+// ExportMemos snapshots every named memo into a name → entries map,
+// the payload the checkpoint layer persists.
+func ExportMemos() (map[string]json.RawMessage, error) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]json.RawMessage)
+	for _, m := range registry.memos {
+		name := memoName(m)
+		if name == "" {
+			continue
+		}
+		p, ok := m.(porter)
+		if !ok {
+			continue
+		}
+		data, err := p.export()
+		if err != nil {
+			return nil, fmt.Errorf("parallel: export memo %q: %w", name, err)
+		}
+		out[name] = data
+	}
+	return out, nil
+}
+
+// ImportMemos seeds named memos from an ExportMemos payload. Names with
+// no live memo are skipped (an old checkpoint may carry caches this
+// build no longer has); a payload that does not unmarshal is an error.
+func ImportMemos(snap map[string]json.RawMessage) error {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, m := range registry.memos {
+		name := memoName(m)
+		if name == "" {
+			continue
+		}
+		data, ok := snap[name]
+		if !ok {
+			continue
+		}
+		p, ok := m.(porter)
+		if !ok {
+			continue
+		}
+		if err := p.load(data); err != nil {
+			return fmt.Errorf("parallel: import memo %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// named lets the registry read the name across value types.
+type named interface{ Name() string }
+
+// Name returns the memo's checkpoint name ("" for anonymous memos).
+func (m *Memo[V]) Name() string { return m.name }
+
+func memoName(m resettable) string {
+	if n, ok := m.(named); ok {
+		return n.Name()
+	}
+	return ""
 }
 
 // statser lets the registry aggregate counters across memos of different

@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -55,6 +56,13 @@ func Map[I, O any](jobs []I, fn func(I) (O, error)) ([]O, error) {
 	return MapPool(defaultPool.Load(), jobs, fn)
 }
 
+// MapCtx is Map with cooperative cancellation: jobs already running
+// when ctx is cancelled finish (the drain), jobs not yet started are
+// skipped and report ctx's error.
+func MapCtx[I, O any](ctx context.Context, jobs []I, fn func(context.Context, I) (O, error)) ([]O, error) {
+	return firstError(MapPoolResults(ctx, defaultPool.Load(), jobs, fn))
+}
+
 // MapPool runs fn over every job on at most p.Workers() goroutines and
 // returns the results in input order. A panic in fn is recovered and
 // reported as that job's error rather than crashing (or deadlocking)
@@ -62,21 +70,57 @@ func Map[I, O any](jobs []I, fn func(I) (O, error)) ([]O, error) {
 // then returns the lowest-indexed error, so the error surfaced is the
 // same one the serial loop would have hit first.
 func MapPool[I, O any](p *Pool, jobs []I, fn func(I) (O, error)) ([]O, error) {
+	return firstError(MapPoolResults(context.Background(), p, jobs,
+		func(_ context.Context, job I) (O, error) { return fn(job) }))
+}
+
+// JobResult is one job's outcome under MapResults: its value or error,
+// and whether the job actually ran (false when cancellation skipped it).
+type JobResult[O any] struct {
+	Val O
+	Err error
+	Ran bool
+}
+
+// MapResults runs fn over jobs on the default pool and reports every
+// job's outcome individually — the failure-isolation form the
+// experiment drivers use so one panicking or livelocked workload
+// becomes an error cell instead of poisoning the whole table. See
+// MapPoolResults.
+func MapResults[I, O any](ctx context.Context, jobs []I, fn func(context.Context, I) (O, error)) []JobResult[O] {
+	return MapPoolResults(ctx, defaultPool.Load(), jobs, fn)
+}
+
+// MapPoolResults is the core runner behind Map, MapCtx and MapResults:
+// input-ordered per-job results, recovered panics, cooperative
+// cancellation with drain semantics. A panic whose value is an error is
+// wrapped with %w so errors.As reaches structured errors (a
+// *resilience.LivelockError travelling inside an Abort); other panic
+// values keep their stack trace, since they are genuine bugs.
+func MapPoolResults[I, O any](ctx context.Context, p *Pool, jobs []I, fn func(context.Context, I) (O, error)) []JobResult[O] {
 	if p == nil {
 		p = defaultPool.Load()
 	}
-	out := make([]O, len(jobs))
+	out := make([]JobResult[O], len(jobs))
 	if len(jobs) == 0 {
-		return out, nil
+		return out
 	}
-	errs := make([]error, len(jobs))
 	run := func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Ran = true
 		defer func() {
 			if r := recover(); r != nil {
-				errs[i] = fmt.Errorf("parallel: job %d panicked: %v\n%s", i, r, debug.Stack())
+				if err, ok := r.(error); ok {
+					out[i].Err = fmt.Errorf("parallel: job %d panicked: %w", i, err)
+				} else {
+					out[i].Err = fmt.Errorf("parallel: job %d panicked: %v\n%s", i, r, debug.Stack())
+				}
 			}
 		}()
-		out[i], errs[i] = fn(jobs[i])
+		out[i].Val, out[i].Err = fn(ctx, jobs[i])
 	}
 
 	workers := min(p.Workers(), len(jobs))
@@ -102,11 +146,20 @@ func MapPool[I, O any](p *Pool, jobs []I, fn func(I) (O, error)) ([]O, error) {
 		close(idx)
 		wg.Wait()
 	}
+	return out
+}
 
-	for _, err := range errs {
-		if err != nil {
-			return out, err
+// firstError flattens per-job results into the classic ([]O, error)
+// shape: all values plus the lowest-indexed error, matching what the
+// serial loop would have hit first.
+func firstError[O any](results []JobResult[O]) ([]O, error) {
+	out := make([]O, len(results))
+	var first error
+	for i, r := range results {
+		out[i] = r.Val
+		if r.Err != nil && first == nil {
+			first = r.Err
 		}
 	}
-	return out, nil
+	return out, first
 }

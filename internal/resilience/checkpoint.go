@@ -1,0 +1,118 @@
+package resilience
+
+// Durable checkpoint envelope. A checkpoint file is
+//
+//	magic "LPMCKPT1" | uint64 LE payload length | uint64 LE CRC64-ECMA | payload
+//
+// The length-before-payload plus checksum makes every torn write
+// detectable: a kill -9 mid-write leaves either the old complete file
+// (the atomic rename never happened) or, on a non-atomic filesystem, a
+// file the decoder rejects with a precise reason instead of feeding
+// garbage into the resume path. The payload is JSON so checkpoints stay
+// inspectable with jq after stripping the 24-byte header.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"os"
+
+	"lpm/internal/cliutil"
+	"lpm/internal/faultinject"
+)
+
+// checkpointMagic identifies the format and its version; a format
+// change means a new magic, not a silent reinterpretation.
+const checkpointMagic = "LPMCKPT1"
+
+// checkpointHeaderSize is magic + length + checksum.
+const checkpointHeaderSize = len(checkpointMagic) + 8 + 8
+
+// MaxCheckpointPayload caps the declared payload length. Memo
+// snapshots for the largest sweeps are tens of megabytes; anything
+// claiming more is corruption, not data, and must not drive an
+// allocation.
+const MaxCheckpointPayload = 256 << 20
+
+// ErrCorruptCheckpoint is the sentinel wrapped by every decode failure.
+var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// EncodeEnvelope frames payload in the checkpoint envelope.
+func EncodeEnvelope(payload []byte) []byte {
+	out := make([]byte, checkpointHeaderSize+len(payload))
+	copy(out, checkpointMagic)
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(out[16:], crc64.Checksum(payload, crcTable))
+	copy(out[checkpointHeaderSize:], payload)
+	return out
+}
+
+// DecodeEnvelope verifies the envelope and returns the payload. Every
+// failure wraps ErrCorruptCheckpoint and says what is wrong: truncated
+// header, bad magic, oversized or mismatched length, checksum failure.
+func DecodeEnvelope(data []byte) ([]byte, error) {
+	if len(data) < checkpointHeaderSize {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header",
+			ErrCorruptCheckpoint, len(data), checkpointHeaderSize)
+	}
+	if string(data[:8]) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)",
+			ErrCorruptCheckpoint, data[:8], checkpointMagic)
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n > MaxCheckpointPayload {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes exceeds the %d-byte cap",
+			ErrCorruptCheckpoint, n, MaxCheckpointPayload)
+	}
+	if got := uint64(len(data) - checkpointHeaderSize); got != n {
+		return nil, fmt.Errorf("%w: header declares %d payload bytes, file carries %d",
+			ErrCorruptCheckpoint, n, got)
+	}
+	payload := data[checkpointHeaderSize:]
+	want := binary.LittleEndian.Uint64(data[16:])
+	if got := crc64.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: CRC64 mismatch (header %016x, payload %016x)",
+			ErrCorruptCheckpoint, want, got)
+	}
+	return payload, nil
+}
+
+// SaveCheckpoint marshals v to JSON, frames it, and writes it to path
+// atomically — a crash at any instant leaves the previous checkpoint
+// intact.
+func SaveCheckpoint(path string, v any) error {
+	if err := faultinject.Hit("resilience.checkpoint.save", path); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if len(payload) > MaxCheckpointPayload {
+		return fmt.Errorf("checkpoint %s: %d-byte payload exceeds the %d-byte cap",
+			path, len(payload), MaxCheckpointPayload)
+	}
+	return cliutil.AtomicWriteFile(path, EncodeEnvelope(payload), 0o644)
+}
+
+// LoadCheckpoint reads and verifies path and unmarshals its payload
+// into v. A missing file is returned as-is (os.IsNotExist-able) so
+// callers can treat "no checkpoint yet" as a cold start.
+func LoadCheckpoint(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	payload, err := DecodeEnvelope(data)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("checkpoint %s: %w: %v", path, ErrCorruptCheckpoint, err)
+	}
+	return nil
+}

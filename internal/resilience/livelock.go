@@ -1,0 +1,43 @@
+package resilience
+
+import (
+	"fmt"
+
+	"lpm/internal/obs/timeseries"
+)
+
+// LivelockError reports that a simulation made no forward progress —
+// no committed instruction and no retired memory request — across a
+// full watchdog budget of cycles. It carries the diagnostic bundle the
+// chip captured at detection time so an error cell in a report is
+// debuggable without re-running the workload.
+type LivelockError struct {
+	// Workload names the stuck configuration/workload, when known.
+	Workload string `json:"workload,omitempty"`
+	// Cycle is the chip cycle at detection.
+	Cycle uint64 `json:"cycle"`
+	// Budget is the watchdog's no-progress cycle budget that elapsed.
+	Budget uint64 `json:"budget"`
+	// Retired holds each core's retired-instruction count at detection
+	// (idle slots report 0).
+	Retired []uint64 `json:"retired,omitempty"`
+	// Stalls is the per-core stall attribution accumulated over the
+	// stuck window — which layer each core's dead cycles were charged
+	// to.
+	Stalls []timeseries.StallTree `json:"stalls,omitempty"`
+	// Occupancy snapshots the queue depths at detection: per-L1 MSHRs,
+	// shared-cache MSHRs, NoC pending, DRAM bank queue and in-flight
+	// counts, keyed by the probe names the timeline uses
+	// (l1.0.mshr_occupancy, dram.queue_depth, ...).
+	Occupancy map[string]uint64 `json:"occupancy,omitempty"`
+	// Window is the last closed timeline window before detection, when
+	// the chip had a sampler attached.
+	Window *timeseries.Window `json:"window,omitempty"`
+}
+
+// Error implements error with a one-line summary; the bundle travels in
+// the struct for callers that errors.As their way to it.
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("livelock: no forward progress for %d cycles (workload %q, cycle %d)",
+		e.Budget, e.Workload, e.Cycle)
+}

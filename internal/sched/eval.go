@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"lpm/internal/parallel"
@@ -52,8 +53,9 @@ type Evaluation struct {
 }
 
 // aloneMemo shares standalone-IPC runs across drivers: Fig. 8, lpmsched,
-// and the scheduler benchmarks all measure the same reference runs.
-var aloneMemo = parallel.NewMemo[float64]()
+// and the scheduler benchmarks all measure the same reference runs. The
+// name makes it persist through ExportMemos for checkpoint/resume.
+var aloneMemo = parallel.NewNamedMemo[float64]("sched.alone")
 
 // AloneIPCs measures each workload's standalone IPC on a reference core
 // whose L1 is the largest NUCA size, using exactly the same fixed-cycle
@@ -62,20 +64,24 @@ var aloneMemo = parallel.NewMemo[float64]()
 // speedups; it is scheduling-invariant. The per-workload runs are
 // independent simulations, so they fan out over the parallel runner and
 // are memoised on the (profile, reference size, window) fingerprint.
-func AloneIPCs(workloads []string, groupSizes []uint64, opt EvalOptions) ([]float64, error) {
+func AloneIPCs(ctx context.Context, workloads []string, groupSizes []uint64, opt EvalOptions) ([]float64, error) {
 	opt = opt.normalise()
 	ref := groupSizes[len(groupSizes)-1]
-	return parallel.Map(workloads, func(name string) (float64, error) {
+	return parallel.MapCtx(ctx, workloads, func(ctx context.Context, name string) (float64, error) {
 		prof, err := trace.ProfileByName(name)
 		if err != nil {
 			return 0, err
 		}
 		key := parallel.KeyOf("sched.alone", prof, ref, opt.WindowCycles, opt.WarmupCycles)
-		return aloneMemo.Do(key, func() (float64, error) {
+		return aloneMemo.DoCtx(ctx, key, func(ctx context.Context) (float64, error) {
 			ch := chip.New(chip.NUCASingle(trace.NewSynthetic(prof), ref))
+			ch.SetContext(ctx)
 			ch.RunCycles(opt.WarmupCycles)
 			ch.ResetCounters()
 			ch.RunCycles(opt.WindowCycles)
+			if err := ch.Err(); err != nil {
+				return 0, fmt.Errorf("alone-IPC %s: %w", name, err)
+			}
 			return ch.Snapshot().Cores[0].CPU.IPC(), nil
 		})
 	})
@@ -83,7 +89,7 @@ func AloneIPCs(workloads []string, groupSizes []uint64, opt EvalOptions) ([]floa
 
 // Evaluate runs the workloads under the given assignment on the Fig. 5
 // NUCA chip and returns the Hsp evaluation.
-func Evaluate(s Scheduler, workloads []string, groupSizes []uint64, opt EvalOptions) (*Evaluation, error) {
+func Evaluate(ctx context.Context, s Scheduler, workloads []string, groupSizes []uint64, opt EvalOptions) (*Evaluation, error) {
 	opt = opt.normalise()
 	asg, err := s.Assign(workloads, groupSizes)
 	if err != nil {
@@ -106,10 +112,14 @@ func Evaluate(s Scheduler, workloads []string, groupSizes []uint64, opt EvalOpti
 	}
 	cfg := nucaConfig(gens, groupSizes)
 	ch := chip.New(cfg)
+	ch.SetContext(ctx)
 	ch.RunCycles(opt.WarmupCycles)
 	ch.ResetCounters()
 	start := ch.Now()
 	ch.RunCycles(opt.WindowCycles)
+	if err := ch.Err(); err != nil {
+		return nil, fmt.Errorf("evaluate %s: %w", s.Name(), err)
+	}
 	r := ch.Snapshot()
 
 	ipcShared := make([]float64, len(workloads))
@@ -122,7 +132,7 @@ func Evaluate(s Scheduler, workloads []string, groupSizes []uint64, opt EvalOpti
 
 	alone := opt.AloneIPC
 	if alone == nil {
-		alone, err = AloneIPCs(workloads, groupSizes, opt)
+		alone, err = AloneIPCs(ctx, workloads, groupSizes, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -22,12 +23,12 @@ func fixtures(t *testing.T) (*ProfileTable, []float64, []string) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		fixtureNames = trace.ProfileNames()
-		fixtureTable, fixtureErr = BuildProfileTable(fixtureNames, chip.NUCAGroupSizes[:],
+		fixtureTable, fixtureErr = BuildProfileTable(context.Background(), fixtureNames, chip.NUCAGroupSizes[:],
 			ProfileOptions{Instructions: 10000, Warmup: 25000})
 		if fixtureErr != nil {
 			return
 		}
-		fixtureAlone, fixtureErr = AloneIPCs(fixtureNames, chip.NUCAGroupSizes[:],
+		fixtureAlone, fixtureErr = AloneIPCs(context.Background(), fixtureNames, chip.NUCAGroupSizes[:],
 			EvalOptions{WindowCycles: 80000, WarmupCycles: 40000})
 	})
 	if fixtureErr != nil {
@@ -270,7 +271,7 @@ func TestFig8Ordering(t *testing.T) {
 	tbl, alone, names := fixtures(t)
 	opt := evalOpts(alone)
 	hsp := func(s Scheduler) float64 {
-		ev, err := Evaluate(s, names, chip.NUCAGroupSizes[:], opt)
+		ev, err := Evaluate(context.Background(), s, names, chip.NUCAGroupSizes[:], opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -298,7 +299,7 @@ func TestFig8Ordering(t *testing.T) {
 
 func TestEvaluateRecordsConsistentData(t *testing.T) {
 	tbl, alone, names := fixtures(t)
-	ev, err := Evaluate(NUCASA{Table: tbl, TolFrac: 0.01}, names, chip.NUCAGroupSizes[:], evalOpts(alone))
+	ev, err := Evaluate(context.Background(), NUCASA{Table: tbl, TolFrac: 0.01}, names, chip.NUCAGroupSizes[:], evalOpts(alone))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +329,7 @@ func TestContentionDegradesVsAlone(t *testing.T) {
 	// Weighted speedups should mostly be below 1: co-runners cannot
 	// systematically speed a program up.
 	_, alone, names := fixtures(t)
-	ev, err := Evaluate(RoundRobin{}, names, chip.NUCAGroupSizes[:], evalOpts(alone))
+	ev, err := Evaluate(context.Background(), RoundRobin{}, names, chip.NUCAGroupSizes[:], evalOpts(alone))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestCustomGroupSizes(t *testing.T) {
 	// geometry.
 	sizes := []uint64{8 * chip.KB, 32 * chip.KB}
 	names := []string{"401.bzip2", "456.hmmer", "444.namd", "403.gcc"}
-	tbl, err := BuildProfileTable(names, sizes, ProfileOptions{Instructions: 5000, Warmup: 10000})
+	tbl, err := BuildProfileTable(context.Background(), names, sizes, ProfileOptions{Instructions: 5000, Warmup: 10000})
 	if err != nil {
 		t.Fatal(err)
 	}

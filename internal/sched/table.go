@@ -7,6 +7,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"lpm/internal/parallel"
@@ -62,7 +63,7 @@ func (o ProfileOptions) normalise() ProfileOptions {
 // runs are independent, so they fan out over the parallel runner; each
 // run builds its own generator and chip, and results land back in input
 // order.
-func BuildProfileTable(names []string, sizes []uint64, opt ProfileOptions) (*ProfileTable, error) {
+func BuildProfileTable(ctx context.Context, names []string, sizes []uint64, opt ProfileOptions) (*ProfileTable, error) {
 	opt = opt.normalise()
 	t := &ProfileTable{
 		Sizes:     append([]uint64(nil), sizes...),
@@ -85,9 +86,9 @@ func BuildProfileTable(names []string, sizes []uint64, opt ProfileOptions) (*Pro
 			jobs = append(jobs, job{prof: prof, size: size})
 		}
 	}
-	results, err := parallel.Map(jobs, func(j job) ([3]float64, error) {
-		apc1, apc2, ipc := profileOne(j.prof, j.size, opt)
-		return [3]float64{apc1, apc2, ipc}, nil
+	results, err := parallel.MapCtx(ctx, jobs, func(ctx context.Context, j job) ([3]float64, error) {
+		apc1, apc2, ipc, err := profileOne(ctx, j.prof, j.size, opt)
+		return [3]float64{apc1, apc2, ipc}, err
 	})
 	if err != nil {
 		return nil, err
@@ -109,24 +110,29 @@ func BuildProfileTable(names []string, sizes []uint64, opt ProfileOptions) (*Pro
 
 // profileMemo shares profiling runs across drivers and benchmark
 // iterations: Fig. 6, Fig. 7, and the scheduler evaluations all profile
-// the same (workload, L1 size, options) tuples.
-var profileMemo = parallel.NewMemo[[3]float64]()
+// the same (workload, L1 size, options) tuples. The name makes it
+// persist through ExportMemos for checkpoint/resume.
+var profileMemo = parallel.NewNamedMemo[[3]float64]("sched.profile")
 
 // profileOne runs one workload alone at one L1 size on the NUCA reference
 // platform and returns (APC1, APC2, IPC) of the measured window.
-func profileOne(prof trace.Profile, l1Size uint64, opt ProfileOptions) (apc1, apc2, ipc float64) {
+func profileOne(ctx context.Context, prof trace.Profile, l1Size uint64, opt ProfileOptions) (apc1, apc2, ipc float64, err error) {
 	opt = opt.normalise()
 	key := parallel.KeyOf("sched.profileOne", prof, l1Size, opt)
-	r, _ := profileMemo.Do(key, func() ([3]float64, error) {
+	r, err := profileMemo.DoCtx(ctx, key, func(ctx context.Context) ([3]float64, error) {
 		cfg := chip.NUCASingle(trace.NewSynthetic(prof), l1Size)
 		ch := chip.New(cfg)
+		ch.SetContext(ctx)
 		ch.RunUntilRetired(opt.Warmup, opt.MaxCycles)
 		ch.ResetCounters()
 		ch.Run(opt.Warmup+opt.Instructions, opt.MaxCycles)
+		if err := ch.Err(); err != nil {
+			return [3]float64{}, fmt.Errorf("profile %s @%d: %w", prof.Name, l1Size, err)
+		}
 		r := ch.Snapshot()
 		return [3]float64{r.Cores[0].L1.APC(), r.L2.APC(), r.Cores[0].CPU.IPC()}, nil
 	})
-	return r[0], r[1], r[2]
+	return r[0], r[1], r[2], err
 }
 
 // sizeIndex locates size in t.Sizes.

@@ -12,6 +12,7 @@
 package chip
 
 import (
+	"context"
 	"fmt"
 
 	"lpm/internal/analyzer"
@@ -107,6 +108,15 @@ type Chip struct {
 	reg    *obs.Registry // nil unless EnableObs was called
 	tr     *obs.Tracer   // nil unless AttachTracer was called
 	ts     *tsState      // nil unless EnableTimeseries was called
+
+	// Hardened-execution state (watchdog.go): cancellation context, the
+	// watchdog's no-progress budget and last observation, and the
+	// latched run error that stops every run loop.
+	ctx         context.Context
+	wdBudget    uint64
+	wdLastSig   uint64
+	wdLastCycle uint64
+	runErr      error
 }
 
 // New builds the chip; it panics on invalid configuration.
@@ -281,6 +291,14 @@ func (c *Chip) Tick() {
 		c.tsAccumulate()
 		c.ts.s.Tick(c.now)
 	}
+	if c.ctx != nil && c.now&1023 == 0 {
+		if err := c.ctx.Err(); err != nil && c.runErr == nil {
+			c.runErr = err
+		}
+	}
+	if c.wdBudget > 0 && c.now-c.wdLastCycle >= c.wdBudget/4 {
+		c.checkProgress()
+	}
 }
 
 // Busy reports whether any component still has work in flight.
@@ -307,9 +325,9 @@ func (c *Chip) Busy() bool {
 	return c.l2.Busy() || c.mem.Busy()
 }
 
-// RunCycles advances exactly n cycles.
+// RunCycles advances exactly n cycles (fewer if a run error latches).
 func (c *Chip) RunCycles(n uint64) {
-	for i := uint64(0); i < n; i++ {
+	for i := uint64(0); i < n && c.runErr == nil; i++ {
 		c.Tick()
 	}
 }
@@ -320,7 +338,7 @@ func (c *Chip) RunCycles(n uint64) {
 // cycles consumed.
 func (c *Chip) RunUntilRetired(minInstr uint64, maxCycles uint64) uint64 {
 	start := c.now
-	for c.now-start < maxCycles {
+	for c.now-start < maxCycles && c.runErr == nil {
 		done := true
 		for _, core := range c.cores {
 			if core != nil && !core.Halted() && core.Retired() < minInstr {
@@ -342,7 +360,7 @@ func (c *Chip) RunUntilRetired(minInstr uint64, maxCycles uint64) uint64 {
 // all cores reached the target.
 func (c *Chip) Run(minInstr uint64, maxCycles uint64) (cycles uint64, completed bool) {
 	start := c.now
-	for c.now-start < maxCycles {
+	for c.now-start < maxCycles && c.runErr == nil {
 		done := true
 		for _, core := range c.cores {
 			if core == nil || core.Halted() {
@@ -360,7 +378,7 @@ func (c *Chip) Run(minInstr uint64, maxCycles uint64) (cycles uint64, completed 
 		c.Tick()
 	}
 	// Drain.
-	for c.Busy() && c.now-start < maxCycles {
+	for c.Busy() && c.now-start < maxCycles && c.runErr == nil {
 		c.Tick()
 	}
 	completed = true

@@ -1,0 +1,97 @@
+package chip
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lpm/internal/obs/timeseries"
+	"lpm/internal/resilience"
+)
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	ch := New(SingleCore("401.bzip2"))
+	ch.SetWatchdog(100_000)
+	if _, done := ch.Run(5000, 2_000_000); !done {
+		t.Fatal("healthy run did not complete")
+	}
+	if err := ch.Err(); err != nil {
+		t.Fatalf("healthy run latched %v", err)
+	}
+}
+
+// TestWatchdogTripsOnSeededLivelock seeds a genuine no-progress
+// condition — a halted core fetches nothing, so no instruction commits
+// and no memory request retires — and checks the watchdog converts it
+// into a LivelockError with the diagnostic bundle instead of burning
+// the full cycle budget.
+func TestWatchdogTripsOnSeededLivelock(t *testing.T) {
+	ch := New(SingleCore("401.bzip2"))
+	ch.EnableTimeseries(timeseries.Config{Width: 256})
+	ch.SetWatchdog(2000)
+	ch.Core(0).Halt()
+	ch.RunCycles(1_000_000)
+	err := ch.Err()
+	var ll *resilience.LivelockError
+	if !errors.As(err, &ll) {
+		t.Fatalf("Err = %v, want LivelockError", err)
+	}
+	if ch.Now() >= 1_000_000 {
+		t.Fatal("watchdog did not stop the run loop early")
+	}
+	if ll.Budget != 2000 || ll.Cycle != ch.Now() {
+		t.Fatalf("bundle cycle/budget = %d/%d", ll.Cycle, ll.Budget)
+	}
+	if len(ll.Retired) != 1 {
+		t.Fatalf("bundle has %d retired entries", len(ll.Retired))
+	}
+	if _, ok := ll.Occupancy["dram.queue_depth"]; !ok {
+		t.Fatalf("bundle lacks queue occupancies: %v", ll.Occupancy)
+	}
+	if _, ok := ll.Occupancy["l1.0.mshr_occupancy"]; !ok {
+		t.Fatalf("bundle lacks MSHR occupancies: %v", ll.Occupancy)
+	}
+	if len(ll.Stalls) != 1 {
+		t.Fatalf("bundle has %d stall trees, want per-core attribution", len(ll.Stalls))
+	}
+	if ll.Window == nil {
+		t.Fatal("bundle lacks the last timeline window")
+	}
+	// The error is latched: further run calls are no-ops.
+	before := ch.Now()
+	ch.RunCycles(1000)
+	if ch.Now() != before {
+		t.Fatal("run loop advanced past a latched error")
+	}
+}
+
+func TestWatchdogSurvivesResetCounters(t *testing.T) {
+	// ResetCounters zeroes the progress counters; the signature changes,
+	// which must read as progress, not as a trip or a stuck baseline.
+	ch := New(SingleCore("401.bzip2"))
+	ch.SetWatchdog(50_000)
+	ch.RunUntilRetired(2000, 1_000_000)
+	ch.ResetCounters()
+	if _, done := ch.Run(2000, 1_000_000); !done {
+		t.Fatal("post-reset run did not complete")
+	}
+	if err := ch.Err(); err != nil {
+		t.Fatalf("reset tripped the watchdog: %v", err)
+	}
+}
+
+func TestContextCancellationStopsRun(t *testing.T) {
+	ch := New(SingleCore("401.bzip2"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ch.SetContext(ctx)
+	ch.RunCycles(100_000)
+	if !errors.Is(ch.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want Canceled", ch.Err())
+	}
+	// The poll cadence is every 1024 cycles; a pre-cancelled context
+	// must stop the chip at the first poll.
+	if ch.Now() > 1024 {
+		t.Fatalf("ran %d cycles after cancellation", ch.Now())
+	}
+}

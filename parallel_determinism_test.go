@@ -1,6 +1,7 @@
 package lpm
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -133,14 +134,14 @@ func TestParallelAloneIPCsMatchesSerialExactly(t *testing.T) {
 
 	ResetSimCaches()
 	SetWorkers(1)
-	serial, err := sched.AloneIPCs(names, sizes, opt)
+	serial, err := sched.AloneIPCs(context.Background(), names, sizes, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	ResetSimCaches()
 	SetWorkers(4)
-	parallel, err := sched.AloneIPCs(names, sizes, opt)
+	parallel, err := sched.AloneIPCs(context.Background(), names, sizes, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

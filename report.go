@@ -8,6 +8,7 @@ package lpm
 // incompatible shape change).
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -47,6 +48,15 @@ type Report struct {
 	Seed uint64 `json:"seed"`
 	// Experiments holds one entry per experiment run, in request order.
 	Experiments []ExperimentReport `json:"experiments"`
+	// Partial is true when the run was interrupted (signal or context
+	// cancellation) before every requested experiment finished. Completed
+	// and Aborted then list the experiment keys on each side of the cut;
+	// an interrupted experiment appears in both Experiments (with
+	// whatever cells finished) and Aborted. Uninterrupted documents omit
+	// all three fields, so the schema string is unchanged.
+	Partial   bool     `json:"partial,omitempty"`
+	Completed []string `json:"completed,omitempty"`
+	Aborted   []string `json:"aborted,omitempty"`
 }
 
 // ExperimentReport is one experiment's data; exactly one payload field
@@ -55,6 +65,10 @@ type ExperimentReport struct {
 	// Name is the experiment key (fig1, table1, casestudy1, fig67, fig8,
 	// interval, identities, timeline).
 	Name string `json:"name"`
+	// Err records an experiment-level failure; the payload fields are
+	// then empty. Per-cell failures stay inside the payloads instead
+	// (e.g. Table1JSON.Err), leaving the healthy cells intact.
+	Err string `json:"err,omitempty"`
 
 	Fig1       *Fig1JSON        `json:"fig1,omitempty"`
 	Table1     []Table1JSON     `json:"table1,omitempty"`
@@ -76,6 +90,8 @@ type TimelineJSON struct {
 	// Series is the windowed C-AMAT/LPMR timeline with per-core stall
 	// attribution.
 	Series *timeseries.Series `json:"series"`
+	// Err marks a failed cell; Series is then nil.
+	Err string `json:"err,omitempty"`
 }
 
 // Fig1JSON carries the Fig. 1 worked example, paper vs measured.
@@ -103,6 +119,9 @@ type Table1JSON struct {
 	// Layers is the per-layer metrics snapshot (nil unless the report
 	// ran with observability enabled).
 	Layers *obs.Snapshot `json:"layers,omitempty"`
+	// Err marks a failed cell (cancelled or livelocked); the metric
+	// fields are then zero.
+	Err string `json:"err,omitempty"`
 }
 
 // CaseStudyJSON summarises one grain's LPM-guided exploration.
@@ -149,11 +168,24 @@ func ReportExperiments() []string {
 	return []string{"fig1", "table1", "casestudy1", "fig67", "fig8", "interval", "identities", "timeline"}
 }
 
+// MaxReportSize bounds the documents DecodeReport accepts. Real reports
+// are a few megabytes at most; anything near the cap is corrupt or
+// hostile input, and refusing it keeps the decoder from ballooning on a
+// damaged file.
+const MaxReportSize = 256 << 20
+
 // DecodeReport parses a JSON report document, accepting both the current
 // schema and v1 (which simply lacks the timeline payload). Unknown or
 // missing schema strings are an error: a silent best-effort decode would
-// make report diffs meaningless.
+// make report diffs meaningless. Empty, truncated, and oversized inputs
+// get distinct errors so an interrupted write is diagnosable.
 func DecodeReport(data []byte) (*Report, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("decode report: empty input (interrupted write?)")
+	}
+	if len(data) > MaxReportSize {
+		return nil, fmt.Errorf("decode report: %d bytes exceeds %d byte cap", len(data), MaxReportSize)
+	}
 	var rep Report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("decode report: %w", err)
@@ -172,6 +204,18 @@ func DecodeReport(data []byte) (*Report, error) {
 // BuildReport runs the selected experiments and assembles the versioned
 // JSON document.
 func BuildReport(opts ReportOptions) (*Report, error) {
+	return BuildReportCtx(context.Background(), opts)
+}
+
+// BuildReportCtx is the interruptible form of BuildReport. When ctx is
+// cancelled mid-run the function still returns a valid, decodable
+// document: Partial is set, Completed lists the experiments that
+// finished, and Aborted lists the interrupted one (whose partial cells
+// are kept) plus everything not yet started. Deterministic per-cell
+// failures (livelocks, simulator faults) never abort the document — they
+// land in the matching payload's Err field and the run continues.
+// Unknown experiment names remain a hard error.
+func BuildReportCtx(ctx context.Context, opts ReportOptions) (*Report, error) {
 	s := opts.Scale
 	if s == (Scale{}) {
 		s = FullScale()
@@ -181,92 +225,153 @@ func BuildReport(opts ReportOptions) (*Report, error) {
 		want = ReportExperiments()
 	}
 	rep := &Report{Schema: ReportSchema, Tool: "lpmreport", Scale: s, Seed: IntervalSeed}
-	for _, name := range want {
-		er := ExperimentReport{Name: name}
-		switch name {
-		case "fig1":
-			p := Fig1()
-			er.Fig1 = &Fig1JSON{
-				Paper: Fig1Reference(),
-				Measured: Fig1Paper{
-					CAMAT: p.CAMAT(), AMAT: p.AMAT(), CH: p.CH(),
-					CM: p.CM(), PAMP: p.PAMP(), PMR: p.PMR(),
-				},
+	var completed []string
+	abort := func(i int) {
+		rep.Partial = true
+		rep.Completed = completed
+		rep.Aborted = append(rep.Aborted, want[i:]...)
+	}
+	for i, name := range want {
+		if ctx.Err() != nil {
+			abort(i)
+			break
+		}
+		er, err := buildExperiment(ctx, name, s, opts)
+		if err != nil {
+			if !validExperiment(name) {
+				return nil, err
 			}
-			if apc := p.APC(); apc > 0 {
-				er.Fig1.InvAPC = 1 / apc
+			// A cancellation that surfaced as the experiment's error (for
+			// example through casestudy1's sequential walk) aborts; any
+			// other failure is deterministic and becomes a recorded cell.
+			if ctx.Err() != nil {
+				rep.Experiments = append(rep.Experiments, er)
+				abort(i)
+				break
 			}
-		case "table1":
-			rows := table1(s, opts.Observe)
-			for _, r := range rows {
-				er.Table1 = append(er.Table1, Table1JSON{
-					Name:          r.Name,
-					Point:         r.Point.String(),
-					LPMR:          [3]float64{r.M.LPMR1(), r.M.LPMR2(), r.M.LPMR3()},
-					PaperLPMR:     r.PaperLPMR,
-					IPC:           r.M.IPC,
-					CPIexe:        r.M.CPIexe,
-					Eta:           r.M.Eta(),
-					StallModel:    r.M.StallEq12(),
-					StallMeasured: r.M.MeasuredStall,
-					Layers:        r.M.Obs,
-				})
-			}
-		case "casestudy1":
-			for _, g := range []Grain{CoarseGrain, FineGrain} {
-				res := CaseStudyI(g, s)
-				er.CaseStudy1 = append(er.CaseStudy1, CaseStudyJSON{
-					Grain:       g.String(),
-					Steps:       len(res.Algorithm.Steps),
-					Evaluations: res.Evaluations,
-					SpaceSize:   res.SpaceSize,
-					FinalPoint:  res.Final.String(),
-					FinalCost:   res.Final.Cost(),
-					FinalLPMR1:  res.Algorithm.Final.LPMR1(),
-					FinalStall:  res.Algorithm.Final.MeasuredStall,
-					Converged:   res.Algorithm.Converged,
-					MetTarget:   res.Algorithm.MetTarget,
-				})
-			}
-		case "fig67":
-			res, err := Fig67(s)
-			if err != nil {
-				return nil, fmt.Errorf("fig67: %w", err)
-			}
-			t := res.Table
-			er.Fig67 = &Fig67JSON{
-				Sizes: t.Sizes, Workloads: t.Workloads,
-				APC1: t.APC1, APC2: t.APC2, IPC: t.IPC,
-			}
-		case "fig8":
-			rows, err := Fig8(s)
-			if err != nil {
-				return nil, fmt.Errorf("fig8: %w", err)
-			}
-			er.Fig8 = rows
-		case "interval":
-			er.Interval = IntervalStudy(opts.IntervalSamples)
-		case "identities":
-			reps, err := Identities(s)
-			if err != nil {
-				return nil, fmt.Errorf("identities: %w", err)
-			}
-			er.Identities = reps
-		case "timeline":
-			for _, r := range TimelineStudy(s) {
-				er.Timeline = append(er.Timeline, TimelineJSON{
-					Name:   r.Name,
-					Point:  r.Point.String(),
-					CPIexe: r.M.CPIexe,
-					Series: r.M.Timeline,
-				})
-			}
-		default:
-			return nil, fmt.Errorf("unknown experiment %q (valid: %v)", name, ReportExperiments())
+			er.Err = err.Error()
 		}
 		rep.Experiments = append(rep.Experiments, er)
+		if ctx.Err() != nil {
+			// Cancelled mid-experiment: the payload holds whatever cells
+			// finished, so keep it but list the experiment as aborted.
+			abort(i)
+			break
+		}
+		completed = append(completed, name)
 	}
 	return rep, nil
+}
+
+// validExperiment reports whether name is a known experiment key.
+func validExperiment(name string) bool {
+	for _, n := range ReportExperiments() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// buildExperiment runs one experiment and assembles its report entry.
+// Per-cell failures are recorded inside the payload; the returned error
+// covers unknown names and whole-experiment failures (and may accompany
+// a partially filled entry).
+func buildExperiment(ctx context.Context, name string, s Scale, opts ReportOptions) (ExperimentReport, error) {
+	er := ExperimentReport{Name: name}
+	switch name {
+	case "fig1":
+		p := Fig1()
+		er.Fig1 = &Fig1JSON{
+			Paper: Fig1Reference(),
+			Measured: Fig1Paper{
+				CAMAT: p.CAMAT(), AMAT: p.AMAT(), CH: p.CH(),
+				CM: p.CM(), PAMP: p.PAMP(), PMR: p.PMR(),
+			},
+		}
+		if apc := p.APC(); apc > 0 {
+			er.Fig1.InvAPC = 1 / apc
+		}
+	case "table1":
+		for _, r := range Table1Ctx(ctx, s, opts.Observe) {
+			if r.Err != "" {
+				er.Table1 = append(er.Table1, Table1JSON{
+					Name: r.Name, Point: r.Point.String(),
+					PaperLPMR: r.PaperLPMR, Err: r.Err,
+				})
+				continue
+			}
+			er.Table1 = append(er.Table1, Table1JSON{
+				Name:          r.Name,
+				Point:         r.Point.String(),
+				LPMR:          [3]float64{r.M.LPMR1(), r.M.LPMR2(), r.M.LPMR3()},
+				PaperLPMR:     r.PaperLPMR,
+				IPC:           r.M.IPC,
+				CPIexe:        r.M.CPIexe,
+				Eta:           r.M.Eta(),
+				StallModel:    r.M.StallEq12(),
+				StallMeasured: r.M.MeasuredStall,
+				Layers:        r.M.Obs,
+			})
+		}
+	case "casestudy1":
+		for _, g := range []Grain{CoarseGrain, FineGrain} {
+			res, err := CaseStudyICtx(ctx, g, s)
+			if err != nil {
+				return er, fmt.Errorf("casestudy1 %s: %w", g.String(), err)
+			}
+			er.CaseStudy1 = append(er.CaseStudy1, CaseStudyJSON{
+				Grain:       g.String(),
+				Steps:       len(res.Algorithm.Steps),
+				Evaluations: res.Evaluations,
+				SpaceSize:   res.SpaceSize,
+				FinalPoint:  res.Final.String(),
+				FinalCost:   res.Final.Cost(),
+				FinalLPMR1:  res.Algorithm.Final.LPMR1(),
+				FinalStall:  res.Algorithm.Final.MeasuredStall,
+				Converged:   res.Algorithm.Converged,
+				MetTarget:   res.Algorithm.MetTarget,
+			})
+		}
+	case "fig67":
+		res, err := Fig67Ctx(ctx, s)
+		if err != nil {
+			return er, fmt.Errorf("fig67: %w", err)
+		}
+		t := res.Table
+		er.Fig67 = &Fig67JSON{
+			Sizes: t.Sizes, Workloads: t.Workloads,
+			APC1: t.APC1, APC2: t.APC2, IPC: t.IPC,
+		}
+	case "fig8":
+		rows, err := Fig8Ctx(ctx, s)
+		if err != nil {
+			return er, fmt.Errorf("fig8: %w", err)
+		}
+		er.Fig8 = rows
+	case "interval":
+		er.Interval = IntervalStudy(opts.IntervalSamples)
+	case "identities":
+		er.Identities = IdentitiesCtx(ctx, s)
+	case "timeline":
+		for _, r := range TimelineStudyCtx(ctx, s) {
+			if r.Err != "" {
+				er.Timeline = append(er.Timeline, TimelineJSON{
+					Name: r.Name, Point: r.Point.String(), Err: r.Err,
+				})
+				continue
+			}
+			er.Timeline = append(er.Timeline, TimelineJSON{
+				Name:   r.Name,
+				Point:  r.Point.String(),
+				CPIexe: r.M.CPIexe,
+				Series: r.M.Timeline,
+			})
+		}
+	default:
+		return er, fmt.Errorf("unknown experiment %q (valid: %v)", name, ReportExperiments())
+	}
+	return er, nil
 }
 
 // ExploreReport is the versioned document `lpmexplore -json` emits.
@@ -294,6 +399,12 @@ type ExploreReport struct {
 	Final     Measurement `json:"final"`
 	Converged bool        `json:"converged"`
 	MetTarget bool        `json:"met_target"`
+	// Partial is true when the walk was interrupted before finishing;
+	// Steps then holds the completed prefix and Error records why
+	// (typically the context cancellation or a livelock diagnostic).
+	// Uninterrupted documents omit both fields.
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // ExploreStep is one algorithm iteration in the JSON trace.
