@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench fuzz chaos ci golden diffgate race-serve
+.PHONY: all build test race vet lint fmt-check bench benchjson benchjson-check fuzz chaos ci golden diffgate race-serve
 
 all: build vet lint test race
 
@@ -31,6 +31,16 @@ fmt-check:
 # One pass over every benchmark, reporting the reproduced paper metrics.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Re-measure core throughput and pin it to BENCH_core.json.
+benchjson:
+	$(GO) run ./cmd/lpmbench -o BENCH_core.json
+
+# Regression gate: re-measure and fail when the fast-forward or
+# functional speedup over the stepped baseline falls more than 20%
+# below the pinned BENCH_core.json (ratios, so machine-independent).
+benchjson-check:
+	$(GO) run ./cmd/lpmbench -check BENCH_core.json
 
 # Short fuzz smoke over both fuzz targets; the checked-in corpora under
 # testdata/fuzz/ replay in ordinary `go test` runs regardless.

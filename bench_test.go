@@ -671,3 +671,67 @@ func BenchmarkCacheHit(b *testing.B) {
 		low.Tick(cy)
 	}
 }
+
+// BenchmarkChipCycle measures whole-chip per-cycle cost in steady
+// state; run with -benchmem — the steady-state engine must not
+// allocate.
+func BenchmarkChipCycle(b *testing.B) {
+	for _, ff := range []bool{false, true} {
+		name := "stepped"
+		if ff {
+			name = "fastforward"
+		}
+		b.Run(name, func(b *testing.B) {
+			ch := NewChip(SingleCore("429.mcf"))
+			ch.SetFastForward(ff)
+			ch.RunCycles(20000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			ch.RunCycles(uint64(b.N))
+		})
+	}
+}
+
+// TestSteadyStateZeroAlloc pins the allocation profile the per-cycle
+// optimisations bought: once warmed, neither the stepped nor the
+// fast-forwarding engine allocates per cycle (MSHRs, fill closures and
+// analyzer events all come from freelists), and the functional tier
+// does not allocate per round.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation allocates")
+	}
+	for _, tc := range []struct {
+		name string
+		mk   func() *Chip
+		step func(*Chip)
+	}{
+		{name: "stepped", mk: func() *Chip {
+			ch := NewChip(SingleCore("429.mcf"))
+			ch.SetFastForward(false)
+			ch.RunCycles(20000)
+			return ch
+		}, step: func(ch *Chip) { ch.RunCycles(100) }},
+		{name: "fastforward", mk: func() *Chip {
+			ch := NewChip(SingleCore("429.mcf"))
+			ch.RunCycles(20000)
+			return ch
+		}, step: func(ch *Chip) { ch.RunCycles(100) }},
+		{name: "functional", mk: func() *Chip {
+			ch := NewChip(SingleCore("429.mcf"))
+			ch.SetTier(FunctionalTier)
+			if err := ch.RunFunctional(20000); err != nil {
+				t.Fatal(err)
+			}
+			return ch
+		}, step: func(ch *Chip) { _ = ch.RunFunctional(100) }},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ch := tc.mk()
+			if avg := testing.AllocsPerRun(20, func() { tc.step(ch) }); avg > 0 {
+				t.Fatalf("steady-state %s engine allocates %.2f times per 100 cycles; want 0", tc.name, avg)
+			}
+		})
+	}
+}

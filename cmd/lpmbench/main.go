@@ -1,0 +1,245 @@
+// Command lpmbench measures the simulator core's throughput and pins it
+// to the repository as BENCH_core.json (schema lpm-bench/v1). Three
+// engines are timed on the same fixed workload:
+//
+//   - detailed_stepped: the cycle-accurate engine with quiescent-cycle
+//     fast-forward disabled — every cycle ticked.
+//   - detailed_fastforward: the same engine with fast-forward enabled —
+//     the default production configuration.
+//   - functional: the warm-up tier (RunFunctional), in rounds/sec.
+//
+// Usage:
+//
+//	lpmbench                    # print the measurement
+//	lpmbench -o BENCH_core.json # pin it (atomic rewrite)
+//	lpmbench -check BENCH_core.json
+//
+// -check re-measures and compares the relative speedups — fast-forward
+// over stepped, functional over stepped — against the pinned file,
+// failing (exit 1) when a fresh ratio drops below 80% of the pinned one
+// (>20% regression). Ratios, not absolute rates, are compared: absolute
+// cycles/sec varies machine to machine, while the speedup the
+// event-driven core delivers over its own stepped baseline is the
+// invariant this gate protects.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"lpm/internal/cliutil"
+	"lpm/internal/resilience"
+	"lpm/internal/sim/chip"
+	"lpm/internal/trace"
+)
+
+// Schema identifies the document format.
+const Schema = "lpm-bench/v1"
+
+// benchWorkload is the pinned measurement workload: the memory-bound
+// 429.mcf on the NUCA standalone-reference platform — the exact
+// configuration the Fig. 6-8 profiling and alone-IPC runs use, which
+// dominate the report's wall-clock.
+const benchWorkload = "429.mcf"
+
+// benchConfig builds one fresh measurement chip.
+func benchConfig() chip.Config {
+	prof := trace.MustProfile(benchWorkload)
+	return chip.NUCASingle(trace.NewSynthetic(prof), 64*chip.KB)
+}
+
+// Document is the pinned benchmark file.
+type Document struct {
+	Schema   string `json:"schema"`
+	Commit   string `json:"commit"`
+	Date     string `json:"date"`
+	Go       string `json:"go"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	CPUs     int    `json:"cpus"`
+	Workload string `json:"workload"`
+	// Cycles is the measured span per repetition; Reps repetitions run
+	// and the best (least-interfered) rate is kept.
+	Cycles uint64 `json:"cycles"`
+	Reps   int    `json:"reps"`
+	// CyclesPerSec are best-of-reps simulated cycles (functional:
+	// rounds) per wall-clock second, per engine.
+	CyclesPerSec map[string]float64 `json:"cycles_per_sec"`
+}
+
+// errRegression signals a clean run that found a regression.
+var errRegression = errors.New("benchmark regression")
+
+func main() {
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, errRegression):
+		os.Exit(1)
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out    = fs.String("o", "", "pin the measurement to this JSON file (atomic rewrite)")
+		check  = fs.String("check", "", "re-measure and fail on a >20% speedup regression against this pinned file")
+		cycles = fs.Uint64("cycles", 400000, "simulated cycles (functional: rounds) per repetition")
+		reps   = fs.Int("reps", 3, "repetitions per engine; the best rate is kept")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cycles == 0 || *reps <= 0 {
+		return fmt.Errorf("lpmbench: -cycles and -reps must be positive")
+	}
+
+	doc, err := measure(ctx, *cycles, *reps)
+	if err != nil {
+		return err
+	}
+	p := cliutil.NewPrinter(stdout)
+	p.Printf("lpmbench: %s on %s/%s (%d cpus), %d cycles x %d reps\n",
+		benchWorkload, doc.OS, doc.Arch, doc.CPUs, doc.Cycles, doc.Reps)
+	for _, k := range []string{"detailed_stepped", "detailed_fastforward", "functional"} {
+		p.Printf("  %-21s %12.0f cycles/sec (%.2fx stepped)\n",
+			k, doc.CyclesPerSec[k], doc.CyclesPerSec[k]/doc.CyclesPerSec["detailed_stepped"])
+	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+
+	if *check != "" {
+		if err := checkAgainst(*check, doc, stdout); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return cliutil.AtomicWriteFile(*out, append(data, '\n'), 0o644)
+	}
+	return nil
+}
+
+// measure times the three engines.
+func measure(ctx context.Context, cycles uint64, reps int) (*Document, error) {
+	doc := &Document{
+		Schema:       Schema,
+		Commit:       gitCommit(),
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		Go:           runtime.Version(),
+		OS:           runtime.GOOS,
+		Arch:         runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Workload:     benchWorkload + " on the NUCA standalone-reference platform (64 KB L1)",
+		Cycles:       cycles,
+		Reps:         reps,
+		CyclesPerSec: map[string]float64{},
+	}
+	engines := []struct {
+		name string
+		run  func(*chip.Chip, uint64)
+		prep func(*chip.Chip)
+	}{
+		{name: "detailed_stepped",
+			prep: func(ch *chip.Chip) { ch.SetFastForward(false) },
+			run:  func(ch *chip.Chip, n uint64) { ch.RunCycles(n) }},
+		{name: "detailed_fastforward",
+			prep: func(ch *chip.Chip) {},
+			run:  func(ch *chip.Chip, n uint64) { ch.RunCycles(n) }},
+		{name: "functional",
+			prep: func(ch *chip.Chip) { ch.SetTier(chip.TierFunctional) },
+			run:  func(ch *chip.Chip, n uint64) { _ = ch.RunFunctional(n) }},
+	}
+	for _, e := range engines {
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			ch := chip.New(benchConfig())
+			ch.SetContext(ctx)
+			e.prep(ch)
+			start := time.Now()
+			e.run(ch, cycles)
+			elapsed := time.Since(start).Seconds()
+			if err := ch.Err(); err != nil {
+				return nil, fmt.Errorf("lpmbench %s: %w", e.name, err)
+			}
+			if rate := float64(cycles) / elapsed; rate > best {
+				best = rate
+			}
+		}
+		doc.CyclesPerSec[e.name] = best
+	}
+	return doc, nil
+}
+
+// checkAgainst compares fresh speedup ratios with the pinned document.
+func checkAgainst(path string, fresh *Document, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var pinned Document
+	if err := json.Unmarshal(data, &pinned); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if pinned.Schema != Schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, pinned.Schema, Schema)
+	}
+	pinnedStep := pinned.CyclesPerSec["detailed_stepped"]
+	freshStep := fresh.CyclesPerSec["detailed_stepped"]
+	if pinnedStep <= 0 || freshStep <= 0 {
+		return fmt.Errorf("%s: missing detailed_stepped baseline", path)
+	}
+	p := cliutil.NewPrinter(stdout)
+	failed := false
+	for _, k := range []string{"detailed_fastforward", "functional"} {
+		pr := pinned.CyclesPerSec[k] / pinnedStep
+		fr := fresh.CyclesPerSec[k] / freshStep
+		verdict := "ok"
+		if fr < 0.8*pr {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		p.Printf("check %-21s pinned %.2fx  fresh %.2fx  %s\n", k, pr, fr, verdict)
+	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("%w: speedup over stepped fell more than 20%% below %s", errRegression, path)
+	}
+	return nil
+}
+
+// gitCommit stamps the pinned file with the working tree's HEAD; the
+// benchmark itself never depends on it.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -60,6 +60,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		experiment = fset.String("experiment", "all",
 			"comma-separated subset of: fig1, table1, casestudy1, fig6, fig7, fig8, interval, identities, timeline, all")
 		quick     = fset.Bool("quick", false, "reduced simulation budgets")
+		warmFast  = fset.Bool("warmup-fast", false, "run warm-up phases in the functional tier (faster; results differ from detailed warm-up)")
 		workers   = fset.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		jsonOut   = fset.Bool("json", false, "emit a versioned lpm-report/v2 JSON document on stdout")
 		observe   = fset.Bool("observe", false, "attach per-layer metrics snapshots to Table I rows (JSON output)")
@@ -78,6 +79,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *quick {
 		scale = lpm.QuickScale()
 	}
+	scale.WarmupFast = *warmFast
 
 	if *jsonOut {
 		return runJSON(ctx, *experiment, scale, *observe, *intervalN, *ckpt, *resume, stdout, stderr)

@@ -99,6 +99,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		list     = fs.Bool("list", false, "list built-in workloads and exit")
 		instr    = fs.Uint64("instructions", 30000, "instructions in the measured window")
 		warmup   = fs.Uint64("warmup", 150000, "warm-up instructions discarded before measuring")
+		warmFast = fs.Bool("warmup-fast", false, "run the warm-up in the functional tier (faster; results differ from detailed warm-up)")
 		l1Size   = fs.Uint64("l1", 32*chip.KB, "L1 data cache size in bytes")
 		l1Ports  = fs.Int("l1ports", 2, "L1 ports")
 		l1MSHRs  = fs.Int("mshrs", 8, "L1 MSHR count")
@@ -184,9 +185,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	budget := (*warmup + *instr) * 600
-	ch.RunUntilRetired(*warmup, budget)
+	runTarget := *warmup + *instr
+	if *warmFast {
+		ch.SetTier(chip.TierFunctional)
+		ch.RunFunctional(*warmup)
+		ch.SetTier(chip.TierDetailed)
+		runTarget = *instr
+	} else {
+		ch.RunUntilRetired(*warmup, budget)
+	}
 	ch.ResetCounters()
-	ch.Run(*warmup+*instr, budget)
+	ch.Run(runTarget, budget)
 	runErr := ch.Err()
 	live.PublishSnapshot(ch.ObsSnapshot())
 	live.Finish()

@@ -26,6 +26,14 @@ type Scale struct {
 	// Warmup and Window are per-run instruction budgets for single-core
 	// experiments (cycles for the multiprogram window).
 	Warmup, Window uint64
+	// WarmupFast runs every experiment's warm-up phase in the chip's
+	// functional tier (SetTier/RunFunctional): caches, directory state
+	// and DRAM rows are warmed at per-instruction cost and only the
+	// measured window runs cycle-accurately. Results are not
+	// bit-identical to the detailed-warm-up run — the warm microstate
+	// differs — so the flag joins every simulation memo key. omitempty
+	// keeps default-mode reports (and their goldens) byte-identical.
+	WarmupFast bool `json:",omitempty"`
 }
 
 // FullScale is the default used by cmd/lpmreport and the benchmarks.
@@ -148,6 +156,7 @@ func Table1Ctx(ctx context.Context, s Scale, observe bool) []Table1Row {
 		tgt := explore.NewHardwareTarget(explore.DefaultSpace(), cfgs[n], trace.MustProfile("410.bwaves"))
 		tgt.Warmup = s.Warmup
 		tgt.Instructions = s.Window
+		tgt.WarmupFast = s.WarmupFast
 		tgt.Observe = observe
 		tgt.Ctx = ctx
 		return Table1Row{
@@ -204,6 +213,7 @@ func TimelineStudyCtx(ctx context.Context, s Scale) []TimelineRow {
 		tgt := explore.NewHardwareTarget(explore.DefaultSpace(), cfgs[n], trace.MustProfile("410.bwaves"))
 		tgt.Warmup = s.Warmup
 		tgt.Instructions = s.Window
+		tgt.WarmupFast = s.WarmupFast
 		tgt.Timeline = true
 		tgt.Ctx = ctx
 		return TimelineRow{Name: n, Point: cfgs[n], M: tgt.Measure()}, nil
@@ -236,6 +246,7 @@ func newCaseStudyTarget(s Scale) *explore.HardwareTarget {
 	tgt := explore.NewHardwareTarget(explore.DefaultSpace(), explore.TableConfigs()["A"], trace.MustProfile("410.bwaves"))
 	tgt.Warmup = s.Warmup
 	tgt.Instructions = s.Window
+	tgt.WarmupFast = s.WarmupFast
 	return tgt
 }
 
@@ -287,7 +298,7 @@ func Fig67(s Scale) (Fig67Result, error) {
 // Fig67Ctx is the interruptible form of Fig67.
 func Fig67Ctx(ctx context.Context, s Scale) (Fig67Result, error) {
 	tbl, err := sched.BuildProfileTable(ctx, trace.ProfileNames(), chip.NUCAGroupSizes[:],
-		sched.ProfileOptions{Instructions: s.Window, Warmup: s.Warmup / 2})
+		sched.ProfileOptions{Instructions: s.Window, Warmup: s.Warmup / 2, WarmupFast: s.WarmupFast})
 	if err != nil {
 		return Fig67Result{}, err
 	}
@@ -471,9 +482,17 @@ func identityOne(s Scale) func(context.Context, string) (IdentityReport, error) 
 		cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), s.Window)
 		ch := chip.New(cfg)
 		ch.SetContext(ctx)
-		ch.RunUntilRetired(s.Warmup/2, (s.Warmup+s.Window)*400)
+		runTarget := s.Warmup/2 + s.Window
+		if s.WarmupFast {
+			ch.SetTier(chip.TierFunctional)
+			ch.RunFunctional(s.Warmup / 2)
+			ch.SetTier(chip.TierDetailed)
+			runTarget = s.Window
+		} else {
+			ch.RunUntilRetired(s.Warmup/2, (s.Warmup+s.Window)*400)
+		}
 		ch.ResetCounters()
-		ch.Run(s.Warmup/2+s.Window, (s.Warmup+s.Window)*400)
+		ch.Run(runTarget, (s.Warmup+s.Window)*400)
 		if err := ch.Err(); err != nil {
 			return IdentityReport{}, fmt.Errorf("identity %s: %w", name, err)
 		}

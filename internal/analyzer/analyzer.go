@@ -46,6 +46,11 @@ type Analyzer struct {
 	hitCount int       // HCD: accesses currently in their hit phase
 	missSet  []*Access // MCD: outstanding missed accesses
 
+	// free recycles completed Access records so a steady-state layer
+	// allocates nothing per access. A record is released by Done and
+	// stays intact until the next Start claims and resets it.
+	free []*Access
+
 	cur Params
 }
 
@@ -68,6 +73,12 @@ func (a *Analyzer) InFlight() int { return a.hitCount + len(a.missSet) }
 func (a *Analyzer) Start(cycle uint64) *Access {
 	a.cur.Accesses++
 	a.hitCount++
+	if n := len(a.free); n > 0 {
+		ac := a.free[n-1]
+		a.free = a.free[:n-1]
+		*ac = Access{analyzer: a, hitBeg: cycle, missIdx: -1}
+		return ac
+	}
 	return &Access{analyzer: a, hitBeg: cycle, missIdx: -1}
 }
 
@@ -96,6 +107,7 @@ func (a *Analyzer) Done(ac *Access, cycle uint64) {
 		if a.hitCount < 0 {
 			panic("analyzer: hit phase underflow")
 		}
+		a.free = append(a.free, ac)
 		return
 	}
 	// Remove from the outstanding-miss set (swap with last).
@@ -113,6 +125,7 @@ func (a *Analyzer) Done(ac *Access, cycle uint64) {
 	if ac.pure {
 		a.cur.PureMisses++
 	}
+	a.free = append(a.free, ac)
 }
 
 // Tick classifies the current cycle. Call exactly once per simulated
@@ -137,6 +150,39 @@ func (a *Analyzer) Tick() {
 			// Pure-miss cycle: no hit activity masks these misses.
 			a.cur.PureCycles++
 			a.cur.PureAccessCycles += uint64(m)
+			for _, ac := range a.missSet {
+				ac.pure = true
+			}
+		}
+	}
+}
+
+// TickN classifies n consecutive cycles during which the detector state
+// (hit count and outstanding-miss set) is known not to change — the
+// fast-forward bulk form of Tick. It is exactly equivalent to calling
+// Tick n times under that precondition, including the pure-miss flag
+// propagation (idempotent after the first cycle).
+func (a *Analyzer) TickN(n uint64) {
+	if n == 0 {
+		return
+	}
+	a.cur.Cycles += n
+	h := a.hitCount
+	m := len(a.missSet)
+	if h == 0 && m == 0 {
+		return
+	}
+	a.cur.ActiveCycles += n
+	if h > 0 {
+		a.cur.HitActiveCycles += n
+		a.cur.HitAccessCycles += uint64(h) * n
+	}
+	if m > 0 {
+		a.cur.MissActiveCycles += n
+		a.cur.MissAccessCycles += uint64(m) * n
+		if h == 0 {
+			a.cur.PureCycles += n
+			a.cur.PureAccessCycles += uint64(m) * n
 			for _, ac := range a.missSet {
 				ac.pure = true
 			}

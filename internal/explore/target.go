@@ -36,6 +36,15 @@ type HardwareTarget struct {
 	// window, so caches reach steady state the way the paper's SimPoint
 	// samples do; 0 means 5 * Instructions.
 	Warmup uint64
+	// WarmupFast, when set, runs the warm-up in the chip's functional
+	// tier: the same Warmup instructions per core warm the cache
+	// hierarchy, directory and DRAM rows at per-instruction cost, then
+	// the measured window runs detailed. The measured numbers are not
+	// bit-identical to a detailed warm-up (the warm microstate differs),
+	// so the flag joins the memo key; the LPMR ordering the exploration
+	// consumes is preserved. Use it for frontier pruning and large
+	// sweeps where warm-up dominates wall-clock.
+	WarmupFast bool
 	// MaxCycles bounds each evaluation; 0 means (Warmup+Instructions)*400.
 	MaxCycles uint64
 	// Speculate, when set, makes each Measure cache miss pre-evaluate the
@@ -175,7 +184,7 @@ func (t *HardwareTarget) simulate(p Point) core.Measurement {
 	if budget == 0 {
 		budget = DefaultWatchdogCycles
 	}
-	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy, t.Observe, t.Timeline, t.TimelineWindow)
+	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy, t.Observe, t.Timeline, t.TimelineWindow, t.WarmupFast)
 	m, err := simMemo.DoCtx(t.ctx(), key, func(ctx context.Context) (core.Measurement, error) {
 		gen := trace.NewSynthetic(t.Profile)
 		cfg := ChipConfig(p, gen)
@@ -186,7 +195,15 @@ func (t *HardwareTarget) simulate(p Point) core.Measurement {
 		if t.Observe {
 			ch.EnableObs()
 		}
-		ch.RunUntilRetired(warm, maxCy)
+		runTarget := warm + instr
+		if t.WarmupFast {
+			ch.SetTier(chip.TierFunctional)
+			ch.RunFunctional(warm)
+			ch.SetTier(chip.TierDetailed)
+			runTarget = instr // functionally-warmed cores retired nothing
+		} else {
+			ch.RunUntilRetired(warm, maxCy)
+		}
 		if err := ch.Err(); err != nil {
 			return core.Measurement{}, fmt.Errorf("simulate %s: %w", t.Profile.Name, err)
 		}
@@ -196,7 +213,7 @@ func (t *HardwareTarget) simulate(p Point) core.Measurement {
 			// the measured interval.
 			ch.EnableTimeseries(timeseries.Config{Width: t.TimelineWindow, CPIexe: cpiExe})
 		}
-		ch.Run(warm+instr, maxCy)
+		ch.Run(runTarget, maxCy)
 		if err := ch.Err(); err != nil {
 			return core.Measurement{}, fmt.Errorf("simulate %s: %w", t.Profile.Name, err)
 		}

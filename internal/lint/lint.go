@@ -90,6 +90,7 @@ func Analyzers() []*Analyzer {
 		analyzerMapOrder,
 		analyzerFloatEq,
 		analyzerObsDiscipline,
+		analyzerTierDiscipline,
 		analyzerErrcheck,
 	}
 }

@@ -122,7 +122,9 @@ func TestDeterminismFixture(t *testing.T)   { t.Parallel(); fixtureTest(t, "dete
 func TestMapOrderFixture(t *testing.T)      { t.Parallel(); fixtureTest(t, "maporder") }
 func TestFloatEqFixture(t *testing.T)       { t.Parallel(); fixtureTest(t, "floateq") }
 func TestObsDisciplineFixture(t *testing.T) { t.Parallel(); fixtureTest(t, "obsdiscipline") }
-func TestErrcheckFixture(t *testing.T)      { t.Parallel(); fixtureTest(t, "errcheck") }
+
+func TestTierDisciplineFixture(t *testing.T) { t.Parallel(); fixtureTest(t, "tierdiscipline") }
+func TestErrcheckFixture(t *testing.T)       { t.Parallel(); fixtureTest(t, "errcheck") }
 
 // TestScopeOverride re-aims floateq at internal/sim via Config.Scopes:
 // the out-of-scope file's compare surfaces, the in-scope one's do not.

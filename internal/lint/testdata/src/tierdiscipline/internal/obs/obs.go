@@ -1,0 +1,36 @@
+// Package obs is a miniature of the observability layer: enough
+// surface for the fast-forward purity rule.
+package obs
+
+// Tracer emits structured events.
+type Tracer struct{ n int }
+
+// Emit records one event.
+func (t *Tracer) Emit(cycle uint64, kind string) {
+	if t == nil {
+		return
+	}
+	t.n++
+	_, _ = cycle, kind
+}
+
+// Histogram accumulates a distribution.
+type Histogram struct{ n uint64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.n++
+	_ = x
+}
+
+// ObserveN records n identical samples — the bulk accrual form.
+func (h *Histogram) ObserveN(x float64, n uint64) {
+	if h == nil {
+		return
+	}
+	h.n += n
+	_ = x
+}

@@ -1,0 +1,40 @@
+// Package chip is a miniature of the tiered chip: detailed-only entry
+// points must open with the requireDetailed guard.
+package chip
+
+// Report is a counter snapshot.
+type Report struct{ Cycles uint64 }
+
+// Chip is the assembled system.
+type Chip struct {
+	tier uint8
+	now  uint64
+}
+
+func (c *Chip) requireDetailed(op string) {
+	if c.tier != 0 {
+		panic("chip: " + op + " requires the detailed tier")
+	}
+}
+
+// Tick advances one cycle; guarded, so no finding.
+func (c *Chip) Tick() {
+	c.requireDetailed("Tick")
+	c.now++
+}
+
+// Snapshot reads the counters without the guard.
+func (c *Chip) Snapshot() Report { // want "entry point Snapshot must open with the requireDetailed guard"
+	return Report{Cycles: c.now}
+}
+
+// Measure guards too late: the counter read precedes it.
+func (c *Chip) Measure(i int) Report { // want "entry point Measure must open with the requireDetailed guard"
+	r := Report{Cycles: c.now}
+	c.requireDetailed("Measure")
+	_ = i
+	return r
+}
+
+// Now is a plain getter, not in the detailed-only table; no finding.
+func (c *Chip) Now() uint64 { return c.now }

@@ -1,0 +1,41 @@
+// Package cpu is a miniature fast-forwardable component: the
+// Quiescent/NextEvent/AdvanceCycles trio must stay pure accounting.
+package cpu
+
+import "lpm/internal/obs"
+
+// Stats is the component's counter block.
+type Stats struct{ Stalls uint64 }
+
+// Core is the component.
+type Core struct {
+	st   Stats
+	busy bool
+	tr   *obs.Tracer
+	occ  *obs.Histogram
+}
+
+// Snapshot reads the counters (fine on its own — cpu is not the chip).
+func (c *Core) Snapshot() Stats { return c.st }
+
+// Quiescent reports whether the core can be bulk-advanced; the
+// predicate may read state freely.
+func (c *Core) Quiescent() bool { return !c.busy }
+
+// NextEvent peeks the next state change but emits a trace event doing
+// so.
+func (c *Core) NextEvent(now uint64) uint64 {
+	c.tr.Emit(now, "peek") // want "NextEvent calls obs.Emit mid-fast-forward"
+	return now + 1
+}
+
+// AdvanceCycles bulk-accrues n cycles. The closed-form accrual and the
+// bulk obs writer are fine; the snapshot, the per-event observation and
+// the emission are not.
+func (c *Core) AdvanceCycles(now, n uint64) {
+	c.st.Stalls += n
+	c.occ.ObserveN(1, n)   // bulk form: legal
+	c.occ.Observe(1)       // want "AdvanceCycles calls obs.Observe mid-fast-forward"
+	_ = c.Snapshot()       // want "AdvanceCycles calls observation API Snapshot mid-fast-forward"
+	c.tr.Emit(now, "jump") // want "AdvanceCycles calls obs.Emit mid-fast-forward"
+}

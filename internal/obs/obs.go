@@ -115,6 +115,15 @@ func (h *Histogram) Observe(x float64) {
 	}
 }
 
+// ObserveN records n identical observations of x — the bulk form the
+// fast-forward paths use to advance occupancy histograms over a run of
+// quiescent cycles in one call.
+func (h *Histogram) ObserveN(x float64, n uint64) {
+	if h != nil {
+		h.h.AddN(x, n)
+	}
+}
+
 // metric is one registered metric with its typed backing store.
 type metric struct {
 	name string

@@ -127,3 +127,36 @@ func (t *StallTree) Charge(class int) {
 		t.Other++
 	}
 }
+
+// ChargeN adds n cycles to the bucket identified by class — the
+// fast-forward bulk form of Charge, used when a run of quiescent cycles
+// all classify identically.
+func (t *StallTree) ChargeN(class int, n uint64) {
+	if t == nil {
+		return
+	}
+	switch class {
+	case ClassBusy:
+		t.Busy += n
+	case ClassEmpty:
+		t.Empty += n
+	case ClassCompute:
+		t.Compute += n
+	case ClassL1Hit:
+		t.L1Hit += n
+	case ClassL1Miss:
+		t.L1Miss += n
+	case ClassL2Miss:
+		t.L2Miss += n
+	case ClassL3Miss:
+		t.L3Miss += n
+	case ClassNoC:
+		t.NoC += n
+	case ClassDRAMQueue:
+		t.DRAMQueue += n
+	case ClassDRAMService:
+		t.DRAMService += n
+	default:
+		t.Other += n
+	}
+}

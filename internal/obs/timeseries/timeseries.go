@@ -152,6 +152,31 @@ func (s *Sampler) Tick(cycle uint64) {
 	}
 }
 
+// AdvanceCycles credits n cycles to the open window without touching a
+// boundary — the fast-forward bulk form of Tick. The caller must
+// guarantee the jump lands strictly before the next window boundary
+// (winCycles + n < Width); the boundary cycle itself is always stepped
+// so close() observes the same cycle stamp as a stepped run.
+func (s *Sampler) AdvanceCycles(n uint64) {
+	if s == nil {
+		return
+	}
+	if s.winCycles+n >= s.Width() {
+		panic("timeseries: AdvanceCycles across a window boundary")
+	}
+	s.winCycles += n
+}
+
+// CyclesIntoWindow returns how many cycles of the open window have
+// accumulated since the last boundary — what the chip's fast-forward
+// uses to cap a jump below the next boundary.
+func (s *Sampler) CyclesIntoWindow() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.winCycles
+}
+
 // Flush closes the in-progress partial window, if any cycles have
 // accumulated since the last boundary. Call at end of run so the tail
 // of the timeline is not lost.

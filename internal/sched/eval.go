@@ -20,6 +20,11 @@ type EvalOptions struct {
 	// WarmupCycles are discarded before the window; 0 means
 	// WindowCycles/2.
 	WarmupCycles uint64
+	// WarmupFast replaces the cycle-driven warm-up with the same number
+	// of functional-tier rounds (one instruction per core per round) —
+	// cheap hierarchy warming for policy sweeps. Joins the standalone-IPC
+	// memo key.
+	WarmupFast bool
 	// AloneIPC, when non-nil, supplies precomputed standalone IPCs
 	// (indexed like workloads); otherwise they are measured on a
 	// reference core with the largest group's L1.
@@ -72,11 +77,11 @@ func AloneIPCs(ctx context.Context, workloads []string, groupSizes []uint64, opt
 		if err != nil {
 			return 0, err
 		}
-		key := parallel.KeyOf("sched.alone", prof, ref, opt.WindowCycles, opt.WarmupCycles)
+		key := parallel.KeyOf("sched.alone", prof, ref, opt.WindowCycles, opt.WarmupCycles, opt.WarmupFast)
 		return aloneMemo.DoCtx(ctx, key, func(ctx context.Context) (float64, error) {
 			ch := chip.New(chip.NUCASingle(trace.NewSynthetic(prof), ref))
 			ch.SetContext(ctx)
-			ch.RunCycles(opt.WarmupCycles)
+			warmChip(ch, opt)
 			ch.ResetCounters()
 			ch.RunCycles(opt.WindowCycles)
 			if err := ch.Err(); err != nil {
@@ -85,6 +90,19 @@ func AloneIPCs(ctx context.Context, workloads []string, groupSizes []uint64, opt
 			return ch.Snapshot().Cores[0].CPU.IPC(), nil
 		})
 	})
+}
+
+// warmChip discards the warm-up period: cycle-accurately by default, or
+// as functional-tier rounds under WarmupFast (same count, one
+// instruction per core per round).
+func warmChip(ch *chip.Chip, opt EvalOptions) {
+	if opt.WarmupFast {
+		ch.SetTier(chip.TierFunctional)
+		ch.RunFunctional(opt.WarmupCycles)
+		ch.SetTier(chip.TierDetailed)
+		return
+	}
+	ch.RunCycles(opt.WarmupCycles)
 }
 
 // Evaluate runs the workloads under the given assignment on the Fig. 5
@@ -113,7 +131,7 @@ func Evaluate(ctx context.Context, s Scheduler, workloads []string, groupSizes [
 	cfg := nucaConfig(gens, groupSizes)
 	ch := chip.New(cfg)
 	ch.SetContext(ctx)
-	ch.RunCycles(opt.WarmupCycles)
+	warmChip(ch, opt)
 	ch.ResetCounters()
 	start := ch.Now()
 	ch.RunCycles(opt.WindowCycles)

@@ -42,6 +42,10 @@ type ProfileOptions struct {
 	Warmup uint64
 	// MaxCycles bounds each run; 0 means (Warmup+Instructions)*600.
 	MaxCycles uint64
+	// WarmupFast runs the warm-up in the functional tier (see
+	// explore.HardwareTarget.WarmupFast); it is part of the memo key via
+	// the options fingerprint.
+	WarmupFast bool
 }
 
 func (o ProfileOptions) normalise() ProfileOptions {
@@ -123,9 +127,17 @@ func profileOne(ctx context.Context, prof trace.Profile, l1Size uint64, opt Prof
 		cfg := chip.NUCASingle(trace.NewSynthetic(prof), l1Size)
 		ch := chip.New(cfg)
 		ch.SetContext(ctx)
-		ch.RunUntilRetired(opt.Warmup, opt.MaxCycles)
+		runTarget := opt.Warmup + opt.Instructions
+		if opt.WarmupFast {
+			ch.SetTier(chip.TierFunctional)
+			ch.RunFunctional(opt.Warmup)
+			ch.SetTier(chip.TierDetailed)
+			runTarget = opt.Instructions
+		} else {
+			ch.RunUntilRetired(opt.Warmup, opt.MaxCycles)
+		}
 		ch.ResetCounters()
-		ch.Run(opt.Warmup+opt.Instructions, opt.MaxCycles)
+		ch.Run(runTarget, opt.MaxCycles)
 		if err := ch.Err(); err != nil {
 			return [3]float64{}, fmt.Errorf("profile %s @%d: %w", prof.Name, l1Size, err)
 		}

@@ -54,6 +54,10 @@ type mshrEntry struct {
 	issued   bool
 	write    bool // a store is among the targets: fill installs dirty
 	prefetch bool // allocated by the prefetcher, no demand targets
+	// fill is the downstream completion callback, built once per entry
+	// (entries are pooled): it parks the entry for installation at the
+	// start of the next cycle.
+	fill func(cycle uint64)
 }
 
 // Stats collects cache event counters beyond the analyzer's cycle
@@ -131,10 +135,12 @@ type Cache struct {
 	wbQ       []uint64 // block addresses to write back
 	fills     []*mshrEntry
 	fillsNext []*mshrEntry // fills arriving during this cycle, for next Tick
+	mshrFree  []*mshrEntry // recycled entries (with their fill closures)
 
 	maxTargets int
 	maxInput   int
-	allWays    []int // cached identity way list for unpartitioned sources
+	allWays    []int  // cached identity way list for unpartitioned sources
+	warmLower  Warmer // lower's functional-tier surface (nil if none)
 
 	st Stats
 	ob *cacheObs   // nil unless AttachObs was called
@@ -249,7 +255,10 @@ func New(cfg Config) *Cache {
 }
 
 // SetLower connects the next layer down.
-func (c *Cache) SetLower(l Lower) { c.lower = l }
+func (c *Cache) SetLower(l Lower) {
+	c.lower = l
+	c.warmLower, _ = l.(Warmer)
+}
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
@@ -402,6 +411,8 @@ func (c *Cache) install(m *mshrEntry) {
 	}
 	delete(c.mshrs, m.block)
 	c.srcMSHRs[m.src]--
+	// The fill has fired and every target completed: recycle the entry.
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // insertStamp realises the insertion policy: MRU fills look
@@ -485,10 +496,14 @@ func (c *Cache) lookup(block uint64, write bool) bool {
 // completeResolved retires pipeline entries whose hit operation resolves
 // this cycle.
 func (c *Cache) completeResolved() {
-	keep := c.pipe[:0]
-	for _, f := range c.pipe {
+	w := 0
+	for i := range c.pipe {
+		f := &c.pipe[i]
 		if f.ready != c.now {
-			keep = append(keep, f)
+			if w != i {
+				c.pipe[w] = *f
+			}
+			w++
 			continue
 		}
 		blk := c.block(f.addr)
@@ -502,12 +517,12 @@ func (c *Cache) completeResolved() {
 			continue
 		}
 		c.an.ToMiss(f.rec, c.now)
-		if !c.attachMiss(f) {
+		if !c.attachMiss(*f) {
 			c.st.MSHRWaits++
-			c.waiting = append(c.waiting, f)
+			c.waiting = append(c.waiting, *f)
 		}
 	}
-	c.pipe = keep
+	c.pipe = c.pipe[:w]
 }
 
 // quotaFree reports whether requestor src may allocate another MSHR.
@@ -520,6 +535,22 @@ func (c *Cache) quotaFree(src int) bool {
 		return true
 	}
 	return c.srcMSHRs[src] < q
+}
+
+// newMSHR claims a pooled entry (or builds one, with its permanent fill
+// closure) and resets it for the given block.
+func (c *Cache) newMSHR(block uint64, src int) *mshrEntry {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		m.block, m.src = block, src
+		m.issued, m.write, m.prefetch = false, false, false
+		m.targets = m.targets[:0]
+		return m
+	}
+	m := &mshrEntry{block: block, src: src}
+	m.fill = func(uint64) { c.fillsNext = append(c.fillsNext, m) }
+	return m
 }
 
 // attachMiss coalesces f under an existing MSHR or allocates a new one.
@@ -542,7 +573,8 @@ func (c *Cache) attachMiss(f inflight) bool {
 		c.st.QuotaWaits++
 		return false
 	}
-	m := &mshrEntry{block: blk, src: f.src, write: f.write}
+	m := c.newMSHR(blk, f.src)
+	m.write = f.write
 	m.targets = append(m.targets, target{write: f.write, src: f.src, start: f.start, done: f.done, rec: f.rec})
 	c.mshrs[blk] = m
 	c.issueQ = append(c.issueQ, m)
@@ -565,7 +597,8 @@ func (c *Cache) issuePrefetches(blk uint64, src int) {
 		if _, pending := c.mshrs[pb]; pending || c.present(pb) {
 			continue
 		}
-		m := &mshrEntry{block: pb, src: src, prefetch: true}
+		m := c.newMSHR(pb, src)
+		m.prefetch = true
 		c.mshrs[pb] = m
 		c.issueQ = append(c.issueQ, m)
 		c.srcMSHRs[src]++
@@ -616,15 +649,22 @@ func (c *Cache) startAccesses() {
 	}
 	started := 0
 	var bankBusy uint64 // bitmask for up to 64 banks; wider configs wrap
-	keep := c.input[:0]
-	for _, req := range c.input {
+	w := 0
+	for i := range c.input {
+		req := &c.input[i]
 		if started >= c.cfg.Ports || req.at > c.now {
-			keep = append(keep, req)
+			if w != i {
+				c.input[w] = *req
+			}
+			w++
 			continue
 		}
 		b := uint(c.bank(c.block(req.addr))) % 64
 		if bankBusy&(1<<b) != 0 {
-			keep = append(keep, req)
+			if w != i {
+				c.input[w] = *req
+			}
+			w++
 			continue
 		}
 		bankBusy |= 1 << b
@@ -641,7 +681,7 @@ func (c *Cache) startAccesses() {
 			rec:   rec,
 		})
 	}
-	c.input = keep
+	c.input = c.input[:w]
 }
 
 // issueDown pushes pending block fetches, then writebacks, to the lower
@@ -658,8 +698,7 @@ func (c *Cache) issueDown() {
 		if m.issued { // already sent (defensive; entries leave the queue on send)
 			continue
 		}
-		mm := m
-		if !c.lower.Request(c.now, c.cfg.SrcID, m.block, m.write, func(cycle uint64) { c.fillsNext = append(c.fillsNext, mm) }) {
+		if !c.lower.Request(c.now, c.cfg.SrcID, m.block, m.write, m.fill) {
 			keepIssue = append(keepIssue, c.issueQ[i:]...)
 			break
 		}

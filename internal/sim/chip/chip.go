@@ -105,6 +105,9 @@ type Chip struct {
 	dir    *coherence.Directory // nil unless coherent
 	mem    *dram.DRAM
 	now    uint64
+	sched  []component   // flat tick schedule, built once in New
+	ffOff  bool          // true disables quiescent-cycle fast-forward
+	tier   Tier          // execution fidelity (tier.go)
 	reg    *obs.Registry // nil unless EnableObs was called
 	tr     *obs.Tracer   // nil unless AttachTracer was called
 	ts     *tsState      // nil unless EnableTimeseries was called
@@ -164,6 +167,7 @@ func New(cfg Config) *Chip {
 			ch.cores = append(ch.cores, nil)
 		}
 	}
+	ch.buildSched()
 	return ch
 }
 
@@ -265,28 +269,14 @@ func (c *Chip) ObsSnapshot() *obs.Snapshot {
 	return c.reg.Snapshot()
 }
 
-// Tick advances the whole chip one cycle.
+// Tick advances the whole chip one cycle, driving the flat schedule in
+// hierarchy order (cores, L1s, directory, NoC, L2, L3, DRAM).
 func (c *Chip) Tick() {
+	c.requireDetailed("Tick")
 	c.now++
-	for _, core := range c.cores {
-		if core != nil {
-			core.Tick(c.now)
-		}
+	for _, comp := range c.sched {
+		comp.Tick(c.now)
 	}
-	for _, l1 := range c.l1s {
-		l1.Tick(c.now)
-	}
-	if c.dir != nil {
-		c.dir.Tick(c.now)
-	}
-	if c.router != nil {
-		c.router.Tick(c.now)
-	}
-	c.l2.Tick(c.now)
-	if c.l3 != nil {
-		c.l3.Tick(c.now)
-	}
-	c.mem.Tick(c.now)
 	if c.ts != nil {
 		c.tsAccumulate()
 		c.ts.s.Tick(c.now)
@@ -327,7 +317,9 @@ func (c *Chip) Busy() bool {
 
 // RunCycles advances exactly n cycles (fewer if a run error latches).
 func (c *Chip) RunCycles(n uint64) {
-	for i := uint64(0); i < n && c.runErr == nil; i++ {
+	limit := c.now + n
+	for c.now < limit && c.runErr == nil {
+		c.tryFastForward(limit - 1)
 		c.Tick()
 	}
 }
@@ -338,7 +330,8 @@ func (c *Chip) RunCycles(n uint64) {
 // cycles consumed.
 func (c *Chip) RunUntilRetired(minInstr uint64, maxCycles uint64) uint64 {
 	start := c.now
-	for c.now-start < maxCycles && c.runErr == nil {
+	limit := start + maxCycles
+	for c.now < limit && c.runErr == nil {
 		done := true
 		for _, core := range c.cores {
 			if core != nil && !core.Halted() && core.Retired() < minInstr {
@@ -349,6 +342,7 @@ func (c *Chip) RunUntilRetired(minInstr uint64, maxCycles uint64) uint64 {
 		if done {
 			break
 		}
+		c.tryFastForward(limit - 1)
 		c.Tick()
 	}
 	return c.now - start
@@ -360,7 +354,8 @@ func (c *Chip) RunUntilRetired(minInstr uint64, maxCycles uint64) uint64 {
 // all cores reached the target.
 func (c *Chip) Run(minInstr uint64, maxCycles uint64) (cycles uint64, completed bool) {
 	start := c.now
-	for c.now-start < maxCycles && c.runErr == nil {
+	limit := start + maxCycles
+	for c.now < limit && c.runErr == nil {
 		done := true
 		for _, core := range c.cores {
 			if core == nil || core.Halted() {
@@ -375,10 +370,12 @@ func (c *Chip) Run(minInstr uint64, maxCycles uint64) (cycles uint64, completed 
 		if done {
 			break
 		}
+		c.tryFastForward(limit - 1)
 		c.Tick()
 	}
 	// Drain.
-	for c.Busy() && c.now-start < maxCycles && c.runErr == nil {
+	for c.Busy() && c.now < limit && c.runErr == nil {
+		c.tryFastForward(limit - 1)
 		c.Tick()
 	}
 	completed = true
@@ -456,6 +453,7 @@ type Report struct {
 
 // Snapshot collects a Report.
 func (c *Chip) Snapshot() Report {
+	c.requireDetailed("Snapshot")
 	r := Report{Cycles: c.now, L2: c.l2.Analyzer().Snapshot(), L2Stats: c.l2.Stats(), Mem: c.mem.Stats()}
 	for i, core := range c.cores {
 		cr := CoreReport{L1: c.l1s[i].Analyzer().Snapshot(), L1Stats: c.l1s[i].Stats()}

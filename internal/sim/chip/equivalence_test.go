@@ -1,0 +1,175 @@
+package chip_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lpm/internal/obs/timeseries"
+	"lpm/internal/sim/chip"
+	"lpm/internal/sim/noc"
+	"lpm/internal/trace"
+)
+
+// Fast-forward equivalence properties: a run with quiescent-cycle
+// fast-forward enabled must be bit-identical — every counter of every
+// component, and every timeline window — to the same run stepped cycle
+// by cycle. The suite sweeps the Table I workloads on the single-core
+// platform, the multicore NUCA geometries (NoC, L3, coherence
+// included), split measurement windows, and mid-run toggling, all with
+// the watchdog and a cancellation context armed the way the real
+// drivers arm them.
+
+// equivRun executes warm-up plus a measured window on a freshly built
+// config and returns the full counter snapshot and timeline series. A
+// builder, not a value: a Config embeds stateful trace generators, so
+// each run must construct its own. splits > 1 divides the measured
+// window into that many Run calls at uneven boundaries, the shape a
+// checkpoint/resume or observation-driven driver produces.
+func equivRun(t *testing.T, mk func() chip.Config, ff bool, warm, window uint64, splits int) (chip.Report, timeseries.Series) {
+	t.Helper()
+	ch := chip.New(mk())
+	ch.SetFastForward(ff)
+	ch.SetContext(context.Background())
+	ch.SetWatchdog(2_000_000)
+	budget := (warm + window) * 600
+	ch.RunUntilRetired(warm, budget)
+	ch.ResetCounters()
+	ch.EnableTimeseries(timeseries.Config{Width: 2048, MaxWindows: 64})
+	remaining := window
+	for i := splits; i >= 1; i-- {
+		part := remaining / uint64(i)
+		if i > 1 {
+			part = part/3 + 1 // uneven boundaries, never zero
+		}
+		ch.Run(part, budget)
+		remaining -= part
+	}
+	ch.FlushTimeseries()
+	if err := ch.Err(); err != nil {
+		t.Fatalf("run error (ff=%v): %v", ff, err)
+	}
+	return ch.Snapshot(), ch.Timeseries().Series()
+}
+
+// checkEquiv runs the configuration both ways and fails on any
+// divergence.
+func checkEquiv(t *testing.T, mk func() chip.Config, warm, window uint64, splits int) {
+	t.Helper()
+	a, sa := equivRun(t, mk, true, warm, window, splits)
+	b, sb := equivRun(t, mk, false, warm, window, splits)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshot diverged\nff:   %+v\nstep: %+v", a, b)
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("timeline diverged\nff:   %+v\nstep: %+v", sa, sb)
+	}
+}
+
+// TestEquivTable1Workloads: every built-in Table I workload profile on
+// the single-core platform.
+func TestEquivTable1Workloads(t *testing.T) {
+	t.Parallel()
+	for _, p := range trace.ProfileNames() {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			t.Parallel()
+			checkEquiv(t, func() chip.Config { return chip.SingleCore(p) }, 20000, 5000, 1)
+		})
+	}
+}
+
+// nuca4 builds a 16-core chip with four active cores on mixed
+// workloads; variant switches on the optional subsystems.
+func nuca4(nocOn, l3On, coherent bool) chip.Config {
+	names := []string{"410.bwaves", "429.mcf", "456.hmmer", "403.gcc"}
+	gens := make([]trace.Generator, 16)
+	for i, n := range names {
+		prof := trace.MustProfile(n)
+		prof.Seed = uint64(i + 7)
+		gens[i*4] = trace.NewSynthetic(prof) // one per L1-size group
+	}
+	cfg := chip.NUCA16(gens)
+	if nocOn {
+		n := noc.Default(16)
+		cfg.NoC = &n
+	}
+	if l3On {
+		l3 := chip.DefaultL2("L3", 4*chip.MB)
+		cfg.L3 = &l3
+	}
+	if coherent {
+		cfg.Coherent = true
+		cfg.CoherenceInvalLatency = 8
+	}
+	return cfg
+}
+
+// TestEquivMulticoreVariants: the NUCA platform with each optional
+// subsystem in the fast-forward schedule engaged.
+func TestEquivMulticoreVariants(t *testing.T) {
+	t.Parallel()
+	variants := []struct {
+		name              string
+		noc, l3, coherent bool
+		warm, window      uint64
+	}{
+		{name: "base", warm: 8000, window: 3000},
+		{name: "noc", noc: true, warm: 8000, window: 3000},
+		{name: "noc-l3", noc: true, l3: true, warm: 8000, window: 3000},
+		{name: "coherent", coherent: true, warm: 8000, window: 3000},
+		{name: "noc-l3-coherent", noc: true, l3: true, coherent: true, warm: 8000, window: 3000},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			checkEquiv(t, func() chip.Config { return nuca4(v.noc, v.l3, v.coherent) }, v.warm, v.window, 1)
+		})
+	}
+}
+
+// TestEquivSplitWindows: the measured window delivered across several
+// Run calls — the checkpoint/resume and timeline-driven shape. Jump
+// decisions depend on run-loop entry state, so boundaries must not
+// perturb counters.
+func TestEquivSplitWindows(t *testing.T) {
+	t.Parallel()
+	for _, splits := range []int{2, 5} {
+		splits := splits
+		t.Run(fmt.Sprintf("splits=%d", splits), func(t *testing.T) {
+			t.Parallel()
+			checkEquiv(t, func() chip.Config { return chip.SingleCore("429.mcf") }, 20000, 5000, splits)
+		})
+	}
+}
+
+// TestEquivToggleMidRun: fast-forward for the first half of the window
+// and stepping for the second must equal stepping throughout — a jump
+// leaves the exact microstate stepping would have reached.
+func TestEquivToggleMidRun(t *testing.T) {
+	t.Parallel()
+	const warm, window = 20000, 5000
+
+	run := func(toggle bool) (chip.Report, timeseries.Series) {
+		ch := chip.New(chip.SingleCore("433.milc"))
+		ch.SetFastForward(toggle)
+		ch.RunUntilRetired(warm, (warm+window)*600)
+		ch.ResetCounters()
+		ch.EnableTimeseries(timeseries.Config{Width: 2048, MaxWindows: 64})
+		ch.Run(window/2, (warm+window)*600)
+		ch.SetFastForward(false)
+		ch.Run(window-window/2, (warm+window)*600)
+		ch.FlushTimeseries()
+		return ch.Snapshot(), ch.Timeseries().Series()
+	}
+	a, sa := run(true)
+	b, sb := run(false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshot diverged after mid-run toggle\nff-half: %+v\nstepped: %+v", a, b)
+	}
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("timeline diverged after mid-run toggle")
+	}
+}

@@ -50,6 +50,7 @@ func measurementFrom(cs cpu.Stats, l1, l2 analyzer.Params, mr1, mr2, apc3, cpiEx
 // read from the analyzers. The shared L2 and memory are seen by all
 // cores.
 func (c *Chip) Measure(i int, cpiExe float64) core.Measurement {
+	c.requireDetailed("Measure")
 	var cs cpu.Stats
 	if c.cores[i] != nil {
 		cs = c.cores[i].Stats()
@@ -80,6 +81,7 @@ func (c *Chip) timelineSeries() *timeseries.Series {
 // cpiExe should be the (instruction-weighted) perfect-cache CPI of the
 // mix.
 func (c *Chip) MeasureAggregate(cpiExe float64) core.Measurement {
+	c.requireDetailed("MeasureAggregate")
 	var cs cpu.Stats
 	var l1 analyzer.Params
 	var primary1 uint64
@@ -112,6 +114,7 @@ func (c *Chip) MeasureAggregate(cpiExe float64) core.Measurement {
 // primary-miss forwarding ratios — the input to core.Chain's
 // arbitrary-depth LPMR computation.
 func (c *Chip) MeasureChain(i int, cpiExe float64) core.Chain {
+	c.requireDetailed("MeasureChain")
 	var cs cpu.Stats
 	if c.cores[i] != nil {
 		cs = c.cores[i].Stats()

@@ -52,6 +52,7 @@ type tsSampler = timeseries.Sampler
 // the measurement interval. Idempotent: repeat calls return the existing
 // sampler. The sampler is owned by this chip's simulation goroutine.
 func (c *Chip) EnableTimeseries(cfg timeseries.Config) *timeseries.Sampler {
+	c.requireDetailed("EnableTimeseries")
 	if c.ts != nil {
 		return c.ts.s
 	}

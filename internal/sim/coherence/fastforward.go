@@ -1,0 +1,31 @@
+package coherence
+
+// Fast-forward hooks (see chip/fastforward.go). The directory's only
+// per-cycle work is forwarding delayed write fetches, so it is
+// quiescent while every delayed fetch is still waiting out its
+// invalidation latency, and its next event is the earliest expiry.
+// Tick accrues no per-cycle counters, so AdvanceCycles is a no-op.
+
+// Quiescent reports whether the next Tick would forward nothing.
+func (d *Directory) Quiescent(now uint64) bool {
+	for i := range d.delayed {
+		if d.delayed[i].at <= now+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEvent returns the earliest delayed-fetch expiry, or ^uint64(0).
+func (d *Directory) NextEvent() uint64 {
+	ev := ^uint64(0)
+	for i := range d.delayed {
+		if d.delayed[i].at < ev {
+			ev = d.delayed[i].at
+		}
+	}
+	return ev
+}
+
+// AdvanceCycles is a no-op: the directory has no per-cycle accounting.
+func (d *Directory) AdvanceCycles(now, n uint64) { _, _ = now, n }

@@ -20,6 +20,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"lpm/internal/obs"
 	"lpm/internal/trace"
@@ -74,12 +75,22 @@ const (
 	stDone              // complete, awaiting in-order retirement
 )
 
-// robEntry is one in-flight instruction.
+// robEntry is one in-flight instruction. Whether a dispatched entry's
+// register dependence is satisfied lives in the core's readyBits bitmap,
+// maintained by dispatch and wake.
 type robEntry struct {
 	in      trace.Instr
 	seq     uint64
 	state   uint8
 	readyAt uint64 // completion cycle for compute ops
+
+	// Dependence wakeup list: consumers blocked on this entry, as a
+	// singly-linked chain of ROB slot indices (-1 ends the chain). An
+	// entry waits on at most one producer, so it sits in at most one
+	// chain; the chain is drained (and ready flags set) the moment the
+	// producer completes, replacing a per-cycle dependence poll.
+	firstWaiter int32
+	nextWaiter  int32
 }
 
 // Stats accumulates core counters.
@@ -204,6 +215,27 @@ type Core struct {
 	headSeq uint64 // seq of rob[head]
 	nextSeq uint64
 
+	// Scheduler worklists, so Tick touches only entries that can act
+	// instead of walking the whole ROB. readyBits is a bitmap over ROB
+	// slots marking dispatched entries whose dependence is satisfied
+	// (the issue candidates); iterating it in ring order from head
+	// visits them oldest-first, exactly the priority of a full ROB
+	// scan, in O(words + candidates) per cycle. execComp holds the
+	// stExecuting compute slots (pending completions). Both are exact:
+	// a slot is marked/listed while and only while in the named state,
+	// and a ROB slot is reused only after its occupant retired from
+	// stDone, which neither tracks.
+	readyBits []uint64
+	execComp  []int32
+	readyCnt  int // set bits in readyBits
+
+	// memDone[i] is the completion callback for a memory op in ROB slot
+	// i, built once at construction so issuing allocates no closure. A
+	// slot's callback is armed by at most one access at a time: the
+	// occupant cannot retire (and the slot cannot be reused) before its
+	// fill fires and marks it done.
+	memDone []func(cycle uint64)
+
 	inIW   int // dispatched but not complete
 	inLSQ  int // memory accesses outstanding
 	halted bool
@@ -269,7 +301,23 @@ func New(cfg Config, gen trace.Generator, mem MemPort) *Core {
 	if cfg.LSQSize == 0 {
 		cfg.LSQSize = cfg.IWSize
 	}
-	return &Core{cfg: cfg, gen: gen, mem: mem, rob: make([]robEntry, cfg.ROBSize)}
+	c := &Core{
+		cfg: cfg, gen: gen, mem: mem,
+		rob:       make([]robEntry, cfg.ROBSize),
+		readyBits: make([]uint64, (cfg.ROBSize+63)/64),
+		execComp:  make([]int32, 0, cfg.ROBSize),
+		memDone:   make([]func(cycle uint64), cfg.ROBSize),
+	}
+	for i := range c.memDone {
+		e := &c.rob[i]
+		c.memDone[i] = func(uint64) {
+			e.state = stDone
+			c.inIW--
+			c.inLSQ--
+			c.wake(e)
+		}
+	}
+	return c
 }
 
 // Config returns the core's configuration.
@@ -283,6 +331,12 @@ func (c *Core) ResetCounters() { c.st = Stats{} }
 
 // Retired returns the retired instruction count.
 func (c *Core) Retired() uint64 { return c.st.Instructions }
+
+// FunctionalNext draws the core's next instruction without touching
+// pipeline state — the functional tier's fetch. The chip uses it to
+// advance the instruction stream (and warm the memory hierarchy) while
+// the detailed pipeline is drained.
+func (c *Core) FunctionalNext() trace.Instr { return c.gen.Next() }
 
 // Halt stops fetching new instructions; in-flight ones drain.
 func (c *Core) Halt() { c.halted = true }
@@ -308,11 +362,17 @@ func (c *Core) IWOccupancy() int { return c.inIW }
 // at returns the ROB entry holding seq; the caller guarantees it is in
 // flight.
 func (c *Core) at(seq uint64) *robEntry {
-	idx := (c.head + int(seq-c.headSeq)) % len(c.rob)
+	idx := c.head + int(seq-c.headSeq)
+	if idx >= len(c.rob) {
+		idx -= len(c.rob)
+	}
 	return &c.rob[idx]
 }
 
-// depReady reports whether e's register dependence is satisfied.
+// depReady reports whether e's register dependence is satisfied. It is
+// the reference predicate: the hot paths read the cached e.ready flag,
+// which dispatch seeds with this value and wake keeps current (the
+// predicate is monotone — a producer never becomes un-done).
 func (c *Core) depReady(e *robEntry) bool {
 	if e.in.Dep == 0 || uint64(e.in.Dep) > e.seq {
 		return true // no producer, or it would precede the stream
@@ -324,6 +384,87 @@ func (c *Core) depReady(e *robEntry) bool {
 	return c.at(dep).state == stDone
 }
 
+// setReady / clearReady maintain the issue-candidate bitmap.
+func (c *Core) setReady(idx int32) {
+	c.readyBits[idx>>6] |= 1 << uint(idx&63)
+	c.readyCnt++
+}
+
+func (c *Core) clearReady(idx int) {
+	c.readyBits[idx>>6] &^= 1 << uint(idx&63)
+	c.readyCnt--
+}
+
+// wake marks every consumer waiting on e ready and empties e's chain.
+// Call exactly when e transitions to stDone (compute completion or
+// memory fill); the chain is then empty for the rest of the occupancy,
+// so the slot recycles clean.
+func (c *Core) wake(e *robEntry) {
+	for w := e.firstWaiter; w >= 0; {
+		c.setReady(w)
+		we := &c.rob[w]
+		w, we.nextWaiter = we.nextWaiter, -1
+	}
+	e.firstWaiter = -1
+}
+
+// issueRange performs the issue stage over the ready candidates in ROB
+// slots [lo, hi), oldest-first (the caller splits the ring into at most
+// two in-order ranges). Each word of the candidate bitmap is re-read
+// after every visit, so a completion fired from inside a memory-port
+// callback wakes later candidates exactly as a live in-order ROB scan
+// would see them. Returns false once the issue budget is exhausted —
+// the cutoff leaves the remaining candidates unvisited and uncharged,
+// matching the full scan's early abort.
+func (c *Core) issueRange(cycle uint64, lo, hi int, issued *int, computeExecuting *bool) bool {
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		base := wi << 6
+		mask := ^uint64(0)
+		if base < lo {
+			mask <<= uint(lo - base)
+		}
+		if hi-base < 64 {
+			mask &= 1<<uint(hi-base) - 1
+		}
+		for {
+			word := c.readyBits[wi] & mask
+			if word == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(word)
+			mask &^= 1 << uint(b)
+			if *issued >= c.cfg.IssueWidth {
+				return false
+			}
+			idx := base + b
+			e := &c.rob[idx]
+			if e.in.Kind == trace.Compute {
+				e.state = stExecuting
+				e.readyAt = cycle + uint64(e.in.Lat)
+				*issued++
+				*computeExecuting = true
+				c.execComp = append(c.execComp, int32(idx))
+				c.clearReady(idx)
+				continue
+			}
+			// Memory operation: needs an LSQ slot and L1 acceptance.
+			if c.inLSQ >= c.cfg.LSQSize {
+				c.st.LSQFullEvents++
+				continue
+			}
+			if !c.mem.Access(cycle, e.in.Addr, e.in.Kind == trace.Store, c.memDone[idx]) {
+				c.st.RejectedAccesses++
+				continue
+			}
+			e.state = stExecuting
+			c.inLSQ++
+			*issued++
+			c.clearReady(idx)
+		}
+	}
+	return true
+}
+
 // Tick advances the core one cycle.
 func (c *Core) Tick(cycle uint64) {
 	if c.halted && c.count == 0 {
@@ -333,21 +474,24 @@ func (c *Core) Tick(cycle uint64) {
 	c.st.Cycles++
 
 	// 1. Complete compute ops whose latency expired. (Memory ops complete
-	// via the cache callback.)
+	// via the cache callback.) Same-cycle completions are independent, so
+	// walking the worklist in issue order matches the ROB-order walk.
 	computeExecuting := false
-	for i := 0; i < c.count; i++ {
-		e := &c.rob[(c.head+i)%len(c.rob)]
-		if e.state != stExecuting {
-			continue
-		}
-		if e.in.Kind == trace.Compute {
+	if len(c.execComp) > 0 {
+		w := 0
+		for _, idx := range c.execComp {
+			e := &c.rob[idx]
 			if e.readyAt <= cycle {
 				e.state = stDone
 				c.inIW--
-			} else {
-				computeExecuting = true
+				c.wake(e)
+				continue
 			}
+			computeExecuting = true
+			c.execComp[w] = idx
+			w++
 		}
+		c.execComp = c.execComp[:w]
 	}
 
 	// 2. Retire in order.
@@ -360,44 +504,30 @@ func (c *Core) Tick(cycle uint64) {
 		if e.in.Kind.IsMem() {
 			c.st.MemInstructions++
 		}
-		c.head = (c.head + 1) % len(c.rob)
+		c.head++
+		if c.head == len(c.rob) {
+			c.head = 0
+		}
 		c.headSeq++
 		c.count--
 		retired++
 		c.st.Instructions++
 	}
 
-	// 3. Issue ready instructions to execution, oldest first.
-	issued := 0
-	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
-		e := &c.rob[(c.head+i)%len(c.rob)]
-		if e.state != stDispatched || !c.depReady(e) {
-			continue
+	// 3. Issue ready instructions to execution, oldest first. The
+	// worklist holds the dispatched entries in program order, so the
+	// walk visits exactly the entries the full ROB scan would, in the
+	// same order; once the issue budget is spent the remainder is kept
+	// unvisited (no structural-stall charges past the cutoff, as
+	// before).
+	if c.readyCnt > 0 { // nothing can issue (or stall-charge) otherwise
+		issued := 0
+		hi := c.head + c.count
+		if hi <= len(c.rob) {
+			c.issueRange(cycle, c.head, hi, &issued, &computeExecuting)
+		} else if c.issueRange(cycle, c.head, len(c.rob), &issued, &computeExecuting) {
+			c.issueRange(cycle, 0, hi-len(c.rob), &issued, &computeExecuting)
 		}
-		if e.in.Kind == trace.Compute {
-			e.state = stExecuting
-			e.readyAt = cycle + uint64(e.in.Lat)
-			issued++
-			computeExecuting = true
-			continue
-		}
-		// Memory operation: needs an LSQ slot and L1 acceptance.
-		if c.inLSQ >= c.cfg.LSQSize {
-			c.st.LSQFullEvents++
-			continue
-		}
-		ee := e
-		if !c.mem.Access(cycle, e.in.Addr, e.in.Kind == trace.Store, func(uint64) {
-			ee.state = stDone
-			c.inIW--
-			c.inLSQ--
-		}) {
-			c.st.RejectedAccesses++
-			continue
-		}
-		e.state = stExecuting
-		c.inLSQ++
-		issued++
 	}
 
 	// 4. Fetch/dispatch new instructions.
@@ -406,8 +536,37 @@ func (c *Core) Tick(cycle uint64) {
 			if c.count >= c.cfg.ROBSize || c.inIW >= c.cfg.IWSize {
 				break
 			}
-			tail := (c.head + c.count) % len(c.rob)
-			c.rob[tail] = robEntry{in: c.gen.Next(), seq: c.nextSeq, state: stDispatched}
+			tail := c.head + c.count
+			if tail >= len(c.rob) {
+				tail -= len(c.rob)
+			}
+			in := c.gen.Next()
+			c.rob[tail] = robEntry{
+				in: in, seq: c.nextSeq, state: stDispatched,
+				firstWaiter: -1, nextWaiter: -1,
+			}
+			// Seed the dependence state: an issue candidate unless the
+			// producer is still in flight and incomplete, in which case
+			// join its wakeup chain (depReady is this logic,
+			// slot-resolved).
+			waiting := false
+			if in.Dep != 0 && uint64(in.Dep) <= c.nextSeq {
+				dep := c.nextSeq - uint64(in.Dep)
+				if dep >= c.headSeq {
+					pidx := c.head + int(dep-c.headSeq)
+					if pidx >= len(c.rob) {
+						pidx -= len(c.rob)
+					}
+					if p := &c.rob[pidx]; p.state != stDone {
+						waiting = true
+						c.rob[tail].nextWaiter = p.firstWaiter
+						p.firstWaiter = int32(tail)
+					}
+				}
+			}
+			if !waiting {
+				c.setReady(int32(tail))
+			}
 			c.nextSeq++
 			c.count++
 			c.inIW++

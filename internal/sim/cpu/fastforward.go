@@ -1,0 +1,104 @@
+package cpu
+
+import (
+	"math/bits"
+
+	"lpm/internal/trace"
+)
+
+// This file is the core's half of the chip's event-driven fast-forward
+// (see chip/fastforward.go): a quiescence predicate, the earliest cycle
+// at which the core's state can change on its own, and a bulk accrual
+// that reproduces Tick's per-cycle accounting over a run of quiescent
+// cycles bit-for-bit.
+
+// noEvent is the NextEvent value meaning "no self-scheduled event".
+const noEvent = ^uint64(0)
+
+// Quiescent reports whether the next Tick would change no architectural
+// state other than scheduled compute completions (which NextEvent
+// exposes) — i.e. no retirement, no issue, no fetch, no memory access
+// attempt. External events (cache fill callbacks) are the lower layers'
+// business; the chip only jumps when every layer is quiescent.
+func (c *Core) Quiescent(now uint64) bool {
+	if c.halted && c.count == 0 {
+		return true // off: Tick is a no-op
+	}
+	if !c.halted && c.count < c.cfg.ROBSize && c.inIW < c.cfg.IWSize {
+		return false // fetch would dispatch new instructions
+	}
+	if c.count > 0 && c.rob[c.head].state == stDone {
+		return false // retirement would proceed
+	}
+	if c.readyCnt > 0 {
+		if c.inLSQ < c.cfg.LSQSize {
+			return false // a ready op would issue or probe the cache
+		}
+		for wi, word := range c.readyBits {
+			for word != 0 {
+				idx := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if c.rob[idx].in.Kind == trace.Compute {
+					return false // would issue to execution
+				}
+			}
+		}
+		// Every ready op is a memory access blocked on a full LSQ: no
+		// state change, but LSQFullEvents accrues each cycle —
+		// AdvanceCycles handles it.
+	}
+	return true
+}
+
+// NextEvent returns the earliest future cycle at which the core's own
+// state changes (the soonest compute completion), or noEvent.
+func (c *Core) NextEvent() uint64 {
+	ev := uint64(noEvent)
+	for _, idx := range c.execComp {
+		if r := c.rob[idx].readyAt; r < ev {
+			ev = r
+		}
+	}
+	return ev
+}
+
+// AdvanceCycles accrues n quiescent cycles (now+1 .. now+n) in bulk,
+// reproducing exactly what n calls to Tick would have recorded given
+// Quiescent(now) held and no event fires before now+n.
+func (c *Core) AdvanceCycles(now, n uint64) {
+	_ = now
+	if c.halted && c.count == 0 {
+		c.lastClass = CycleOff
+		return
+	}
+	c.st.Cycles += n
+
+	// A quiescent cycle retires nothing and issues nothing; the issue
+	// scan still charges one LSQ-full event per dep-ready memory op it
+	// cannot sink, every cycle. Quiescent just proved every ready entry
+	// is such an op (a ready compute would have broken quiescence), so
+	// the per-cycle charge is exactly readyCnt.
+	c.st.LSQFullEvents += uint64(c.readyCnt) * n
+
+	if c.count == 0 {
+		c.st.EmptyCycles += n
+		c.lastClass = CycleEmpty
+	} else {
+		c.st.StallCycles += n
+		c.lastClass = CycleComputeStall
+		head := &c.rob[c.head]
+		if head.in.Kind.IsMem() && head.state != stDone {
+			c.st.MemStallCycles += n
+			c.lastClass = CycleMemStall
+		}
+	}
+	if c.inLSQ > 0 {
+		c.st.MemActiveCycles += n
+		if len(c.execComp) > 0 {
+			c.st.OverlapCycles += n
+		}
+	}
+	if c.ob != nil {
+		c.ob.robOcc.ObserveN(float64(c.count), n)
+	}
+}

@@ -1,0 +1,54 @@
+package dram
+
+// Fast-forward hooks (see chip/fastforward.go). The controller is
+// quiescent when every channel queue is empty: nothing schedules, no
+// row state changes. Scheduled completions (pend) are allowed — their
+// fire cycles are exposed via NextEvent — and the per-cycle Stats they
+// imply (active cycles, bus-busy cycles draining as bursts end) are
+// accrued in closed form by AdvanceCycles.
+
+// Quiescent reports whether the next Tick would start no request.
+func (d *DRAM) Quiescent(now uint64) bool {
+	_ = now
+	for i := range d.channels {
+		if len(d.channels[i].queue) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEvent returns the earliest scheduled completion cycle, or
+// ^uint64(0) when none is outstanding.
+func (d *DRAM) NextEvent() uint64 {
+	ev := ^uint64(0)
+	for i := range d.pend {
+		if d.pend[i].at < ev {
+			ev = d.pend[i].at
+		}
+	}
+	return ev
+}
+
+// AdvanceCycles accrues n quiescent cycles (now+1 .. now+n) in bulk.
+// ActiveCycles counts every jumped cycle while completions are
+// outstanding; each channel's bus stays busy until its busUntil stamp,
+// contributing clamp(busUntil-now-1, 0, n) cycles.
+func (d *DRAM) AdvanceCycles(now, n uint64) {
+	d.now = now + n
+	if len(d.pend) > 0 {
+		d.st.ActiveCycles += n
+	}
+	for ci := range d.channels {
+		if bu := d.channels[ci].busUntil; bu > now+1 {
+			busy := bu - now - 1
+			if busy > n {
+				busy = n
+			}
+			d.st.BusBusyCycles += busy
+		}
+	}
+	if d.ob != nil {
+		d.ob.queueOcc.ObserveN(0, n)
+	}
+}

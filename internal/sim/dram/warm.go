@@ -1,0 +1,25 @@
+package dram
+
+// Functional-tier warming (see cache.Warmer): the only DRAM state worth
+// carrying into a measured phase is which row each bank holds open —
+// it decides row hits versus conflicts for the first detailed accesses.
+// Queues and bus timing stay untouched.
+
+// warmTouch opens block's row in its bank, as servicing it would.
+func (d *DRAM) warmTouch(block uint64) {
+	ch := &d.channels[block%uint64(d.cfg.Channels)]
+	b := &ch.banks[d.bankOf(block)]
+	b.openRow, b.rowValid = d.rowOf(block), true
+}
+
+// WarmFetch implements cache.Warmer.
+func (d *DRAM) WarmFetch(stamp uint64, src int, block uint64, write bool) {
+	_, _, _ = stamp, src, write
+	d.warmTouch(block)
+}
+
+// WarmWriteback implements cache.Warmer.
+func (d *DRAM) WarmWriteback(stamp uint64, src int, block uint64) {
+	_, _ = stamp, src
+	d.warmTouch(block)
+}

@@ -1,0 +1,49 @@
+package noc
+
+// Fast-forward hooks (see chip/fastforward.go). The router is quiescent
+// when no message awaits arbitration and nothing in flight is due (or
+// overdue, i.e. retrying after lower-layer backpressure). Traversal
+// completions are scheduled events exposed via NextEvent; the router
+// accrues no per-cycle counters, so AdvanceCycles only moves its clock.
+
+// Quiescent reports whether the next Tick would deliver, hand over, or
+// arbitrate nothing.
+func (r *Router) Quiescent(now uint64) bool {
+	for _, q := range r.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for i := range r.inflight {
+		if r.inflight[i].readyAt <= now+1 {
+			return false
+		}
+	}
+	for i := range r.resp {
+		if r.resp[i].readyAt <= now+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextEvent returns the earliest traversal completion in either
+// direction, or ^uint64(0).
+func (r *Router) NextEvent() uint64 {
+	ev := ^uint64(0)
+	for i := range r.inflight {
+		if r.inflight[i].readyAt < ev {
+			ev = r.inflight[i].readyAt
+		}
+	}
+	for i := range r.resp {
+		if r.resp[i].readyAt < ev {
+			ev = r.resp[i].readyAt
+		}
+	}
+	return ev
+}
+
+// AdvanceCycles advances the router's clock over n quiescent cycles;
+// there is no per-cycle accounting to accrue.
+func (r *Router) AdvanceCycles(now, n uint64) { r.now = now + n }

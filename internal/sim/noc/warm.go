@@ -1,0 +1,22 @@
+package noc
+
+// Functional-tier warming (see cache.Warmer): the router carries no
+// architectural state worth warming — its queues and in-flight tables
+// are timing structures — so it forwards warm traffic straight to the
+// layer below.
+
+import "lpm/internal/sim/cache"
+
+// WarmFetch implements cache.Warmer.
+func (r *Router) WarmFetch(stamp uint64, src int, block uint64, write bool) {
+	if w, ok := r.lower.(cache.Warmer); ok {
+		w.WarmFetch(stamp, src, block, write)
+	}
+}
+
+// WarmWriteback implements cache.Warmer.
+func (r *Router) WarmWriteback(stamp uint64, src int, block uint64) {
+	if w, ok := r.lower.(cache.Warmer); ok {
+		w.WarmWriteback(stamp, src, block)
+	}
+}

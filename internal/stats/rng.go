@@ -132,6 +132,80 @@ func (r *RNG) Zipf(n int, s float64) int {
 	return i
 }
 
+// GeomSampler draws geometric samples for a fixed success probability,
+// hoisting the per-call math.Log(1-p) of RNG.Geometric out of the hot
+// path. Its stream is bit-identical to calling Geometric(p) with the
+// same p: the same draws are consumed (none when p >= 1) and the same
+// float computation performed, only with the constant factor cached.
+type GeomSampler struct {
+	one  bool    // p >= 1: the sample is always 0 and consumes no draw
+	logQ float64 // math.Log(1-p) after the (0,1] clamp
+}
+
+// NewGeomSampler precomputes a sampler equivalent to Geometric(p).
+func NewGeomSampler(p float64) GeomSampler {
+	if p >= 1 {
+		return GeomSampler{one: true}
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	return GeomSampler{logQ: math.Log(1 - p)}
+}
+
+// Sample draws the next geometric sample from r.
+func (s GeomSampler) Sample(r *RNG) int {
+	if s.one {
+		return 0
+	}
+	u := r.Float64()
+	// Inverse transform sampling. 1-u avoids log(0).
+	return int(math.Log(1-u) / s.logQ)
+}
+
+// ZipfSampler draws Zipf samples for a fixed (n, s), hoisting the
+// math.Pow over the constant domain size out of RNG.Zipf's per-call
+// path. Bit-identical to Zipf(n, s): same draws (none when n <= 1),
+// same arithmetic, constant factors cached.
+type ZipfSampler struct {
+	n    int
+	span float64 // math.Pow(n, 1-s) - 1
+	inv  float64 // 1 / (1 - s)
+}
+
+// NewZipfSampler precomputes a sampler equivalent to Zipf(n, s).
+func NewZipfSampler(n int, s float64) ZipfSampler {
+	if n <= 1 {
+		return ZipfSampler{n: n}
+	}
+	if math.Abs(s-1) < 1e-7 {
+		s = 1.0000001
+	}
+	oneMinusS := 1 - s
+	return ZipfSampler{
+		n:    n,
+		span: math.Pow(float64(n), oneMinusS) - 1,
+		inv:  1 / oneMinusS,
+	}
+}
+
+// Sample draws the next Zipf sample from r.
+func (z ZipfSampler) Sample(r *RNG) int {
+	if z.n <= 1 {
+		return 0
+	}
+	u := r.Float64()
+	x := math.Pow(z.span*u+1, z.inv)
+	i := int(x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i
+}
+
 // Perm fills dst with a uniformly random permutation of [0, len(dst)).
 func (r *RNG) Perm(dst []int) {
 	for i := range dst {

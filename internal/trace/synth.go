@@ -10,6 +10,14 @@ type Synthetic struct {
 	prof Profile
 	rng  *stats.RNG
 
+	// Samplers precomputed from the profile's constants (NewSynthetic),
+	// so the per-instruction path does no log/pow over fixed parameters.
+	// Each is stream-identical to the direct RNG call it replaces.
+	execLatG stats.GeomSampler // Geometric(1/ExecLat)
+	depDistG stats.GeomSampler // Geometric(1/DepDist)
+	hotZipf  stats.ZipfSampler // Zipf(hot blocks, 0.6)
+	hotBlks  int
+
 	idx        uint64 // dynamic instruction index
 	seqCursor  uint64 // sequential sweep position
 	lastLoadAt uint64 // index of the most recent load (for pointer chasing)
@@ -28,6 +36,19 @@ func NewSynthetic(p Profile) *Synthetic {
 		p.Stride = 8
 	}
 	g := &Synthetic{prof: p}
+	if p.ExecLat > 1 {
+		g.execLatG = stats.NewGeomSampler(1 / p.ExecLat)
+	}
+	if p.DepDist > 0 {
+		g.depDistG = stats.NewGeomSampler(1 / p.DepDist)
+	}
+	if p.HotBytes > 0 {
+		g.hotBlks = int(p.HotBytes / 64)
+		if g.hotBlks < 1 {
+			g.hotBlks = 1
+		}
+		g.hotZipf = stats.NewZipfSampler(g.hotBlks, 0.6)
+	}
 	g.Reset()
 	return g
 }
@@ -124,7 +145,7 @@ func (g *Synthetic) computeInstr() Instr {
 	in := Instr{Kind: Compute, Lat: 1}
 	if p.ExecLat > 1 {
 		// Latency is 1 + geometric tail with the configured mean.
-		extra := g.rng.Geometric(1 / p.ExecLat)
+		extra := g.execLatG.Sample(g.rng)
 		if extra > 30 {
 			extra = 30
 		}
@@ -132,7 +153,7 @@ func (g *Synthetic) computeInstr() Instr {
 	}
 	if p.DepDist > 0 && g.idx > 0 {
 		// Dependency distance ~ 1 + geometric with mean DepDist.
-		d := uint64(1 + g.rng.Geometric(1/p.DepDist))
+		d := uint64(1 + g.depDistG.Sample(g.rng))
 		if d > g.idx {
 			d = g.idx
 		}
@@ -153,11 +174,7 @@ func (g *Synthetic) nextAddr() uint64 {
 		// Hot region with mild Zipf skew over 64-byte blocks: hot enough
 		// to reward capacity that covers the region, flat enough that a
 		// fraction of the region is not a substitute for all of it.
-		blocks := int(p.HotBytes / 64)
-		if blocks < 1 {
-			blocks = 1
-		}
-		b := g.rng.Zipf(blocks, 0.6)
+		b := g.hotZipf.Sample(g.rng)
 		return uint64(b)*64 + g.rng.Uint64n(64)&^0x7
 	}
 	// Cold uniform access over the whole footprint, 8-byte aligned.
