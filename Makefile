@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench benchjson benchjson-check fuzz chaos ci golden diffgate race-serve
+.PHONY: all build test race vet lint fmt-check bench benchjson benchjson-check fuzz chaos fabric-test ci golden diffgate race-serve
 
 all: build vet lint test race
 
@@ -42,11 +42,21 @@ benchjson:
 benchjson-check:
 	$(GO) run ./cmd/lpmbench -check BENCH_core.json
 
-# Short fuzz smoke over both fuzz targets; the checked-in corpora under
+# Short fuzz smoke over the fuzz targets; the checked-in corpora under
 # testdata/fuzz/ replay in ordinary `go test` runs regardless.
 fuzz:
 	$(GO) test -fuzz FuzzTraceDecode -fuzztime 15s -run '^$$' ./internal/trace
 	$(GO) test -fuzz FuzzCacheConfigValidate -fuzztime 15s -run '^$$' ./internal/sim/cache
+	$(GO) test -fuzz FuzzFabricFrameDecode -fuzztime 15s -run '^$$' ./internal/fabric
+
+# Sweep-fabric suite: the in-process coordinator/worker harness and the
+# sharded-vs-serial determinism properties under the race detector, plus
+# the lpmworker CLI smoke (-help/-version must exit 0).
+fabric-test:
+	$(GO) test -race -count=1 ./internal/fabric ./cmd/lpmworker
+	$(GO) test -race -count=1 -run 'TestSharded|TestChaosSharded' . ./cmd/lpmexplore ./cmd/lpmreport
+	$(GO) run ./cmd/lpmworker -help
+	$(GO) run ./cmd/lpmworker -version
 
 # Fault-injection suite: every recovery path (checkpoint/resume
 # bit-identity, watchdog livelock isolation, partial reports on

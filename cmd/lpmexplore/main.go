@@ -9,6 +9,7 @@
 //	lpmexplore -json -observe       # machine-readable lpm-explore/v1 document
 //	lpmexplore -checkpoint run.ckpt # durable cache, survives kill -9
 //	lpmexplore -resume run.ckpt     # replay from the checkpoint
+//	lpmexplore -shard 127.0.0.1:7707 -shard-min 4  # fan simulations out to lpmworker processes
 //
 // SIGINT/SIGTERM drain the in-flight simulations and, in -json mode,
 // still emit a decodable document with "partial": true.
@@ -30,6 +31,7 @@ import (
 	"lpm/internal/cliutil"
 	"lpm/internal/core"
 	"lpm/internal/explore"
+	"lpm/internal/fabric"
 	"lpm/internal/parallel"
 	"lpm/internal/resilience"
 	"lpm/internal/trace"
@@ -80,11 +82,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		watchdog = fset.Uint64("watchdog", 0, "per-evaluation no-progress cycle budget before a livelock diagnostic (0 = default)")
 		pprofCfg = fset.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	shard := fabric.BindShardFlags(fset)
 	if err := fset.Parse(args); err != nil {
 		return err
 	}
 	parallel.SetWorkers(*workers)
 	startPprof(*pprofCfg, stderr)
+	stopShard, err := shard.Start(ctx, func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer stopShard()
 
 	prof, err := trace.ProfileByName(*workload)
 	if err != nil {

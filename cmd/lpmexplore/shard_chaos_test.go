@@ -1,0 +1,183 @@
+package main
+
+// Chaos test for the sharded checkpoint path: a coordinator fanning its
+// simulations out to workers, losing one mid-granule, then dying itself
+// mid-walk. The recovery contract is unchanged from the serial case —
+// the checkpoint the interrupted run leaves behind must resume to the
+// uninterrupted run's bytes — because granules are pure and the fabric
+// fills the same memo the checkpoint persists.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lpm"
+	"lpm/internal/fabric"
+	"lpm/internal/faultinject"
+	"lpm/internal/parallel"
+)
+
+// startShardWorkers launches n in-process fabric workers against the
+// coordinator address published in addrFile (polled, since the
+// coordinator binds ":0" after the workers start). The returned stop
+// func cancels the workers and reports any worker failure.
+func startShardWorkers(t *testing.T, addrFile string, n int) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var addr string
+		deadline := time.Now().Add(10 * time.Second)
+		for addr == "" {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				addr = strings.TrimSpace(string(b))
+				break
+			}
+			if time.Now().After(deadline) || ctx.Err() != nil {
+				errs[0] = errors.New("coordinator address never appeared")
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				err := fabric.RunWorker(ctx, addr, fabric.WorkerOptions{
+					Name:      fmt.Sprintf("chaos-%d", i),
+					Slots:     2,
+					DialRetry: 5 * time.Second,
+				})
+				if err != nil && !errors.Is(err, context.Canceled) {
+					errs[i] = err
+				}
+			}(i)
+		}
+	}()
+	return func() {
+		cancel()
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("shard worker %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// shardArgs extends chaosArgs with the coordinator flag family.
+func shardArgs(addrFile string, extra ...string) []string {
+	return chaosArgs(append([]string{
+		"-shard", "127.0.0.1:0",
+		"-shard-addr-file", addrFile,
+		"-shard-min", "2",
+		"-shard-straggle", "-1s",
+	}, extra...)...)
+}
+
+// TestChaosShardedCheckpointResumeBitIdentical is the full disaster: a
+// sharded run loses a worker mid-granule (re-issued), then the
+// coordinator itself dies mid-walk with -checkpoint armed. Resuming —
+// serially, as a fresh process would — must reproduce the uninterrupted
+// serial baseline byte for byte, with no cold start.
+func TestChaosShardedCheckpointResumeBitIdentical(t *testing.T) {
+	t.Cleanup(parallel.ResetAllMemos)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	addrFile := filepath.Join(dir, "coordinator.addr")
+
+	// Uninterrupted serial baseline, memo-cold.
+	parallel.ResetAllMemos()
+	var base, baseErr bytes.Buffer
+	if err := run(context.Background(), chaosArgs(), &base, &baseErr); err != nil {
+		t.Fatalf("baseline: %v\n%s", err, baseErr.String())
+	}
+
+	// Sharded, doubly-faulted run: the first explore.sim granule kills
+	// its worker mid-execution (the fabric must re-issue it to the
+	// survivor), and the fourth evaluation kills the coordinator's walk.
+	parallel.ResetAllMemos()
+	restore := faultinject.Arm(faultinject.NewPlan(1,
+		faultinject.Rule{Point: "fabric.worker.kill", Match: "explore.sim",
+			Times: 1, Msg: "chaos: shard worker killed mid-granule"},
+		faultinject.Rule{Point: "explore.evaluate", After: 3, Msg: "chaos kill"},
+	))
+	stopWorkers := startShardWorkers(t, addrFile, 2)
+	var killed, killedErr bytes.Buffer
+	err := run(context.Background(), shardArgs(addrFile, "-checkpoint", ckpt), &killed, &killedErr)
+	stopWorkers()
+	kills := faultinject.Hits("fabric.worker.kill")
+	restore()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("interrupted sharded run: err = %v, want the injected fault\n%s", err, killedErr.String())
+	}
+	if kills == 0 {
+		t.Fatal("no granule ever reached a shard worker: the kill fault never armed")
+	}
+	// The partial document contract holds under sharding too.
+	var partial lpm.ExploreReport
+	if err := json.Unmarshal(killed.Bytes(), &partial); err != nil {
+		t.Fatalf("interrupted output is not valid JSON: %v\n%s", err, killed.String())
+	}
+	if !partial.Partial || partial.Error == "" {
+		t.Fatalf("interrupted doc: partial=%v error=%q, want it marked partial with the cause",
+			partial.Partial, partial.Error)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint survived the kill: %v", err)
+	}
+
+	// Resume with a cold memo and no fabric — a fresh serial process
+	// picking up a sharded run's checkpoint.
+	parallel.ResetAllMemos()
+	var resumed, resumedErr bytes.Buffer
+	if err := run(context.Background(), chaosArgs("-resume", ckpt), &resumed, &resumedErr); err != nil {
+		t.Fatalf("resume: %v\n%s", err, resumedErr.String())
+	}
+	if strings.Contains(resumedErr.String(), "starting cold") {
+		t.Fatalf("resume fell back to a cold start:\n%s", resumedErr.String())
+	}
+	if !bytes.Equal(base.Bytes(), resumed.Bytes()) {
+		t.Fatalf("resumed output differs from the uninterrupted serial run:\n--- baseline\n%s--- resumed\n%s",
+			base.String(), resumed.String())
+	}
+}
+
+// TestChaosShardedRunMatchesSerial pins the plain sharded CLI path: the
+// same flags run serial and sharded must emit identical documents.
+func TestChaosShardedRunMatchesSerial(t *testing.T) {
+	t.Cleanup(parallel.ResetAllMemos)
+	addrFile := filepath.Join(t.TempDir(), "coordinator.addr")
+
+	parallel.ResetAllMemos()
+	var serial, serialErr bytes.Buffer
+	if err := run(context.Background(), chaosArgs(), &serial, &serialErr); err != nil {
+		t.Fatalf("serial run: %v\n%s", err, serialErr.String())
+	}
+
+	parallel.ResetAllMemos()
+	stopWorkers := startShardWorkers(t, addrFile, 2)
+	var sharded, shardedErr bytes.Buffer
+	err := run(context.Background(), shardArgs(addrFile), &sharded, &shardedErr)
+	stopWorkers()
+	if err != nil {
+		t.Fatalf("sharded run: %v\n%s", err, shardedErr.String())
+	}
+
+	if !bytes.Equal(serial.Bytes(), sharded.Bytes()) {
+		t.Fatalf("sharded run differs from serial run:\n--- serial\n%s--- sharded\n%s",
+			serial.String(), sharded.String())
+	}
+}

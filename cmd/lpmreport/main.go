@@ -8,6 +8,7 @@
 //	lpmreport -quick               # everything, reduced budgets
 //	lpmreport -experiment table1   # one experiment
 //	lpmreport -json -observe       # machine-readable lpm-report/v2 document
+//	lpmreport -quick -shard 127.0.0.1:7707 -shard-min 2  # shard simulations across lpmworker processes
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"lpm"
 	"lpm/internal/cliutil"
+	"lpm/internal/fabric"
 	"lpm/internal/resilience"
 )
 
@@ -69,11 +71,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		resume    = fset.String("resume", "", "seed the simulation cache from this checkpoint before running (missing file = cold start; implies -checkpoint)")
 		pprofCfg  = fset.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
+	shard := fabric.BindShardFlags(fset)
 	if err := fset.Parse(args); err != nil {
 		return err
 	}
 	lpm.SetWorkers(*workers)
 	startPprof(*pprofCfg, stderr)
+	stopShard, err := shard.Start(ctx, func(format string, args ...any) {
+		fmt.Fprintf(stderr, format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	defer stopShard()
 
 	scale := lpm.FullScale()
 	if *quick {

@@ -1,0 +1,125 @@
+package main
+
+// Multi-process acceptance test for the sweep fabric: a real lpmreport
+// coordinator sharding its simulations across real lpmworker processes
+// over loopback TCP, compared byte-for-byte against the serial run. This
+// is the whole tentpole contract in one test — separate processes,
+// separate memories, one wire — so it builds the actual lpmworker binary
+// rather than simulating workers in-process.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lpm/internal/parallel"
+)
+
+// buildWorkerBinary compiles cmd/lpmworker into dir and returns the
+// binary path.
+func buildWorkerBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "lpmworker")
+	out, err := exec.Command("go", "build", "-o", bin, "lpm/cmd/lpmworker").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building lpmworker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// spawnWorkerProcs waits for the coordinator to publish its address in
+// addrFile, then starts n lpmworker processes against it. The returned
+// wait func reaps them after the coordinator run finishes (workers exit
+// 0 when the coordinator disconnects).
+func spawnWorkerProcs(t *testing.T, bin, addrFile string, n int) (wait func()) {
+	t.Helper()
+	procs := make(chan *exec.Cmd, n)
+	logs := make([]bytes.Buffer, n)
+	go func() {
+		defer close(procs)
+		var addr string
+		deadline := time.Now().Add(30 * time.Second)
+		for addr == "" && time.Now().Before(deadline) {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				addr = strings.TrimSpace(string(b))
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if addr == "" {
+			return
+		}
+		for i := 0; i < n; i++ {
+			cmd := exec.Command(bin, "-slots", "2", "-retry", "10s", addr)
+			cmd.Stderr = &logs[i]
+			if err := cmd.Start(); err == nil {
+				procs <- cmd
+			}
+		}
+	}()
+	return func() {
+		started := 0
+		for cmd := range procs {
+			started++
+			done := make(chan error, 1)
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("lpmworker exited non-zero: %v\n%s", err, logs[started-1].String())
+				}
+			case <-time.After(30 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Errorf("lpmworker never exited after the coordinator closed\n%s", logs[started-1].String())
+			}
+		}
+		if started != n {
+			t.Errorf("started %d of %d lpmworker processes", started, n)
+		}
+	}
+}
+
+// TestShardedReportAcrossProcessesMatchesSerial is the acceptance gate:
+// `lpmreport -quick` sharded across two real worker processes must emit
+// the byte-identical document the serial run emits.
+func TestShardedReportAcrossProcessesMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs worker subprocesses")
+	}
+	t.Cleanup(parallel.ResetAllMemos)
+	dir := t.TempDir()
+	bin := buildWorkerBinary(t, dir)
+	addrFile := filepath.Join(dir, "coordinator.addr")
+
+	args := []string{"-quick", "-json", "-experiment", "table1"}
+
+	parallel.ResetAllMemos()
+	var serial, serialErr bytes.Buffer
+	if err := run(context.Background(), args, &serial, &serialErr); err != nil {
+		t.Fatalf("serial run: %v\n%s", err, serialErr.String())
+	}
+
+	parallel.ResetAllMemos()
+	wait := spawnWorkerProcs(t, bin, addrFile, 2)
+	shardedArgs := append(args,
+		"-shard", "127.0.0.1:0",
+		"-shard-addr-file", addrFile,
+		"-shard-min", "2",
+	)
+	var sharded, shardedErr bytes.Buffer
+	err := run(context.Background(), shardedArgs, &sharded, &shardedErr)
+	wait()
+	if err != nil {
+		t.Fatalf("sharded run: %v\n%s", err, shardedErr.String())
+	}
+
+	if !bytes.Equal(serial.Bytes(), sharded.Bytes()) {
+		t.Fatalf("sharded document differs from serial document:\n--- serial\n%s--- sharded\n%s",
+			serial.String(), sharded.String())
+	}
+}

@@ -1,0 +1,91 @@
+// Command lpmworker hosts one sweep-fabric worker: it connects to a
+// coordinator (an lpmexplore or lpmreport run started with -shard),
+// announces its execution slots, and serves simulation granules until
+// the coordinator finishes or a signal arrives.
+//
+// Usage:
+//
+//	lpmworker [flags] host:port
+//	lpmworker -slots 4 -name rack3 127.0.0.1:7707
+//
+// The worker is stateless: every granule is a pure function of its
+// spec, so a worker may be killed, restarted, or added mid-run without
+// affecting results — only throughput. It exits 0 when the coordinator
+// disconnects (the run is over) and on SIGINT/SIGTERM (signal-aware via
+// internal/resilience), and non-zero only on genuine transport or
+// protocol failures. Every simulation a granule runs arms the standard
+// livelock watchdog on its chip, so a wedged simulation surfaces as a
+// granule error instead of a hung worker; the straggler re-issue on the
+// coordinator covers the window in between.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"lpm/internal/fabric"
+	"lpm/internal/resilience"
+
+	// Register the granule executors this worker can run: the
+	// design-point simulation and the two profiling kinds.
+	_ "lpm/internal/explore"
+	_ "lpm/internal/sched"
+)
+
+func main() {
+	ctx, stop := resilience.WithSignals(context.Background())
+	defer stop()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -help is a successful outcome for a worker smoke test: CI
+		// probes `lpmworker -help` to prove the binary runs at all.
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lpmworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name    = fs.String("name", "", "worker name in coordinator logs (default: local address)")
+		slots   = fs.Int("slots", runtime.GOMAXPROCS(0), "granules executed concurrently")
+		retry   = fs.Duration("retry", 10*time.Second, "keep retrying the initial dial for this long")
+		noProbe = fs.Bool("no-cache-probe", false, "skip the shared-cache probe before each granule")
+		quiet   = fs.Bool("quiet", false, "suppress per-event progress on stderr")
+		version = fs.Bool("version", false, "print the fabric protocol version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		_, err := fmt.Fprintf(stdout, "lpmworker fabric-proto %d (kinds: %v)\n", fabric.ProtoVersion, fabric.Kinds())
+		return err
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: lpmworker [flags] host:port")
+		return errors.New("exactly one coordinator address required")
+	}
+
+	opts := fabric.WorkerOptions{
+		Name:         *name,
+		Slots:        *slots,
+		NoCacheProbe: *noProbe,
+		DialRetry:    *retry,
+	}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		}
+	}
+	return fabric.RunWorker(ctx, fs.Arg(0), opts)
+}

@@ -2,14 +2,12 @@ package explore
 
 import (
 	"context"
-	"fmt"
 
 	"lpm/internal/core"
+	"lpm/internal/fabric"
 	"lpm/internal/faultinject"
-	"lpm/internal/obs/timeseries"
 	"lpm/internal/parallel"
 	"lpm/internal/resilience"
-	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
 
@@ -172,52 +170,35 @@ func (t *HardwareTarget) ctx() context.Context {
 }
 
 // simulate runs the cycle-level simulation of point p under the target's
-// workload and budgets, memoised on the full input fingerprint. It is a
-// pure function of its key: it builds a fresh generator and chip per
-// call and touches no target state, so concurrent calls are safe and
-// deterministic. A cancelled or livelocked run surfaces as a
-// resilience.Abort panic, since the core.Target interface has no error
-// channel; cancellations are not memoised, livelocks (deterministic) are.
+// workload and budgets, memoised on the full input fingerprint. The
+// body is RunSimSpec — a pure function of the spec — either in-process
+// or, when a sweep fabric is active, dispatched to a worker; both paths
+// fill the same memo entry, so checkpoints and resumes are oblivious to
+// where a result was computed. A cancelled or livelocked run surfaces
+// as a resilience.Abort panic, since the core.Target interface has no
+// error channel; cancellations are not memoised, livelocks
+// (deterministic) are.
 func (t *HardwareTarget) simulate(p Point) core.Measurement {
 	instr, warm, maxCy := t.budgets()
-	budget := t.WatchdogCycles
-	if budget == 0 {
-		budget = DefaultWatchdogCycles
+	spec := SimSpec{
+		Point:          p,
+		Profile:        t.Profile,
+		Instructions:   instr,
+		Warmup:         warm,
+		MaxCycles:      maxCy,
+		Observe:        t.Observe,
+		Timeline:       t.Timeline,
+		TimelineWindow: t.TimelineWindow,
+		WarmupFast:     t.WarmupFast,
+		WatchdogCycles: t.WatchdogCycles,
 	}
-	key := parallel.KeyOf("explore.simulate", p, t.Profile, instr, warm, maxCy, t.Observe, t.Timeline, t.TimelineWindow, t.WarmupFast)
+	key := spec.MemoKey()
 	m, err := simMemo.DoCtx(t.ctx(), key, func(ctx context.Context) (core.Measurement, error) {
-		gen := trace.NewSynthetic(t.Profile)
-		cfg := ChipConfig(p, gen)
-		cpiExe := chip.MeasureCPIexe(cfg.Cores[0].CPU, gen, uint64(cfg.Cores[0].L1.HitLatency), instr)
-		ch := chip.New(cfg)
-		ch.SetContext(ctx)
-		ch.SetWatchdog(budget)
-		if t.Observe {
-			ch.EnableObs()
+		var m core.Measurement
+		if sharded, err := fabric.Compute(ctx, SimKind, key, spec, &m); sharded {
+			return m, err
 		}
-		runTarget := warm + instr
-		if t.WarmupFast {
-			ch.SetTier(chip.TierFunctional)
-			ch.RunFunctional(warm)
-			ch.SetTier(chip.TierDetailed)
-			runTarget = instr // functionally-warmed cores retired nothing
-		} else {
-			ch.RunUntilRetired(warm, maxCy)
-		}
-		if err := ch.Err(); err != nil {
-			return core.Measurement{}, fmt.Errorf("simulate %s: %w", t.Profile.Name, err)
-		}
-		ch.ResetCounters()
-		if t.Timeline {
-			// Attached after warm-up and reset so the windows tile exactly
-			// the measured interval.
-			ch.EnableTimeseries(timeseries.Config{Width: t.TimelineWindow, CPIexe: cpiExe})
-		}
-		ch.Run(runTarget, maxCy)
-		if err := ch.Err(); err != nil {
-			return core.Measurement{}, fmt.Errorf("simulate %s: %w", t.Profile.Name, err)
-		}
-		return ch.Measure(0, cpiExe), nil
+		return RunSimSpec(ctx, spec)
 	})
 	if err != nil {
 		panic(resilience.Abort{Err: err})

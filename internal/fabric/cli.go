@@ -1,0 +1,81 @@
+package fabric
+
+// Shard flag plumbing shared by the CLIs that can act as coordinators
+// (lpmexplore, lpmreport): one flag family, one activation path, so
+// every driver shards identically.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ShardFlags holds the parsed -shard* flag family.
+type ShardFlags struct {
+	// Addr is the coordinator listen address; empty disables sharding
+	// entirely (the default — runs stay purely in-process).
+	Addr string
+	// Min makes the run wait for this many workers before simulating.
+	Min int
+	// InFlight is the per-worker in-flight granule budget.
+	InFlight int
+	// Straggle is the age after which a held granule is duplicated
+	// onto an idle worker; negative disables straggler re-issue.
+	Straggle time.Duration
+	// AddrFile, when set, receives the bound listen address — how
+	// scripts using ":0" learn the port to hand their workers.
+	AddrFile string
+}
+
+// BindShardFlags registers the -shard* flags on fs.
+func BindShardFlags(fs *flag.FlagSet) *ShardFlags {
+	sf := &ShardFlags{}
+	fs.StringVar(&sf.Addr, "shard", "", "listen address for sweep-fabric workers (e.g. 127.0.0.1:0); empty = no sharding")
+	fs.IntVar(&sf.Min, "shard-min", 1, "wait for this many workers before starting (with -shard)")
+	fs.IntVar(&sf.InFlight, "shard-inflight", 0, "per-worker in-flight granule budget (0 = default 2)")
+	fs.DurationVar(&sf.Straggle, "shard-straggle", 0, "re-issue granules held longer than this to idle workers (0 = default 30s, negative = off)")
+	fs.StringVar(&sf.AddrFile, "shard-addr-file", "", "write the bound coordinator address to this file (with -shard)")
+	return sf
+}
+
+// Start brings sharding up per the flags: starts the coordinator,
+// publishes its address, activates it process-wide, and waits for the
+// minimum worker count. The returned stop func tears all of it down;
+// with sharding disabled it is a cheap no-op. logf receives coordinator
+// diagnostics (nil discards them).
+func (sf *ShardFlags) Start(ctx context.Context, logf func(format string, args ...any)) (stop func(), err error) {
+	if sf.Addr == "" {
+		return func() {}, nil
+	}
+	c, err := Listen(sf.Addr, Options{
+		InFlight:      sf.InFlight,
+		StraggleAfter: sf.Straggle,
+		Logf:          logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sf.AddrFile != "" {
+		if err := os.WriteFile(sf.AddrFile, []byte(c.Addr()+"\n"), 0o644); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("fabric: publish coordinator address: %w", err)
+		}
+	}
+	if logf != nil {
+		logf("fabric: coordinator listening on %s", c.Addr())
+	}
+	restore := Activate(c)
+	if sf.Min > 0 {
+		if err := c.WaitWorkers(ctx, sf.Min); err != nil {
+			restore()
+			_ = c.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		restore()
+		_ = c.Close()
+	}, nil
+}

@@ -1,0 +1,506 @@
+package fabric
+
+// The coordinator side of the fabric: owns the granule queue, the
+// shared result cache, and every connected worker. All state lives
+// under one mutex; the only goroutines are the TCP accept loop, one
+// reader and one writer per connection, and the straggler ticker.
+//
+// Scheduling invariants:
+//
+//   - a granule sits in exactly one place: the pending queue (id
+//     order) or ≥1 workers' in-flight sets — never both;
+//   - the pending queue is popped lowest-id-first, so earlier
+//     submissions are never starved by later ones;
+//   - a dead worker's granules are re-queued (unless another holder
+//     survives) and re-issued;
+//   - a straggling granule is duplicated onto an idle worker; the
+//     first result wins and later duplicates are ignored, which is
+//     sound because executors are pure functions of the spec.
+//
+// None of this affects result *values* or merge order: the driver
+// consumes results through Submit in its own deterministic order, so
+// scheduling is free to be opportunistic.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrCoordinatorClosed is returned by Submit when the coordinator shuts
+// down with the granule still unresolved.
+var ErrCoordinatorClosed = errors.New("fabric: coordinator closed")
+
+// Options configure a coordinator.
+type Options struct {
+	// InFlight is the per-worker in-flight budget: how many granules a
+	// worker may hold at once. Defaults to 2 — one executing, one
+	// queued behind it so the worker never idles waiting on the wire.
+	InFlight int
+	// StraggleAfter is how long a granule may be held without a result
+	// before it is duplicated onto an idle worker. 0 means the 30s
+	// default; negative disables straggler re-issue.
+	StraggleAfter time.Duration
+	// Logf receives coordinator diagnostics (worker joins, deaths,
+	// re-issues); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of coordinator counters for tests and the CLIs.
+type Stats struct {
+	Workers    int // currently connected workers
+	Joined     int // handshakes accepted over the coordinator's lifetime
+	Submitted  int // distinct granules submitted
+	Completed  int // granules resolved
+	Requeued   int // granules re-queued after a worker died holding them
+	Duplicated int // straggler duplicates issued
+	CacheHits  int // worker cache probes answered from the shared cache
+}
+
+// granule is one unit of work: a (kind, key, spec) triple plus its
+// resolution. done closes exactly once, after which value/errText are
+// immutable.
+type granule struct {
+	id   uint64
+	kind string
+	key  string
+	spec json.RawMessage
+
+	done    chan struct{}
+	value   json.RawMessage
+	errText string
+
+	queued   bool      // sitting in Coordinator.pending
+	holders  int       // workers currently holding it in-flight
+	issuedAt time.Time // last issuance, for straggler aging
+}
+
+// resolved reports whether the granule has a result.
+func (g *granule) resolved() bool {
+	select {
+	case <-g.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// remoteWorker is the coordinator's view of one connected worker.
+type remoteWorker struct {
+	name     string
+	conn     net.Conn
+	slots    int // worker-declared execution concurrency (informational)
+	inflight map[uint64]*granule
+	outbox   chan Msg
+	dead     bool
+}
+
+// Coordinator accepts workers and brokers granules between Submit
+// callers and the worker fleet.
+type Coordinator struct {
+	opts Options
+	ln   net.Listener
+
+	mu      sync.Mutex
+	nextID  uint64
+	byKey   map[string]*granule
+	byID    map[uint64]*granule
+	order   []*granule // submission order; straggler scans walk this, never a map
+	pending []*granule // dispatch queue, ascending id
+	workers []*remoteWorker
+	stats   Stats
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	loops     sync.WaitGroup
+}
+
+// Listen starts a coordinator on addr (e.g. "127.0.0.1:0") and begins
+// accepting workers immediately. Close releases everything.
+func Listen(addr string, opts Options) (*Coordinator, error) {
+	if opts.InFlight <= 0 {
+		opts.InFlight = 2
+	}
+	if opts.StraggleAfter == 0 {
+		opts.StraggleAfter = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: listen %s: %w", addr, err)
+	}
+	c := &Coordinator{
+		opts:   opts,
+		ln:     ln,
+		byKey:  make(map[string]*granule),
+		byID:   make(map[uint64]*granule),
+		closed: make(chan struct{}),
+	}
+	c.loops.Add(1)
+	go c.acceptLoop()
+	if opts.StraggleAfter > 0 {
+		c.loops.Add(1)
+		go c.straggleLoop()
+	}
+	return c, nil
+}
+
+// Addr returns the coordinator's bound listen address, for handing to
+// workers (and for tests that listen on port 0).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close shuts the coordinator down: the listener closes, every worker
+// connection drops, and pending Submit calls fail with
+// ErrCoordinatorClosed. Safe to call more than once.
+func (c *Coordinator) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		_ = c.ln.Close()
+		c.mu.Lock()
+		workers := append([]*remoteWorker(nil), c.workers...)
+		c.mu.Unlock()
+		for _, w := range workers {
+			c.workerGone(w, errors.New("coordinator closing"))
+		}
+	})
+	c.loops.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// WaitWorkers blocks until at least n workers are connected, ctx
+// cancels, or the coordinator closes.
+func (c *Coordinator) WaitWorkers(ctx context.Context, n int) error {
+	for {
+		c.mu.Lock()
+		have := c.stats.Workers
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fabric: waiting for %d workers (have %d): %w", n, have, ctx.Err())
+		case <-c.closed:
+			return ErrCoordinatorClosed
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Submit resolves one granule: an existing result (or in-flight
+// computation) under the same key is shared single-flight, otherwise
+// the granule is queued for dispatch. Blocks until the granule
+// resolves, ctx cancels, or the coordinator closes. Remote failures
+// come back as errors carrying the worker-side error text verbatim, so
+// a sharded run's error cells match a serial run's byte-for-byte.
+func (c *Coordinator) Submit(ctx context.Context, kind, key string, spec json.RawMessage) (json.RawMessage, error) {
+	c.mu.Lock()
+	g, ok := c.byKey[key]
+	if !ok {
+		g = &granule{
+			id:   c.nextID,
+			kind: kind,
+			key:  key,
+			spec: spec,
+			done: make(chan struct{}),
+		}
+		c.nextID++
+		c.byKey[key] = g
+		c.byID[g.id] = g
+		c.order = append(c.order, g)
+		c.stats.Submitted++
+		c.enqueueLocked(g)
+		c.dispatchLocked()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-g.done:
+		if g.errText != "" {
+			return nil, errors.New(g.errText)
+		}
+		return g.value, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closed:
+		return nil, ErrCoordinatorClosed
+	}
+}
+
+// enqueueLocked inserts g into the pending queue keeping ascending-id
+// order, so re-queued granules rejoin at their original priority.
+func (c *Coordinator) enqueueLocked(g *granule) {
+	g.queued = true
+	i := sort.Search(len(c.pending), func(i int) bool { return c.pending[i].id > g.id })
+	c.pending = append(c.pending, nil)
+	copy(c.pending[i+1:], c.pending[i:])
+	c.pending[i] = g
+}
+
+// dispatchLocked hands pending granules to workers with free budget,
+// lowest id first, walking workers in join order.
+func (c *Coordinator) dispatchLocked() {
+	for _, w := range c.workers {
+		for !w.dead && len(w.inflight) < c.opts.InFlight && len(c.pending) > 0 {
+			g := c.pending[0]
+			c.pending = c.pending[1:]
+			g.queued = false
+			if g.resolved() {
+				continue
+			}
+			c.issueLocked(w, g)
+		}
+	}
+}
+
+// issueLocked sends g to w and records the holding.
+func (c *Coordinator) issueLocked(w *remoteWorker, g *granule) {
+	w.inflight[g.id] = g
+	g.holders++
+	g.issuedAt = time.Now()
+	c.sendLocked(w, Msg{Type: MsgWork, ID: g.id, Kind: g.kind, Key: g.key, Spec: g.spec})
+}
+
+// sendLocked enqueues m on w's outbox. A full outbox means the worker
+// stopped draining its socket; it is dropped like a dead one (from a
+// fresh goroutine — workerGone retakes the mutex).
+func (c *Coordinator) sendLocked(w *remoteWorker, m Msg) {
+	if w.dead {
+		return
+	}
+	select {
+	case w.outbox <- m:
+	default:
+		go c.workerGone(w, errors.New("outbox overflow: worker not draining its connection"))
+	}
+}
+
+// acceptLoop admits worker connections until the listener closes.
+func (c *Coordinator) acceptLoop() {
+	defer c.loops.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed (Close) or terminally broken
+		}
+		go c.serveConn(conn)
+	}
+}
+
+// serveConn runs the handshake and then the read loop for one worker
+// connection. Any protocol violation or read error drops the worker.
+func (c *Coordinator) serveConn(conn net.Conn) {
+	hello, err := ReadFrame(conn)
+	if err != nil || hello.Type != MsgHello {
+		c.logf("fabric: rejecting connection from %s: bad handshake (%v)", conn.RemoteAddr(), err)
+		_ = conn.Close()
+		return
+	}
+	if hello.Proto != ProtoVersion {
+		c.logf("fabric: rejecting worker %q: protocol %d, want %d", hello.Worker, hello.Proto, ProtoVersion)
+		_ = conn.Close()
+		return
+	}
+
+	w := &remoteWorker{
+		name:     hello.Worker,
+		conn:     conn,
+		slots:    hello.Slots,
+		inflight: make(map[uint64]*granule),
+		outbox:   make(chan Msg, 4*c.opts.InFlight+16),
+	}
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		_ = conn.Close()
+		return
+	default:
+	}
+	c.workers = append(c.workers, w)
+	c.stats.Workers++
+	c.stats.Joined++
+	go c.writeLoop(w)
+	c.sendLocked(w, Msg{Type: MsgWelcome, Proto: ProtoVersion})
+	c.dispatchLocked()
+	c.mu.Unlock()
+	c.logf("fabric: worker %q joined (%d slots) from %s", w.name, w.slots, conn.RemoteAddr())
+
+	for {
+		m, err := ReadFrame(conn)
+		if err != nil {
+			c.workerGone(w, err)
+			return
+		}
+		switch m.Type {
+		case MsgResult:
+			c.handleResult(m)
+		case MsgCacheGet:
+			c.handleCacheGet(w, m)
+		default:
+			c.workerGone(w, fmt.Errorf("unexpected %q frame from worker", m.Type))
+			return
+		}
+	}
+}
+
+// writeLoop drains w's outbox onto the wire; a write failure drops the
+// worker.
+func (c *Coordinator) writeLoop(w *remoteWorker) {
+	for m := range w.outbox {
+		if err := WriteFrame(w.conn, m); err != nil {
+			c.workerGone(w, err)
+			return
+		}
+	}
+}
+
+// handleResult resolves a granule from a worker result frame. Late
+// duplicates (straggler re-issues, results racing a death notice) are
+// ignored: the first result wins, and purity makes every duplicate
+// identical anyway.
+func (c *Coordinator) handleResult(m Msg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.byID[m.ID]
+	if !ok || g.resolved() {
+		return
+	}
+	g.value = m.Value
+	g.errText = m.Error
+	close(g.done)
+	c.stats.Completed++
+	// Free the granule from every holder so their budgets open up.
+	for _, w := range c.workers {
+		if _, held := w.inflight[g.id]; held {
+			delete(w.inflight, g.id)
+			g.holders--
+		}
+	}
+	c.dispatchLocked()
+}
+
+// handleCacheGet answers a worker's probe of the shared result cache:
+// the coordinator's resolved granules ARE the cache (they are what the
+// driver's content-keyed memos produced and consumed).
+func (c *Coordinator) handleCacheGet(w *remoteWorker, m Msg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reply := Msg{Type: MsgCacheValue, ID: m.ID}
+	if g, ok := c.byKey[m.Key]; ok && g.resolved() {
+		reply.Found = true
+		reply.Value = g.value
+		reply.Error = g.errText
+		c.stats.CacheHits++
+	}
+	c.sendLocked(w, reply)
+}
+
+// workerGone removes a dead worker: closes its connection and outbox,
+// re-queues every granule it alone held, and re-dispatches. Idempotent.
+func (c *Coordinator) workerGone(w *remoteWorker, cause error) {
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	close(w.outbox)
+	_ = w.conn.Close()
+	for i, ww := range c.workers {
+		if ww == w {
+			c.workers = append(c.workers[:i], c.workers[i+1:]...)
+			break
+		}
+	}
+	c.stats.Workers--
+	ids := make([]uint64, 0, len(w.inflight))
+	for id := range w.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	requeued := 0
+	for _, id := range ids {
+		g := w.inflight[id]
+		g.holders--
+		if g.resolved() || g.holders > 0 || g.queued {
+			continue
+		}
+		c.enqueueLocked(g)
+		c.stats.Requeued++
+		requeued++
+	}
+	w.inflight = nil
+	c.dispatchLocked()
+	c.mu.Unlock()
+	c.logf("fabric: worker %q gone (%v); re-queued %d granules", w.name, cause, requeued)
+}
+
+// straggleLoop periodically duplicates aged in-flight granules onto
+// idle workers. The first result wins; duplicates are pure-function
+// identical, so this trades a little wasted compute for tail latency
+// and hang immunity.
+func (c *Coordinator) straggleLoop() {
+	defer c.loops.Done()
+	period := c.opts.StraggleAfter / 2
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-ticker.C:
+			c.reissueStragglers()
+		}
+	}
+}
+
+// reissueStragglers walks granules in submission order and duplicates
+// any aged one onto a worker with free budget that is not already
+// holding it.
+func (c *Coordinator) reissueStragglers() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for _, g := range c.order {
+		if g.resolved() || g.queued || g.holders == 0 {
+			continue
+		}
+		if now.Sub(g.issuedAt) < c.opts.StraggleAfter {
+			continue
+		}
+		for _, w := range c.workers {
+			if w.dead || len(w.inflight) >= c.opts.InFlight {
+				continue
+			}
+			if _, held := w.inflight[g.id]; held {
+				continue
+			}
+			c.issueLocked(w, g)
+			c.stats.Duplicated++
+			c.logf("fabric: straggler granule %d (%s) duplicated onto worker %q", g.id, g.kind, w.name)
+			break
+		}
+	}
+}
+
+// logf forwards to the configured logger, if any.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}

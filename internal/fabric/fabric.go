@@ -1,0 +1,143 @@
+// Package fabric is the horizontally sharded sweep layer: a
+// coordinator/worker architecture that spreads the repository's
+// memoised simulations across worker processes over plain TCP.
+//
+// The shape follows the rest of the codebase's "split small + run
+// concurrent, structured results only" strategy. The unit of work is a
+// granule: one self-contained simulation job (a JSON spec naming a
+// registered executor kind) whose result is a pure function of the
+// spec. The coordinator owns a deterministic granule queue and a
+// content-keyed result cache — the network backend of the
+// internal/parallel memo — and dispatches granules to connected
+// workers under per-worker in-flight budgets. Workers may die, hang,
+// join, or leave at any time: granules held by a dead worker are
+// re-issued, stragglers are duplicated onto idle workers (first result
+// wins; results are pure, so duplicates are identical), and a run with
+// zero workers simply waits for one to join.
+//
+// Because every granule result is a pure function of its spec and the
+// drivers consume results in their own (deterministic) submission
+// order, a sharded run is bit-identical to a serial one at any worker
+// count. The property tests in the root package pin that guarantee;
+// the chaos suite pins it under worker kills, torn frames, and
+// coordinator restarts.
+//
+// The wire format reuses the PR 5 checkpoint envelope (LPMCKPT1 magic,
+// length prefix, CRC64) as its frame, so every torn or corrupt frame is
+// detected at the boundary and treated as a dead peer, never decoded
+// into garbage.
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor runs one granule kind: it receives the JSON spec and returns
+// the JSON result. Executors must be pure functions of the spec (plus
+// cooperative cancellation via ctx) — the fabric's determinism and
+// re-issue semantics both depend on it.
+type Executor func(ctx context.Context, spec json.RawMessage) (json.RawMessage, error)
+
+var kindRegistry struct {
+	mu    sync.Mutex
+	kinds map[string]Executor
+}
+
+// RegisterKind installs the executor for a granule kind. Packages that
+// own a memoised simulation register their kind at init time, so any
+// binary importing them (lpmworker, the CLIs, the tests) can execute
+// the granule. Registering an empty or duplicate kind panics: both are
+// programming errors.
+func RegisterKind(kind string, fn Executor) {
+	if kind == "" || fn == nil {
+		panic("fabric: RegisterKind with empty kind or nil executor")
+	}
+	kindRegistry.mu.Lock()
+	defer kindRegistry.mu.Unlock()
+	if kindRegistry.kinds == nil {
+		kindRegistry.kinds = make(map[string]Executor)
+	}
+	if _, dup := kindRegistry.kinds[kind]; dup {
+		panic(fmt.Sprintf("fabric: kind %q registered twice", kind))
+	}
+	kindRegistry.kinds[kind] = fn
+}
+
+// lookupKind returns the registered executor for kind.
+func lookupKind(kind string) (Executor, error) {
+	kindRegistry.mu.Lock()
+	defer kindRegistry.mu.Unlock()
+	fn, ok := kindRegistry.kinds[kind]
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown granule kind %q (known: %v)", kind, kindNamesLocked())
+	}
+	return fn, nil
+}
+
+// Kinds returns the registered granule kinds, sorted.
+func Kinds() []string {
+	kindRegistry.mu.Lock()
+	defer kindRegistry.mu.Unlock()
+	return kindNamesLocked()
+}
+
+// kindNamesLocked collects and sorts the kind names; the sort keeps
+// every rendering of the registry deterministic.
+func kindNamesLocked() []string {
+	names := make([]string, 0, len(kindRegistry.kinds))
+	for k := range kindRegistry.kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// active is the process-wide coordinator the simulation paths dispatch
+// through; nil means every simulation runs locally (the default, and
+// the state inside worker processes).
+var active atomic.Pointer[Coordinator]
+
+// Activate installs c as the process-wide coordinator and returns a
+// restore func that re-installs the previous one. The CLIs activate
+// after binding -shard; the in-process harness activates around each
+// test run.
+func Activate(c *Coordinator) (restore func()) {
+	prev := active.Swap(c)
+	return func() { active.Store(prev) }
+}
+
+// Enabled reports whether a coordinator is active: the memoised
+// simulation paths use it to decide between local execution and a
+// fabric dispatch.
+func Enabled() bool { return active.Load() != nil }
+
+// Compute dispatches one granule through the active coordinator:
+// spec is marshalled, submitted under (kind, key), and the result
+// unmarshalled into out. The bool reports whether a coordinator was
+// active at all — false means the caller must compute locally.
+// key is the granule's cache identity (the caller's memo key), so the
+// coordinator-side result cache and the driver-side memos agree on
+// what "the same simulation" means.
+func Compute(ctx context.Context, kind, key string, spec, out any) (bool, error) {
+	c := active.Load()
+	if c == nil {
+		return false, nil
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return true, fmt.Errorf("fabric: marshal %s spec: %w", kind, err)
+	}
+	val, err := c.Submit(ctx, kind, key, raw)
+	if err != nil {
+		return true, err
+	}
+	if err := json.Unmarshal(val, out); err != nil {
+		return true, fmt.Errorf("fabric: unmarshal %s result: %w", kind, err)
+	}
+	return true, nil
+}

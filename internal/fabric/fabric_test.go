@@ -1,0 +1,399 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Toy granule kinds for harness tests. Registered once for the whole
+// test binary; individual tests steer behaviour through the spec.
+//
+//	test.double  {"X":n}            -> 2n
+//	test.sleep   {"X":n,"MS":d}     -> 2n after d milliseconds
+//	test.fail    {"Text":s}         -> error with text s
+//
+// Like the real kinds they are pure functions of the spec, so straggler
+// duplicates and re-issues stay sound.
+var testExecCount atomic.Int64 // test.double/test.sleep invocations
+
+func init() {
+	double := func(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
+		var s struct {
+			X  int
+			MS int
+		}
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		testExecCount.Add(1)
+		if s.MS > 0 {
+			select {
+			case <-time.After(time.Duration(s.MS) * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return json.Marshal(2 * s.X)
+	}
+	RegisterKind("test.double", double)
+	RegisterKind("test.sleep", double)
+	RegisterKind("test.fail", func(ctx context.Context, raw json.RawMessage) (json.RawMessage, error) {
+		var s struct{ Text string }
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%s", s.Text)
+	})
+}
+
+// submitDouble submits one test.double/test.sleep granule and decodes
+// the result.
+func submitDouble(ctx context.Context, t *testing.T, c *Coordinator, kind string, x, ms int) (int, error) {
+	t.Helper()
+	spec, err := json.Marshal(map[string]int{"X": x, "MS": ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := c.Submit(ctx, kind, fmt.Sprintf("%s|%d|%d", kind, x, ms), spec)
+	if err != nil {
+		return 0, err
+	}
+	var got int
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return got, nil
+}
+
+// TestFabricComputesAcrossWorkers pushes a batch of granules through a
+// 3-worker local fabric and checks values, single-flight accounting,
+// and clean teardown.
+func TestFabricComputesAcrossWorkers(t *testing.T) {
+	lf, err := StartLocal(3, Options{StraggleAfter: -1}, WorkerOptions{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const n = 20
+	var wg sync.WaitGroup
+	got := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = submitDouble(ctx, t, lf.C, "test.double", i, 0)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("granule %d: %v", i, errs[i])
+		}
+		if got[i] != 2*i {
+			t.Fatalf("granule %d: got %d, want %d", i, got[i], 2*i)
+		}
+	}
+	st := lf.C.Stats()
+	if st.Submitted != n || st.Completed != n {
+		t.Fatalf("stats: submitted=%d completed=%d, want %d/%d", st.Submitted, st.Completed, n, n)
+	}
+	if st.Joined != 3 {
+		t.Fatalf("stats: joined=%d, want 3", st.Joined)
+	}
+	if err := lf.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestFabricSingleFlight proves concurrent submissions under one key
+// collapse to one granule and one execution.
+func TestFabricSingleFlight(t *testing.T) {
+	lf, err := StartLocal(2, Options{StraggleAfter: -1}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	before := testExecCount.Load()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got, err := submitDouble(ctx, t, lf.C, "test.sleep", 21, 20); err != nil || got != 42 {
+				t.Errorf("got %d, %v; want 42, nil", got, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := lf.C.Stats(); st.Submitted != 1 {
+		t.Fatalf("submitted=%d, want 1 (single-flight)", st.Submitted)
+	}
+	if execs := testExecCount.Load() - before; execs != 1 {
+		t.Fatalf("executions=%d, want 1", execs)
+	}
+}
+
+// TestFabricErrorText proves a worker-side failure comes back with the
+// worker's error text verbatim — the property that keeps sharded error
+// cells byte-identical to serial ones.
+func TestFabricErrorText(t *testing.T) {
+	lf, err := StartLocal(1, Options{StraggleAfter: -1}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	spec, _ := json.Marshal(map[string]string{"Text": "simulate 410.bwaves: livelock at cycle 99"})
+	_, err = lf.C.Submit(context.Background(), "test.fail", "fail|1", spec)
+	if err == nil || err.Error() != "simulate 410.bwaves: livelock at cycle 99" {
+		t.Fatalf("got %v, want the worker's error text verbatim", err)
+	}
+}
+
+// TestFabricUnknownKind proves a granule for an unregistered kind fails
+// with a diagnostic instead of hanging the run.
+func TestFabricUnknownKind(t *testing.T) {
+	lf, err := StartLocal(1, Options{StraggleAfter: -1}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	_, err = lf.C.Submit(context.Background(), "test.nope", "nope|1", json.RawMessage(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown granule kind") {
+		t.Fatalf("got %v, want unknown-kind error", err)
+	}
+}
+
+// TestFabricWaitsForFirstWorker proves a coordinator with zero workers
+// parks granules until one joins, then drains them.
+func TestFabricWaitsForFirstWorker(t *testing.T) {
+	lf, err := StartLocal(0, Options{StraggleAfter: -1}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		got, err := submitDouble(ctx, t, lf.C, "test.double", 5, 0)
+		if err == nil && got != 10 {
+			err = fmt.Errorf("got %d, want 10", got)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("granule resolved with no workers: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	lf.AddWorker(WorkerOptions{})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("granule not drained after worker join")
+	}
+}
+
+// TestFabricJoinLeave runs a batch while a worker joins mid-run and
+// another leaves mid-run; every granule must still resolve correctly.
+func TestFabricJoinLeave(t *testing.T) {
+	lf, err := StartLocal(1, Options{StraggleAfter: 200 * time.Millisecond}, WorkerOptions{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	ctx := context.Background()
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := submitDouble(ctx, t, lf.C, "test.sleep", i, 10)
+			if err == nil && got != 2*i {
+				err = fmt.Errorf("got %d, want %d", got, 2*i)
+			}
+			errs[i] = err
+		}(i)
+	}
+	second := lf.AddWorker(WorkerOptions{Slots: 2})
+	if err := lf.C.WaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := lf.StopWorker(second); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("granule %d: %v", i, err)
+		}
+	}
+}
+
+// TestFabricInFlightBudget holds one slow worker and checks the
+// coordinator never hands it more than its in-flight budget.
+func TestFabricInFlightBudget(t *testing.T) {
+	lf, err := StartLocal(1, Options{InFlight: 2, StraggleAfter: -1}, WorkerOptions{Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = submitDouble(ctx, t, lf.C, "test.sleep", 100+i, 15)
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		lf.C.mu.Lock()
+		var over int
+		for _, w := range lf.C.workers {
+			if len(w.inflight) > 2 {
+				over = len(w.inflight)
+			}
+		}
+		lf.C.mu.Unlock()
+		if over > 0 {
+			t.Fatalf("worker holds %d granules, budget is 2", over)
+		}
+		st := lf.C.Stats()
+		if st.Completed == 8 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	if st := lf.C.Stats(); st.Completed != 8 {
+		t.Fatalf("completed=%d, want 8", st.Completed)
+	}
+}
+
+// TestFabricCacheProtocol speaks the wire protocol directly as a bare
+// worker: handshake, then a cacheget for a key the coordinator has
+// already resolved must come back Found with the cached value — the
+// shared-memo-over-the-network backend the workers reuse.
+func TestFabricCacheProtocol(t *testing.T) {
+	lf, err := StartLocal(1, Options{StraggleAfter: -1}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	ctx := context.Background()
+	if got, err := submitDouble(ctx, t, lf.C, "test.double", 8, 0); err != nil || got != 16 {
+		t.Fatalf("priming submit: got %d, %v", got, err)
+	}
+
+	conn, err := net.Dial("tcp", lf.C.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, Msg{Type: MsgHello, Proto: ProtoVersion, Worker: "probe", Slots: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := ReadFrame(conn); err != nil || m.Type != MsgWelcome {
+		t.Fatalf("handshake: %v / %+v", err, m)
+	}
+	if err := WriteFrame(conn, Msg{Type: MsgCacheGet, ID: 99, Key: "test.double|8|0"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != MsgCacheValue || reply.ID != 99 || !reply.Found || string(reply.Value) != "16" {
+		t.Fatalf("cache reply: %+v, want Found with value 16", reply)
+	}
+	if err := WriteFrame(conn, Msg{Type: MsgCacheGet, ID: 100, Key: "no-such-key"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Found {
+		t.Fatalf("cache reply for unknown key: %+v, want miss", reply)
+	}
+	if st := lf.C.Stats(); st.CacheHits != 1 {
+		t.Fatalf("cache hits=%d, want 1", st.CacheHits)
+	}
+}
+
+// TestFabricRejectsBadHandshake proves a wrong-protocol hello and a
+// non-hello first frame are both turned away without disturbing the
+// coordinator.
+func TestFabricRejectsBadHandshake(t *testing.T) {
+	lf, err := StartLocal(1, Options{StraggleAfter: -1}, WorkerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	for _, bad := range []Msg{
+		{Type: MsgHello, Proto: ProtoVersion + 1, Worker: "future"},
+		{Type: MsgResult, ID: 1},
+	} {
+		conn, err := net.Dial("tcp", lf.C.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(conn, bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFrame(conn); err == nil {
+			t.Fatalf("handshake %+v: coordinator answered, want connection drop", bad)
+		}
+		_ = conn.Close()
+	}
+	if st := lf.C.Stats(); st.Joined != 1 || st.Workers != 1 {
+		t.Fatalf("stats after rejects: %+v, want the one real worker only", st)
+	}
+}
+
+// TestWorkerDialRetry proves a worker launched before its coordinator
+// connects once the listener appears.
+func TestWorkerDialRetry(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // free the port; the coordinator will take it back
+
+	done := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		done <- RunWorker(ctx, addr, WorkerOptions{DialRetry: 10 * time.Second})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	c, err := Listen(addr, Options{StraggleAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer wcancel()
+	if err := c.WaitWorkers(wctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("worker exit: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package fabric
+
+// Wire protocol. Every frame on a fabric connection is a PR 5
+// checkpoint envelope — magic "LPMCKPT1", uint64 LE payload length,
+// uint64 LE CRC64-ECMA, payload — whose payload is one JSON Msg. The
+// envelope gives the stream self-describing length prefixes and
+// end-to-end checksums, so a torn write, a truncated frame, or a
+// flipped bit surfaces as a decode error at the frame boundary (the
+// peer is then treated as dead) instead of a misparsed message.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lpm/internal/faultinject"
+	"lpm/internal/resilience"
+)
+
+// ProtoVersion is carried in the hello/welcome handshake; a coordinator
+// refuses workers speaking a different version rather than guessing.
+const ProtoVersion = 1
+
+// MaxFrame caps a frame's payload, inherited from the checkpoint
+// envelope: anything larger is corruption, not data.
+const MaxFrame = resilience.MaxCheckpointPayload
+
+// Message types. The protocol is deliberately small: a handshake pair,
+// a work/result pair, and a cache query pair.
+const (
+	// MsgHello is worker → coordinator: first frame on a connection,
+	// declaring protocol version, worker name, and slot count.
+	MsgHello = "hello"
+	// MsgWelcome is coordinator → worker: handshake accept.
+	MsgWelcome = "welcome"
+	// MsgWork is coordinator → worker: one granule to execute.
+	MsgWork = "work"
+	// MsgResult is worker → coordinator: a granule's value or error.
+	MsgResult = "result"
+	// MsgCacheGet is worker → coordinator: probe the shared result
+	// cache before computing (ID correlates the reply).
+	MsgCacheGet = "cacheget"
+	// MsgCacheValue is coordinator → worker: cache reply; Found reports
+	// whether Value holds a hit.
+	MsgCacheValue = "cachevalue"
+)
+
+// Msg is the single message shape for every frame in both directions;
+// which fields are meaningful depends on Type. One struct instead of a
+// type hierarchy keeps the decoder total: any valid frame decodes, and
+// dispatch on Type rejects what a peer should not have sent.
+type Msg struct {
+	Type   string          `json:"type"`
+	Proto  int             `json:"proto,omitempty"`
+	Worker string          `json:"worker,omitempty"`
+	Slots  int             `json:"slots,omitempty"`
+	ID     uint64          `json:"id,omitempty"`
+	Kind   string          `json:"kind,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+	Value  json.RawMessage `json:"value,omitempty"`
+	Found  bool            `json:"found,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// EncodeFrame marshals m and wraps it in the checkpoint envelope.
+func EncodeFrame(m Msg) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: encode %s frame: %w", m.Type, err)
+	}
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("fabric: %s frame payload of %d bytes exceeds the %d-byte cap",
+			m.Type, len(payload), MaxFrame)
+	}
+	return resilience.EncodeEnvelope(payload), nil
+}
+
+// WriteFrame encodes m and writes the whole frame to w. The
+// "fabric.frame.write" failpoint lets the chaos suite tear the write:
+// when armed to fire it writes only the first half of the frame and
+// returns the injected error, the shape a worker killed mid-send
+// produces on the coordinator's reader.
+func WriteFrame(w io.Writer, m Msg) error {
+	frame, err := EncodeFrame(m)
+	if err != nil {
+		return err
+	}
+	if ierr := faultinject.Hit("fabric.frame.write", m.Type); ierr != nil {
+		if _, werr := w.Write(frame[:len(frame)/2]); werr != nil {
+			return werr
+		}
+		return ierr
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("fabric: write %s frame: %w", m.Type, err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame off r: the fixed header first (validated
+// before any payload allocation), then the payload, then the CRC check
+// over the assembled envelope, then the JSON decode. io.EOF is returned
+// bare only when the stream ends cleanly between frames; an EOF inside
+// a frame comes back as io.ErrUnexpectedEOF wrapped with context.
+func ReadFrame(r io.Reader) (Msg, error) {
+	var header [resilience.EnvelopeHeaderSize]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if err == io.EOF {
+			return Msg{}, io.EOF
+		}
+		return Msg{}, fmt.Errorf("fabric: read frame header: %w", err)
+	}
+	payloadLen, err := resilience.ParseEnvelopeHeader(header[:])
+	if err != nil {
+		return Msg{}, fmt.Errorf("fabric: frame header: %w", err)
+	}
+	frame := make([]byte, resilience.EnvelopeHeaderSize+payloadLen)
+	copy(frame, header[:])
+	if _, err := io.ReadFull(r, frame[resilience.EnvelopeHeaderSize:]); err != nil {
+		return Msg{}, fmt.Errorf("fabric: read %d-byte frame payload: %w", payloadLen, err)
+	}
+	payload, err := resilience.DecodeEnvelope(frame)
+	if err != nil {
+		return Msg{}, fmt.Errorf("fabric: frame: %w", err)
+	}
+	var m Msg
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Msg{}, fmt.Errorf("fabric: decode frame payload: %w", err)
+	}
+	return m, nil
+}

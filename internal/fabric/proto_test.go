@@ -1,0 +1,176 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lpm/internal/faultinject"
+	"lpm/internal/resilience"
+)
+
+// sampleMsgs covers every message type in both directions with
+// realistic field mixes.
+func sampleMsgs() []Msg {
+	return []Msg{
+		{Type: MsgHello, Proto: ProtoVersion, Worker: "w0", Slots: 4},
+		{Type: MsgWelcome, Proto: ProtoVersion},
+		{Type: MsgWork, ID: 7, Kind: "explore.sim", Key: "k|1|2", Spec: json.RawMessage(`{"Point":{"IssueWidth":2}}`)},
+		{Type: MsgResult, ID: 7, Value: json.RawMessage(`{"CPIexe":0.5}`)},
+		{Type: MsgResult, ID: 9, Error: "simulate 410.bwaves: livelock"},
+		{Type: MsgCacheGet, ID: 3, Key: "k|a"},
+		{Type: MsgCacheValue, ID: 3, Found: true, Value: json.RawMessage(`1.25`)},
+		{Type: MsgCacheValue, ID: 4},
+	}
+}
+
+// TestFrameRoundTrip proves Write→Read is the identity for every
+// message type, including several frames back to back on one stream.
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := sampleMsgs()
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("WriteFrame(%s): %v", m.Type, err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d round trip:\n got %#v\nwant %#v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("exhausted stream: got %v, want io.EOF", err)
+	}
+}
+
+// TestFrameDecodeRejects pins the decoder's behaviour on the classic
+// corruptions: truncation at every interesting boundary, bad magic,
+// oversized declared length, and a flipped payload bit. Every rejection
+// must wrap resilience.ErrCorruptCheckpoint (except mid-frame EOF,
+// which is an unexpected-EOF transport error).
+func TestFrameDecodeRejects(t *testing.T) {
+	frame, err := EncodeFrame(Msg{Type: MsgWork, ID: 1, Kind: "k", Spec: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated header", func(t *testing.T) {
+		_, err := ReadFrame(bytes.NewReader(frame[:resilience.EnvelopeHeaderSize-1]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("got %v, want unexpected EOF", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		_, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("got %v, want unexpected EOF", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[0] ^= 0xff
+		_, err := ReadFrame(bytes.NewReader(bad))
+		if !errors.Is(err, resilience.ErrCorruptCheckpoint) {
+			t.Fatalf("got %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		binary.LittleEndian.PutUint64(bad[8:], MaxFrame+1)
+		_, err := ReadFrame(bytes.NewReader(bad))
+		if !errors.Is(err, resilience.ErrCorruptCheckpoint) {
+			t.Fatalf("got %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+	t.Run("flipped payload bit", func(t *testing.T) {
+		bad := faultinject.FlipBit(frame, 1)
+		// Re-flip if the corruption landed in the header's first 24
+		// bytes: this subtest is about the CRC catching payload damage.
+		if bytes.Equal(bad[resilience.EnvelopeHeaderSize:], frame[resilience.EnvelopeHeaderSize:]) {
+			bad = append([]byte(nil), frame...)
+			bad[resilience.EnvelopeHeaderSize] ^= 0x01
+		}
+		_, err := ReadFrame(bytes.NewReader(bad))
+		if !errors.Is(err, resilience.ErrCorruptCheckpoint) {
+			t.Fatalf("got %v, want ErrCorruptCheckpoint", err)
+		}
+	})
+}
+
+// TestFrameTornWrite proves the "fabric.frame.write" failpoint tears a
+// frame exactly the way a killed sender would: the reader sees an
+// unexpected EOF, never a misparse.
+func TestFrameTornWrite(t *testing.T) {
+	defer faultinject.Arm(faultinject.NewPlan(1, faultinject.Rule{
+		Point: "fabric.frame.write",
+		Match: MsgResult,
+		Msg:   "torn result frame",
+	}))()
+
+	var buf bytes.Buffer
+	err := WriteFrame(&buf, Msg{Type: MsgResult, ID: 1, Value: json.RawMessage(`42`)})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn write: got %v, want injected error", err)
+	}
+	full, err := EncodeFrame(Msg{Type: MsgResult, ID: 1, Value: json.RawMessage(`42`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != len(full)/2 {
+		t.Fatalf("torn write left %d bytes, want %d (half of %d)", buf.Len(), len(full)/2, len(full))
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading torn frame: got %v, want unexpected EOF", err)
+	}
+}
+
+// FuzzFabricFrameDecode hardens ReadFrame against arbitrary streams:
+// it must never panic, never allocate past the declared-length cap, and
+// anything it accepts must re-encode to a frame that decodes to the
+// same message.
+func FuzzFabricFrameDecode(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		frame, err := EncodeFrame(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)                                         // well-formed
+		f.Add(frame[:len(frame)-2])                          // truncated payload
+		f.Add(frame[:resilience.EnvelopeHeaderSize/2])       // truncated header
+		f.Add(faultinject.FlipBit(frame, int64(len(frame)))) // CRC mismatch
+		over := append([]byte(nil), frame...)
+		binary.LittleEndian.PutUint64(over[8:], MaxFrame+1) // oversized length
+		f.Add(over)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LPMCKPT1"))
+	f.Add([]byte(strings.Repeat("LPMCKPT1", 4)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		frame, err := EncodeFrame(m)
+		if err != nil {
+			t.Fatalf("accepted message fails to re-encode: %v", err)
+		}
+		again, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("re-encode round trip:\n got %#v\nwant %#v", again, m)
+		}
+	})
+}

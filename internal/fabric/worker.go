@@ -1,0 +1,260 @@
+package fabric
+
+// The worker side of the fabric: dial the coordinator, announce
+// capacity, then execute granules until the coordinator goes away or
+// the context cancels. Workers are deliberately stateless — every
+// granule is a pure function of its spec — so killing one at any
+// instant loses nothing but time.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"lpm/internal/faultinject"
+)
+
+// WorkerOptions configure RunWorker.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator logs; defaults to the
+	// local connection address.
+	Name string
+	// Slots is how many granules execute concurrently; defaults to 1.
+	Slots int
+	// NoCacheProbe disables the shared-cache round trip before each
+	// execution. The probe is how re-issued granules whose result
+	// already landed (a straggler duplicate won) avoid recomputation.
+	NoCacheProbe bool
+	// DialRetry keeps retrying a failed dial for this long before
+	// giving up, so workers may be launched before their coordinator.
+	// 0 fails fast on the first refused connection.
+	DialRetry time.Duration
+	// Logf receives worker diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker connects to a coordinator at addr and serves granules until
+// the coordinator disconnects (clean shutdown, returns nil) or ctx
+// cancels (returns nil — a signalled worker is a normal exit). Other
+// transport or protocol failures are returned as errors.
+func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
+	if opts.Slots <= 0 {
+		opts.Slots = 1
+	}
+	conn, err := dialRetry(ctx, addr, opts.DialRetry)
+	if err != nil {
+		return fmt.Errorf("fabric: dial coordinator %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if opts.Name == "" {
+		opts.Name = conn.LocalAddr().String()
+	}
+
+	w := &workerState{
+		opts:    opts,
+		conn:    conn,
+		pending: make(map[uint64]chan Msg),
+	}
+	w.ctx, w.cancel = context.WithCancel(ctx)
+	defer w.cancel()
+	// A cancelled context unblocks the read loop by closing the
+	// connection out from under it.
+	stop := context.AfterFunc(w.ctx, func() { _ = conn.Close() })
+	defer stop()
+
+	if err := w.send(Msg{Type: MsgHello, Proto: ProtoVersion, Worker: opts.Name, Slots: opts.Slots}); err != nil {
+		return fmt.Errorf("fabric: handshake: %w", err)
+	}
+	welcome, err := ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("fabric: handshake: %w", err)
+	}
+	if welcome.Type != MsgWelcome || welcome.Proto != ProtoVersion {
+		return fmt.Errorf("fabric: handshake: coordinator sent %q (proto %d), want %q (proto %d)",
+			welcome.Type, welcome.Proto, MsgWelcome, ProtoVersion)
+	}
+	w.logf("fabric: worker %q connected to %s with %d slots", opts.Name, addr, opts.Slots)
+
+	err = w.readLoop()
+	w.cancel()
+	w.execs.Wait()
+	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || ctx.Err() != nil {
+		// The coordinator finished (EOF/reset), or we were cancelled:
+		// both are the normal end of a worker's life.
+		return nil
+	}
+	return err
+}
+
+// dialRetry dials the coordinator, retrying refused connections inside
+// the window so worker and coordinator launch order does not matter.
+func dialRetry(ctx context.Context, addr string, window time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(window)
+	for {
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// workerState is the per-connection state of one running worker.
+type workerState struct {
+	opts   WorkerOptions
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	writeMu sync.Mutex // serialises frames from concurrent executions
+	execs   sync.WaitGroup
+
+	mu      sync.Mutex
+	pending map[uint64]chan Msg // cacheget correlation, keyed by granule id
+}
+
+// send writes one frame, serialised against concurrent executions. A
+// failed send is fatal for the connection: the stream may hold a torn
+// frame, so the only safe move is to drop the link and let the
+// coordinator re-issue.
+func (w *workerState) send(m Msg) error {
+	w.writeMu.Lock()
+	defer w.writeMu.Unlock()
+	if err := WriteFrame(w.conn, m); err != nil {
+		_ = w.conn.Close()
+		w.cancel()
+		return err
+	}
+	return nil
+}
+
+// readLoop demultiplexes coordinator frames: work starts an execution
+// slot, cache replies route to the waiting execution.
+func (w *workerState) readLoop() error {
+	sem := make(chan struct{}, w.opts.Slots)
+	for {
+		m, err := ReadFrame(w.conn)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgWork:
+			// The slot is acquired inside the goroutine, never here: the
+			// read loop must keep draining frames (cache replies in
+			// particular) even when every slot is busy, or an execution
+			// waiting on its cache probe would deadlock the connection.
+			w.execs.Add(1)
+			go func(m Msg) {
+				defer w.execs.Done()
+				select {
+				case sem <- struct{}{}:
+				case <-w.ctx.Done():
+					return
+				}
+				defer func() { <-sem }()
+				w.execute(m)
+			}(m)
+		case MsgCacheValue:
+			w.mu.Lock()
+			ch := w.pending[m.ID]
+			delete(w.pending, m.ID)
+			w.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		default:
+			return fmt.Errorf("fabric: unexpected %q frame from coordinator", m.Type)
+		}
+	}
+}
+
+// execute runs one granule and sends its result. The chaos failpoints
+// live here: "fabric.worker.kill" drops the connection mid-granule (a
+// crashed worker), "fabric.worker.hang" wedges the slot until the
+// connection dies (a livelocked worker the straggler re-issue must
+// cover for).
+func (w *workerState) execute(m Msg) {
+	if err := faultinject.Hit("fabric.worker.kill", m.Kind); err != nil {
+		w.logf("fabric: worker %q: injected kill on granule %d: %v", w.opts.Name, m.ID, err)
+		_ = w.conn.Close()
+		w.cancel()
+		return
+	}
+	if err := faultinject.Hit("fabric.worker.hang", m.Kind); err != nil {
+		w.logf("fabric: worker %q: injected hang on granule %d: %v", w.opts.Name, m.ID, err)
+		<-w.ctx.Done()
+		return
+	}
+
+	if !w.opts.NoCacheProbe {
+		if hit, reply := w.cacheProbe(m); hit {
+			_ = w.send(Msg{Type: MsgResult, ID: m.ID, Value: reply.Value, Error: reply.Error})
+			return
+		}
+	}
+
+	result := Msg{Type: MsgResult, ID: m.ID}
+	exec, err := lookupKind(m.Kind)
+	if err == nil {
+		result.Value, err = runExecutor(w.ctx, exec, m)
+	}
+	if err != nil {
+		if w.ctx.Err() != nil {
+			return // shutting down; a partial result must not be sent
+		}
+		result.Value = nil
+		result.Error = err.Error()
+	}
+	_ = w.send(result)
+}
+
+// runExecutor invokes the kind's executor, converting a panic into an
+// error so one poisoned granule cannot take down the whole worker.
+func runExecutor(ctx context.Context, exec Executor, m Msg) (value []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fabric: executor for %s panicked: %v", m.Kind, r)
+		}
+	}()
+	return exec(ctx, m.Spec)
+}
+
+// cacheProbe asks the coordinator's shared result cache for this
+// granule's key; false means compute locally (a probe that fails in
+// transit just degrades to computing, never to a missing result).
+func (w *workerState) cacheProbe(m Msg) (bool, Msg) {
+	ch := make(chan Msg, 1)
+	w.mu.Lock()
+	w.pending[m.ID] = ch
+	w.mu.Unlock()
+	if err := w.send(Msg{Type: MsgCacheGet, ID: m.ID, Key: m.Key}); err != nil {
+		return false, Msg{}
+	}
+	select {
+	case reply := <-ch:
+		return reply.Found, reply
+	case <-w.ctx.Done():
+		return false, Msg{}
+	}
+}
+
+// logf forwards to the configured logger, if any.
+func (w *workerState) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}

@@ -20,10 +20,15 @@ import (
 // internal/cliutil is in scope alongside the CLIs: it owns the atomic
 // temp-file+rename writes, where a dropped Rename, Close, or Sync error
 // silently publishes a torn or unsynced file.
+//
+// internal/fabric is in scope for the same reason on the network side:
+// it owns the sweep fabric's wire path, where a dropped net.Conn Write
+// or Close error means a coordinator or worker keeps trusting a dead
+// link — a torn frame's remainder silently never leaves the process.
 var analyzerErrcheck = &Analyzer{
 	Name:  "errcheck",
-	Doc:   "flag dropped errors from io/encoding writes in the CLIs, cliutil, and report builders",
-	Paths: []string{"cmd", "internal/cliutil", "."},
+	Doc:   "flag dropped errors from io/encoding writes in the CLIs, cliutil, fabric, and report builders",
+	Paths: []string{"cmd", "internal/cliutil", "internal/fabric", "."},
 	Run:   runErrcheck,
 }
 

@@ -1,0 +1,26 @@
+// Package fabric is the errcheck fixture's network-writer case: the
+// sweep fabric's wire path, where a dropped net.Conn Write or Close
+// error means the sender keeps trusting a dead link and the frame's
+// remainder silently never leaves the process.
+package fabric
+
+import "net"
+
+// SendFrame is the broken sender: the Write error vanishes, so a torn
+// frame looks like a delivered one, and the dropped Close error hides a
+// reset that the next send would have surfaced.
+func SendFrame(conn net.Conn, frame []byte) {
+	conn.Write(frame) // want "Conn.Write returns an error that is dropped"
+	conn.Close()      // want "Conn.Close returns an error that is dropped"
+}
+
+// SendFrameChecked is the legal form: the write error propagates, and
+// teardown is either deferred or explicitly discarded.
+func SendFrameChecked(conn net.Conn, frame []byte) error {
+	defer conn.Close()
+	if _, err := conn.Write(frame); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	return nil
+}

@@ -41,6 +41,35 @@ var ErrCorruptCheckpoint = errors.New("corrupt checkpoint")
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
+// EnvelopeHeaderSize is the size of the fixed envelope header (magic +
+// payload length + CRC64), exported for streaming consumers — the sweep
+// fabric reads exactly this many bytes off a TCP connection before it
+// knows how much payload to expect.
+const EnvelopeHeaderSize = checkpointHeaderSize
+
+// ParseEnvelopeHeader validates the fixed-size header of an envelope
+// read incrementally from a stream and returns the declared payload
+// length. It performs every check that does not need the payload bytes
+// (magic, length cap); the caller reads the payload and passes the whole
+// buffer to DecodeEnvelope for the CRC check. Failures wrap
+// ErrCorruptCheckpoint exactly like DecodeEnvelope's.
+func ParseEnvelopeHeader(header []byte) (payloadLen int, err error) {
+	if len(header) != checkpointHeaderSize {
+		return 0, fmt.Errorf("%w: %d header bytes, want %d",
+			ErrCorruptCheckpoint, len(header), checkpointHeaderSize)
+	}
+	if string(header[:8]) != checkpointMagic {
+		return 0, fmt.Errorf("%w: bad magic %q (want %q)",
+			ErrCorruptCheckpoint, header[:8], checkpointMagic)
+	}
+	n := binary.LittleEndian.Uint64(header[8:])
+	if n > MaxCheckpointPayload {
+		return 0, fmt.Errorf("%w: declared payload of %d bytes exceeds the %d-byte cap",
+			ErrCorruptCheckpoint, n, MaxCheckpointPayload)
+	}
+	return int(n), nil
+}
+
 // EncodeEnvelope frames payload in the checkpoint envelope.
 func EncodeEnvelope(payload []byte) []byte {
 	out := make([]byte, checkpointHeaderSize+len(payload))

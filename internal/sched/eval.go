@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"lpm/internal/fabric"
 	"lpm/internal/parallel"
 	"lpm/internal/sim/chip"
 	"lpm/internal/stats"
@@ -77,17 +78,20 @@ func AloneIPCs(ctx context.Context, workloads []string, groupSizes []uint64, opt
 		if err != nil {
 			return 0, err
 		}
-		key := parallel.KeyOf("sched.alone", prof, ref, opt.WindowCycles, opt.WarmupCycles, opt.WarmupFast)
+		spec := AloneSpec{
+			Profile:      prof,
+			RefL1:        ref,
+			WindowCycles: opt.WindowCycles,
+			WarmupCycles: opt.WarmupCycles,
+			WarmupFast:   opt.WarmupFast,
+		}
+		key := spec.MemoKey()
 		return aloneMemo.DoCtx(ctx, key, func(ctx context.Context) (float64, error) {
-			ch := chip.New(chip.NUCASingle(trace.NewSynthetic(prof), ref))
-			ch.SetContext(ctx)
-			warmChip(ch, opt)
-			ch.ResetCounters()
-			ch.RunCycles(opt.WindowCycles)
-			if err := ch.Err(); err != nil {
-				return 0, fmt.Errorf("alone-IPC %s: %w", name, err)
+			var out float64
+			if sharded, err := fabric.Compute(ctx, AloneKind, key, spec, &out); sharded {
+				return out, err
 			}
-			return ch.Snapshot().Cores[0].CPU.IPC(), nil
+			return RunAloneSpec(ctx, spec)
 		})
 	})
 }

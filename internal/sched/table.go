@@ -10,8 +10,8 @@ import (
 	"context"
 	"fmt"
 
+	"lpm/internal/fabric"
 	"lpm/internal/parallel"
-	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
 
@@ -119,30 +119,18 @@ func BuildProfileTable(ctx context.Context, names []string, sizes []uint64, opt 
 var profileMemo = parallel.NewNamedMemo[[3]float64]("sched.profile")
 
 // profileOne runs one workload alone at one L1 size on the NUCA reference
-// platform and returns (APC1, APC2, IPC) of the measured window.
+// platform and returns (APC1, APC2, IPC) of the measured window. The body
+// is RunProfileSpec, in-process or dispatched over the sweep fabric;
+// either way the result fills the same memo entry.
 func profileOne(ctx context.Context, prof trace.Profile, l1Size uint64, opt ProfileOptions) (apc1, apc2, ipc float64, err error) {
-	opt = opt.normalise()
-	key := parallel.KeyOf("sched.profileOne", prof, l1Size, opt)
+	spec := ProfileSpec{Profile: prof, L1Size: l1Size, Opt: opt.normalise()}
+	key := spec.MemoKey()
 	r, err := profileMemo.DoCtx(ctx, key, func(ctx context.Context) ([3]float64, error) {
-		cfg := chip.NUCASingle(trace.NewSynthetic(prof), l1Size)
-		ch := chip.New(cfg)
-		ch.SetContext(ctx)
-		runTarget := opt.Warmup + opt.Instructions
-		if opt.WarmupFast {
-			ch.SetTier(chip.TierFunctional)
-			ch.RunFunctional(opt.Warmup)
-			ch.SetTier(chip.TierDetailed)
-			runTarget = opt.Instructions
-		} else {
-			ch.RunUntilRetired(opt.Warmup, opt.MaxCycles)
+		var out [3]float64
+		if sharded, err := fabric.Compute(ctx, ProfileKind, key, spec, &out); sharded {
+			return out, err
 		}
-		ch.ResetCounters()
-		ch.Run(runTarget, opt.MaxCycles)
-		if err := ch.Err(); err != nil {
-			return [3]float64{}, fmt.Errorf("profile %s @%d: %w", prof.Name, l1Size, err)
-		}
-		r := ch.Snapshot()
-		return [3]float64{r.Cores[0].L1.APC(), r.L2.APC(), r.Cores[0].CPU.IPC()}, nil
+		return RunProfileSpec(ctx, spec)
 	})
 	return r[0], r[1], r[2], err
 }
