@@ -19,8 +19,13 @@ vet:
 	$(GO) vet ./...
 
 # The repository's own static-analysis suite (see DESIGN.md §8).
+# LINTWORKERS bounds the package-analysis fan-out (0 = GOMAXPROCS);
+# LINTFLAGS passes extra lpmlint flags (CI sets -format=github so
+# findings surface as PR annotations).
+LINTWORKERS ?= 0
+LINTFLAGS ?=
 lint:
-	$(GO) run ./cmd/lpmlint ./...
+	$(GO) run ./cmd/lpmlint -workers $(LINTWORKERS) $(LINTFLAGS) ./...
 
 # gofmt gate: fails listing the offending files, which gofmt -l alone
 # would not (it always exits 0).
@@ -85,7 +90,9 @@ race-serve:
 
 # Full CI gate: formatting, build, vet, lint, the fault-injection suite,
 # the whole suite under the race detector, the golden-report diff gate,
-# and the fuzz smoke.
+# and the fuzz smoke. The cheap static gates (fmt/vet/lint) run first so
+# a finding fails the build in seconds, before the long chaos/race/fuzz
+# suites spin up.
 ci: fmt-check build vet lint
 	$(MAKE) chaos
 	$(GO) test -race ./...

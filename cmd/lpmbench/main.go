@@ -32,11 +32,13 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"lpm/internal/cliutil"
+	"lpm/internal/lint"
 	"lpm/internal/resilience"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
@@ -74,6 +76,11 @@ type Document struct {
 	// CyclesPerSec are best-of-reps simulated cycles (functional:
 	// rounds) per wall-clock second, per engine.
 	CyclesPerSec map[string]float64 `json:"cycles_per_sec"`
+	// LintSeconds is the wall-clock of a full-suite lpmlint run over the
+	// module: "cold" with an empty load cache, "warm" the no-change
+	// re-run through the content-keyed cache. Recorded for trend
+	// watching; the -check gate compares only the engine speedups.
+	LintSeconds map[string]float64 `json:"lint_seconds,omitempty"`
 }
 
 // errRegression signals a clean run that found a regression.
@@ -99,10 +106,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lpmbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out    = fs.String("o", "", "pin the measurement to this JSON file (atomic rewrite)")
-		check  = fs.String("check", "", "re-measure and fail on a >20% speedup regression against this pinned file")
-		cycles = fs.Uint64("cycles", 400000, "simulated cycles (functional: rounds) per repetition")
-		reps   = fs.Int("reps", 3, "repetitions per engine; the best rate is kept")
+		out     = fs.String("o", "", "pin the measurement to this JSON file (atomic rewrite)")
+		check   = fs.String("check", "", "re-measure and fail on a >20% speedup regression against this pinned file")
+		cycles  = fs.Uint64("cycles", 400000, "simulated cycles (functional: rounds) per repetition")
+		reps    = fs.Int("reps", 3, "repetitions per engine; the best rate is kept")
+		lintDir = fs.String("lintdir", ".", "module to time lpmlint over (empty or no go.mod: skip)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,12 +123,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if err := measureLint(ctx, *lintDir, doc); err != nil {
+		return err
+	}
 	p := cliutil.NewPrinter(stdout)
 	p.Printf("lpmbench: %s on %s/%s (%d cpus), %d cycles x %d reps\n",
 		benchWorkload, doc.OS, doc.Arch, doc.CPUs, doc.Cycles, doc.Reps)
 	for _, k := range []string{"detailed_stepped", "detailed_fastforward", "functional"} {
 		p.Printf("  %-21s %12.0f cycles/sec (%.2fx stepped)\n",
 			k, doc.CyclesPerSec[k], doc.CyclesPerSec[k]/doc.CyclesPerSec["detailed_stepped"])
+	}
+	if doc.LintSeconds != nil {
+		p.Printf("  %-21s cold %.2fs, warm %.3fs (%.0fx)\n",
+			"lint", doc.LintSeconds["cold"], doc.LintSeconds["warm"],
+			doc.LintSeconds["cold"]/doc.LintSeconds["warm"])
 	}
 	if err := p.Err(); err != nil {
 		return err
@@ -193,6 +209,41 @@ func measure(ctx context.Context, cycles uint64, reps int) (*Document, error) {
 		doc.CyclesPerSec[e.name] = best
 	}
 	return doc, nil
+}
+
+// measureLint times a full-suite lpmlint pass over the module at dir,
+// cold and then warm: the first lint.Run in a process loads with an
+// empty content-keyed cache, the second is the no-change re-run. A
+// missing go.mod (lpmbench run outside a module) skips silently;
+// findings don't fail the benchmark — `make lint` is that gate.
+func measureLint(ctx context.Context, dir string, doc *Document) error {
+	if dir == "" {
+		return nil
+	}
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cold, err := timeLint(dir)
+	if err != nil {
+		return fmt.Errorf("lpmbench lint: %w", err)
+	}
+	warm, err := timeLint(dir)
+	if err != nil {
+		return fmt.Errorf("lpmbench lint: %w", err)
+	}
+	doc.LintSeconds = map[string]float64{"cold": cold, "warm": warm}
+	return nil
+}
+
+func timeLint(dir string) (float64, error) {
+	start := time.Now()
+	if _, err := lint.Run(lint.Config{Dir: dir}); err != nil {
+		return 0, err
+	}
+	return time.Since(start).Seconds(), nil
 }
 
 // checkAgainst compares fresh speedup ratios with the pinned document.

@@ -11,6 +11,9 @@
 //	lpmlint -disable errcheck ./...      # all but one
 //	lpmlint -scope floateq=internal/core ./...
 //	lpmlint -list                        # describe the analyzers
+//	lpmlint -format=json ./...           # machine-readable findings
+//	lpmlint -format=github ./...         # GitHub Actions annotations
+//	lpmlint -workers 4 ./...             # bound the analysis fan-out
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load/type errors.
 // Suppress a single finding with `//lint:ignore analyzer reason` on or
@@ -19,11 +22,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"lpm/internal/cliutil"
@@ -59,6 +64,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		enable  = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable = fs.String("disable", "", "comma-separated analyzers to skip")
 		list    = fs.Bool("list", false, "describe the registered analyzers and exit")
+		format  = fs.String("format", "text", "output format: text, json, or github (Actions annotations)")
+		workers = fs.Int("workers", 0, "max concurrent analysis goroutines (0 = GOMAXPROCS)")
 	)
 	scopes := map[string][]string{}
 	fs.Func("scope", "analyzer=path[,path] — override an analyzer's default path scoping (repeatable)", func(v string) error {
@@ -71,6 +78,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	})
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		return fmt.Errorf("lpmlint: -format must be text, json or github, got %q", *format)
 	}
 
 	p := cliutil.NewPrinter(stdout)
@@ -99,14 +111,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Disable: splitList(*disable),
 		Scopes:  scopes,
 		Paths:   paths,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err
 	}
-	for _, d := range diags {
-		p.Println(d)
-	}
-	if err := p.Err(); err != nil {
+	if err := printDiags(p, *format, diags); err != nil {
 		return err
 	}
 	if len(diags) > 0 {
@@ -114,6 +124,65 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return errFindings
 	}
 	return nil
+}
+
+// printDiags renders findings in the selected format: the canonical
+// text lines, a JSON array, or GitHub Actions ::error annotations
+// (which the Actions runner turns into PR file comments).
+func printDiags(p *cliutil.Printer, format string, diags []lint.Diagnostic) error {
+	switch format {
+	case "json":
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		p.Printf("%s\n", b)
+	case "github":
+		for _, d := range diags {
+			p.Printf("::error file=%s,line=%d,col=%d,title=lpmlint(%s)::%s\n",
+				relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, ghEscape(d.Message))
+		}
+	default:
+		for _, d := range diags {
+			p.Println(d)
+		}
+	}
+	return p.Err()
+}
+
+// relPath renders a diagnostic path relative to the working directory
+// (the repo root under make/CI), which is what Actions annotations
+// need to attach to files.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return filepath.ToSlash(rel)
+}
+
+// ghEscape escapes an annotation message per the Actions workflow-command
+// rules (%, CR and LF are the command metacharacters).
+func ghEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // argPaths maps package patterns to module-relative prefixes: "./..."

@@ -132,6 +132,7 @@ func Table1Observed(s Scale) []Table1Row {
 }
 
 func table1(s Scale, observe bool) []Table1Row {
+	//lint:ignore ctxflow ctx-less compat wrapper; Table1Ctx is the interruptible form
 	rows := Table1Ctx(context.Background(), s, observe)
 	for _, r := range rows {
 		if r.Err != "" {
@@ -196,6 +197,7 @@ type TimelineRow struct {
 // occurs, not just its average. The two simulations run as one parallel
 // batch.
 func TimelineStudy(s Scale) []TimelineRow {
+	//lint:ignore ctxflow ctx-less compat wrapper; TimelineStudyCtx is the interruptible form
 	rows := TimelineStudyCtx(context.Background(), s)
 	for _, r := range rows {
 		if r.Err != "" {
@@ -258,6 +260,7 @@ func caseStudyConfig(grain Grain) core.AlgorithmConfig {
 // CaseStudyI runs the LPM algorithm from Table I's configuration A over
 // the default design space on the bwaves-like workload.
 func CaseStudyI(grain Grain, s Scale) CaseStudyIResult {
+	//lint:ignore ctxflow ctx-less compat wrapper; CaseStudyICtx is the interruptible form
 	r, err := CaseStudyICtx(context.Background(), grain, s)
 	if err != nil {
 		// Background context never cancels; a failure here is a
@@ -292,6 +295,7 @@ type Fig67Result struct {
 
 // Fig67 profiles every built-in workload at the four NUCA L1 sizes.
 func Fig67(s Scale) (Fig67Result, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper; Fig67Ctx is the interruptible form
 	return Fig67Ctx(context.Background(), s)
 }
 
@@ -334,6 +338,7 @@ var fig8Paper = map[string]float64{
 // EXPERIMENTS.md), so the harness always reports the deterministic,
 // test-covered setting.
 func Fig8(s Scale) ([]Fig8Row, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper; Fig8Ctx is the interruptible form
 	return Fig8Ctx(context.Background(), s)
 }
 
@@ -441,6 +446,7 @@ type IdentityReport struct {
 // Identities runs the identity checks on a set of representative
 // workloads.
 func Identities(s Scale, workloads ...string) ([]IdentityReport, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper; IdentitiesCtx is the interruptible form
 	reports := IdentitiesCtx(context.Background(), s, workloads...)
 	for _, r := range reports {
 		if r.Err != "" {

@@ -108,11 +108,13 @@ func SchedProfileOptionsQuick() SchedProfileOptions {
 
 // BuildSchedProfileTable profiles workloads standalone at each L1 size.
 func BuildSchedProfileTable(names []string, sizes []uint64, opt SchedProfileOptions) (*SchedProfileTable, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper over the interruptible sched API
 	return sched.BuildProfileTable(context.Background(), names, sizes, opt)
 }
 
 // EvaluateScheduler runs a policy on the Fig. 5 NUCA chip and returns
 // its Hsp evaluation.
 func EvaluateScheduler(s Scheduler, workloads []string, sizes []uint64, opt SchedEvalOptions) (*SchedEvaluation, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper over the interruptible sched API
 	return sched.Evaluate(context.Background(), s, workloads, sizes, opt)
 }

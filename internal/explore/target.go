@@ -166,6 +166,7 @@ func (t *HardwareTarget) ctx() context.Context {
 	if t.Ctx != nil {
 		return t.Ctx
 	}
+	//lint:ignore ctxflow documented default when the optional Ctx field is unset
 	return context.Background()
 }
 

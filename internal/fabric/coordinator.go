@@ -290,6 +290,7 @@ func (c *Coordinator) sendLocked(w *remoteWorker, m Msg) {
 func (c *Coordinator) acceptLoop() {
 	defer c.loops.Done()
 	for {
+		//lint:ignore ctxflow Close() closes the listener, which fails this Accept
 		conn, err := c.ln.Accept()
 		if err != nil {
 			return // listener closed (Close) or terminally broken
@@ -338,6 +339,7 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 	c.logf("fabric: worker %q joined (%d slots) from %s", w.name, w.slots, conn.RemoteAddr())
 
 	for {
+		//lint:ignore ctxflow Close() and workerGone close the conn, which fails this read
 		m, err := ReadFrame(conn)
 		if err != nil {
 			c.workerGone(w, err)

@@ -48,6 +48,7 @@ func StartLocal(n int, opts Options, wopts WorkerOptions) (*LocalFabric, error) 
 	for i := 0; i < n; i++ {
 		lf.AddWorker(wopts)
 	}
+	//lint:ignore ctxflow StartLocal is a fixture entry point; the timeout bounds worker join
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := c.WaitWorkers(ctx, n); err != nil {
@@ -68,6 +69,7 @@ func (lf *LocalFabric) AddWorker(wopts WorkerOptions) string {
 		name = fmt.Sprintf("%s-%d", wopts.Name, lf.nextID)
 	}
 	wopts.Name = name
+	//lint:ignore ctxflow each local worker owns its root context; Close cancels it explicitly
 	ctx, cancel := context.WithCancel(context.Background())
 	lw := &localWorker{name: name, cancel: cancel, done: make(chan struct{})}
 	lf.workers = append(lf.workers, lw)
@@ -112,6 +114,7 @@ func (lf *LocalFabric) Close() error {
 	var firstErr error
 	for _, lw := range workers {
 		lw.cancel()
+		//lint:ignore ctxflow the cancel on the previous line unblocks the worker; done closes as it exits
 		<-lw.done
 		if lw.err != nil && firstErr == nil && !errors.Is(lw.err, context.Canceled) {
 			firstErr = fmt.Errorf("fabric: local worker %q: %w", lw.name, lw.err)

@@ -147,6 +147,7 @@ func (w *workerState) send(m Msg) error {
 func (w *workerState) readLoop() error {
 	sem := make(chan struct{}, w.opts.Slots)
 	for {
+		//lint:ignore ctxflow context.AfterFunc at dial time closes the conn on cancellation, failing this read
 		m, err := ReadFrame(w.conn)
 		if err != nil {
 			return err
@@ -174,6 +175,7 @@ func (w *workerState) readLoop() error {
 			delete(w.pending, m.ID)
 			w.mu.Unlock()
 			if ch != nil {
+				//lint:ignore ctxflow pending reply channels are buffered (cap 1); the send cannot block
 				ch <- m
 			}
 		default:

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"testing"
+	"time"
+)
+
+// moduleRootDir is the repository root relative to this package — the
+// module the benchmark and the warm-cache pin lint.
+const moduleRootDir = "../.."
+
+// BenchmarkLintModule times a full-suite lint of the repository module.
+// One warm-up run fills the content-keyed load cache so the measured
+// iterations report the steady-state (warm) cost — the latency `make
+// lint` pays on a no-change re-run within one process.
+func BenchmarkLintModule(b *testing.B) {
+	if _, err := Run(Config{Dir: moduleRootDir}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Dir: moduleRootDir}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWarmCacheSpeedup pins the content-keyed load cache's value: a
+// no-change re-run of the full suite must hit the cache for every
+// package (zero fresh loads) and finish at least 2x faster than the
+// cold run. Deliberately not parallel: it resets the process-global
+// cache and times wall-clock.
+func TestWarmCacheSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold module lint re-type-checks the stdlib; skipped under -short")
+	}
+	resetLoadCacheForTest()
+
+	start := time.Now()
+	if _, err := Run(Config{Dir: moduleRootDir}); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+	hits0, loads0 := cacheState().counters()
+
+	start = time.Now()
+	if _, err := Run(Config{Dir: moduleRootDir}); err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+	hits1, loads1 := cacheState().counters()
+
+	// loads counts package visits, hits cache hits; visits minus hits is
+	// the number of fresh type-checks each run paid.
+	if fresh := (loads1 - loads0) - (hits1 - hits0); fresh != 0 {
+		t.Errorf("warm run type-checked %d packages fresh, want 0 (all cache hits)", fresh)
+	}
+	if hits1 == hits0 {
+		t.Error("warm run recorded no cache hits")
+	}
+	t.Logf("cold %v, warm %v (%.1fx)", cold, warm, float64(cold)/float64(warm))
+	if 2*warm > cold {
+		t.Errorf("warm lint %v is not >=2x faster than cold %v", warm, cold)
+	}
+}

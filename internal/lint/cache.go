@@ -1,0 +1,121 @@
+package lint
+
+// Content-keyed load cache. Loading is by far the dominant cost of a
+// lint run — the stdlib source importer re-type-checks every imported
+// standard package — so the engine caches each package's parse +
+// type-check + fact results under a key derived from its file contents
+// and its dependencies' keys, using the single-flight memo from
+// internal/parallel (the same pattern the experiment drivers use for
+// simulation results). A no-change re-run hits the cache for every
+// package and pays only file hashing and an imports-only parse;
+// editing one file invalidates exactly that package and its dependents.
+//
+// The cache is process-global: the file set must outlive any cached
+// Package (positions resolve through it), and the source importer's
+// internal stdlib cache is the bulk of the warm-run win.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"lpm/internal/parallel"
+)
+
+// loadState is the process-global load cache. mu serialises
+// type-checking: the stdlib source importer and go/types checker are
+// shared, and serial checking keeps the dependency order sound while
+// concurrent Run calls (the fixture tests) still share every cache hit.
+type loadState struct {
+	mu    sync.Mutex
+	fset  *token.FileSet
+	std   types.Importer
+	pkgs  *parallel.Memo[*Package]
+	hits  int64
+	loads int64
+}
+
+var (
+	cacheMu   sync.Mutex
+	loadCache *loadState
+)
+
+func cacheState() *loadState {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if loadCache == nil {
+		loadCache = newLoadState()
+	}
+	return loadCache
+}
+
+func newLoadState() *loadState {
+	fset := token.NewFileSet()
+	return &loadState{
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: parallel.NewMemo[*Package](),
+	}
+}
+
+// resetLoadCacheForTest discards the global cache so a test can measure
+// a genuinely cold load. Runs holding Modules from the old cache stay
+// valid: their packages keep referencing the old file set.
+func resetLoadCacheForTest() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	loadCache = newLoadState()
+}
+
+// cacheCounters reports (hits, loads) for the warm-speedup test.
+func (c *loadState) counters() (hits, loads int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.loads
+}
+
+// contentKey fingerprints one package: module identity, build tags,
+// every file's name and bytes, and the keys of its module-internal
+// dependencies (so a change anywhere below invalidates dependents).
+func contentKey(modPath, rel string, tags []string, files []sourceFile, depKeys []string) string {
+	h := sha256.New()
+	w := func(parts ...string) {
+		for _, s := range parts {
+			h.Write([]byte(s))
+			h.Write([]byte{0})
+		}
+	}
+	w("lint-pkg/v1", modPath, rel)
+	sorted := append([]string(nil), tags...)
+	sort.Strings(sorted)
+	w(sorted...)
+	for _, f := range files {
+		w(f.name)
+		h.Write(f.src)
+		h.Write([]byte{0})
+	}
+	w(depKeys...)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lockedImporter resolves module-internal paths to the already-loaded
+// dependencies and everything else through the shared source importer.
+type lockedImporter struct {
+	modPath string
+	deps    map[string]*Package
+	std     types.Importer
+}
+
+func (m *lockedImporter) Import(path string) (*types.Package, error) {
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		if p, ok := m.deps[path]; ok {
+			return p.Types, nil
+		}
+	}
+	return m.std.Import(path)
+}

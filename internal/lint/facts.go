@@ -1,0 +1,408 @@
+package lint
+
+// Per-function facts: the intraprocedural summaries the interprocedural
+// analyzers combine over the call graph. Facts are computed once per
+// package (lazily, guarded by a sync.Once) and keyed by the function's
+// defining syntax, so a Package cached across lint runs by the
+// content-keyed load cache carries its fact table with it — a no-change
+// re-run recomputes neither types nor facts.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Site is one fact occurrence: a position plus a human-readable
+// description for diagnostics.
+type Site struct {
+	Pos  token.Pos
+	What string
+}
+
+// FuncFacts summarises one function body.
+type FuncFacts struct {
+	// Allocs are the body's direct heap-allocation sites: make, new,
+	// append into a fresh slice (the amortised x = append(x, ...) idiom
+	// is exempt), reference composite literals, closure creation,
+	// interface boxing, string building, goroutine launches, and calls
+	// into allocating stdlib packages (fmt, errors, sort, ...).
+	Allocs []Site
+	// WallClock are reads of wall-clock time or global randomness
+	// (time.Now family, math/rand) — nondeterminism sources.
+	WallClock []Site
+	// GlobalReads are uses of package-level mutable variables (its own
+	// package's or another's), the state that makes a function impure.
+	GlobalReads []Site
+	// IO are calls into os, os/exec and net.
+	IO []Site
+	// AcceptsCtx reports a context.Context parameter in the signature.
+	AcceptsCtx bool
+	// UsesCtx reports that the body mentions that parameter at all
+	// (reads it, forwards it, stores it).
+	UsesCtx bool
+}
+
+// Facts returns the package's fact table, keyed by *ast.FuncDecl /
+// *ast.FuncLit, computing it on first use.
+func (p *Package) Facts() map[ast.Node]*FuncFacts {
+	p.factsOnce.Do(func() {
+		p.facts = make(map[ast.Node]*FuncFacts)
+		for _, f := range p.Syntax {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					p.facts[fd] = computeFacts(p, fd.Type, fd.Body)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					p.facts[lit] = computeFacts(p, lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	})
+	return p.facts
+}
+
+// factsOf is the node-level accessor the analyzers use.
+func factsOf(n *FuncNode) *FuncFacts {
+	if f := n.Pkg.Facts()[n.Syntax()]; f != nil {
+		return f
+	}
+	return &FuncFacts{}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// ctxParams collects the *types.Var objects of ft's context.Context
+// parameters.
+func ctxParams(info *types.Info, ft *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// computeFacts walks one function body (not nested literals — each
+// literal carries its own facts) classifying every fact site.
+func computeFacts(p *Package, ft *ast.FuncType, body *ast.BlockStmt) *FuncFacts {
+	facts := &FuncFacts{}
+	info := p.Info
+	ctxVars := ctxParams(info, ft)
+	facts.AcceptsCtx = len(ctxVars) > 0
+	selfAppend := selfAppendCalls(body)
+	iife := iifeLits(body)
+
+	// Not inspectSameFunc: nested literals must be SEEN (their creation
+	// is this body's allocation) without being DESCENDED into (their
+	// bodies carry their own facts).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.FuncLit:
+			// An immediately-invoked literal is an ordinary call edge,
+			// not a materialised closure.
+			if !iife[nd] {
+				facts.Allocs = append(facts.Allocs, Site{nd.Pos(), "closure creation allocates its captured environment"})
+			}
+			return false
+		case *ast.GoStmt:
+			facts.Allocs = append(facts.Allocs, Site{nd.Pos(), "go statement allocates a goroutine"})
+		case *ast.CompositeLit:
+			if s := compositeAllocSite(info, nd); s != nil {
+				facts.Allocs = append(facts.Allocs, *s)
+			}
+		case *ast.UnaryExpr:
+			if nd.Op == token.AND {
+				if _, ok := ast.Unparen(nd.X).(*ast.CompositeLit); ok {
+					facts.Allocs = append(facts.Allocs, Site{nd.Pos(), "&composite literal escapes to the heap"})
+				}
+			}
+		case *ast.BinaryExpr:
+			if nd.Op == token.ADD {
+				if t, ok := info.Types[nd.X]; ok && isStringType(t.Type) && !isConstExpr(info, nd) {
+					// a+b+c parses as (a+b)+c; report the chain once, at
+					// the innermost concatenation.
+					if inner, ok := ast.Unparen(nd.X).(*ast.BinaryExpr); !ok || inner.Op != token.ADD {
+						facts.Allocs = append(facts.Allocs, Site{nd.Pos(), "string concatenation allocates"})
+					}
+				}
+			}
+		case *ast.Ident:
+			if v := globalVarUse(info, nd); v != nil {
+				facts.GlobalReads = append(facts.GlobalReads, Site{nd.Pos(), "uses package-level variable " + v.Name()})
+			}
+			for _, cv := range ctxVars {
+				if info.Uses[nd] == cv {
+					facts.UsesCtx = true
+				}
+			}
+		case *ast.CallExpr:
+			classifyCall(p, facts, nd, selfAppend)
+		}
+		return true
+	})
+	return facts
+}
+
+// iifeLits collects function literals the body invokes immediately
+// (`func() { ... }()`): those never escape as closure values.
+func iifeLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	out := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				out[lit] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// selfAppendCalls collects the body's `x = append(x, ...)` calls: the
+// amortised-growth idiom. Against a preallocated (freelist) buffer it
+// is steady-state alloc-free — exactly what TestSteadyStateZeroAlloc
+// measures — so it is not an allocation fact. Appending into a fresh
+// variable copies the backing array every call and stays flagged.
+func selfAppendCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	inspectSameFunc(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			// `x = append(x, ...)` and the in-place variants
+			// `x = append(x[:i], ...)` reuse x's backing array.
+			arg := ast.Unparen(call.Args[0])
+			for {
+				se, ok := arg.(*ast.SliceExpr)
+				if !ok {
+					break
+				}
+				arg = ast.Unparen(se.X)
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(arg) {
+				out[call] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// compositeAllocSite classifies a composite literal: slice, map and
+// channel literals always allocate backing storage; value struct and
+// array literals do not (the &lit escape case is handled separately).
+func compositeAllocSite(info *types.Info, lit *ast.CompositeLit) *Site {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return nil
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		return &Site{lit.Pos(), "slice literal allocates backing storage"}
+	case *types.Map:
+		return &Site{lit.Pos(), "map literal allocates"}
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether e folds to a constant (constant string
+// concatenation happens at compile time).
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// globalVarUse returns the package-level variable nd uses, or nil.
+// Struct field selectors resolve to *types.Var too, but fields have a
+// non-package parent scope, so only true globals match.
+func globalVarUse(info *types.Info, nd *ast.Ident) *types.Var {
+	v, ok := info.Uses[nd].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// wallClockFuncs are the time package's clock readers; types and
+// constants (time.Duration, time.Millisecond) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "After": true, "AfterFunc": true,
+}
+
+// allocPkgs are stdlib packages whose exported call surface allocates
+// as a matter of course; any call into one is an allocation site.
+var allocPkgs = map[string]bool{
+	"fmt": true, "errors": true, "sort": true, "reflect": true,
+	"runtime/debug": true,
+}
+
+// allocFuncs are specific allocating functions in otherwise-mixed
+// stdlib packages.
+var allocFuncs = map[string]map[string]bool{
+	"strings": {"Join": true, "Repeat": true, "Split": true, "SplitN": true,
+		"Fields": true, "Replace": true, "ReplaceAll": true, "Map": true,
+		"ToUpper": true, "ToLower": true, "Clone": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatUint": true,
+		"FormatFloat": true, "Quote": true, "FormatBool": true},
+	"bytes":  {"Join": true, "Repeat": true, "Split": true, "Clone": true},
+	"slices": {"Clone": true, "Concat": true, "Collect": true, "Sorted": true},
+	"maps":   {"Clone": true, "Collect": true, "Keys": true, "Values": true},
+}
+
+// classifyCall records a call's fact sites: builtins that allocate,
+// allocating stdlib calls, wall-clock/randomness reads, os/net IO, and
+// interface boxing of its arguments.
+func classifyCall(p *Package, facts *FuncFacts, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	info := p.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// A conversion: string([]byte) and friends allocate.
+		if len(call.Args) != 1 {
+			return
+		}
+		at, ok := info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		if isStringType(tv.Type) && !isStringType(at.Type) && !isConstExpr(info, call.Args[0]) {
+			facts.Allocs = append(facts.Allocs, Site{call.Pos(), "conversion to string allocates"})
+		} else if isStringType(at.Type) && isByteOrRuneSlice(tv.Type) {
+			facts.Allocs = append(facts.Allocs, Site{call.Pos(), "conversion from string allocates"})
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				facts.Allocs = append(facts.Allocs, Site{call.Pos(), "make allocates"})
+			case "new":
+				facts.Allocs = append(facts.Allocs, Site{call.Pos(), "new allocates"})
+			case "append":
+				if !selfAppend[call] {
+					facts.Allocs = append(facts.Allocs, Site{call.Pos(), "append into a fresh slice copies and allocates"})
+				}
+			}
+			return
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil && fn.Pkg() != nil {
+		path := fn.Pkg().Path()
+		name := fn.Name()
+		switch {
+		case path == "time" && wallClockFuncs[name]:
+			facts.WallClock = append(facts.WallClock, Site{call.Pos(), "time." + name + " reads the wall clock"})
+		case path == "math/rand" || path == "math/rand/v2":
+			facts.WallClock = append(facts.WallClock, Site{call.Pos(), path + "." + name + " is global randomness"})
+		case path == "os" || path == "os/exec" || path == "net" || path == "io/fs":
+			facts.IO = append(facts.IO, Site{call.Pos(), "calls " + path + "." + name})
+		case allocPkgs[path]:
+			facts.Allocs = append(facts.Allocs, Site{call.Pos(), path + "." + name + " allocates"})
+		case allocFuncs[path] != nil && allocFuncs[path][name]:
+			facts.Allocs = append(facts.Allocs, Site{call.Pos(), path + "." + name + " allocates"})
+		}
+	}
+	boxingSites(info, facts, call, fn)
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// boxingSites flags arguments boxed into interface parameters: a
+// non-pointer concrete value passed where an interface is expected
+// allocates the interface's data word. Pointers, interfaces and nil fit
+// in the word directly and stay legal.
+func boxingSites(info *types.Info, facts *FuncFacts, call *ast.CallExpr, fn *types.Func) {
+	sigTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			vs, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = vs.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := info.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if at.IsNil() || types.IsInterface(at.Type) {
+			continue
+		}
+		switch at.Type.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue // pointer-shaped: fits the interface word
+		}
+		what := "interface boxing allocates"
+		if fn != nil {
+			what = "argument boxed into interface parameter of " + fn.Name() + " allocates"
+		}
+		facts.Allocs = append(facts.Allocs, Site{arg.Pos(), what})
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import "sort"
+
+// analyzerHotPathAlloc statically enforces the zero-alloc invariant the
+// steady-state engines depend on (DESIGN.md §8, §9): nothing reachable
+// from a component's per-cycle hooks — Tick, and the fast-forward trio
+// Quiescent / NextEvent / AdvanceCycles — may allocate on the heap.
+// The dynamic pin (TestSteadyStateZeroAlloc) measures a single warmed
+// configuration; this analyzer walks the call graph from every hook of
+// every component in internal/sim, so a per-cycle make, a growing
+// append, a closure capture, an interface boxing or a stray fmt call
+// introduced anywhere in the reachable engine surfaces at `make lint`
+// with the offending frame and the call chain that reaches it.
+//
+// Allocation in cold paths (constructors, Measure/Snapshot, report
+// building) is untouched: only functions reachable from the hooks are
+// checked. A deliberate amortised allocation — a freelist growing once
+// at warm-up — is justified with `//lint:ignore hotpathalloc reason`.
+var analyzerHotPathAlloc = &Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "no heap allocation reachable from the per-cycle engine hooks (Tick/Quiescent/NextEvent/AdvanceCycles) in internal/sim",
+	RunModule: runHotPathAlloc,
+}
+
+// hotRootNames are the per-cycle entry points: every method with one of
+// these names on a type in internal/sim is a root.
+var hotRootNames = map[string]bool{
+	"Tick":          true,
+	"Quiescent":     true,
+	"NextEvent":     true,
+	"AdvanceCycles": true,
+}
+
+// hotRootScope is the subtree whose methods seed the reachability walk.
+const hotRootScope = "internal/sim"
+
+// hotPathExempt are layers the walk reaches but does not blame: the
+// observability and analysis packages are nil-guarded off the
+// steady-state path (obsdiscipline enforces the nil-receiver guard),
+// so their window-boundary allocations never execute in the
+// configurations the zero-alloc pin covers.
+var hotPathExempt = []string{"internal/obs", "internal/phase", "internal/analyzer"}
+
+func runHotPathAlloc(p *ModulePass) {
+	var roots []*FuncNode
+	for _, n := range p.Graph.Nodes() {
+		if n.Obj == nil || n.Decl == nil || n.Decl.Recv == nil || !hotRootNames[n.Obj.Name()] {
+			continue
+		}
+		if matchRel(n.Pkg.Rel, hotRootScope) {
+			roots = append(roots, n)
+		}
+	}
+	reached := p.Graph.Reach(roots)
+
+	// Deterministic iteration: nodes in position order.
+	ordered := make([]*FuncNode, 0, len(reached))
+	for n := range reached {
+		ordered = append(ordered, n)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+
+	for _, n := range ordered {
+		if matchAny(n.Pkg.Rel, hotPathExempt) {
+			continue
+		}
+		facts := factsOf(n)
+		if len(facts.Allocs) == 0 {
+			continue
+		}
+		via := ""
+		if reached[n].From != nil {
+			via = " (reached via " + reached[n].Chain() + ")"
+		}
+		for _, site := range facts.Allocs {
+			p.Reportf(site.Pos, "%s in per-cycle hot path %s%s: the steady-state engines must not allocate (freelists and preallocated buffers only)",
+				site.What, n.Name(), via)
+		}
+	}
+}

@@ -68,15 +68,20 @@ type suppression struct {
 // diagnostic filtering, all in source order for deterministic
 // unused-suppression reporting.
 type fileSuppressions struct {
+	fset   *token.FileSet
 	byLine map[int][]*suppression
 	all    []*suppression
 }
 
 // buildSuppressions scans one parsed file for lint:ignore directives.
 // Malformed directives are reported through report and never suppress.
-// lines is the file's source split by line (1-based access via idx-1).
+// A name that no longer matches a registered analyzer — typically a
+// suppression that survived an analyzer rename — is reported as stale
+// by name and dropped from the directive, so it can neither suppress
+// anything nor linger silently. lines is the file's source split by
+// line (1-based access via idx-1).
 func buildSuppressions(fset *token.FileSet, f *ast.File, lines []string, report func(pos token.Pos, msg string)) *fileSuppressions {
-	sup := &fileSuppressions{byLine: make(map[int][]*suppression)}
+	sup := &fileSuppressions{fset: fset, byLine: make(map[int][]*suppression)}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			names, _, ok, err := ParseIgnoreDirective(c.Text)
@@ -87,18 +92,26 @@ func buildSuppressions(fset *token.FileSet, f *ast.File, lines []string, report 
 				report(c.Slash, err.Error())
 				continue
 			}
+			known := names[:0]
 			for _, n := range names {
 				if analyzerByName(n) == nil && n != "lint" {
-					report(c.Slash, fmt.Sprintf("%s names unknown analyzer %q (known: %s)", ignorePrefix, n, analyzerNames()))
+					report(c.Slash, fmt.Sprintf("%s suppresses %q, which is not a registered analyzer (renamed or removed?) — delete or update the stale name (known: %s)", ignorePrefix, n, analyzerNames()))
+					continue
 				}
+				known = append(known, n)
+			}
+			if len(known) == 0 {
+				// Every name is stale: already reported above, and an
+				// empty directive must not also count as "unused".
+				continue
 			}
 			pos := fset.Position(c.Slash)
 			target := pos.Line
 			if standaloneComment(lines, pos) {
 				target = nextCodeLine(lines, pos.Line)
 			}
-			set := make(map[string]bool, len(names))
-			for _, n := range names {
+			set := make(map[string]bool, len(known))
+			for _, n := range known {
 				set[n] = true
 			}
 			s := &suppression{analyzers: set, pos: c.Slash}

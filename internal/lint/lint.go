@@ -80,7 +80,13 @@ type Analyzer struct {
 	// applies the analyzer to every package.
 	Paths []string
 	// Run inspects one type-checked package and reports findings.
+	// Exactly one of Run and RunModule is set.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once — the interprocedural
+	// analyzers that follow facts across the call graph. Module
+	// analyzers scope themselves by their roots; Paths only narrows
+	// where their findings may land.
+	RunModule func(*ModulePass)
 }
 
 // Analyzers returns the full analyzer table in registration order.
@@ -92,6 +98,9 @@ func Analyzers() []*Analyzer {
 		analyzerObsDiscipline,
 		analyzerTierDiscipline,
 		analyzerErrcheck,
+		analyzerHotPathAlloc,
+		analyzerCtxFlow,
+		analyzerFabricProto,
 	}
 }
 
@@ -118,6 +127,28 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePass hands the whole loaded module (and its call graph) to one
+// interprocedural analyzer.
+type ModulePass struct {
+	// Mod is the loaded module.
+	Mod *Module
+	// Graph is the module's call graph (built once, shared by every
+	// module analyzer in the run).
+	Graph *CallGraph
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Mod.Fset.Position(pos),
 		Analyzer: p.analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})

@@ -126,6 +126,10 @@ func TestObsDisciplineFixture(t *testing.T) { t.Parallel(); fixtureTest(t, "obsd
 func TestTierDisciplineFixture(t *testing.T) { t.Parallel(); fixtureTest(t, "tierdiscipline") }
 func TestErrcheckFixture(t *testing.T)       { t.Parallel(); fixtureTest(t, "errcheck") }
 
+func TestHotPathAllocFixture(t *testing.T) { t.Parallel(); fixtureTest(t, "hotpathalloc") }
+func TestCtxFlowFixture(t *testing.T)      { t.Parallel(); fixtureTest(t, "ctxflow") }
+func TestFabricProtoFixture(t *testing.T)  { t.Parallel(); fixtureTest(t, "fabricproto") }
+
 // TestScopeOverride re-aims floateq at internal/sim via Config.Scopes:
 // the out-of-scope file's compare surfaces, the in-scope one's do not.
 func TestScopeOverride(t *testing.T) {
@@ -184,9 +188,15 @@ func TestSuppressionsFixture(t *testing.T) {
 	want := []exp{
 		{37, "lint", "a non-empty reason is required"},
 		{38, "floateq", "floating-point =="},
-		{43, "lint", "names unknown analyzer"},
-		{43, "lint", "matches no finding"},
+		{43, "lint", "not a registered analyzer"},
 		{49, "lint", "matches no finding"},
+		// Renamed: the stale name reports, the surviving floateq name
+		// still suppresses the finding on line 58.
+		{57, "lint", "not a registered analyzer"},
+		// AllRenamed: every name is stale — the directive reports once,
+		// suppresses nothing, and must not double-report as unused.
+		{64, "lint", "not a registered analyzer"},
+		{65, "floateq", "floating-point =="},
 	}
 	if len(diags) != len(want) {
 		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build/constraint"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -14,6 +13,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module.
@@ -32,11 +32,16 @@ type Package struct {
 	Types *types.Package
 	Info  *types.Info
 
+	// Key is the content key the load cache stored this package under.
+	Key string
+
 	// srcLines maps each file's path to its source split into lines,
 	// used by the suppression-directive scanner.
 	srcLines map[string][]string
 
-	imports []string // module-internal import paths, for topo sort
+	// facts is the lazily-built per-function fact table (facts.go).
+	factsOnce sync.Once
+	facts     map[ast.Node]*FuncFacts
 }
 
 // Module is the loaded module: every non-test package, type-checked in
@@ -50,12 +55,37 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages lists every package in dependency order.
 	Packages []*Package
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// sourceFile is one buildable file's name and raw bytes.
+type sourceFile struct {
+	name string // base name
+	path string // absolute path
+	src  []byte
+}
+
+// dirInfo is the pre-parse view of one package directory: enough to
+// compute content keys and the dependency order without type-checking.
+type dirInfo struct {
+	rel     string
+	dir     string
+	path    string // import path
+	files   []sourceFile
+	imports []string // module-internal import paths
+	key     string   // filled in topo order
 }
 
 // Load parses and type-checks every package under root (the directory
 // containing go.mod). Test files (*_test.go), testdata, vendor and
 // hidden directories are skipped: the linted surface is the shipped
 // tree. tags are extra build tags for //go:build evaluation.
+//
+// Results are cached process-wide, content-keyed per package (see
+// cache.go): an unchanged package — same files, tags and dependency
+// keys — is returned from cache without re-parsing or re-type-checking.
 //
 // Load fails if any file does not parse or any package does not
 // type-check — the lint gate presumes a compiling tree.
@@ -69,76 +99,105 @@ func Load(root string, tags []string) (*Module, error) {
 		return nil, err
 	}
 	tagSet := buildTagSet(tags)
-	fset := token.NewFileSet()
 
 	dirs, err := packageDirs(absRoot)
 	if err != nil {
 		return nil, err
 	}
-
-	byPath := make(map[string]*Package)
-	var pkgs []*Package
+	var infos []*dirInfo
+	byPath := make(map[string]*dirInfo)
 	for _, dir := range dirs {
-		pkg, err := parseDir(fset, absRoot, modPath, dir, tagSet)
+		di, err := scanDir(absRoot, modPath, dir, tagSet)
 		if err != nil {
 			return nil, err
 		}
-		if pkg == nil {
+		if di == nil {
 			continue // no buildable files
 		}
-		byPath[pkg.Path] = pkg
-		pkgs = append(pkgs, pkg)
+		infos = append(infos, di)
+		byPath[di.path] = di
 	}
-
-	ordered, err := topoSort(pkgs, byPath)
+	ordered, err := topoSort(infos, byPath)
 	if err != nil {
 		return nil, err
 	}
 
-	std := importer.ForCompiler(fset, "source", nil)
-	imp := &moduleImporter{byPath: byPath, std: std}
-	var typeErrs []string
-	for _, pkg := range ordered {
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	cache := cacheState()
+	loaded := make(map[string]*Package, len(ordered))
+	mod := &Module{Root: absRoot, Path: modPath, Fset: cache.fset}
+	for _, di := range ordered {
+		var depKeys []string
+		for _, imp := range di.imports {
+			if dep, ok := byPath[imp]; ok {
+				depKeys = append(depKeys, dep.key)
+			}
 		}
-		conf := types.Config{
-			Importer: imp,
-			Error: func(err error) {
-				if len(typeErrs) < 20 {
-					typeErrs = append(typeErrs, err.Error())
-				}
-			},
+		di.key = contentKey(modPath, di.rel, tags, di.files, depKeys)
+		cache.mu.Lock()
+		cache.loads++
+		cache.mu.Unlock()
+		pkg, err := cache.pkgs.Do(di.key, func() (*Package, error) {
+			cache.mu.Lock()
+			defer cache.mu.Unlock()
+			cache.hits-- // balance the unconditional hit below
+			return typeCheck(cache, modPath, di, loaded)
+		})
+		if err != nil {
+			return nil, err
 		}
-		tpkg, _ := conf.Check(pkg.Path, fset, pkg.Syntax, info)
-		pkg.Types = tpkg
-		pkg.Info = info
+		cache.mu.Lock()
+		cache.hits++
+		cache.mu.Unlock()
+		loaded[di.path] = pkg
+		mod.Packages = append(mod.Packages, pkg)
 	}
+	return mod, nil
+}
+
+// typeCheck parses and type-checks one package (a cache miss) against
+// its already-loaded dependencies. Called with the cache lock held.
+func typeCheck(cache *loadState, modPath string, di *dirInfo, deps map[string]*Package) (*Package, error) {
+	pkg := &Package{
+		Path: di.path, Rel: di.rel, Dir: di.dir, Fset: cache.fset, Key: di.key,
+		srcLines: make(map[string][]string, len(di.files)),
+	}
+	pkgName := ""
+	for _, sf := range di.files {
+		f, err := parser.ParseFile(cache.fset, sf.path, sf.src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed package names %q and %q", di.dir, pkgName, f.Name.Name)
+		}
+		pkg.Syntax = append(pkg.Syntax, f)
+		pkg.srcLines[sf.path] = strings.Split(string(sf.src), "\n")
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: &lockedImporter{modPath: modPath, deps: deps, std: cache.std},
+		Error: func(err error) {
+			if len(typeErrs) < 20 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(di.path, cache.fset, pkg.Syntax, info)
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("lint: type errors:\n  %s", strings.Join(typeErrs, "\n  "))
 	}
-	return &Module{Root: absRoot, Path: modPath, Fset: fset, Packages: ordered}, nil
-}
-
-// moduleImporter resolves module-internal imports to the packages we
-// type-checked ourselves and everything else through the stdlib source
-// importer.
-type moduleImporter struct {
-	byPath map[string]*Package
-	std    types.Importer
-}
-
-func (m *moduleImporter) Import(path string) (*types.Package, error) {
-	if p, ok := m.byPath[path]; ok {
-		if p.Types == nil {
-			return nil, fmt.Errorf("lint: import cycle or unordered import of %q", path)
-		}
-		return p.Types, nil
-	}
-	return m.std.Import(path)
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
 }
 
 // modulePath reads the module path from root/go.mod.
@@ -185,9 +244,10 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, nil
 }
 
-// parseDir parses dir's buildable non-test files into a Package (nil if
-// the directory holds none).
-func parseDir(fset *token.FileSet, root, modPath, dir string, tags map[string]bool) (*Package, error) {
+// scanDir reads dir's buildable non-test files and their import lists
+// (an imports-only parse — the full parse happens on a cache miss).
+// Returns nil if the directory holds no buildable files.
+func scanDir(root, modPath, dir string, tags map[string]bool) (*dirInfo, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -205,11 +265,9 @@ func parseDir(fset *token.FileSet, root, modPath, dir string, tags map[string]bo
 		importPath = modPath + "/" + rel
 	}
 
-	pkg := &Package{
-		Path: importPath, Rel: rel, Dir: dir, Fset: fset,
-		srcLines: make(map[string][]string),
-	}
-	pkgName := ""
+	di := &dirInfo{rel: rel, dir: dir, path: importPath}
+	impFset := token.NewFileSet()
+	seen := map[string]bool{}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
@@ -227,52 +285,48 @@ func parseDir(fset *token.FileSet, root, modPath, dir string, tags map[string]bo
 		if !constraintsSatisfied(src, tags) {
 			continue
 		}
-		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		di.files = append(di.files, sourceFile{name: name, path: full, src: src})
+		f, err := parser.ParseFile(impFset, full, src, parser.ImportsOnly)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			continue // the full parse on the miss path reports it
 		}
-		if pkgName == "" {
-			pkgName = f.Name.Name
-		} else if f.Name.Name != pkgName {
-			return nil, fmt.Errorf("lint: %s: mixed package names %q and %q", dir, pkgName, f.Name.Name)
-		}
-		pkg.Syntax = append(pkg.Syntax, f)
-		pkg.srcLines[full] = strings.Split(string(src), "\n")
 		for _, imp := range f.Imports {
 			p, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
 				continue
 			}
-			if p == modPath || strings.HasPrefix(p, modPath+"/") {
-				pkg.imports = append(pkg.imports, p)
+			if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+				seen[p] = true
+				di.imports = append(di.imports, p)
 			}
 		}
 	}
-	if len(pkg.Syntax) == 0 {
+	if len(di.files) == 0 {
 		return nil, nil
 	}
-	return pkg, nil
+	sort.Strings(di.imports)
+	return di, nil
 }
 
 // topoSort orders packages so every module-internal dependency precedes
 // its dependents.
-func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
+func topoSort(infos []*dirInfo, byPath map[string]*dirInfo) ([]*dirInfo, error) {
 	const (
 		unvisited = 0
 		visiting  = 1
 		done      = 2
 	)
-	state := make(map[string]int, len(pkgs))
-	ordered := make([]*Package, 0, len(pkgs))
-	var visit func(p *Package) error
-	visit = func(p *Package) error {
-		switch state[p.Path] {
+	state := make(map[string]int, len(infos))
+	ordered := make([]*dirInfo, 0, len(infos))
+	var visit func(p *dirInfo) error
+	visit = func(p *dirInfo) error {
+		switch state[p.path] {
 		case done:
 			return nil
 		case visiting:
-			return fmt.Errorf("lint: import cycle through %s", p.Path)
+			return fmt.Errorf("lint: import cycle through %s", p.path)
 		}
-		state[p.Path] = visiting
+		state[p.path] = visiting
 		for _, dep := range p.imports {
 			if d, ok := byPath[dep]; ok {
 				if err := visit(d); err != nil {
@@ -280,11 +334,11 @@ func topoSort(pkgs []*Package, byPath map[string]*Package) ([]*Package, error) {
 				}
 			}
 		}
-		state[p.Path] = done
+		state[p.path] = done
 		ordered = append(ordered, p)
 		return nil
 	}
-	for _, p := range pkgs {
+	for _, p := range infos {
 		if err := visit(p); err != nil {
 			return nil, err
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"go/token"
 	"path/filepath"
+
+	"lpm/internal/parallel"
 )
 
 // Config parameterises one lint run.
@@ -23,12 +25,18 @@ type Config struct {
 	// Paths, when non-empty, restricts linted packages to these
 	// module-relative prefixes ("." is the root package).
 	Paths []string
+	// Workers bounds the analysis fan-out (per-package passes run
+	// concurrently on an internal/parallel pool); <= 0 means
+	// GOMAXPROCS.
+	Workers int
 }
 
-// Run loads the module and applies every selected analyzer to every
-// selected package, returning the surviving findings sorted by
-// position. Suppressions (//lint:ignore) are applied here; malformed
-// and unused directives surface as "lint" findings.
+// Run loads the module and applies every selected analyzer, returning
+// the surviving findings sorted by position. Per-package analyzers run
+// concurrently across packages on an internal/parallel pool; module
+// (interprocedural) analyzers share one call graph. Suppressions
+// (//lint:ignore) are applied here; malformed and unused directives
+// surface as "lint" findings.
 func Run(cfg Config) ([]Diagnostic, error) {
 	dir := cfg.Dir
 	if dir == "" {
@@ -47,13 +55,32 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	// directive could name actually ran.
 	fullSuite := len(analyzers) == len(Analyzers())
 
-	var out []Diagnostic
+	selected := make([]*Package, 0, len(mod.Packages))
+	selectedDirs := make(map[string]bool)
 	for _, pkg := range mod.Packages {
-		if !matchAny(pkg.Rel, normalizePaths(cfg.Paths)) {
-			continue
+		if matchAny(pkg.Rel, normalizePaths(cfg.Paths)) {
+			selected = append(selected, pkg)
+			selectedDirs[pkg.Dir] = true
 		}
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
+	}
+
+	var pkgAnalyzers, modAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modAnalyzers = append(modAnalyzers, a)
+		} else {
+			pkgAnalyzers = append(pkgAnalyzers, a)
+		}
+	}
+
+	pool := parallel.NewPool(cfg.Workers)
+
+	// Per-package passes fan out across packages; each package's
+	// findings stay in their own slice, so the merge below (input
+	// order) is deterministic regardless of scheduling.
+	perPkg, err := parallel.MapPool(pool, selected, func(pkg *Package) ([]Diagnostic, error) {
+		var diags []Diagnostic
+		for _, a := range pkgAnalyzers {
 			paths := a.Paths
 			if override, ok := cfg.Scopes[a.Name]; ok {
 				paths = override
@@ -61,39 +88,76 @@ func Run(cfg Config) ([]Diagnostic, error) {
 			if !matchAny(pkg.Rel, paths) {
 				continue
 			}
-			pass := &Pass{Pkg: pkg, analyzer: a, diags: &pkgDiags}
-			a.Run(pass)
+			a.Run(&Pass{Pkg: pkg, analyzer: a, diags: &diags})
 		}
+		return diags, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		// Apply per-file suppressions; malformed directives report here.
-		// Syntax is in sorted-filename order, so the ordered walk over
-		// every directive below is deterministic.
-		sups := make(map[string]*fileSuppressions, len(pkg.Syntax))
-		ordered := make([]*fileSuppressions, 0, len(pkg.Syntax))
+	// Module analyzers share one call graph; they fan out across
+	// analyzers rather than packages.
+	var modDiags []Diagnostic
+	if len(modAnalyzers) > 0 {
+		graph := mod.Graph()
+		perAnalyzer, err := parallel.MapPool(pool, modAnalyzers, func(a *Analyzer) ([]Diagnostic, error) {
+			var diags []Diagnostic
+			a.RunModule(&ModulePass{Mod: mod, Graph: graph, analyzer: a, diags: &diags})
+			return diags, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, ds := range perAnalyzer {
+			for _, d := range ds {
+				// A module analyzer may blame a frame outside the
+				// selected packages; keep the run scoped to what the
+				// caller asked to lint.
+				if selectedDirs[filepath.Dir(d.Pos.Filename)] {
+					modDiags = append(modDiags, d)
+				}
+			}
+		}
+	}
+
+	// Apply per-file suppressions; malformed directives report here.
+	// Packages iterate in load order and Syntax in sorted-filename
+	// order, so the walk over every directive is deterministic.
+	var out []Diagnostic
+	sups := make(map[string]*fileSuppressions)
+	var orderedSups []*fileSuppressions
+	for _, pkg := range selected {
 		for _, f := range pkg.Syntax {
 			name := pkg.Fset.Position(f.Pos()).Filename
 			fs := buildSuppressions(pkg.Fset, f, pkg.srcLines[name], func(pos token.Pos, msg string) {
 				out = append(out, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "lint", Message: msg})
 			})
 			sups[name] = fs
-			ordered = append(ordered, fs)
+			orderedSups = append(orderedSups, fs)
 		}
-		for _, d := range pkgDiags {
+	}
+	apply := func(ds []Diagnostic) {
+		for _, d := range ds {
 			if fs, ok := sups[d.Pos.Filename]; ok && fs.suppress(d) {
 				continue
 			}
 			out = append(out, d)
 		}
-		if fullSuite {
-			for _, fs := range ordered {
-				for _, s := range fs.all {
-					if !s.used {
-						out = append(out, Diagnostic{
-							Pos:      pkg.Fset.Position(s.pos),
-							Analyzer: "lint",
-							Message:  "suppression matches no finding on its target line; delete the stale //lint:ignore",
-						})
-					}
+	}
+	for _, ds := range perPkg {
+		apply(ds)
+	}
+	apply(modDiags)
+	if fullSuite {
+		for _, fs := range orderedSups {
+			for _, s := range fs.all {
+				if !s.used {
+					out = append(out, Diagnostic{
+						Pos:      fs.fset.Position(s.pos),
+						Analyzer: "lint",
+						Message:  "suppression matches no finding on its target line; delete the stale //lint:ignore",
+					})
 				}
 			}
 		}

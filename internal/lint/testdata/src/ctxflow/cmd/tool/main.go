@@ -1,0 +1,16 @@
+// Command tool is the ctxflow fixture's entry-point case: minting a
+// root context is main's job — but shadowing is wrong everywhere.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // legal: the process entry point owns the root
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	ctx2 := context.Background() // want "shadows the context.Context this function already receives"
+	<-ctx2.Done()
+	return nil
+}

@@ -1,0 +1,111 @@
+// Package fabric is the ctxflow fixture's blocking-loop case: every
+// loop shape the fabric rule distinguishes appears once.
+package fabric
+
+import (
+	"context"
+	"net"
+)
+
+// pump selects on ctx.Done alongside its channel: legal.
+func pump(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// run uses a closed-signal chan struct{} instead of a context: also a
+// cancellation path.
+func run(ch chan int, closed chan struct{}) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		case <-closed:
+			return
+		}
+	}
+}
+
+// drain blocks on a naked receive with no way out.
+func drain(ch chan int) {
+	for {
+		v := <-ch // want "blocking channel receive in a fabric loop"
+		_ = v
+	}
+}
+
+// feed blocks on a naked send with no way out.
+func feed(ch chan int) {
+	for i := 0; ; i++ {
+		ch <- i // want "blocking channel send in a fabric loop"
+	}
+}
+
+// shuffle's select blocks but no case is a cancellation.
+func shuffle(a chan int) {
+	for {
+		select { // want "blocking select in a fabric loop has no cancellation case"
+		case v := <-a:
+			_ = v
+		}
+	}
+}
+
+// consume ranges over the channel: ends when the producer closes it.
+func consume(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+// poll's select has a default: non-blocking, legal without a
+// cancellation case.
+func poll(ch chan int) {
+	for i := 0; i < 10; i++ {
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+		}
+	}
+}
+
+// ReadFrame blocks on the connection until the peer sends (or the conn
+// is closed out from under it).
+func ReadFrame(c net.Conn) (byte, error) {
+	var buf [1]byte
+	_, err := c.Read(buf[:])
+	return buf[0], err
+}
+
+// readLoop has no watcher to unblock the read.
+func readLoop(c net.Conn) error {
+	for {
+		b, err := ReadFrame(c) // want "blocking ReadFrame in a fabric loop"
+		if err != nil {
+			return err
+		}
+		_ = b
+	}
+}
+
+// watchedLoop pairs the same read with a suppression documenting its
+// out-of-band unblock (the in-tree pattern).
+func watchedLoop(ctx context.Context, c net.Conn) error {
+	stop := context.AfterFunc(ctx, func() { _ = c.Close() })
+	defer stop()
+	for {
+		//lint:ignore ctxflow the AfterFunc above closes the conn on cancellation, failing this read
+		b, err := ReadFrame(c)
+		if err != nil {
+			return err
+		}
+		_ = b
+	}
+}

@@ -1,0 +1,62 @@
+// Package svc is the ctxflow fixture's library case: context roots,
+// shadowing, nil contexts, and dropped threading.
+package svc
+
+import "context"
+
+// Run threads its context: legal.
+func Run(ctx context.Context) error { return work(ctx) }
+
+// work is ctx-capable.
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// workless takes no context; calling it never obligates threading.
+func workless() int { return 1 }
+
+// Detached mints a root context in library code.
+func Detached() {
+	ctx := context.Background() // want "mints a root context in library code"
+	_ = work(ctx)
+}
+
+// Shadow receives a context and mints another anyway.
+func Shadow(ctx context.Context) {
+	_ = work(ctx)
+	ctx2 := context.TODO() // want "shadows the context.Context this function already receives"
+	_ = work(ctx2)
+}
+
+// Reshadow rebinds the very same name in an inner scope — the classic
+// shadowing slip.
+func Reshadow(ctx context.Context) {
+	_ = work(ctx)
+	if ctx := context.Background(); ctx != nil { // want "shadows the context.Context this function already receives"
+		_ = work(ctx)
+	}
+}
+
+// NilCtx hands a callee a nil context.
+func NilCtx() {
+	_ = work(nil) // want "nil passed as context.Context"
+}
+
+// Server carries a stored base context (itself a smell, but one the
+// threading rule is there to expose).
+type Server struct{ base context.Context }
+
+// Drops ignores its parameter and reaches for the stored one. The
+// finding lands on the declaration.
+func (s *Server) Drops(ctx context.Context) error { // want "receives a context.Context it never uses"
+	return work(s.base)
+}
+
+// Fine uses its context for everything: silent.
+func (s *Server) Fine(ctx context.Context) error {
+	if workless() > 0 {
+		return work(ctx)
+	}
+	return nil
+}

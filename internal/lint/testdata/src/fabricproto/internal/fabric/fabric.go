@@ -1,0 +1,24 @@
+// Package fabric is the fabricproto fixture's registry: the same
+// RegisterKind surface the real fabric exposes, including the memo the
+// purity rule sanctions.
+package fabric
+
+import "context"
+
+// Executor runs one granule from its serialized spec.
+type Executor func(ctx context.Context, spec []byte) ([]byte, error)
+
+var kinds = map[string]Executor{}
+
+// RegisterKind installs a granule executor. The registry map is this
+// package's own state: reads of it are exempt from the purity rule.
+func RegisterKind(kind string, fn Executor) { kinds[kind] = fn }
+
+// memo is the sanctioned result cache.
+var memo = map[string][]byte{}
+
+// CacheGet reads the memo: handlers may call this.
+func CacheGet(key string) ([]byte, bool) {
+	v, ok := memo[key]
+	return v, ok
+}

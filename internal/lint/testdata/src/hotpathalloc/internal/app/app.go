@@ -1,0 +1,12 @@
+// Package app is outside internal/sim: its Tick is not a root even
+// though the name matches.
+package app
+
+// Job has a hook-shaped method in the wrong subtree.
+type Job struct{ out []int }
+
+// Tick allocates and stays silent: only internal/sim methods seed the
+// walk.
+func (j *Job) Tick(cycle uint64) {
+	j.out = make([]int, 4)
+}

@@ -1,0 +1,9 @@
+// Package obs stands in for the observability layer: reachable from
+// the hooks but exempt from blame (nil-guarded off the steady-state
+// path in the real tree).
+package obs
+
+// Record allocates, and no finding lands here.
+func Record(vals []int) []int {
+	return append([]int(nil), vals...)
+}

@@ -1,0 +1,68 @@
+// Package engine is the hotpathalloc fixture's hot core: its Tick and
+// AdvanceCycles methods are reachability roots, and every allocation
+// class the analyzer knows appears once — reachable (flagged) or cold
+// (silent).
+package engine
+
+import (
+	"fmt"
+
+	"lpm/internal/obs"
+)
+
+// Part is a module-defined interface: calls through it fan out to
+// every implementing type in the module (see internal/sim/rotor).
+type Part interface {
+	Step()
+}
+
+// Engine drives its parts one cycle at a time.
+type Engine struct {
+	parts   []Part
+	queue   []int
+	scratch []int
+	hook    func()
+}
+
+// NewEngine allocates freely: constructors are cold, not reachable
+// from the per-cycle hooks.
+func NewEngine(n int) *Engine {
+	return &Engine{queue: make([]int, 0, n)}
+}
+
+// Tick is a hot root by name and location (internal/sim).
+func (e *Engine) Tick(cycle uint64) {
+	e.queue = e.queue[:0]
+	e.queue = append(e.queue, int(cycle)) // amortised self-append: legal
+	buf := make([]int, 8)                 // want "make allocates in per-cycle hot path"
+	_ = buf
+	for _, p := range e.parts {
+		p.Step() // interface dispatch: blame lands in every implementation
+	}
+	// An immediately-invoked literal is reachable and checked.
+	func() {
+		e.scratch = append(e.scratch[:0], e.queue...) // in-place self-append: legal
+		fresh := append([]int(nil), e.queue...)       // want "append into a fresh slice"
+		_ = fresh
+	}()
+	// A stored closure's creation allocates here; its body is beyond
+	// the static horizon (never invoked statically) and is not blamed.
+	e.hook = func() { _ = make([]int, 1) } // want "closure creation allocates"
+	// The observability layer is reached but exempt: nil-guarded off
+	// the steady-state path by construction.
+	_ = obs.Record(e.queue)
+}
+
+// AdvanceCycles is also a root; the allocation is two frames down and
+// the diagnostic carries the chain.
+func (e *Engine) AdvanceCycles(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.trace("advance")
+	}
+}
+
+// trace is hot only because the hooks reach it.
+func (e *Engine) trace(op string) {
+	msg := "op:" + op // want "string concatenation allocates"
+	fmt.Println(msg)  // want "fmt.Println allocates" "boxed into interface parameter"
+}

@@ -1,0 +1,31 @@
+// Package rotor implements engine.Part without either package
+// importing the other: the analyzer's interface expansion must find it
+// anyway.
+package rotor
+
+// Rotor is reached from engine.Tick purely through the Part interface.
+type Rotor struct {
+	buf  []byte
+	seen map[int]int
+}
+
+// Step's blame message must carry the dispatch chain from Tick.
+func (r *Rotor) Step() {
+	r.buf = append(r.buf, 1) // self-append: legal
+	m := map[int]int{}       // want "map literal allocates in per-cycle hot path (*Rotor).Step (reached via (*Engine).Tick"
+	r.seen = m
+}
+
+// Quiescent is a root in its own right (fast-forward hook name under
+// internal/sim); no chain prefix in the message.
+func (r *Rotor) Quiescent() bool {
+	ws := []int{1, 2, 3} // want "slice literal allocates"
+	return len(ws) > 0
+}
+
+// Drain is not a hook and nothing hot calls it: cold, silent.
+func (r *Rotor) Drain() []byte {
+	out := make([]byte, len(r.buf))
+	copy(out, r.buf)
+	return out
+}

@@ -49,3 +49,18 @@ func Stale(x float64) bool {
 	//lint:ignore floateq zero guards are already exempt
 	return x == 0
 }
+
+// Renamed carries a directive written against an analyzer's old name
+// next to the current one: the stale name is reported (and dropped),
+// the current name still suppresses the finding.
+func Renamed(a, b float64) bool {
+	//lint:ignore floatcompare,floateq directive predates the floateq rename
+	return a == b
+}
+
+// AllRenamed's directive names only stale analyzers: it is reported as
+// stale by name but must NOT also count as an unused suppression.
+func AllRenamed(a, b float64) bool {
+	//lint:ignore floatcompare directive predates the floateq rename
+	return a == b
+}

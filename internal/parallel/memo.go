@@ -69,6 +69,7 @@ func NewNamedMemo[V any](name string) *Memo[V] {
 // like values (the simulations here are deterministic, so retrying
 // cannot succeed).
 func (m *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper; DoCtx is the interruptible form
 	return m.DoCtx(context.Background(), key, func(context.Context) (V, error) { return fn() })
 }
 

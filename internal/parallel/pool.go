@@ -70,6 +70,7 @@ func MapCtx[I, O any](ctx context.Context, jobs []I, fn func(context.Context, I)
 // then returns the lowest-indexed error, so the error surfaced is the
 // same one the serial loop would have hit first.
 func MapPool[I, O any](p *Pool, jobs []I, fn func(I) (O, error)) ([]O, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper; MapPoolResults is the interruptible form
 	return firstError(MapPoolResults(context.Background(), p, jobs,
 		func(_ context.Context, job I) (O, error) { return fn(job) }))
 }

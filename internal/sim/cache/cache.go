@@ -463,6 +463,7 @@ func (c *Cache) waysFor(src int) []int {
 		}
 	}
 	if c.allWays == nil {
+		//lint:ignore hotpathalloc one-time lazy init; the slice is cached on the Cache for every later cycle
 		c.allWays = make([]int, c.cfg.Assoc)
 		for i := range c.allWays {
 			c.allWays[i] = i
@@ -548,7 +549,9 @@ func (c *Cache) newMSHR(block uint64, src int) *mshrEntry {
 		m.targets = m.targets[:0]
 		return m
 	}
+	//lint:ignore hotpathalloc MSHR pool warm-up; steady state reuses freed entries from mshrFree above
 	m := &mshrEntry{block: block, src: src}
+	//lint:ignore hotpathalloc the fill closure is built once per pooled MSHR and reused for the entry's lifetime
 	m.fill = func(uint64) { c.fillsNext = append(c.fillsNext, m) }
 	return m
 }
@@ -689,6 +692,7 @@ func (c *Cache) startAccesses() {
 func (c *Cache) issueDown() {
 	if c.lower == nil {
 		if len(c.issueQ) > 0 || len(c.wbQ) > 0 {
+			//lint:ignore hotpathalloc misconfiguration abort path; the panic ends the run
 			panic(fmt.Sprintf("cache %s: miss traffic with no lower layer", c.cfg.Name))
 		}
 		return

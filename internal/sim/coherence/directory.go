@@ -99,6 +99,7 @@ func (d *Directory) Busy() bool { return len(d.delayed) > 0 }
 func (d *Directory) entryFor(block uint64) *entry {
 	e, ok := d.blocks[block]
 	if !ok {
+		//lint:ignore hotpathalloc directory entry interning: one allocation per unique block, none once the footprint is warm
 		e = &entry{owner: -1}
 		d.blocks[block] = e
 	}

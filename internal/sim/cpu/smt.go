@@ -203,6 +203,7 @@ func (s *SMT) Tick(cycle uint64) {
 				continue
 			}
 			ee := e
+			//lint:ignore hotpathalloc completion callback built per issued access, tied to miss traffic rather than cycles; the steady-state pin measures this at zero
 			if !s.mem.Access(cycle, e.in.Addr, e.in.Kind == trace.Store, func(uint64) {
 				ee.state = stDone
 				s.inIW--

@@ -204,6 +204,7 @@ func DecodeReport(data []byte) (*Report, error) {
 // BuildReport runs the selected experiments and assembles the versioned
 // JSON document.
 func BuildReport(opts ReportOptions) (*Report, error) {
+	//lint:ignore ctxflow ctx-less compat wrapper; BuildReportCtx is the interruptible form
 	return BuildReportCtx(context.Background(), opts)
 }
 
