@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench benchjson benchjson-check fuzz chaos fabric-test ci golden diffgate race-serve
+.PHONY: all build test race vet lint fmt-check bench benchjson benchjson-check fuzz chaos fabric-test ci golden diffgate race-serve serve-test
 
 all: build vet lint test race
 
@@ -88,6 +88,13 @@ diffgate:
 race-serve:
 	$(GO) test -race -run 'TestServeEndpoints|TestRunServeMidRun' ./cmd/lpmrun
 
+# Fleet control-plane suite: the run registry/scheduler, SSE hub
+# backpressure, the serve lifecycle, and the sharded load test (1k
+# concurrent scrapes + 100 SSE subscribers against a byte-identical
+# sharded sweep), all under the race detector.
+serve-test:
+	$(GO) test -race -count=1 ./internal/ctrl ./cmd/lpmserve ./internal/resilience
+
 # Full CI gate: formatting, build, vet, lint, the fault-injection suite,
 # the whole suite under the race detector, the golden-report diff gate,
 # and the fuzz smoke. The cheap static gates (fmt/vet/lint) run first so
@@ -95,6 +102,7 @@ race-serve:
 # suites spin up.
 ci: fmt-check build vet lint
 	$(MAKE) chaos
+	$(MAKE) serve-test
 	$(GO) test -race ./...
 	$(MAKE) diffgate
 	$(MAKE) fuzz

@@ -77,9 +77,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	lpm.SetWorkers(*workers)
 	startPprof(*pprofCfg, stderr)
-	stopShard, err := shard.Start(ctx, func(format string, args ...any) {
-		fmt.Fprintf(stderr, format+"\n", args...)
-	})
+	stopShard, _, err := shard.Start(ctx, cliutil.NewLogger(stderr, "text"), nil)
 	if err != nil {
 		return err
 	}

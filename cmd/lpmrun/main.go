@@ -15,7 +15,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,53 +29,13 @@ import (
 
 	"lpm"
 	"lpm/internal/cliutil"
+	"lpm/internal/ctrl"
 	"lpm/internal/obs/timeseries"
 	"lpm/internal/parallel"
 	"lpm/internal/resilience"
 	"lpm/internal/sim/chip"
 	"lpm/internal/trace"
 )
-
-// timelineSchema versions the /timeline JSON document.
-const timelineSchema = "lpm-timeline/v1"
-
-// timelineDoc is the /timeline response envelope.
-type timelineDoc struct {
-	// Schema is timelineSchema.
-	Schema string `json:"schema"`
-	// Done reports whether the simulation has finished.
-	Done bool `json:"done"`
-	// Series is the windowed timeline published so far.
-	Series timeseries.Series `json:"series"`
-}
-
-// newServeMux builds the -serve handler: Prometheus text exposition on
-// /metrics, the JSON timeline on /timeline.
-func newServeMux(live *timeseries.Live) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		var buf bytes.Buffer
-		if err := live.Snapshot().WritePromText(&buf); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		ser, _ := live.Timeline()
-		if err := ser.WritePromText(&buf); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		// The scrape response is best-effort: a vanished client is its
-		// own problem.
-		_, _ = w.Write(buf.Bytes())
-	})
-	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
-		ser, done := live.Timeline()
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(timelineDoc{Schema: timelineSchema, Done: done, Series: ser})
-	})
-	return mux
-}
 
 func main() {
 	ctx, stop := resilience.WithSignals(context.Background())
@@ -162,12 +121,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if *timeline || live != nil {
 		tcfg := timeseries.Config{Width: *tsWindow, Adaptive: *tsAdapt, CPIexe: cpiExe}
 		if live != nil {
-			// Windows (and the aggregate snapshot) are handed off to the
-			// HTTP side as they close; the simulation itself stays
-			// single-goroutine.
+			// Windows (and the throttled aggregate snapshot) are handed
+			// off to the HTTP side as they close; the simulation itself
+			// stays single-goroutine. The final snapshot after Run keeps
+			// the end state exact.
+			snap := ctrl.ThrottleSnapshots(func() { live.PublishSnapshot(ch.ObsSnapshot()) })
 			tcfg.OnWindow = func(w timeseries.Window) {
 				live.Publish(w)
-				live.PublishSnapshot(ch.ObsSnapshot())
+				snap()
 			}
 		}
 		s := ch.EnableTimeseries(tcfg)
@@ -178,7 +139,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: newServeMux(live)}
+		// The exposition handlers live in internal/ctrl, shared with the
+		// lpmserve control plane's per-run endpoints: one code path, one
+		// output format.
+		srv := &http.Server{Handler: ctrl.NewExpoMux(live)}
 		defer srv.Close()
 		go func() { _ = srv.Serve(ln) }()
 		p.Printf("serving /metrics and /timeline on http://%s\n", ln.Addr())

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"lpm/internal/ctrl"
 	"lpm/internal/obs/timeseries"
 )
 
@@ -87,7 +88,7 @@ func TestRunTimelineSummary(t *testing.T) {
 // published — the race-detector CI job leans on this test.
 func TestServeEndpoints(t *testing.T) {
 	live := timeseries.NewLive()
-	srv := httptest.NewServer(newServeMux(live))
+	srv := httptest.NewServer(ctrl.NewExpoMux(live))
 	defer srv.Close()
 
 	get := func(path string) (string, string) {
@@ -112,11 +113,11 @@ func TestServeEndpoints(t *testing.T) {
 	if !strings.HasPrefix(ctype, "application/json") {
 		t.Fatalf("/timeline content type %q", ctype)
 	}
-	var doc timelineDoc
+	var doc ctrl.TimelineDoc
 	if err := json.Unmarshal([]byte(body), &doc); err != nil {
 		t.Fatalf("empty /timeline not JSON: %v\n%s", err, body)
 	}
-	if doc.Schema != timelineSchema || doc.Done {
+	if doc.Schema != ctrl.TimelineSchema || doc.Done {
 		t.Fatalf("empty timeline doc: %+v", doc)
 	}
 
@@ -195,13 +196,13 @@ func TestRunServeMidRun(t *testing.T) {
 			time.Sleep(10 * time.Millisecond)
 			continue
 		}
-		var doc timelineDoc
+		var doc ctrl.TimelineDoc
 		err = json.NewDecoder(resp.Body).Decode(&doc)
 		resp.Body.Close()
 		if err != nil {
 			t.Fatalf("/timeline not JSON: %v", err)
 		}
-		if doc.Schema != timelineSchema {
+		if doc.Schema != ctrl.TimelineSchema {
 			t.Fatalf("/timeline schema %q", doc.Schema)
 		}
 		seen = len(doc.Series.Windows) > 0

@@ -1,7 +1,8 @@
 // Command lpmworker hosts one sweep-fabric worker: it connects to a
-// coordinator (an lpmexplore or lpmreport run started with -shard),
-// announces its execution slots, and serves simulation granules until
-// the coordinator finishes or a signal arrives.
+// coordinator (an lpmexplore or lpmreport run started with -shard, or
+// an lpmserve fleet), announces its execution slots, and serves
+// simulation granules until the coordinator finishes or a signal
+// arrives.
 //
 // Usage:
 //
@@ -17,6 +18,12 @@
 // livelock watchdog on its chip, so a wedged simulation surfaces as a
 // granule error instead of a hung worker; the straggler re-issue on the
 // coordinator covers the window in between.
+//
+// Diagnostics are structured (log/slog) on stderr — text by default,
+// JSON with -log json. On SIGTERM mid-granule the worker logs the
+// granule key it is abandoning, and if an established session breaks
+// (-reconnect > 0) it redials and re-probes the shared cache for those
+// keys instead of silently re-simulating them.
 package main
 
 import (
@@ -25,11 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"time"
 
+	"lpm/internal/cliutil"
 	"lpm/internal/fabric"
+	"lpm/internal/obs"
 	"lpm/internal/resilience"
 
 	// Register the granule executors this worker can run: the
@@ -57,12 +67,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lpmworker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		name    = fs.String("name", "", "worker name in coordinator logs (default: local address)")
-		slots   = fs.Int("slots", runtime.GOMAXPROCS(0), "granules executed concurrently")
-		retry   = fs.Duration("retry", 10*time.Second, "keep retrying the initial dial for this long")
-		noProbe = fs.Bool("no-cache-probe", false, "skip the shared-cache probe before each granule")
-		quiet   = fs.Bool("quiet", false, "suppress per-event progress on stderr")
-		version = fs.Bool("version", false, "print the fabric protocol version and exit")
+		name      = fs.String("name", "", "worker name in coordinator logs (default: local address)")
+		slots     = fs.Int("slots", runtime.GOMAXPROCS(0), "granules executed concurrently")
+		retry     = fs.Duration("retry", 10*time.Second, "keep retrying the initial dial for this long")
+		reconnect = fs.Int("reconnect", 2, "redial a broken (previously established) session up to this many times; 0 = exit on the first break")
+		noProbe   = fs.Bool("no-cache-probe", false, "skip the shared-cache probe before each granule")
+		quiet     = fs.Bool("quiet", false, "suppress structured progress logging on stderr")
+		logFmt    = fs.String("log", "text", "log format on stderr: text or json")
+		version   = fs.Bool("version", false, "print the fabric protocol version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,16 +88,66 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return errors.New("exactly one coordinator address required")
 	}
 
+	log := cliutil.DiscardLogger()
+	if !*quiet {
+		log = cliutil.NewLogger(stderr, *logFmt)
+	}
+	tel := fabric.NewWorkerTelemetry(obs.NewRegistry())
 	opts := fabric.WorkerOptions{
 		Name:         *name,
 		Slots:        *slots,
 		NoCacheProbe: *noProbe,
 		DialRetry:    *retry,
+		Log:          log,
+		Obs:          tel,
+		// One reprobe set across every session of this process: keys
+		// abandoned when a session broke are re-probed against the
+		// shared cache after the reconnect.
+		Reprobe: fabric.NewReprobeSet(),
 	}
-	if !*quiet {
-		opts.Logf = func(format string, args ...any) {
-			fmt.Fprintf(stderr, format+"\n", args...)
+
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fabric.RunWorker(ctx, fs.Arg(0), opts)
+		if err == nil || ctx.Err() != nil {
+			err = nil
+			break
 		}
+		// A dial that never connected is not worth retrying beyond the
+		// -retry window RunWorker already spent; an established session
+		// that broke is — the coordinator may still be alive, holding
+		// re-issued copies of whatever this worker abandoned.
+		if errors.Is(err, fabric.ErrDial) || attempt >= *reconnect {
+			break
+		}
+		log.Warn("fabric: session broke; reconnecting",
+			"attempt", attempt+1, "of", *reconnect,
+			"abandoned_keys", opts.Reprobe.Len(), "err", err.Error())
 	}
-	return fabric.RunWorker(ctx, fs.Arg(0), opts)
+	logWorkerSummary(log, tel)
+	return err
+}
+
+// logWorkerSummary emits the end-of-life telemetry line: how many
+// granules this worker executed, at what latency, and how many it
+// abandoned to shutdown. Reads the snapshot after RunWorker returned,
+// when the worker is single-goroutine again.
+func logWorkerSummary(log *slog.Logger, tel *fabric.WorkerTelemetry) {
+	s := tel.Snapshot()
+	if s == nil {
+		return
+	}
+	lat, _ := s.Metric("worker.granule_seconds")
+	attrs := []any{
+		"executed", s.Counter("worker.granules_executed"),
+		"failed", s.Counter("worker.granules_failed"),
+		"abandoned", s.Counter("worker.granules_abandoned"),
+		"cache_probe_hits", s.Counter("worker.cache_probe_hits"),
+	}
+	if lat.Hist != nil && lat.Hist.Count > 0 {
+		attrs = append(attrs,
+			"granule_seconds_p50", lat.Hist.P50,
+			"granule_seconds_p99", lat.Hist.P99)
+	}
+	log.Info("fabric: worker summary", attrs...)
 }

@@ -1,0 +1,49 @@
+package cliutil
+
+// Structured-logging construction shared by every process that logs:
+// the CLIs build one slog.Logger here (JSON for machines, text for
+// humans, discard for quiet paths) instead of hand-rolling fmt.Fprintf
+// diagnostics.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// discardHandler drops every record. (log/slog gains a built-in
+// DiscardHandler in newer Go releases; this keeps the module's language
+// version honest.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// DiscardLogger returns a logger that drops everything — the nil-safe
+// default for library types that accept an optional *slog.Logger.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }
+
+// NewLogger builds a logger writing to w. format selects the handler:
+// "json" emits one JSON object per record (the machine-consumable form
+// lpmserve and the fabric default to), anything else the human-readable
+// text handler. A nil w discards.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	if w == nil {
+		return DiscardLogger()
+	}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(slog.NewTextHandler(w, nil))
+}
+
+// LoggerOrDiscard returns l unchanged when non-nil, and the discard
+// logger otherwise, so callers can log unconditionally.
+func LoggerOrDiscard(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return DiscardLogger()
+	}
+	return l
+}

@@ -1,0 +1,77 @@
+package ctrl
+
+// Single-run exposition handlers: Prometheus text on /metrics, the JSON
+// timeline on /timeline. These used to live in cmd/lpmrun; they moved
+// here so lpmrun -serve and the control plane's per-run endpoints are
+// one code path with byte-identical output.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+
+	"lpm/internal/obs/timeseries"
+)
+
+// MetricsHandler serves the run's latest metrics snapshot plus its
+// timeline series in Prometheus text exposition format 0.0.4.
+func MetricsHandler(live *timeseries.Live) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var buf bytes.Buffer
+		if err := live.Snapshot().WritePromText(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		ser, _ := live.Timeline()
+		if err := ser.WritePromText(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The scrape response is best-effort: a vanished client is its
+		// own problem.
+		_, _ = w.Write(buf.Bytes())
+	}
+}
+
+// TimelineHandler serves the run's full windowed series as a
+// lpm-timeline/v1 JSON document.
+func TimelineHandler(live *timeseries.Live) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ser, done := live.Timeline()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(TimelineDoc{Schema: TimelineSchema, Done: done, Series: ser})
+	}
+}
+
+// NewExpoMux builds the single-run serving mux lpmrun -serve exposes:
+// /metrics and /timeline.
+func NewExpoMux(live *timeseries.Live) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", MetricsHandler(live))
+	mux.HandleFunc("/timeline", TimelineHandler(live))
+	return mux
+}
+
+// SnapshotEvery is the serve paths' snapshot cadence in windows.
+// Scrapers poll /metrics at ~1 Hz while default-width windows close
+// every few hundred microseconds of wall-clock, so snapshotting the
+// whole registry on every window buys no freshness and costs ~2% of
+// the engine loop; every SnapshotEvery-th window keeps the live view
+// far fresher than any scrape interval.
+const SnapshotEvery = 16
+
+// ThrottleSnapshots returns a per-window hook that invokes publish on
+// the first window and every SnapshotEvery-th after it. Callers must
+// still publish a final snapshot when the run completes — the throttle
+// only covers the mid-run cadence. Single-goroutine, like the OnWindow
+// hook it is called from.
+func ThrottleSnapshots(publish func()) func() {
+	n := 0
+	return func() {
+		if n%SnapshotEvery == 0 {
+			publish()
+		}
+		n++
+	}
+}

@@ -1,0 +1,232 @@
+package ctrl
+
+// The fleet load test: the control plane is hammered with concurrent
+// /metrics scrapes and SSE subscribers (including deliberately slow
+// consumers) while a sharded report builds through a real loopback
+// fabric with a worker killed mid-run. The sharded document must come
+// out byte-identical to the serial baseline — observability and
+// streaming load must never perturb results — and the fabric's
+// telemetry must be visible on the fleet endpoint afterwards.
+//
+// This is the race-enabled serve suite (`make serve-test`); the whole
+// test is watchdog-guarded so a deadlock fails loudly instead of
+// hanging CI.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lpm"
+	"lpm/internal/fabric"
+	"lpm/internal/obs"
+)
+
+// runnerFunc adapts a function to the Runner interface.
+type runnerFunc func(ctx context.Context, spec RunSpec, pub *Publisher) (json.RawMessage, error)
+
+func (f runnerFunc) Run(ctx context.Context, spec RunSpec, pub *Publisher) (json.RawMessage, error) {
+	return f(ctx, spec, pub)
+}
+
+// loadScale keeps the serial/sharded comparison affordable under the
+// race detector while the scrape/SSE storm runs.
+var loadScale = lpm.Scale{Warmup: 12000, Window: 4000}
+
+// buildLoadDoc builds the lpm-report/v2 document compared serial vs
+// sharded: the Table I configuration sweep.
+func buildLoadDoc(t *testing.T) []byte {
+	t.Helper()
+	rep, err := lpm.BuildReport(lpm.ReportOptions{Scale: loadScale, Experiments: []string{"table1"}})
+	if err != nil {
+		t.Fatalf("building report: %v", err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return data
+}
+
+func TestServeLoadShardedDeterminism(t *testing.T) {
+	// Watchdog: a wedged subscriber or a deadlocked scheduler must fail
+	// the test, not hang the suite.
+	guard := time.AfterFunc(5*time.Minute, func() {
+		panic("ctrl: load test watchdog expired — control plane deadlocked under load")
+	})
+	defer guard.Stop()
+
+	defer func() { lpm.SetWorkers(0); lpm.ResetSimCaches() }()
+	lpm.ResetSimCaches()
+	lpm.SetWorkers(4)
+	serial := buildLoadDoc(t)
+
+	// A real loopback fabric with coordinator telemetry on, feeding the
+	// fleet endpoint while the sharded build runs through it.
+	lpm.ResetSimCaches()
+	fabricObs := obs.NewRegistry()
+	lf, err := fabric.StartLocal(2,
+		fabric.Options{StraggleAfter: -1, Obs: fabricObs},
+		fabric.WorkerOptions{Slots: 2})
+	if err != nil {
+		t.Fatalf("starting fabric: %v", err)
+	}
+	defer lf.Close()
+
+	// One runner, two behaviors keyed off the workload: the burst run
+	// publishes its 600 windows flat out; the stream runs pace theirs
+	// so the storm overlaps live publication.
+	burst := &stubRunner{windows: 600}
+	stream := &stubRunner{windows: 600, delay: time.Millisecond}
+	run := runnerFunc(func(ctx context.Context, spec RunSpec, pub *Publisher) (json.RawMessage, error) {
+		if spec.Workload == "403.gcc" {
+			return burst.Run(ctx, spec, pub)
+		}
+		return stream.Run(ctx, spec, pub)
+	})
+	reg := NewRegistry(context.Background(), Config{
+		Runner:        run,
+		MaxConcurrent: 2,
+		TenantBudget:  1,
+		Fabric:        lf.C,
+	})
+	defer reg.Drain()
+	mux := NewAPIMux(reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// r-1: the burst run finishes before any subscriber attaches —
+	// catch-up preloads then overflow the 256-event rings, making drop
+	// accounting deterministic. r-2/r-3: live streams for the duration
+	// of the storm, on two tenants.
+	if _, err := reg.Submit(RunSpec{Workload: "403.gcc", Tenant: "acme"}); err != nil {
+		t.Fatalf("submit burst run: %v", err)
+	}
+	waitState(t, reg, "r-1", StateDone)
+	if _, err := reg.Submit(RunSpec{Workload: "429.mcf", Tenant: "acme"}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if _, err := reg.Submit(RunSpec{Workload: "433.milc", Tenant: "beta"}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	var (
+		wg         sync.WaitGroup
+		dropEvents atomic.Uint64
+		doneEvents atomic.Uint64
+		scrapeErrs atomic.Uint64
+	)
+
+	// 100 SSE subscribers: 50 on the finished burst run (instant
+	// catch-up through an overflowing ring), 50 on the live runs. Odd
+	// subscribers are deliberately slow consumers.
+	subscribe := func(id int, runID string, slow bool) {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/api/v1/runs/" + runID + "/events")
+		if err != nil {
+			t.Errorf("subscriber %d: %v", id, err)
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		lines := 0
+		for sc.Scan() {
+			line := sc.Text()
+			if ev, ok := strings.CutPrefix(line, "event: "); ok {
+				switch ev {
+				case "drop":
+					dropEvents.Add(1)
+				case "done":
+					doneEvents.Add(1)
+					return
+				}
+			}
+			lines++
+			if slow && lines%10 == 0 {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		runID := "r-1"
+		if i >= 50 {
+			runID = fmt.Sprintf("r-%d", 2+i%2)
+		}
+		go subscribe(i, runID, i%2 == 1)
+	}
+
+	// 1000 concurrent fleet scrapes, straight into the handler so the
+	// storm is bounded by the mux, not by socket limits.
+	for i := 0; i < 1000; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+			if rec.Code != http.StatusOK {
+				scrapeErrs.Add(1)
+			}
+		}()
+	}
+
+	// Kill a founding worker mid-build — from the coordinator's side a
+	// crash; its granules re-queue and the document must not notice.
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		time.Sleep(20 * time.Millisecond)
+		if err := lf.StopWorker("local-1"); err != nil {
+			t.Errorf("stopping worker: %v", err)
+		}
+	}()
+
+	sharded := buildLoadDoc(t)
+	churn.Wait()
+	wg.Wait()
+
+	if !bytes.Equal(serial, sharded) {
+		t.Fatalf("sharded report diverged from serial under scrape/SSE load (serial %d bytes, sharded %d bytes)",
+			len(serial), len(sharded))
+	}
+	if n := scrapeErrs.Load(); n > 0 {
+		t.Fatalf("%d of 1000 fleet scrapes failed", n)
+	}
+	if n := doneEvents.Load(); n < 50 {
+		t.Fatalf("only %d/100 subscribers saw a done event (the 50 burst-run subscribers all must)", n)
+	}
+	if dropEvents.Load() == 0 {
+		t.Fatal("no subscriber ever saw a drop event — ring backpressure accounting is dead")
+	}
+	st := lf.C.Stats()
+	if st.Completed == 0 {
+		t.Fatalf("stats=%+v: no granule went through the fabric", st)
+	}
+
+	// The post-storm fleet scrape carries all three metric families:
+	// control plane, per-run, and fabric.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	fleet := rec.Body.String()
+	for _, want := range []string{
+		"lpm_ctrl_runs_submitted 3",
+		"lpm_ctrl_sse_events_dropped",
+		`lpm_stub_windows{run="r-1",tenant="acme"} 600`,
+		`component="fabric"`,
+		"lpm_fabric_granules_completed",
+	} {
+		if !strings.Contains(fleet, want) {
+			t.Fatalf("fleet /metrics lacks %q:\n%.2000s", want, fleet)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package ctrl
+
+// Server-sent events for the per-run timeline: each closed window
+// streams to the client as it lands, with drop accounting made visible
+// as its own event type when a slow consumer overran its ring.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// SSEHandler streams a run's hub as text/event-stream. Event types:
+//
+//	event: window  data: {timeseries.Window}
+//	event: drop    data: {"dropped": N}   — N ring overruns just before
+//	                                        the next window
+//	event: done    data: {}               — the run finished; stream ends
+//
+// The stream also ends when the client disconnects or the server drains
+// on shutdown (both arrive through the request context).
+func SSEHandler(hub *Hub) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+
+		sub := hub.Subscribe(0)
+		defer sub.Close()
+		for {
+			e, dropped, ok := sub.Next(r.Context())
+			if !ok {
+				return
+			}
+			if dropped > 0 {
+				if err := writeSSE(w, "drop", struct {
+					Dropped uint64 `json:"dropped"`
+				}{dropped}); err != nil {
+					return
+				}
+			}
+			switch e.Type {
+			case "window":
+				if err := writeSSE(w, "window", e.Window); err != nil {
+					return
+				}
+			case "done":
+				_ = writeSSE(w, "done", struct{}{})
+				fl.Flush()
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// writeSSE emits one SSE frame with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+	return err
+}

@@ -8,8 +8,11 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
+
+	"lpm/internal/obs"
 )
 
 // ShardFlags holds the parsed -shard* flag family.
@@ -43,39 +46,42 @@ func BindShardFlags(fs *flag.FlagSet) *ShardFlags {
 // Start brings sharding up per the flags: starts the coordinator,
 // publishes its address, activates it process-wide, and waits for the
 // minimum worker count. The returned stop func tears all of it down;
-// with sharding disabled it is a cheap no-op. logf receives coordinator
-// diagnostics (nil discards them).
-func (sf *ShardFlags) Start(ctx context.Context, logf func(format string, args ...any)) (stop func(), err error) {
+// with sharding disabled it is a cheap no-op and the returned
+// coordinator is nil. log receives structured coordinator diagnostics
+// (nil discards them); reg, when non-nil, receives the coordinator's
+// fabric telemetry for fleet exposition.
+func (sf *ShardFlags) Start(ctx context.Context, log *slog.Logger, reg *obs.Registry) (stop func(), c *Coordinator, err error) {
 	if sf.Addr == "" {
-		return func() {}, nil
+		return func() {}, nil, nil
 	}
-	c, err := Listen(sf.Addr, Options{
+	c, err = Listen(sf.Addr, Options{
 		InFlight:      sf.InFlight,
 		StraggleAfter: sf.Straggle,
-		Logf:          logf,
+		Log:           log,
+		Obs:           reg,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sf.AddrFile != "" {
 		if err := os.WriteFile(sf.AddrFile, []byte(c.Addr()+"\n"), 0o644); err != nil {
 			_ = c.Close()
-			return nil, fmt.Errorf("fabric: publish coordinator address: %w", err)
+			return nil, nil, fmt.Errorf("fabric: publish coordinator address: %w", err)
 		}
 	}
-	if logf != nil {
-		logf("fabric: coordinator listening on %s", c.Addr())
+	if log != nil {
+		log.Info("fabric: coordinator listening", "addr", c.Addr())
 	}
 	restore := Activate(c)
 	if sf.Min > 0 {
 		if err := c.WaitWorkers(ctx, sf.Min); err != nil {
 			restore()
 			_ = c.Close()
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	return func() {
 		restore()
 		_ = c.Close()
-	}, nil
+	}, c, nil
 }

@@ -26,10 +26,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
 	"time"
+
+	"lpm/internal/cliutil"
+	"lpm/internal/obs"
 )
 
 // ErrCoordinatorClosed is returned by Submit when the coordinator shuts
@@ -46,9 +50,14 @@ type Options struct {
 	// before it is duplicated onto an idle worker. 0 means the 30s
 	// default; negative disables straggler re-issue.
 	StraggleAfter time.Duration
-	// Logf receives coordinator diagnostics (worker joins, deaths,
-	// re-issues); nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured coordinator diagnostics (worker joins,
+	// deaths, re-issues) with worker/granule attrs; nil discards them.
+	Log *slog.Logger
+	// Obs, when set, receives the coordinator's fabric telemetry —
+	// queue depth, per-worker in-flight, re-queue and straggler churn,
+	// cache hit rate. Nil (the default) keeps every probe a nil-receiver
+	// no-op, so instrumentation is zero-cost when observability is off.
+	Obs *obs.Registry
 }
 
 // Stats is a snapshot of coordinator counters for tests and the CLIs.
@@ -114,6 +123,7 @@ type Coordinator struct {
 	pending []*granule // dispatch queue, ascending id
 	workers []*remoteWorker
 	stats   Stats
+	tel     *Telemetry // nil when Options.Obs is nil; updates under mu
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -138,6 +148,7 @@ func Listen(addr string, opts Options) (*Coordinator, error) {
 		ln:     ln,
 		byKey:  make(map[string]*granule),
 		byID:   make(map[uint64]*granule),
+		tel:    NewTelemetry(opts.Obs),
 		closed: make(chan struct{}),
 	}
 	c.loops.Add(1)
@@ -176,6 +187,16 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// ObsSnapshot captures the coordinator's fabric telemetry (nil when no
+// Obs registry was configured). The snapshot is taken under the
+// coordinator mutex, the same lock every telemetry update holds, so it
+// is consistent and safe to call from serving goroutines.
+func (c *Coordinator) ObsSnapshot() *obs.Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts.Obs.Snapshot()
 }
 
 // WaitWorkers blocks until at least n workers are connected, ctx
@@ -220,6 +241,7 @@ func (c *Coordinator) Submit(ctx context.Context, kind, key string, spec json.Ra
 		c.byID[g.id] = g
 		c.order = append(c.order, g)
 		c.stats.Submitted++
+		c.tel.Submitted()
 		c.enqueueLocked(g)
 		c.dispatchLocked()
 	}
@@ -262,6 +284,7 @@ func (c *Coordinator) dispatchLocked() {
 			c.issueLocked(w, g)
 		}
 	}
+	c.tel.SyncQueue(c.workers, len(c.pending))
 }
 
 // issueLocked sends g to w and records the holding.
@@ -304,12 +327,14 @@ func (c *Coordinator) acceptLoop() {
 func (c *Coordinator) serveConn(conn net.Conn) {
 	hello, err := ReadFrame(conn)
 	if err != nil || hello.Type != MsgHello {
-		c.logf("fabric: rejecting connection from %s: bad handshake (%v)", conn.RemoteAddr(), err)
+		c.log().Warn("fabric: rejecting connection: bad handshake",
+			"remote", fmt.Sprint(conn.RemoteAddr()), "err", fmt.Sprint(err))
 		_ = conn.Close()
 		return
 	}
 	if hello.Proto != ProtoVersion {
-		c.logf("fabric: rejecting worker %q: protocol %d, want %d", hello.Worker, hello.Proto, ProtoVersion)
+		c.log().Warn("fabric: rejecting worker: protocol mismatch",
+			"worker", hello.Worker, "proto", hello.Proto, "want", ProtoVersion)
 		_ = conn.Close()
 		return
 	}
@@ -332,11 +357,13 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 	c.workers = append(c.workers, w)
 	c.stats.Workers++
 	c.stats.Joined++
+	c.tel.Joined()
 	go c.writeLoop(w)
 	c.sendLocked(w, Msg{Type: MsgWelcome, Proto: ProtoVersion})
 	c.dispatchLocked()
 	c.mu.Unlock()
-	c.logf("fabric: worker %q joined (%d slots) from %s", w.name, w.slots, conn.RemoteAddr())
+	c.log().Info("fabric: worker joined",
+		"worker", w.name, "slots", w.slots, "remote", fmt.Sprint(conn.RemoteAddr()))
 
 	for {
 		//lint:ignore ctxflow Close() and workerGone close the conn, which fails this read
@@ -376,13 +403,18 @@ func (c *Coordinator) handleResult(m Msg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	g, ok := c.byID[m.ID]
-	if !ok || g.resolved() {
+	if !ok {
+		return
+	}
+	if g.resolved() {
+		c.tel.LateResult()
 		return
 	}
 	g.value = m.Value
 	g.errText = m.Error
 	close(g.done)
 	c.stats.Completed++
+	c.tel.Completed(time.Since(g.issuedAt))
 	// Free the granule from every holder so their budgets open up.
 	for _, w := range c.workers {
 		if _, held := w.inflight[g.id]; held {
@@ -406,6 +438,7 @@ func (c *Coordinator) handleCacheGet(w *remoteWorker, m Msg) {
 		reply.Error = g.errText
 		c.stats.CacheHits++
 	}
+	c.tel.CacheProbe(reply.Found)
 	c.sendLocked(w, reply)
 }
 
@@ -444,9 +477,11 @@ func (c *Coordinator) workerGone(w *remoteWorker, cause error) {
 		requeued++
 	}
 	w.inflight = nil
+	c.tel.WorkerGone(w.name, requeued)
 	c.dispatchLocked()
 	c.mu.Unlock()
-	c.logf("fabric: worker %q gone (%v); re-queued %d granules", w.name, cause, requeued)
+	c.log().Warn("fabric: worker gone",
+		"worker", w.name, "cause", fmt.Sprint(cause), "requeued", requeued)
 }
 
 // straggleLoop periodically duplicates aged in-flight granules onto
@@ -494,15 +529,17 @@ func (c *Coordinator) reissueStragglers() {
 			}
 			c.issueLocked(w, g)
 			c.stats.Duplicated++
-			c.logf("fabric: straggler granule %d (%s) duplicated onto worker %q", g.id, g.kind, w.name)
+			c.tel.Duplicated()
+			c.tel.SyncQueue(c.workers, len(c.pending))
+			c.log().Info("fabric: straggler duplicated",
+				"granule", g.id, "kind", g.kind, "worker", w.name)
 			break
 		}
 	}
 }
 
-// logf forwards to the configured logger, if any.
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.opts.Logf != nil {
-		c.opts.Logf(format, args...)
-	}
+// log returns the coordinator's structured logger (discard when none
+// was configured).
+func (c *Coordinator) log() *slog.Logger {
+	return cliutil.LoggerOrDiscard(c.opts.Log)
 }

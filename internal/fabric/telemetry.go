@@ -1,0 +1,240 @@
+package fabric
+
+// Fabric telemetry: the coordinator and worker publish their scheduling
+// and execution counters into an internal/obs registry so the fleet
+// control plane (cmd/lpmserve) can expose queue depth, re-issue churn
+// and cache efficiency on one Prometheus endpoint.
+//
+// Both telemetry types follow the obs nil-receiver contract: a nil
+// *Telemetry / *WorkerTelemetry (the default — no registry wired) makes
+// every probe a no-op branch, so the sharded determinism suites run the
+// exact same code paths byte-identically with observability off.
+
+import (
+	"sync"
+	"time"
+
+	"lpm/internal/obs"
+)
+
+// Telemetry is the coordinator-side probe set. All updates happen under
+// the coordinator mutex, which also serialises access to the underlying
+// (unsynchronised) obs registry.
+type Telemetry struct {
+	reg *obs.Registry
+
+	workers  *obs.Gauge
+	pending  *obs.Gauge
+	inflight *obs.Gauge
+
+	joined      *obs.Counter
+	deaths      *obs.Counter
+	submitted   *obs.Counter
+	completed   *obs.Counter
+	requeued    *obs.Counter
+	duplicated  *obs.Counter
+	lateResults *obs.Counter
+	probeHits   *obs.Counter
+	probeMisses *obs.Counter
+
+	latency *obs.Histogram
+}
+
+// NewTelemetry wires the coordinator probes into reg; a nil registry
+// returns a nil Telemetry, the zero-cost off switch.
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	return &Telemetry{
+		reg:         reg,
+		workers:     reg.Gauge("fabric.workers"),
+		pending:     reg.Gauge("fabric.pending_depth"),
+		inflight:    reg.Gauge("fabric.inflight"),
+		joined:      reg.Counter("fabric.workers_joined"),
+		deaths:      reg.Counter("fabric.workers_died"),
+		submitted:   reg.Counter("fabric.granules_submitted"),
+		completed:   reg.Counter("fabric.granules_completed"),
+		requeued:    reg.Counter("fabric.granules_requeued"),
+		duplicated:  reg.Counter("fabric.stragglers_duplicated"),
+		lateResults: reg.Counter("fabric.late_results_ignored"),
+		probeHits:   reg.Counter("fabric.cache_probe_hits"),
+		probeMisses: reg.Counter("fabric.cache_probe_misses"),
+		latency:     reg.Histogram("fabric.granule_seconds", 0, 30, 120),
+	}
+}
+
+// SyncQueue refreshes the queue-shape gauges after a scheduling change:
+// connected workers, pending-queue depth, total in-flight holdings, and
+// the per-worker in-flight gauges.
+func (t *Telemetry) SyncQueue(workers []*remoteWorker, pending int) {
+	if t == nil {
+		return
+	}
+	total := 0
+	for _, w := range workers {
+		n := len(w.inflight)
+		total += n
+		t.reg.Gauge("fabric.worker." + promSafe(w.name) + ".inflight").Set(float64(n))
+	}
+	t.workers.Set(float64(len(workers)))
+	t.pending.Set(float64(pending))
+	t.inflight.Set(float64(total))
+}
+
+// WorkerGone zeroes a dead worker's in-flight gauge and counts the
+// death plus the granules it alone held that went back on the queue.
+func (t *Telemetry) WorkerGone(name string, requeued int) {
+	if t == nil {
+		return
+	}
+	t.deaths.Inc()
+	t.requeued.Add(uint64(requeued))
+	t.reg.Gauge("fabric.worker." + promSafe(name) + ".inflight").Set(0)
+}
+
+// Joined counts a worker handshake.
+func (t *Telemetry) Joined() {
+	if t == nil {
+		return
+	}
+	t.joined.Inc()
+}
+
+// Submitted counts a distinct granule entering the queue.
+func (t *Telemetry) Submitted() {
+	if t == nil {
+		return
+	}
+	t.submitted.Inc()
+}
+
+// Completed records a granule resolving, with its issue-to-result wall
+// clock.
+func (t *Telemetry) Completed(latency time.Duration) {
+	if t == nil {
+		return
+	}
+	t.completed.Inc()
+	t.latency.Observe(latency.Seconds())
+}
+
+// LateResult counts a duplicate result ignored because the first copy
+// already won — the straggler first-result-wins race.
+func (t *Telemetry) LateResult() {
+	if t == nil {
+		return
+	}
+	t.lateResults.Inc()
+}
+
+// Duplicated counts a straggler duplication onto an idle worker.
+func (t *Telemetry) Duplicated() {
+	if t == nil {
+		return
+	}
+	t.duplicated.Inc()
+}
+
+// CacheProbe records one shared-cache probe and whether it hit.
+func (t *Telemetry) CacheProbe(hit bool) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.probeHits.Inc()
+	} else {
+		t.probeMisses.Inc()
+	}
+}
+
+// promSafe flattens a worker name (usually host:port) into a metric-name
+// segment: anything outside [a-zA-Z0-9_] becomes '_', matching what the
+// Prometheus renderer would do anyway but keeping registry keys stable.
+func promSafe(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WorkerTelemetry is the worker-side probe set: granule execution
+// latency and cache-probe efficiency. Unlike the coordinator, a worker
+// executes granules on concurrent slots, so this type carries its own
+// mutex around the unsynchronised registry. The nil receiver is the
+// off switch.
+type WorkerTelemetry struct {
+	mu        sync.Mutex
+	reg       *obs.Registry
+	executed  *obs.Counter
+	failed    *obs.Counter
+	abandoned *obs.Counter
+	probeHits *obs.Counter
+	latency   *obs.Histogram
+}
+
+// NewWorkerTelemetry wires the worker probes into reg; nil registry,
+// nil telemetry.
+func NewWorkerTelemetry(reg *obs.Registry) *WorkerTelemetry {
+	if reg == nil {
+		return nil
+	}
+	return &WorkerTelemetry{
+		reg:       reg,
+		executed:  reg.Counter("worker.granules_executed"),
+		failed:    reg.Counter("worker.granules_failed"),
+		abandoned: reg.Counter("worker.granules_abandoned"),
+		probeHits: reg.Counter("worker.cache_probe_hits"),
+		latency:   reg.Histogram("worker.granule_seconds", 0, 30, 120),
+	}
+}
+
+// Executed records one locally computed granule and its wall clock.
+func (w *WorkerTelemetry) Executed(latency time.Duration, failed bool) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.executed.Inc()
+	if failed {
+		w.failed.Inc()
+	}
+	w.latency.Observe(latency.Seconds())
+}
+
+// Abandoned records a granule dropped mid-execution by shutdown.
+func (w *WorkerTelemetry) Abandoned() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.abandoned.Inc()
+}
+
+// ProbeHit records a shared-cache probe answered with a result.
+func (w *WorkerTelemetry) ProbeHit() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.probeHits.Inc()
+}
+
+// Snapshot captures the worker probes; callers use it after RunWorker
+// returns (single-goroutine again) to log a shutdown summary.
+func (w *WorkerTelemetry) Snapshot() *obs.Snapshot {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reg.Snapshot()
+}

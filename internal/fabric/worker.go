@@ -11,13 +11,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"syscall"
 	"time"
 
+	"lpm/internal/cliutil"
 	"lpm/internal/faultinject"
 )
+
+// ErrDial marks a RunWorker failure that happened before any connection
+// was established. Reconnect loops use it to distinguish "the
+// coordinator was never there" (give up) from "an established session
+// broke" (worth redialling: the coordinator may still be running and
+// holding our abandoned granules).
+var ErrDial = errors.New("fabric: dial failed")
 
 // WorkerOptions configure RunWorker.
 type WorkerOptions struct {
@@ -34,8 +43,66 @@ type WorkerOptions struct {
 	// giving up, so workers may be launched before their coordinator.
 	// 0 fails fast on the first refused connection.
 	DialRetry time.Duration
-	// Logf receives worker diagnostics; nil discards them.
-	Logf func(format string, args ...any)
+	// Log receives structured worker diagnostics with granule attrs;
+	// nil discards them.
+	Log *slog.Logger
+	// Obs, when set, receives worker telemetry: granule execution
+	// latency histograms, cache-probe hits, abandoned-granule counts.
+	// Nil keeps every probe a nil-receiver no-op.
+	Obs *WorkerTelemetry
+	// Reprobe carries granule keys this process abandoned mid-execution
+	// (shutdown or a broken connection). When the coordinator re-issues
+	// one of them on a later connection, the worker probes the shared
+	// cache even under NoCacheProbe instead of silently re-simulating —
+	// a straggler duplicate may already have resolved it. Nil disables
+	// the bookkeeping.
+	Reprobe *ReprobeSet
+}
+
+// ReprobeSet is a concurrency-safe set of granule keys whose execution
+// this process abandoned. It outlives individual RunWorker sessions so
+// a reconnecting worker remembers what it walked away from.
+type ReprobeSet struct {
+	mu   sync.Mutex
+	keys map[string]struct{}
+}
+
+// NewReprobeSet returns an empty set.
+func NewReprobeSet() *ReprobeSet { return &ReprobeSet{keys: make(map[string]struct{})} }
+
+// Add records an abandoned granule key. Nil-safe.
+func (s *ReprobeSet) Add(key string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keys[key] = struct{}{}
+}
+
+// Take reports whether key was abandoned earlier and removes it — each
+// abandonment forces exactly one cache re-probe. Nil-safe.
+func (s *ReprobeSet) Take(key string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.keys[key]
+	if ok {
+		delete(s.keys, key)
+	}
+	return ok
+}
+
+// Len returns the number of keys currently recorded. Nil-safe.
+func (s *ReprobeSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.keys)
 }
 
 // RunWorker connects to a coordinator at addr and serves granules until
@@ -48,7 +115,7 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	}
 	conn, err := dialRetry(ctx, addr, opts.DialRetry)
 	if err != nil {
-		return fmt.Errorf("fabric: dial coordinator %s: %w", addr, err)
+		return fmt.Errorf("%w: coordinator %s: %v", ErrDial, addr, err)
 	}
 	defer conn.Close()
 	if opts.Name == "" {
@@ -78,7 +145,8 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 		return fmt.Errorf("fabric: handshake: coordinator sent %q (proto %d), want %q (proto %d)",
 			welcome.Type, welcome.Proto, MsgWelcome, ProtoVersion)
 	}
-	w.logf("fabric: worker %q connected to %s with %d slots", opts.Name, addr, opts.Slots)
+	w.log().Info("fabric: worker connected",
+		"worker", opts.Name, "coordinator", addr, "slots", opts.Slots)
 
 	err = w.readLoop()
 	w.cancel()
@@ -191,36 +259,59 @@ func (w *workerState) readLoop() error {
 // cover for).
 func (w *workerState) execute(m Msg) {
 	if err := faultinject.Hit("fabric.worker.kill", m.Kind); err != nil {
-		w.logf("fabric: worker %q: injected kill on granule %d: %v", w.opts.Name, m.ID, err)
+		w.log().Warn("fabric: injected kill on granule",
+			"worker", w.opts.Name, "granule", m.ID, "err", err.Error())
 		_ = w.conn.Close()
 		w.cancel()
 		return
 	}
 	if err := faultinject.Hit("fabric.worker.hang", m.Kind); err != nil {
-		w.logf("fabric: worker %q: injected hang on granule %d: %v", w.opts.Name, m.ID, err)
+		w.log().Warn("fabric: injected hang on granule",
+			"worker", w.opts.Name, "granule", m.ID, "err", err.Error())
 		<-w.ctx.Done()
 		return
 	}
 
-	if !w.opts.NoCacheProbe {
+	// An earlier session of this process may have walked away from this
+	// very granule (shutdown mid-execution). In that case probe the
+	// shared cache even when probes are off: a straggler duplicate may
+	// already have resolved it, and re-simulating would silently burn
+	// the work the re-issue machinery just saved.
+	reprobe := w.opts.Reprobe.Take(m.Key)
+	if reprobe {
+		w.log().Info("fabric: re-probing shared cache for previously abandoned granule",
+			"worker", w.opts.Name, "granule", m.ID, "kind", m.Kind, "key", m.Key)
+	}
+	if !w.opts.NoCacheProbe || reprobe {
 		if hit, reply := w.cacheProbe(m); hit {
+			w.opts.Obs.ProbeHit()
 			_ = w.send(Msg{Type: MsgResult, ID: m.ID, Value: reply.Value, Error: reply.Error})
 			return
 		}
 	}
 
 	result := Msg{Type: MsgResult, ID: m.ID}
+	start := time.Now()
 	exec, err := lookupKind(m.Kind)
 	if err == nil {
 		result.Value, err = runExecutor(w.ctx, exec, m)
 	}
 	if err != nil {
 		if w.ctx.Err() != nil {
-			return // shutting down; a partial result must not be sent
+			// Shutting down; a partial result must not be sent. Say so
+			// loudly and remember the key — if this process reconnects
+			// and is handed the granule again, it re-probes the shared
+			// cache first instead of silently re-simulating.
+			w.opts.Reprobe.Add(m.Key)
+			w.opts.Obs.Abandoned()
+			w.log().Warn("fabric: abandoning granule mid-execution on shutdown",
+				"worker", w.opts.Name, "granule", m.ID, "kind", m.Kind, "key", m.Key)
+			return
 		}
 		result.Value = nil
 		result.Error = err.Error()
 	}
+	w.opts.Obs.Executed(time.Since(start), result.Error != "")
 	_ = w.send(result)
 }
 
@@ -254,9 +345,8 @@ func (w *workerState) cacheProbe(m Msg) (bool, Msg) {
 	}
 }
 
-// logf forwards to the configured logger, if any.
-func (w *workerState) logf(format string, args ...any) {
-	if w.opts.Logf != nil {
-		w.opts.Logf(format, args...)
-	}
+// log returns the worker's structured logger (discard when none was
+// configured).
+func (w *workerState) log() *slog.Logger {
+	return cliutil.LoggerOrDiscard(w.opts.Log)
 }

@@ -33,7 +33,15 @@ var analyzerObsDiscipline = &Analyzer{
 func runObsDiscipline(p *Pass) {
 	checkMetricNames(p)
 	if matchAny(p.Pkg.Rel, []string{"internal/obs"}) {
-		checkNilGuards(p)
+		checkNilGuards(p, func(string) bool { return true })
+	}
+	// The fabric and control-plane telemetry probe sets promise the
+	// same nil-receiver off switch the obs registry does; only those
+	// types carry the contract there, not the coordinators themselves.
+	if matchAny(p.Pkg.Rel, []string{"internal/fabric", "internal/ctrl"}) {
+		checkNilGuards(p, func(recv string) bool {
+			return strings.HasSuffix(recv, "Telemetry") || recv == "ReprobeSet"
+		})
 	}
 	if matchAny(p.Pkg.Rel, []string{"internal/sim", "internal/core"}) {
 		checkNoGoroutines(p)
@@ -120,12 +128,17 @@ func constSuffixedName(info *types.Info, e ast.Expr) bool {
 	return isStringConst(info, be.Y)
 }
 
-// checkNilGuards enforces rule 2 inside internal/obs itself.
-func checkNilGuards(p *Pass) {
+// checkNilGuards enforces rule 2: every exported pointer-receiver
+// method on a type selected by wantType must open with the nil-receiver
+// guard when it touches receiver state.
+func checkNilGuards(p *Pass, wantType func(recvType string) bool) {
 	for _, f := range p.Pkg.Syntax {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			if !wantType(recvDeclTypeName(fd)) {
 				continue
 			}
 			recvName, isPtr := recvInfo(fd)
@@ -142,6 +155,23 @@ func checkNilGuards(p *Pass) {
 			}
 		}
 	}
+}
+
+// recvDeclTypeName returns the declared receiver type's name from the
+// AST ("Telemetry" for `func (t *Telemetry) ...`), or "" when it is not
+// a plain (possibly pointered) identifier.
+func recvDeclTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
 }
 
 // recvInfo extracts the receiver identifier name and pointer-ness.

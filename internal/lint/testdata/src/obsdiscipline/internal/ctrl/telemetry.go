@@ -1,0 +1,43 @@
+// Package ctrl is a miniature of the control plane's telemetry: the
+// same extended nil-guard rule as the fabric probe sets.
+package ctrl
+
+import "lpm/internal/obs"
+
+// Telemetry is the control-plane probe set.
+type Telemetry struct {
+	submitted *obs.Counter
+	drops     *obs.Counter
+}
+
+// NewTelemetry wires the probes; nil registry, nil telemetry.
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	return &Telemetry{
+		submitted: reg.Counter("ctrl.runs_submitted"),
+		drops:     reg.Counter("ctrl.sse_events_dropped"),
+	}
+}
+
+// Submitted counts an accepted run — properly guarded.
+func (t *Telemetry) Submitted() {
+	if t == nil {
+		return
+	}
+	t.submitted.Add(1)
+}
+
+// EventsDropped counts SSE ring overruns but forgets the guard.
+func (t *Telemetry) EventsDropped(n uint64) { // want "dereferences its receiver without the nil-receiver guard"
+	t.drops.Add(n)
+}
+
+// Registry is scheduler machinery, not a probe set: exempt.
+type Registry struct{ running int }
+
+// Submit is unguarded and fine.
+func (g *Registry) Submit() {
+	g.running++
+}

@@ -1,0 +1,87 @@
+// Package fabric is a miniature of the sweep fabric's telemetry probe
+// sets: the nil-receiver guard rule extends here, but only to the
+// *Telemetry types and the ReprobeSet — the coordinator itself is never
+// nil by contract.
+package fabric
+
+import "lpm/internal/obs"
+
+// Telemetry is the coordinator-side probe set.
+type Telemetry struct {
+	reg   *obs.Registry
+	hits  *obs.Counter
+	total *obs.Counter
+}
+
+// prefix namespaces the per-worker gauges.
+const prefix = "fabric.worker."
+
+// NewTelemetry wires the probes; nil registry, nil telemetry.
+func NewTelemetry(reg *obs.Registry) *Telemetry {
+	if reg == nil {
+		return nil
+	}
+	return &Telemetry{
+		reg:   reg,
+		hits:  reg.Counter("fabric.cache_probe_hits"),
+		total: reg.Counter("fabric.granules_completed"),
+	}
+}
+
+// CacheProbe records one shared-cache probe — properly guarded.
+func (t *Telemetry) CacheProbe() {
+	if t == nil {
+		return
+	}
+	t.hits.Add(1)
+}
+
+// SyncQueue refreshes per-worker gauges: a dynamic prefix with a
+// constant suffix is the accepted idiom.
+func (t *Telemetry) SyncQueue(worker string) {
+	if t == nil {
+		return
+	}
+	t.reg.Gauge(prefix + worker + ".inflight").Add(1)
+}
+
+// Completed counts a granule but forgets the guard: the probe must stay
+// a no-op on the nil (telemetry-off) receiver.
+func (t *Telemetry) Completed() { // want "dereferences its receiver without the nil-receiver guard"
+	t.total.Add(1)
+}
+
+// Dynamic registers a fully dynamic metric name, which destabilises
+// snapshot ordering.
+func (t *Telemetry) Dynamic(name string) {
+	if t == nil {
+		return
+	}
+	t.reg.Counter(name).Add(1) // want "must be a string constant or end in a constant suffix"
+}
+
+// Coordinator is fabric machinery, not a probe set: no guard required.
+type Coordinator struct{ pending int }
+
+// Submit dereferences its receiver unguarded — allowed, the rule only
+// covers the telemetry types.
+func (c *Coordinator) Submit() {
+	c.pending++
+}
+
+// ReprobeSet remembers abandoned granule keys; it shares the
+// nil-receiver contract so an unwired worker pays nothing.
+type ReprobeSet struct{ keys map[string]struct{} }
+
+// Add records a key — properly guarded.
+func (s *ReprobeSet) Add(key string) {
+	if s == nil {
+		return
+	}
+	s.keys[key] = struct{}{}
+}
+
+// Len forgets the guard.
+func (s *ReprobeSet) Len() int { // want "dereferences its receiver without the nil-receiver guard"
+	return len(s.keys)
+}

@@ -47,27 +47,59 @@ func promType(kind string) string {
 // histograms are written as a summary: quantile series plus _sum-less
 // _count and _mean companions. A nil snapshot writes nothing.
 func (s *Snapshot) WritePromText(w io.Writer) error {
+	return s.WritePromLabeled(w, "", nil)
+}
+
+// WritePromLabeled writes the snapshot with a fixed label set attached to
+// every series — the fleet-exposition form, where one endpoint carries
+// many runs' snapshots distinguished by run/tenant labels. labels is the
+// pre-rendered inner label list (`run="r-1",tenant="acme"`); empty means
+// unlabeled, reproducing WritePromText exactly. seen, when non-nil,
+// suppresses duplicate # TYPE headers across calls: the fleet writer
+// passes one map for the whole scrape so a metric shared by every run is
+// typed once. A nil snapshot writes nothing.
+func (s *Snapshot) WritePromLabeled(w io.Writer, labels string, seen map[string]bool) error {
 	if s == nil {
 		return nil
 	}
+	brace := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
 	for _, mv := range s.Metrics {
 		name := promName(mv.Name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType(mv.Kind)); err != nil {
-			return err
+		if seen == nil || !seen[name] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, promType(mv.Kind)); err != nil {
+				return err
+			}
+			if seen != nil {
+				seen[name] = true
+			}
 		}
 		var err error
 		switch mv.Kind {
 		case "counter":
-			_, err = fmt.Fprintf(w, "%s %d\n", name, mv.Count)
+			_, err = fmt.Fprintf(w, "%s%s %d\n", name, brace(""), mv.Count)
 		case "histogram":
 			if mv.Hist == nil {
 				continue
 			}
-			_, err = fmt.Fprintf(w, "%s{quantile=\"0.5\"} %g\n%s{quantile=\"0.9\"} %g\n%s{quantile=\"0.99\"} %g\n%s_count %d\n%s_mean %g\n",
-				name, mv.Hist.P50, name, mv.Hist.P90, name, mv.Hist.P99,
-				name, mv.Hist.Count, name, mv.Hist.Mean)
+			_, err = fmt.Fprintf(w, "%s%s %g\n%s%s %g\n%s%s %g\n%s_count%s %d\n%s_mean%s %g\n",
+				name, brace(`quantile="0.5"`), mv.Hist.P50,
+				name, brace(`quantile="0.9"`), mv.Hist.P90,
+				name, brace(`quantile="0.99"`), mv.Hist.P99,
+				name, brace(""), mv.Hist.Count,
+				name, brace(""), mv.Hist.Mean)
 		default:
-			_, err = fmt.Fprintf(w, "%s %g\n", name, mv.Value)
+			_, err = fmt.Fprintf(w, "%s%s %g\n", name, brace(""), mv.Value)
 		}
 		if err != nil {
 			return err

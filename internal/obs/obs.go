@@ -138,9 +138,10 @@ type metric struct {
 
 // Registry holds a simulation's metrics. The nil *Registry is valid and
 // hands out nil handles, making every downstream update a cheap no-op.
-// Create with NewRegistry. Registration order is deterministic (single
-// goroutine), and Snapshot sorts by name, so two identical simulations
-// produce bit-identical snapshots regardless of wiring order.
+// Create with NewRegistry. Metrics are kept name-sorted from
+// registration on, so two identical simulations produce bit-identical
+// snapshots regardless of wiring order and Snapshot stays cheap enough
+// to call once per timeline window.
 type Registry struct {
 	metrics []*metric
 	index   map[string]*metric
@@ -161,7 +162,13 @@ func (r *Registry) lookup(name string, kind Kind, mk func() *metric) *metric {
 		return m
 	}
 	m := mk()
-	r.metrics = append(r.metrics, m)
+	// Insert at the name-sorted position: registration is rare and
+	// bounded, and a sorted slice lets Snapshot — called once per
+	// timeline window on the live-export path — skip its per-call sort.
+	i := sort.Search(len(r.metrics), func(i int) bool { return r.metrics[i].name >= name })
+	r.metrics = append(r.metrics, nil)
+	copy(r.metrics[i+1:], r.metrics[i:])
+	r.metrics[i] = m
 	r.index[name] = m
 	return m
 }
@@ -274,17 +281,17 @@ func (r *Registry) Snapshot() *Snapshot {
 			mv.Value = m.g.v
 		case KindHistogram:
 			h := m.h.h
+			p50, p90, p99 := h.Quantiles3(0.50, 0.90, 0.99)
 			mv.Hist = &HistValue{
 				Count: h.Total(),
 				Mean:  h.Mean(),
-				P50:   h.Quantile(0.50),
-				P90:   h.Quantile(0.90),
-				P99:   h.Quantile(0.99),
+				P50:   p50,
+				P90:   p90,
+				P99:   p99,
 			}
 		}
 		s.Metrics = append(s.Metrics, mv)
 	}
-	sort.Slice(s.Metrics, func(i, j int) bool { return s.Metrics[i].Name < s.Metrics[j].Name })
 	return s
 }
 

@@ -1,0 +1,46 @@
+package resilience
+
+// Signal-aware HTTP serving: the control plane (cmd/lpmserve) and any
+// other long-lived exposition endpoint share one shutdown discipline —
+// serve until the signal context cancels, then drain in-flight requests
+// for a bounded grace window before hard-closing.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeHTTP serves srv on ln until ctx cancels (typically the
+// WithSignals context), then shuts down gracefully: in-flight requests
+// and open SSE streams get up to grace to finish before the listener's
+// connections are hard-closed. It returns nil on a clean signal-driven
+// exit and the serve error otherwise.
+func ServeHTTP(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	if srv.BaseContext == nil {
+		// Handlers observe the signal through the request context, so
+		// long-lived streams (SSE) end themselves during the grace
+		// window instead of being cut mid-event.
+		srv.BaseContext = func(net.Listener) context.Context { return ctx }
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// The shutdown deadline must outlive the cancelled serve context —
+	// detach from it, keeping only its values.
+	sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		_ = srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeHTTPGracefulShutdown pins the serve lifecycle: requests work
+// while the context lives, cancellation drains in-flight handlers
+// within the grace window, and the call returns nil on that clean path.
+func TestServeHTTPGracefulShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(slow)
+		// Finish only when the serve context cancels — an in-flight
+		// request the grace window must cover.
+		<-r.Context().Done()
+		_, _ = io.WriteString(w, "drained")
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- ServeHTTP(ctx, &http.Server{Handler: mux}, ln, 5*time.Second)
+	}()
+
+	url := "http://" + ln.Addr().String()
+	resp, err := http.Get(url + "/ok")
+	if err != nil {
+		t.Fatalf("GET /ok: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("GET /ok body %q", body)
+	}
+
+	slowDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(url + "/slow")
+		if err != nil {
+			slowDone <- "error: " + err.Error()
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		slowDone <- string(b)
+	}()
+	<-slow
+	cancel()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeHTTP: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeHTTP did not return after cancellation")
+	}
+	select {
+	case got := <-slowDone:
+		if got != "drained" {
+			t.Fatalf("in-flight request: %q", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	// The listener is closed: new connections are refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestServeHTTPServeError surfaces a listener failure as the returned
+// error rather than a hang.
+func TestServeHTTPServeError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ln.Close() // serve on a dead listener fails immediately
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := ServeHTTP(ctx, &http.Server{}, ln, time.Second); err == nil {
+		t.Fatal("dead listener did not error")
+	}
+}

@@ -175,6 +175,40 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.hi
 }
 
+// Quantiles3 returns bucket-midpoint approximations of three ascending
+// quantiles in one pass over the buckets. The per-window snapshot path
+// asks for p50/p90/p99 together; three Quantile calls would re-scan the
+// buckets each time.
+func (h *Histogram) Quantiles3(q1, q2, q3 float64) (v1, v2, v3 float64) {
+	if h.total == 0 {
+		return 0, 0, 0
+	}
+	qs := [3]float64{q1, q2, q3}
+	var vs [3]float64
+	next := 0
+	clamp := func(q float64) float64 { return math.Min(math.Max(q, 0), 1) }
+	advance := func(cum uint64, v float64) {
+		for next < 3 && cum > uint64(clamp(qs[next])*float64(h.total)) {
+			vs[next] = v
+			next++
+		}
+	}
+	cum := h.underflow
+	advance(cum, h.lo)
+	for i, c := range h.buckets {
+		if next == 3 {
+			break
+		}
+		cum += c
+		advance(cum, h.lo+(float64(i)+0.5)*h.width)
+	}
+	for next < 3 {
+		vs[next] = h.hi
+		next++
+	}
+	return vs[0], vs[1], vs[2]
+}
+
 // HarmonicMean returns the harmonic mean of xs. Zero or negative entries
 // make the harmonic mean undefined; they yield 0.
 func HarmonicMean(xs []float64) float64 {
