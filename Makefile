@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is the CI gate.
 GO ?= go
 
-.PHONY: all build test race vet lint fmt-check bench benchjson benchjson-check fuzz chaos fabric-test ci golden diffgate race-serve serve-test
+.PHONY: all build test race vet lint fmt-check bench benchjson benchjson-check fuzz chaos chaos-net fabric-test ci golden diffgate race-serve serve-test
 
 all: build vet lint test race
 
@@ -70,6 +70,16 @@ fabric-test:
 chaos:
 	$(GO) test -race -count=1 -run '^TestChaos' ./...
 
+# Network-fault resilience suite: the deterministic fault-injection
+# scenarios behind the fleet resilience layer — partition during
+# straggler duplication, hung-TCP heartbeat loss, corrupt-frame
+# reconnect, lying-worker quarantine, coordinator kill -9 journal
+# resume — race-enabled. A subset of `make chaos`, kept addressable on
+# its own because these tests exercise the NetProxy/failpoint machinery
+# specifically.
+chaos-net:
+	$(GO) test -race -count=1 -run '^TestChaosFabric' ./internal/fabric
+
 # Regenerate the golden files after an intentional model/simulator change.
 golden:
 	$(GO) test -run Golden -update .
@@ -102,6 +112,7 @@ serve-test:
 # suites spin up.
 ci: fmt-check build vet lint
 	$(MAKE) chaos
+	$(MAKE) chaos-net
 	$(MAKE) serve-test
 	$(GO) test -race ./...
 	$(MAKE) diffgate

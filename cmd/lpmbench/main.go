@@ -23,10 +23,13 @@
 // invariant this gate protects.
 //
 // Beyond the engine rates the document also pins the control-plane
-// serve path (serve_scrape_seconds — one fleet /metrics scrape) and the
+// serve path (serve_scrape_seconds — one fleet /metrics scrape), the
 // instrumentation tax (instrumentation_overhead — obs sampler, fabric
-// telemetry probes, serve scrape as fractions, 0.01 = 1%). These are
-// trend lines; the -check gate stays on the engine speedups.
+// telemetry probes, serve scrape as fractions, 0.01 = 1%), and the
+// fleet's crash-recovery latency (fleet_recover_seconds — coordinator
+// kill to first post-resume granule completion through the journal
+// replay path). The overheads are trend lines; fleet_recover_seconds
+// joins the engine speedups under the -check gate.
 package main
 
 import (
@@ -44,6 +47,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"lpm/internal/cliutil"
@@ -98,6 +102,11 @@ type Document struct {
 	// fleet /metrics scrape against a control-plane registry carrying
 	// three finished runs with published snapshots.
 	ServeScrapeSeconds float64 `json:"serve_scrape_seconds,omitempty"`
+	// FleetRecoverSeconds is the best-of-reps wall-clock from killing a
+	// journaling coordinator mid-sweep to the first granule completion
+	// on its successor: journal replay, listener re-bind, worker
+	// redial+handshake, and one granule round trip, end to end.
+	FleetRecoverSeconds float64 `json:"fleet_recover_seconds,omitempty"`
 	// Overhead pins the instrumentation tax as fractions (0.01 = 1%):
 	// sampler_publish (the per-window control-plane publish sequence
 	// over one window's wall-clock), fabric_telemetry (one granule's
@@ -156,6 +165,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := measureOverhead(ctx, doc, *reps); err != nil {
 		return err
 	}
+	if err := measureFleetRecover(ctx, doc, *reps); err != nil {
+		return err
+	}
 	p := cliutil.NewPrinter(stdout)
 	p.Printf("lpmbench: %s on %s/%s (%d cpus), %d cycles x %d reps\n",
 		benchWorkload, doc.OS, doc.Arch, doc.CPUs, doc.Cycles, doc.Reps)
@@ -169,6 +181,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			doc.LintSeconds["cold"]/doc.LintSeconds["warm"])
 	}
 	p.Printf("  %-21s %12.6f sec/scrape\n", "serve_fleet_metrics", doc.ServeScrapeSeconds)
+	p.Printf("  %-21s %12.6f sec/recover\n", "fleet_recover", doc.FleetRecoverSeconds)
 	if doc.Overhead != nil {
 		p.Printf("  overhead: sampler_publish %.4f%%, fabric_telemetry %.4f%%, serve_scrape %.4f%%\n",
 			100*doc.Overhead["sampler_publish"], 100*doc.Overhead["fabric_telemetry"],
@@ -488,6 +501,148 @@ func measureOverhead(ctx context.Context, doc *Document, reps int) error {
 	return nil
 }
 
+// recoverKind is the trivial granule the recovery benchmark round-trips
+// through the fabric: the cost under measurement is the resume path,
+// not the executor.
+const recoverKind = "bench.recover"
+
+var registerRecoverKind = sync.OnceFunc(func() {
+	fabric.RegisterKind(recoverKind, func(_ context.Context, spec json.RawMessage) (json.RawMessage, error) {
+		var in struct {
+			X uint64 `json:"x"`
+		}
+		if err := json.Unmarshal(spec, &in); err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct {
+			Y uint64 `json:"y"`
+		}{2 * in.X})
+	})
+})
+
+// measureFleetRecover pins the fleet's crash-recovery latency: a
+// journaling coordinator is killed mid-sweep and the clock runs from
+// the kill to the first granule completion on the successor — journal
+// replay, listener re-bind, worker redial, handshake, and one granule
+// round trip. Best of reps, like the engine rates.
+func measureFleetRecover(ctx context.Context, doc *Document, reps int) error {
+	registerRecoverKind()
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		sec, err := timeFleetRecover(ctx, uint64(r))
+		if err != nil {
+			return fmt.Errorf("lpmbench fleet recover: %w", err)
+		}
+		if sec < best {
+			best = sec
+		}
+	}
+	doc.FleetRecoverSeconds = best
+	return nil
+}
+
+func timeFleetRecover(ctx context.Context, rep uint64) (float64, error) {
+	dir, err := os.MkdirTemp("", "lpmbench-fleet-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	opts := fabric.Options{
+		InFlight:      2,
+		StraggleAfter: -1,
+		JournalPath:   filepath.Join(dir, "journal.lpmckpt"),
+		Seed:          1,
+	}
+
+	c1, err := fabric.Listen("127.0.0.1:0", opts)
+	if err != nil {
+		return 0, err
+	}
+	wctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	var workers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		workers.Add(1)
+		go func(i int) {
+			defer workers.Done()
+			_ = fabric.RunWorker(wctx, c1.Addr(), fabric.WorkerOptions{
+				Name: fmt.Sprintf("bench-%d", i), Seed: uint64(i + 1),
+			})
+		}(i)
+	}
+	if err := c1.WaitWorkers(ctx, 2); err != nil {
+		_ = c1.Close()
+		return 0, err
+	}
+
+	// A sweep that is genuinely mid-flight when the coordinator dies:
+	// concurrent submits, killed once a few results have landed and
+	// been journaled.
+	sctx, stopSubmits := context.WithCancel(ctx)
+	defer stopSubmits()
+	var submits sync.WaitGroup
+	const granules = 16
+	for i := 0; i < granules; i++ {
+		submits.Add(1)
+		go func(i int) {
+			defer submits.Done()
+			spec, _ := json.Marshal(struct {
+				X uint64 `json:"x"`
+			}{uint64(i)})
+			key := fmt.Sprintf("%s|%d|%d", recoverKind, rep, i)
+			_, _ = c1.Submit(sctx, recoverKind, key, spec)
+		}(i)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for c1.Stats().Completed < 4 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if time.Now().After(deadline) {
+			return 0, errors.New("sweep never progressed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The kill. Everything from here to the successor's first completed
+	// granule is recovery latency.
+	start := time.Now()
+	stopSubmits()
+	stopWorkers()
+	_ = c1.Close()
+	submits.Wait()
+	workers.Wait()
+
+	c2, err := fabric.Listen("127.0.0.1:0", opts)
+	if err != nil {
+		return 0, err
+	}
+	defer c2.Close()
+	w2ctx, stopW2 := context.WithCancel(ctx)
+	defer stopW2()
+	var resumed sync.WaitGroup
+	resumed.Add(1)
+	go func() {
+		defer resumed.Done()
+		_ = fabric.RunWorker(w2ctx, c2.Addr(), fabric.WorkerOptions{
+			Name: "bench-resume", Seed: 9, DialRetry: 5 * time.Second,
+		})
+	}()
+	defer resumed.Wait()
+	spec, _ := json.Marshal(struct {
+		X uint64 `json:"x"`
+	}{granules})
+	if _, err := c2.Submit(ctx, recoverKind, fmt.Sprintf("%s|%d|probe", recoverKind, rep), spec); err != nil {
+		return 0, err
+	}
+	sec := time.Since(start).Seconds()
+	if c2.Resumed() == nil {
+		return 0, errors.New("successor coordinator did not replay the journal")
+	}
+	stopW2()
+	return sec, nil
+}
+
 // checkAgainst compares fresh speedup ratios with the pinned document.
 func checkAgainst(path string, fresh *Document, stdout io.Writer) error {
 	data, err := os.ReadFile(path)
@@ -518,11 +673,25 @@ func checkAgainst(path string, fresh *Document, stdout io.Writer) error {
 		}
 		p.Printf("check %-21s pinned %.2fx  fresh %.2fx  %s\n", k, pr, fr, verdict)
 	}
+	// Recovery latency gates coarsely: absolute seconds vary machine to
+	// machine, so the gate only trips when a fresh recovery takes more
+	// than 3x the pinned time plus 250ms of scheduler slack — wide
+	// enough for a slow CI box, tight enough to catch an accidental
+	// sleep or an un-journaled state rebuild on the resume path.
+	if pinned.FleetRecoverSeconds > 0 && fresh.FleetRecoverSeconds > 0 {
+		verdict := "ok"
+		if fresh.FleetRecoverSeconds > 3*pinned.FleetRecoverSeconds+0.25 {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		p.Printf("check %-21s pinned %.4fs  fresh %.4fs  %s\n",
+			"fleet_recover", pinned.FleetRecoverSeconds, fresh.FleetRecoverSeconds, verdict)
+	}
 	if err := p.Err(); err != nil {
 		return err
 	}
 	if failed {
-		return fmt.Errorf("%w: speedup over stepped fell more than 20%% below %s", errRegression, path)
+		return fmt.Errorf("%w: engine speedup or fleet recovery regressed against %s", errRegression, path)
 	}
 	return nil
 }

@@ -41,6 +41,7 @@ import (
 	"lpm/internal/fabric"
 	"lpm/internal/obs"
 	"lpm/internal/resilience"
+	"lpm/internal/resilience/fleet"
 
 	// Register the granule executors this worker can run: the
 	// design-point simulation and the two profiling kinds.
@@ -72,6 +73,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		retry     = fs.Duration("retry", 10*time.Second, "keep retrying the initial dial for this long")
 		reconnect = fs.Int("reconnect", 2, "redial a broken (previously established) session up to this many times; 0 = exit on the first break")
 		noProbe   = fs.Bool("no-cache-probe", false, "skip the shared-cache probe before each granule")
+		seed      = fs.Uint64("seed", 0, "seed for the deterministic retry-jitter stream")
 		quiet     = fs.Bool("quiet", false, "suppress structured progress logging on stderr")
 		logFmt    = fs.String("log", "text", "log format on stderr: text or json")
 		version   = fs.Bool("version", false, "print the fabric protocol version and exit")
@@ -93,11 +95,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		log = cliutil.NewLogger(stderr, *logFmt)
 	}
 	tel := fabric.NewWorkerTelemetry(obs.NewRegistry())
+	policy := fleet.Defaults(*seed)
 	opts := fabric.WorkerOptions{
 		Name:         *name,
 		Slots:        *slots,
 		NoCacheProbe: *noProbe,
 		DialRetry:    *retry,
+		Retry:        policy,
+		Seed:         *seed,
 		Log:          log,
 		Obs:          tel,
 		// One reprobe set across every session of this process: keys
@@ -123,6 +128,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		log.Warn("fabric: session broke; reconnecting",
 			"attempt", attempt+1, "of", *reconnect,
 			"abandoned_keys", opts.Reprobe.Len(), "err", err.Error())
+		// Pace the redial with the shared backoff policy: seeded jitter,
+		// capped exponential — the same discipline every fabric retry
+		// loop follows.
+		if serr := policy.Sleep(ctx, attempt); serr != nil {
+			break
+		}
 	}
 	logWorkerSummary(log, tel)
 	return err

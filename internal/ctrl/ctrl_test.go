@@ -17,6 +17,7 @@ import (
 
 	"lpm/internal/obs"
 	"lpm/internal/obs/timeseries"
+	"lpm/internal/resilience/fleet"
 )
 
 // stubRunner publishes `windows` timeline windows, then blocks until
@@ -242,6 +243,213 @@ func TestHubLateSubscriberCatchesUp(t *testing.T) {
 	}
 }
 
+func TestHubSubscribeAfterDeduplicates(t *testing.T) {
+	hub := NewHub()
+	for i := 0; i < 5; i++ {
+		hub.Publish(timeseries.Window{Index: i})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// First session: read three windows, remember the last seq seen.
+	sub := hub.Subscribe(0)
+	var last uint64
+	for i := 0; i < 3; i++ {
+		e, _, ok := sub.Next(ctx)
+		if !ok || e.Type != "window" || e.Window.Index != i {
+			t.Fatalf("event %d: %+v ok=%v", i, e, ok)
+		}
+		if e.Seq <= last {
+			t.Fatalf("seq not increasing: %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+	sub.Close()
+
+	// Reconnect mid-history: catch-up must resume strictly after the
+	// last seq — windows 0..2 never replay.
+	hub.Done()
+	sub2 := hub.SubscribeAfter(0, last)
+	defer sub2.Close()
+	var got []int
+	for {
+		e, _, ok := sub2.Next(ctx)
+		if !ok {
+			t.Fatal("subscription ended before done")
+		}
+		if e.Seq <= last {
+			t.Fatalf("duplicated event seq %d (already saw through %d)", e.Seq, last)
+		}
+		last = e.Seq
+		if e.Type == "done" {
+			break
+		}
+		got = append(got, e.Window.Index)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("resumed windows: %v, want [3 4]", got)
+	}
+}
+
+func TestSSEReconnectResumesAfterLastEventID(t *testing.T) {
+	run := &stubRunner{windows: 5}
+	reg := NewRegistry(context.Background(), Config{Runner: run, MaxConcurrent: 1})
+	srv := httptest.NewServer(NewAPIMux(reg))
+	defer srv.Close()
+	defer reg.Drain()
+	if _, err := reg.Submit(RunSpec{Workload: "403.gcc"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, reg, "r-1", StateDone)
+
+	// readSSE drains one stream, recording every id: line, until done or
+	// maxWindows window events arrive.
+	readSSE := func(lastEventID string, maxWindows int) (ids []uint64, sawDone bool) {
+		req, err := http.NewRequest("GET", srv.URL+"/api/v1/runs/r-1/events", nil)
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		if lastEventID != "" {
+			req.Header.Set("Last-Event-ID", lastEventID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET events: %v", err)
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		windows := 0
+		for sc.Scan() {
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "id: "); ok {
+				var id uint64
+				fmt.Sscanf(v, "%d", &id)
+				ids = append(ids, id)
+			}
+			if ev, ok := strings.CutPrefix(line, "event: "); ok {
+				switch ev {
+				case "done":
+					sawDone = true
+					return ids, sawDone
+				case "window":
+					windows++
+				}
+			}
+			// The event: line precedes the id: line, so only disconnect
+			// at the blank line terminating a complete event — leaving
+			// mid-event would drop the id the reconnect resumes from.
+			if line == "" && maxWindows > 0 && windows >= maxWindows {
+				return ids, sawDone
+			}
+		}
+		return ids, sawDone
+	}
+
+	// First session reads two windows then "disconnects".
+	first, _ := readSSE("", 2)
+	if len(first) < 2 {
+		t.Fatalf("first session saw %d ids, want >=2", len(first))
+	}
+	last := first[len(first)-1]
+
+	// Reconnect with Last-Event-ID: no id at or below `last` may appear.
+	resumed, sawDone := readSSE(fmt.Sprint(last), 0)
+	if !sawDone {
+		t.Fatal("resumed session never saw done")
+	}
+	// 5 windows carry ids 1..5 (done is id-less); the resume starts
+	// after `last`.
+	if want := 5 - int(last); len(resumed) != want {
+		t.Fatalf("resumed session saw %d ids (%v), want %d", len(resumed), resumed, want)
+	}
+	prev := last
+	for _, id := range resumed {
+		if id <= prev {
+			t.Fatalf("resumed stream replayed or reordered id %d after %d", id, prev)
+		}
+		prev = id
+	}
+
+	// A malformed Last-Event-ID is a 400, not a silent full replay.
+	req, _ := http.NewRequest("GET", srv.URL+"/api/v1/runs/r-1/events", nil)
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed Last-Event-ID: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// flakyRunner fails transiently the first `failures` times, then runs
+// the embedded stub.
+type flakyRunner struct {
+	stubRunner
+	mu       sync.Mutex
+	failures int
+	attempts int
+}
+
+func (f *flakyRunner) Run(ctx context.Context, spec RunSpec, pub *Publisher) (json.RawMessage, error) {
+	f.mu.Lock()
+	f.attempts++
+	fail := f.attempts <= f.failures
+	f.mu.Unlock()
+	if fail {
+		return nil, &fleet.RemoteError{Text: "stub: connection reset", Transient: true}
+	}
+	return f.stubRunner.Run(ctx, spec, pub)
+}
+
+func TestRunRetryTransient(t *testing.T) {
+	fast := fleet.RetryPolicy{Base: time.Millisecond, Cap: time.Millisecond, Multiplier: 2}
+	run := &flakyRunner{stubRunner: stubRunner{windows: 1}, failures: 2}
+	reg := NewRegistry(context.Background(), Config{
+		Runner: run, MaxConcurrent: 1, Retry: fast, RetryBudget: 3,
+	})
+	if _, err := reg.Submit(RunSpec{Workload: "403.gcc"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, reg, "r-1", StateDone)
+	reg.Drain()
+	if run.attempts != 3 {
+		t.Fatalf("attempts=%d, want 3 (2 transient failures + 1 success)", run.attempts)
+	}
+
+	// A permanent failure must not burn retries.
+	perm := &flakyRunner{stubRunner: stubRunner{windows: 1, fail: true}}
+	reg2 := NewRegistry(context.Background(), Config{
+		Runner: perm, MaxConcurrent: 1, Retry: fast, RetryBudget: 3,
+	})
+	if _, err := reg2.Submit(RunSpec{Workload: "403.gcc"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitState(t, reg2, "r-1", StateFailed)
+	reg2.Drain()
+	if perm.attempts != 1 {
+		t.Fatalf("permanent failure retried: attempts=%d, want 1", perm.attempts)
+	}
+
+	// A run that exhausts its budget fails with the transient error.
+	burn := &flakyRunner{stubRunner: stubRunner{windows: 1}, failures: 99}
+	reg3 := NewRegistry(context.Background(), Config{
+		Runner: burn, MaxConcurrent: 1, Retry: fast, RetryBudget: 2,
+	})
+	if _, err := reg3.Submit(RunSpec{Workload: "403.gcc"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st := waitState(t, reg3, "r-1", StateFailed)
+	reg3.Drain()
+	if burn.attempts != 3 {
+		t.Fatalf("budget 2: attempts=%d, want 3", burn.attempts)
+	}
+	if !strings.Contains(st.Error, "connection reset") {
+		t.Fatalf("exhausted run error: %q", st.Error)
+	}
+}
+
 func TestHTTPAPI(t *testing.T) {
 	release := make(chan struct{})
 	run := &stubRunner{windows: 5, release: release}
@@ -345,6 +553,8 @@ func TestHTTPAPI(t *testing.T) {
 		t.Fatalf("result: %s", body)
 	}
 	get("/api/v1/runs/r-99", http.StatusNotFound)
+	// No sweep fabric attached: the fleet health endpoint is a 404.
+	get("/api/v1/fleet", http.StatusNotFound)
 
 	// Fleet metrics: control-plane series plus run-labeled series.
 	fleet := get("/metrics", http.StatusOK)

@@ -10,6 +10,7 @@ package ctrl
 //	GET  /api/v1/runs/{id}/metrics  per-run Prometheus text
 //	GET  /api/v1/runs/{id}/events   SSE window stream
 //	GET  /api/v1/runs/{id}/result   final lpm-report/v2 document
+//	GET  /api/v1/fleet              sweep-fabric health (workers, quarantine, stats)
 //	GET  /metrics                   fleet-wide Prometheus text
 //
 // The fleet endpoint renders, in one scrape: the control plane's own
@@ -95,6 +96,15 @@ func NewAPIMux(reg *Registry) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write(doc)
+	})
+	mux.HandleFunc("GET /api/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		fs, ok := reg.cfg.Fabric.(FleetSource)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no sweep fabric attached")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(fs.FleetStatsJSON())
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer

@@ -20,6 +20,11 @@ const DefaultRing = 256
 // Event is one hub item: a closed (or re-merged) timeline window, or
 // the end-of-run marker.
 type Event struct {
+	// Seq is the event's position in the run's stream, 1-based and
+	// strictly increasing. It is the SSE `id:` of the event, so a
+	// reconnecting client replays `Last-Event-ID` and catches up from
+	// exactly where it left off — never seeing a window twice.
+	Seq uint64 `json:"seq"`
 	// Type is "window" or "done".
 	Type string `json:"type"`
 	// Window carries the window for "window" events.
@@ -30,6 +35,7 @@ type Event struct {
 // a late subscriber catches up from the start of the run.
 type Hub struct {
 	mu      sync.Mutex
+	seq     uint64
 	history []Event
 	done    bool
 	subs    []*Subscriber
@@ -62,10 +68,13 @@ func (h *Hub) Done() {
 	h.broadcast(Event{Type: "done"})
 }
 
-// broadcast appends to history and pushes to every subscriber ring,
-// reporting aggregate drops to the telemetry hook.
+// broadcast stamps the next sequence number, appends to history and
+// pushes to every subscriber ring, reporting aggregate drops to the
+// telemetry hook.
 func (h *Hub) broadcast(e Event) {
 	h.mu.Lock()
+	h.seq++
+	e.Seq = h.seq
 	h.history = append(h.history, e)
 	subs := append([]*Subscriber(nil), h.subs...)
 	h.mu.Unlock()
@@ -82,7 +91,16 @@ func (h *Hub) broadcast(e Event) {
 // capacity (0 = DefaultRing), preloaded with the run's history so far.
 // Preloading past a full ring drops the oldest history with the same
 // accounting as live overruns.
-func (h *Hub) Subscribe(ring int) *Subscriber {
+func (h *Hub) Subscribe(ring int) *Subscriber { return h.SubscribeAfter(ring, 0) }
+
+// SubscribeAfter is Subscribe with bounded catch-up: only history past
+// sequence number `after` preloads, so a client reconnecting with the
+// last `id:` it saw never receives a duplicated window. Catch-up and
+// registration happen under one hub lock acquisition, with the preload
+// before the subscriber becomes visible to broadcast — an event
+// published concurrently lands exactly once, in order: either in the
+// catch-up (it was already history) or pushed live afterwards.
+func (h *Hub) SubscribeAfter(ring int, after uint64) *Subscriber {
 	if ring <= 0 {
 		ring = DefaultRing
 	}
@@ -92,13 +110,15 @@ func (h *Hub) Subscribe(ring int) *Subscriber {
 		notify: make(chan struct{}, 1),
 	}
 	h.mu.Lock()
-	h.subs = append(h.subs, s)
-	history := h.history
-	h.mu.Unlock()
 	var drops uint64
-	for _, e := range history {
+	for _, e := range h.history {
+		if e.Seq <= after {
+			continue
+		}
 		drops += s.push(e)
 	}
+	h.subs = append(h.subs, s)
+	h.mu.Unlock()
 	if h.onSub != nil {
 		h.onSub(1)
 	}

@@ -128,7 +128,11 @@ func TestServeLoadShardedDeterminism(t *testing.T) {
 
 	// 100 SSE subscribers: 50 on the finished burst run (instant
 	// catch-up through an overflowing ring), 50 on the live runs. Odd
-	// subscribers are deliberately slow consumers.
+	// subscribers are deliberately slow consumers. Every subscriber
+	// audits its own stream: event ids must be strictly increasing (no
+	// window arrives twice), and for the burst run — whose event count
+	// is fixed at 600 windows + done — received events plus reported
+	// drops must account for exactly the published total.
 	subscribe := func(id int, runID string, slow bool) {
 		defer wg.Done()
 		resp, err := http.Get(srv.URL + "/api/v1/runs/" + runID + "/events")
@@ -138,15 +142,55 @@ func TestServeLoadShardedDeterminism(t *testing.T) {
 		}
 		defer resp.Body.Close()
 		sc := bufio.NewScanner(resp.Body)
-		lines := 0
+		var (
+			lines        int
+			lastID       uint64
+			received     uint64 // id-carrying events seen (windows + done)
+			dropReported uint64 // sum of drop-event payloads
+			inDrop       bool
+		)
 		for sc.Scan() {
 			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "id: "); ok {
+				var eid uint64
+				fmt.Sscanf(v, "%d", &eid)
+				if eid <= lastID {
+					t.Errorf("subscriber %d: id %d after %d — duplicated or reordered event", id, eid, lastID)
+					return
+				}
+				lastID = eid
+				received++
+			}
+			if inDrop {
+				if v, ok := strings.CutPrefix(line, "data: "); ok {
+					var body struct {
+						Dropped uint64 `json:"dropped"`
+					}
+					if err := json.Unmarshal([]byte(v), &body); err != nil {
+						t.Errorf("subscriber %d: drop payload %q: %v", id, v, err)
+						return
+					}
+					dropReported += body.Dropped
+					inDrop = false
+				}
+			}
 			if ev, ok := strings.CutPrefix(line, "event: "); ok {
 				switch ev {
 				case "drop":
 					dropEvents.Add(1)
+					inDrop = true
 				case "done":
 					doneEvents.Add(1)
+					if runID == "r-1" {
+						// The drop accounting must close the books: every
+						// one of the burst run's 601 events (600 windows +
+						// this done, whose id line is still unread) was
+						// either delivered or counted as dropped.
+						if received+1+dropReported != 601 {
+							t.Errorf("subscriber %d: received %d + dropped %d != 600 window events",
+								id, received, dropReported)
+						}
+					}
 					return
 				}
 			}
@@ -228,5 +272,28 @@ func TestServeLoadShardedDeterminism(t *testing.T) {
 		if !strings.Contains(fleet, want) {
 			t.Fatalf("fleet /metrics lacks %q:\n%.2000s", want, fleet)
 		}
+	}
+
+	// The fleet health endpoint serves the coordinator's snapshot: the
+	// surviving worker's row and the scheduling counters.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/fleet", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/api/v1/fleet: status %d", rec.Code)
+	}
+	var health struct {
+		Workers []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"workers"`
+		Stats struct {
+			Completed uint64 `json:"Completed"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("/api/v1/fleet decode: %v\n%s", err, rec.Body.String())
+	}
+	if len(health.Workers) == 0 || health.Stats.Completed == 0 {
+		t.Fatalf("/api/v1/fleet: %s", rec.Body.String())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"lpm/internal/obs"
 	"lpm/internal/obs/timeseries"
 	"lpm/internal/parallel"
+	"lpm/internal/resilience/fleet"
 )
 
 // Runner executes one run, publishing progress through pub. It returns
@@ -66,8 +67,26 @@ type Config struct {
 	// Log receives structured scheduler diagnostics (nil discards).
 	Log *slog.Logger
 	// Fabric, when non-nil, contributes the sweep-fabric coordinator's
-	// telemetry to the fleet /metrics endpoint.
+	// telemetry to the fleet /metrics endpoint (and, when it also
+	// implements FleetSource, its health document to /api/v1/fleet).
 	Fabric SnapshotSource
+	// Retry paces transient run-failure retries. The zero value adopts
+	// fleet.Defaults(0) — the same capped-exponential, seeded-jitter
+	// discipline every fabric retry loop follows.
+	Retry fleet.RetryPolicy
+	// RetryBudget is how many times a run that failed transiently
+	// (fleet.IsTransient — e.g. the sweep fabric's connection broke) is
+	// re-executed before the failure is final. 0 disables retries: a
+	// re-execution re-publishes the run's timeline from scratch, so it
+	// is opt-in.
+	RetryBudget int
+}
+
+// FleetSource exposes the sweep fabric's health document — the
+// fabric Coordinator satisfies it. Kept as a json.RawMessage so the
+// control plane stays decoupled from the fabric's types.
+type FleetSource interface {
+	FleetStatsJSON() json.RawMessage
 }
 
 // run is the registry's record of one submission.
@@ -114,6 +133,9 @@ func NewRegistry(ctx context.Context, cfg Config) *Registry {
 	}
 	if cfg.Runner == nil {
 		cfg.Runner = SimRunner{}
+	}
+	if cfg.Retry == (fleet.RetryPolicy{}) {
+		cfg.Retry = fleet.Defaults(0)
 	}
 	reg := obs.NewRegistry()
 	return &Registry{
@@ -199,14 +221,33 @@ func (g *Registry) startLocked(r *run) {
 	go func() {
 		defer g.wg.Done()
 		pub := &Publisher{live: r.live, hub: r.hub}
-		result, err := g.cfg.Runner.Run(rctx, r.spec, pub)
+		var result json.RawMessage
+		var err error
+		for attempt := 0; ; attempt++ {
+			result, err = g.cfg.Runner.Run(rctx, r.spec, pub)
+			if err == nil || rctx.Err() != nil ||
+				attempt >= g.cfg.RetryBudget || !fleet.IsTransient(err) {
+				break
+			}
+			g.mu.Lock()
+			g.tel.Retried()
+			g.mu.Unlock()
+			g.log().Warn("ctrl: run failed transiently; retrying",
+				"run", r.id, "attempt", attempt+1, "of", g.cfg.RetryBudget, "err", err.Error())
+			if serr := g.cfg.Retry.Sleep(rctx, attempt); serr != nil {
+				break
+			}
+		}
+		// Read the context before cancelling it: interrupted-ness is what
+		// separates a cancelled run from a failed one.
+		interrupted := rctx.Err() != nil
 		cancel()
-		g.finish(r, result, err, rctx)
+		g.finish(r, result, err, interrupted)
 	}()
 }
 
 // finish records a run's outcome and reschedules.
-func (g *Registry) finish(r *run, result json.RawMessage, err error, rctx context.Context) {
+func (g *Registry) finish(r *run, result json.RawMessage, err error, interrupted bool) {
 	r.live.Finish()
 	r.hub.Done()
 	g.mu.Lock()
@@ -216,7 +257,7 @@ func (g *Registry) finish(r *run, result json.RawMessage, err error, rctx contex
 	switch {
 	case err == nil:
 		r.state = StateDone
-	case rctx.Err() != nil:
+	case interrupted:
 		r.state = StateCancelled
 		r.errMsg = err.Error()
 	default:

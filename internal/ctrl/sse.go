@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // SSEHandler streams a run's hub as text/event-stream. Event types:
@@ -16,6 +17,12 @@ import (
 //	event: drop    data: {"dropped": N}   — N ring overruns just before
 //	                                        the next window
 //	event: done    data: {}               — the run finished; stream ends
+//
+// Window and done frames carry an `id:` line with the event's hub
+// sequence number; a reconnecting client sends it back as
+// `Last-Event-ID` (standard EventSource behavior) and catch-up resumes
+// strictly after it — a reconnect mid-history never replays a window
+// the client already saw.
 //
 // The stream also ends when the client disconnects or the server drains
 // on shutdown (both arrive through the request context).
@@ -26,13 +33,22 @@ func SSEHandler(hub *Hub) http.HandlerFunc {
 			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 			return
 		}
+		var after uint64
+		if v := r.Header.Get("Last-Event-ID"); v != "" {
+			id, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "malformed Last-Event-ID", http.StatusBadRequest)
+				return
+			}
+			after = id
+		}
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
 		w.Header().Set("Connection", "keep-alive")
 		w.WriteHeader(http.StatusOK)
 		fl.Flush()
 
-		sub := hub.Subscribe(0)
+		sub := hub.SubscribeAfter(0, after)
 		defer sub.Close()
 		for {
 			e, dropped, ok := sub.Next(r.Context())
@@ -40,7 +56,7 @@ func SSEHandler(hub *Hub) http.HandlerFunc {
 				return
 			}
 			if dropped > 0 {
-				if err := writeSSE(w, "drop", struct {
+				if err := writeSSE(w, "drop", 0, struct {
 					Dropped uint64 `json:"dropped"`
 				}{dropped}); err != nil {
 					return
@@ -48,11 +64,11 @@ func SSEHandler(hub *Hub) http.HandlerFunc {
 			}
 			switch e.Type {
 			case "window":
-				if err := writeSSE(w, "window", e.Window); err != nil {
+				if err := writeSSE(w, "window", e.Seq, e.Window); err != nil {
 					return
 				}
 			case "done":
-				_ = writeSSE(w, "done", struct{}{})
+				_ = writeSSE(w, "done", e.Seq, struct{}{})
 				fl.Flush()
 				return
 			}
@@ -61,10 +77,15 @@ func SSEHandler(hub *Hub) http.HandlerFunc {
 	}
 }
 
-// writeSSE emits one SSE frame with a JSON data payload.
-func writeSSE(w http.ResponseWriter, event string, data any) error {
+// writeSSE emits one SSE frame with a JSON data payload; a non-zero id
+// adds the `id:` line that feeds the client's Last-Event-ID.
+func writeSSE(w http.ResponseWriter, event string, id uint64, data any) error {
 	b, err := json.Marshal(data)
 	if err != nil {
+		return err
+	}
+	if id > 0 {
+		_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, b)
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)

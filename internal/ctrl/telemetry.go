@@ -24,6 +24,7 @@ type Telemetry struct {
 	failed    *obs.Counter
 	cancelled *obs.Counter
 	rejected  *obs.Counter
+	retried   *obs.Counter
 	sseDrops  *obs.Counter
 }
 
@@ -43,8 +44,18 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 		failed:    reg.Counter("ctrl.runs_failed"),
 		cancelled: reg.Counter("ctrl.runs_cancelled"),
 		rejected:  reg.Counter("ctrl.runs_rejected"),
+		retried:   reg.Counter("ctrl.runs_retried"),
 		sseDrops:  reg.Counter("ctrl.sse_events_dropped"),
 	}
+}
+
+// Retried counts a transient run failure re-executed under the retry
+// policy.
+func (t *Telemetry) Retried() {
+	if t == nil {
+		return
+	}
+	t.retried.Inc()
 }
 
 // SyncQueue refreshes the scheduler-shape gauges.

@@ -3,19 +3,29 @@ package fabric
 // The coordinator side of the fabric: owns the granule queue, the
 // shared result cache, and every connected worker. All state lives
 // under one mutex; the only goroutines are the TCP accept loop, one
-// reader and one writer per connection, and the straggler ticker.
+// reader and one writer per connection, the tick loop, and (when the
+// whole fleet is gone) the local-fallback drain.
 //
 // Scheduling invariants:
 //
 //   - a granule sits in exactly one place: the pending queue (id
 //     order) or ≥1 workers' in-flight sets — never both;
-//   - the pending queue is popped lowest-id-first, so earlier
-//     submissions are never starved by later ones;
+//   - the pending queue is popped lowest-id-first among *ready*
+//     granules (a transient-retry backoff delays readiness), so
+//     earlier submissions are never starved by later ones;
 //   - a dead worker's granules are re-queued (unless another holder
 //     survives) and re-issued;
-//   - a straggling granule is duplicated onto an idle worker; the
-//     first result wins and later duplicates are ignored, which is
-//     sound because executors are pure functions of the spec.
+//   - a straggling or suspect-held granule is duplicated onto an idle
+//     worker; the first result wins and later duplicates are ignored,
+//     which is sound because executors are pure functions of the spec.
+//
+// The resilience layer (internal/resilience/fleet) hangs off the same
+// mutex: heartbeat health classification runs on the tick loop's
+// logical clock, the quarantine breaker gates handshakes, transient
+// remote failures are re-queued on a seeded backoff schedule, and —
+// when a journal is configured — every scheduling decision is fsynced
+// before it takes effect, so a kill -9 of this process resumes from
+// the journal plus the driver's result checkpoint.
 //
 // None of this affects result *values* or merge order: the driver
 // consumes results through Submit in its own deterministic order, so
@@ -34,6 +44,7 @@ import (
 
 	"lpm/internal/cliutil"
 	"lpm/internal/obs"
+	"lpm/internal/resilience/fleet"
 )
 
 // ErrCoordinatorClosed is returned by Submit when the coordinator shuts
@@ -50,6 +61,48 @@ type Options struct {
 	// before it is duplicated onto an idle worker. 0 means the 30s
 	// default; negative disables straggler re-issue.
 	StraggleAfter time.Duration
+	// TickEvery is the cadence of the coordinator's logical clock; all
+	// health, backoff, and probation deadlines are measured in these
+	// ticks. 0 means the 25ms default.
+	TickEvery time.Duration
+	// Heartbeat is the ping cadence assigned to proto-2 workers in the
+	// welcome frame. 0 means the 250ms default; negative disables
+	// heartbeats (and with them health classification).
+	Heartbeat time.Duration
+	// Health classifies worker silence in ticks; the zero value means
+	// the default (suspect after 1s of silence, dead after 5s at the
+	// default tick). Only proto-2 workers with heartbeats enabled are
+	// classified — a proto-1 worker proves liveness only by results.
+	Health fleet.HealthPolicy
+	// Retry is the shared deterministic backoff policy for transient
+	// granule retries. The zero value means fleet defaults seeded by
+	// Seed.
+	Retry fleet.RetryPolicy
+	// Seed seeds the default retry policy's jitter stream.
+	Seed uint64
+	// RetryBudget is how many times a granule that failed with a
+	// *transient* remote error is re-queued before the failure is
+	// accepted. 0 means the default 3; negative disables retries.
+	RetryBudget int
+	// Quarantine is the circuit-breaker policy; the zero value means
+	// the default (3 strikes, 400-tick probation).
+	Quarantine fleet.QuarantinePolicy
+	// ValidateEvery samples cross-validation: every Kth granule (by id)
+	// is executed redundantly on two workers and the answers compared;
+	// divergence re-runs on a third worker and quarantines the outlier.
+	// 0 disables validation; 1 validates every granule.
+	ValidateEvery int
+	// JournalPath, when set, appends every scheduling decision to an
+	// LPMCKPT1-framed journal at this path (fsynced per record). A
+	// pre-existing journal is replayed first: quarantine decisions and
+	// per-granule retry charges carry across a coordinator restart.
+	JournalPath string
+	// LocalFallbackAfter degrades to in-process execution when the
+	// coordinator has had pending granules and zero live workers for
+	// this long: the sweep finishes on the coordinator's own CPU rather
+	// than hanging. 0 disables fallback; execution hands back to the
+	// fleet as soon as a worker joins.
+	LocalFallbackAfter time.Duration
 	// Log receives structured coordinator diagnostics (worker joins,
 	// deaths, re-issues) with worker/granule attrs; nil discards them.
 	Log *slog.Logger
@@ -62,14 +115,34 @@ type Options struct {
 
 // Stats is a snapshot of coordinator counters for tests and the CLIs.
 type Stats struct {
-	Workers    int // currently connected workers
-	Joined     int // handshakes accepted over the coordinator's lifetime
-	Submitted  int // distinct granules submitted
-	Completed  int // granules resolved
-	Requeued   int // granules re-queued after a worker died holding them
-	Duplicated int // straggler duplicates issued
-	CacheHits  int // worker cache probes answered from the shared cache
+	Workers       int // currently connected workers
+	Joined        int // handshakes accepted over the coordinator's lifetime
+	Submitted     int // distinct granules submitted
+	Completed     int // granules resolved
+	Requeued      int // granules re-queued after a worker died holding them
+	Duplicated    int // straggler/suspect duplicates issued
+	CacheHits     int // worker cache probes answered from the shared cache
+	Heartbeats    int // ping frames received
+	Suspects      int // healthy→suspect transitions
+	Retried       int // transient-failure re-queues charged to retry budgets
+	Quarantined   int // workers tripped into quarantine
+	Readmitted    int // workers readmitted after probation
+	Validated     int // cross-validated granules decided
+	Divergent     int // cross-validations that caught disagreeing answers
+	FallbackExecs int // granules executed in-process by the local fallback
 }
+
+// vote is one worker's answer to a cross-validated granule.
+type vote struct {
+	worker    string
+	value     json.RawMessage
+	errText   string
+	transient bool
+}
+
+// digest is the comparison key for a vote: byte-equal values (or equal
+// error text) agree.
+func (v vote) digest() string { return string(v.value) + "\x00" + v.errText }
 
 // granule is one unit of work: a (kind, key, spec) triple plus its
 // resolution. done closes exactly once, after which value/errText are
@@ -80,13 +153,21 @@ type granule struct {
 	key  string
 	spec json.RawMessage
 
-	done    chan struct{}
-	value   json.RawMessage
-	errText string
+	done      chan struct{}
+	value     json.RawMessage
+	errText   string
+	transient bool // errText's classification, carried into Submit's error
 
-	queued   bool      // sitting in Coordinator.pending
-	holders  int       // workers currently holding it in-flight
-	issuedAt time.Time // last issuance, for straggler aging
+	queued     bool      // sitting in Coordinator.pending
+	holders    int       // workers currently holding it in-flight
+	issuedAt   time.Time // last issuance, for the latency histogram
+	issuedTick uint64    // last issuance on the logical clock, for straggler aging
+	readyTick  uint64    // dispatch not before this tick (transient-retry backoff)
+	retries    int       // transient failures charged so far
+
+	votesWanted int             // cross-validation copies required (0/1 = none)
+	votes       []vote          // answers received, in arrival order
+	issuedTo    map[string]bool // workers this granule was ever issued to
 }
 
 // resolved reports whether the granule has a result.
@@ -99,31 +180,55 @@ func (g *granule) resolved() bool {
 	}
 }
 
+// voted reports whether the named worker already answered.
+func (g *granule) voted(name string) bool {
+	for _, v := range g.votes {
+		if v.worker == name {
+			return true
+		}
+	}
+	return false
+}
+
 // remoteWorker is the coordinator's view of one connected worker.
 type remoteWorker struct {
 	name     string
 	conn     net.Conn
+	proto    int // negotiated session protocol
 	slots    int // worker-declared execution concurrency (informational)
 	inflight map[uint64]*granule
 	outbox   chan Msg
 	dead     bool
+	suspect  bool  // health state at last classification
+	busy     int   // executing granules, from the last ping
+	rtt      int64 // last reported ping round trip, microseconds
 }
 
 // Coordinator accepts workers and brokers granules between Submit
 // callers and the worker fleet.
 type Coordinator struct {
-	opts Options
-	ln   net.Listener
+	opts          Options
+	ln            net.Listener
+	retry         fleet.RetryPolicy
+	straggleTicks uint64 // 0 = straggler re-issue disabled
+	fallbackTicks uint64 // 0 = local fallback disabled
 
-	mu      sync.Mutex
-	nextID  uint64
-	byKey   map[string]*granule
-	byID    map[uint64]*granule
-	order   []*granule // submission order; straggler scans walk this, never a map
-	pending []*granule // dispatch queue, ascending id
-	workers []*remoteWorker
-	stats   Stats
-	tel     *Telemetry // nil when Options.Obs is nil; updates under mu
+	mu       sync.Mutex
+	tick     uint64
+	nextID   uint64
+	byKey    map[string]*granule
+	byID     map[uint64]*granule
+	order    []*granule // submission order; straggler scans walk this, never a map
+	pending  []*granule // dispatch queue, ascending id
+	workers  []*remoteWorker
+	stats    Stats
+	tel      *Telemetry // nil when Options.Obs is nil; updates under mu
+	health   *fleet.HealthTracker
+	quar     *fleet.Quarantine
+	journal  *fleet.Journal
+	resumed  *fleet.JournalState // state recovered from a pre-existing journal
+	idle     uint64              // consecutive ticks with pending work and no workers
+	fallback bool                // local-fallback drain engaged
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -139,6 +244,31 @@ func Listen(addr string, opts Options) (*Coordinator, error) {
 	if opts.StraggleAfter == 0 {
 		opts.StraggleAfter = 30 * time.Second
 	}
+	if opts.TickEvery <= 0 {
+		opts.TickEvery = 25 * time.Millisecond
+	}
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 250 * time.Millisecond
+	}
+	if opts.Health == (fleet.HealthPolicy{}) {
+		// ~2s to suspicion, ~10s to eviction at the default 25ms tick.
+		// Deliberately lenient: a worker grinding a multi-second granule
+		// on a saturated host misses several ping slots without being
+		// hung, and suspicion already hedges with duplicates. A truly
+		// hung TCP session is still caught in seconds.
+		opts.Health = fleet.HealthPolicy{SuspectAfter: 80, DeadAfter: 400}
+	}
+	if opts.RetryBudget == 0 {
+		opts.RetryBudget = 3
+	}
+	if opts.Quarantine == (fleet.QuarantinePolicy{}) {
+		opts.Quarantine = fleet.DefaultQuarantinePolicy()
+	}
+	retry := opts.Retry
+	if retry == (fleet.RetryPolicy{}) {
+		retry = fleet.Defaults(opts.Seed)
+		retry.Cap = 2 * time.Second
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: listen %s: %w", addr, err)
@@ -146,18 +276,74 @@ func Listen(addr string, opts Options) (*Coordinator, error) {
 	c := &Coordinator{
 		opts:   opts,
 		ln:     ln,
+		retry:  retry,
 		byKey:  make(map[string]*granule),
 		byID:   make(map[uint64]*granule),
 		tel:    NewTelemetry(opts.Obs),
+		health: fleet.NewHealthTracker(opts.Health),
+		quar:   fleet.NewQuarantine(opts.Quarantine),
 		closed: make(chan struct{}),
 	}
-	c.loops.Add(1)
-	go c.acceptLoop()
 	if opts.StraggleAfter > 0 {
-		c.loops.Add(1)
-		go c.straggleLoop()
+		c.straggleTicks = ticksFor(opts.StraggleAfter, opts.TickEvery)
 	}
+	if opts.LocalFallbackAfter > 0 {
+		c.fallbackTicks = ticksFor(opts.LocalFallbackAfter, opts.TickEvery)
+	}
+	if opts.JournalPath != "" {
+		if err := c.openJournal(); err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
+	}
+	c.loops.Add(2)
+	go c.acceptLoop()
+	go c.tickLoop()
 	return c, nil
+}
+
+// ticksFor converts a wall duration to a whole number of ticks, at
+// least 1.
+func ticksFor(d, tick time.Duration) uint64 {
+	n := uint64(d / tick)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// openJournal replays any pre-existing journal at JournalPath,
+// restores quarantine and retry state from it, and opens it for
+// appending.
+func (c *Coordinator) openJournal() error {
+	entries, err := fleet.ReplayJournal(c.opts.JournalPath)
+	if err == nil && len(entries) > 0 {
+		c.resumed = fleet.RecoverState(entries)
+		// Probation restarts from tick 0: the old clock died with the
+		// old process, and readmitting a known liar early is worse than
+		// making it wait out a fresh window.
+		c.quar.Restore(c.resumed.Quarantined, 0)
+		c.stats.Quarantined = len(c.resumed.Quarantined)
+	}
+	j, err := fleet.OpenJournal(c.opts.JournalPath)
+	if err != nil {
+		return fmt.Errorf("fabric: %w", err)
+	}
+	c.journal = j
+	return nil
+}
+
+// journalLocked appends one entry (no-op without a journal); append
+// failures are logged, not fatal — losing the journal degrades resume,
+// not the sweep.
+func (c *Coordinator) journalLocked(e fleet.Entry) {
+	if c.journal == nil {
+		return
+	}
+	e.Tick = c.tick
+	if err := c.journal.Append(e); err != nil {
+		c.log().Warn("fabric: journal append failed", "op", e.Op, "err", err.Error())
+	}
 }
 
 // Addr returns the coordinator's bound listen address, for handing to
@@ -179,6 +365,13 @@ func (c *Coordinator) Close() error {
 		}
 	})
 	c.loops.Wait()
+	c.mu.Lock()
+	j := c.journal
+	c.journal = nil
+	c.mu.Unlock()
+	if j != nil {
+		_ = j.Close()
+	}
 	return nil
 }
 
@@ -187,6 +380,83 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// Resumed returns the scheduling state recovered from a pre-existing
+// journal (nil on a cold start), for drivers and tests that want to
+// know what carried across.
+func (c *Coordinator) Resumed() *fleet.JournalState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
+}
+
+// WorkerHealth is one worker's row in a fleet snapshot.
+type WorkerHealth struct {
+	Name     string `json:"name"`
+	Proto    int    `json:"proto"`
+	State    string `json:"state"`
+	InFlight int    `json:"inflight"`
+	Busy     int    `json:"busy"`
+	RTTMicro int64  `json:"rtt_micros"`
+	Strikes  int    `json:"strikes"`
+}
+
+// FleetSnapshot is the JSON shape the control plane serves for the
+// fleet's health: per-worker state plus the quarantine roster and the
+// coordinator counters.
+type FleetSnapshot struct {
+	Tick        uint64         `json:"tick"`
+	Workers     []WorkerHealth `json:"workers"`
+	Quarantined []string       `json:"quarantined"`
+	Pending     int            `json:"pending"`
+	Fallback    bool           `json:"fallback"`
+	Stats       Stats          `json:"stats"`
+}
+
+// FleetStats captures the fleet's health under the coordinator mutex.
+func (c *Coordinator) FleetStats() FleetSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := FleetSnapshot{
+		Tick:        c.tick,
+		Quarantined: c.quar.Snapshot(),
+		Pending:     len(c.pending),
+		Fallback:    c.fallback,
+		Stats:       c.stats,
+	}
+	sort.Strings(snap.Quarantined)
+	for _, w := range c.workers {
+		snap.Workers = append(snap.Workers, WorkerHealth{
+			Name:     w.name,
+			Proto:    w.proto,
+			State:    c.healthStateLocked(w).String(),
+			InFlight: len(w.inflight),
+			Busy:     w.busy,
+			RTTMicro: w.rtt,
+			Strikes:  c.quar.Strikes(w.name),
+		})
+	}
+	return snap
+}
+
+// FleetStatsJSON renders FleetStats as JSON — the decoupled shape the
+// control plane's /api/v1/fleet endpoint serves (ctrl.FleetSource).
+func (c *Coordinator) FleetStatsJSON() json.RawMessage {
+	b, err := json.Marshal(c.FleetStats())
+	if err != nil {
+		return json.RawMessage(`{"error":"fleet snapshot marshal failed"}`)
+	}
+	return b
+}
+
+// healthStateLocked classifies w at the current tick; workers outside
+// the heartbeat protocol are always healthy.
+func (c *Coordinator) healthStateLocked(w *remoteWorker) fleet.HealthState {
+	if w.proto < 2 || c.opts.Heartbeat < 0 {
+		return fleet.Healthy
+	}
+	return c.health.State(w.name, c.tick)
 }
 
 // ObsSnapshot captures the coordinator's fabric telemetry (nil when no
@@ -223,25 +493,37 @@ func (c *Coordinator) WaitWorkers(ctx context.Context, n int) error {
 // computation) under the same key is shared single-flight, otherwise
 // the granule is queued for dispatch. Blocks until the granule
 // resolves, ctx cancels, or the coordinator closes. Remote failures
-// come back as errors carrying the worker-side error text verbatim, so
-// a sharded run's error cells match a serial run's byte-for-byte.
+// come back as *fleet.RemoteError carrying the worker-side error text
+// verbatim — a sharded run's error cells match a serial run's
+// byte-for-byte — plus the transience classification for retry-aware
+// callers.
 func (c *Coordinator) Submit(ctx context.Context, kind, key string, spec json.RawMessage) (json.RawMessage, error) {
 	c.mu.Lock()
 	g, ok := c.byKey[key]
 	if !ok {
 		g = &granule{
-			id:   c.nextID,
-			kind: kind,
-			key:  key,
-			spec: spec,
-			done: make(chan struct{}),
+			id:       c.nextID,
+			kind:     kind,
+			key:      key,
+			spec:     spec,
+			done:     make(chan struct{}),
+			issuedTo: make(map[string]bool),
 		}
 		c.nextID++
+		if k := c.opts.ValidateEvery; k > 0 && g.id%uint64(k) == 0 {
+			g.votesWanted = 2
+		}
+		if c.resumed != nil {
+			// Carry the retry charges a predecessor coordinator already
+			// spent on this granule.
+			g.retries = c.resumed.Retries[fleet.GranuleKey(kind, key)]
+		}
 		c.byKey[key] = g
 		c.byID[g.id] = g
 		c.order = append(c.order, g)
 		c.stats.Submitted++
 		c.tel.Submitted()
+		c.journalLocked(fleet.Entry{Op: fleet.OpSubmit, Kind: kind, Key: key})
 		c.enqueueLocked(g)
 		c.dispatchLocked()
 	}
@@ -250,7 +532,7 @@ func (c *Coordinator) Submit(ctx context.Context, kind, key string, spec json.Ra
 	select {
 	case <-g.done:
 		if g.errText != "" {
-			return nil, errors.New(g.errText)
+			return nil, &fleet.RemoteError{Text: g.errText, Transient: g.transient}
 		}
 		return g.value, nil
 	case <-ctx.Done():
@@ -270,16 +552,52 @@ func (c *Coordinator) enqueueLocked(g *granule) {
 	c.pending[i] = g
 }
 
+// popReadyLocked removes and returns the lowest-id pending granule that
+// is ready (past its backoff) and issuable to w (not already held by
+// it). Resolved granules encountered on the way are dropped. Returns
+// nil when nothing qualifies. A nil w (the fallback drain) ignores both
+// the holder check and backoff — in-process execution is the last
+// resort and waiting out a remote-flakiness backoff would be pointless.
+func (c *Coordinator) popReadyLocked(w *remoteWorker) *granule {
+	for i := 0; i < len(c.pending); {
+		g := c.pending[i]
+		if g.resolved() {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			g.queued = false
+			continue
+		}
+		if w != nil {
+			if g.readyTick > c.tick {
+				i++
+				continue
+			}
+			if _, held := w.inflight[g.id]; held {
+				i++
+				continue
+			}
+			if g.votesWanted > 1 && g.voted(w.name) {
+				// A re-queued cross-validated granule must not go back to
+				// a worker whose vote is already in; re-executing there
+				// cannot advance the election.
+				i++
+				continue
+			}
+		}
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
+		g.queued = false
+		return g
+	}
+	return nil
+}
+
 // dispatchLocked hands pending granules to workers with free budget,
 // lowest id first, walking workers in join order.
 func (c *Coordinator) dispatchLocked() {
 	for _, w := range c.workers {
-		for !w.dead && len(w.inflight) < c.opts.InFlight && len(c.pending) > 0 {
-			g := c.pending[0]
-			c.pending = c.pending[1:]
-			g.queued = false
-			if g.resolved() {
-				continue
+		for !w.dead && len(w.inflight) < c.opts.InFlight {
+			g := c.popReadyLocked(w)
+			if g == nil {
+				break
 			}
 			c.issueLocked(w, g)
 		}
@@ -292,6 +610,9 @@ func (c *Coordinator) issueLocked(w *remoteWorker, g *granule) {
 	w.inflight[g.id] = g
 	g.holders++
 	g.issuedAt = time.Now()
+	g.issuedTick = c.tick
+	g.issuedTo[w.name] = true
+	c.journalLocked(fleet.Entry{Op: fleet.OpIssue, Kind: g.kind, Key: g.key, Worker: w.name})
 	c.sendLocked(w, Msg{Type: MsgWork, ID: g.id, Kind: g.kind, Key: g.key, Spec: g.spec})
 }
 
@@ -332,9 +653,10 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
-	if hello.Proto != ProtoVersion {
+	if hello.Proto < MinProtoVersion || hello.Proto > ProtoVersion {
 		c.log().Warn("fabric: rejecting worker: protocol mismatch",
-			"worker", hello.Worker, "proto", hello.Proto, "want", ProtoVersion)
+			"worker", hello.Worker, "proto", hello.Proto,
+			"accept_min", MinProtoVersion, "accept_max", ProtoVersion)
 		_ = conn.Close()
 		return
 	}
@@ -342,9 +664,17 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 	w := &remoteWorker{
 		name:     hello.Worker,
 		conn:     conn,
+		proto:    hello.Proto,
 		slots:    hello.Slots,
 		inflight: make(map[uint64]*granule),
 		outbox:   make(chan Msg, 4*c.opts.InFlight+16),
+	}
+	pingMS := int64(0)
+	if w.proto >= 2 && c.opts.Heartbeat > 0 {
+		pingMS = c.opts.Heartbeat.Milliseconds()
+		if pingMS <= 0 {
+			pingMS = 1
+		}
 	}
 	c.mu.Lock()
 	select {
@@ -354,16 +684,33 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 		return
 	default:
 	}
+	admitted, readmitted := c.quar.Admit(w.name, c.tick)
+	if !admitted {
+		strikes := c.quar.Strikes(w.name)
+		c.mu.Unlock()
+		c.log().Warn("fabric: refusing quarantined worker",
+			"worker", w.name, "strikes", strikes)
+		_ = conn.Close()
+		return
+	}
+	if readmitted {
+		c.stats.Readmitted++
+		c.tel.Readmitted()
+		c.journalLocked(fleet.Entry{Op: fleet.OpReadmit, Worker: w.name})
+	}
 	c.workers = append(c.workers, w)
 	c.stats.Workers++
 	c.stats.Joined++
 	c.tel.Joined()
+	c.health.Observe(w.name, c.tick)
+	c.journalLocked(fleet.Entry{Op: fleet.OpJoin, Worker: w.name})
 	go c.writeLoop(w)
-	c.sendLocked(w, Msg{Type: MsgWelcome, Proto: ProtoVersion})
+	c.sendLocked(w, Msg{Type: MsgWelcome, Proto: w.proto, PingMS: pingMS})
 	c.dispatchLocked()
 	c.mu.Unlock()
 	c.log().Info("fabric: worker joined",
-		"worker", w.name, "slots", w.slots, "remote", fmt.Sprint(conn.RemoteAddr()))
+		"worker", w.name, "proto", w.proto, "slots", w.slots,
+		"remote", fmt.Sprint(conn.RemoteAddr()))
 
 	for {
 		//lint:ignore ctxflow Close() and workerGone close the conn, which fails this read
@@ -374,9 +721,11 @@ func (c *Coordinator) serveConn(conn net.Conn) {
 		}
 		switch m.Type {
 		case MsgResult:
-			c.handleResult(m)
+			c.handleResult(w, m)
 		case MsgCacheGet:
 			c.handleCacheGet(w, m)
+		case MsgPing:
+			c.handlePing(w, m)
 		default:
 			c.workerGone(w, fmt.Errorf("unexpected %q frame from worker", m.Type))
 			return
@@ -395,27 +744,86 @@ func (c *Coordinator) writeLoop(w *remoteWorker) {
 	}
 }
 
+// handlePing refreshes w's liveness and telemetry and answers with a
+// pong so the worker can detect a wedged session from its side.
+func (c *Coordinator) handlePing(w *remoteWorker, m Msg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.health.Observe(w.name, c.tick)
+	if w.suspect {
+		w.suspect = false
+		c.log().Info("fabric: suspect worker recovered", "worker", w.name)
+	}
+	w.busy = m.Busy
+	w.rtt = m.RTT
+	c.stats.Heartbeats++
+	c.tel.Heartbeat()
+	c.sendLocked(w, Msg{Type: MsgPong, ID: m.ID})
+}
+
 // handleResult resolves a granule from a worker result frame. Late
 // duplicates (straggler re-issues, results racing a death notice) are
 // ignored: the first result wins, and purity makes every duplicate
-// identical anyway.
-func (c *Coordinator) handleResult(m Msg) {
+// identical anyway. Cross-validated granules collect votes instead;
+// transient failures inside the retry budget go back on the queue with
+// backoff rather than resolving.
+func (c *Coordinator) handleResult(w *remoteWorker, m Msg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.health.Observe(w.name, c.tick)
 	g, ok := c.byID[m.ID]
 	if !ok {
 		return
 	}
+	if _, held := w.inflight[g.id]; held {
+		delete(w.inflight, g.id)
+		g.holders--
+	}
 	if g.resolved() {
 		c.tel.LateResult()
+		c.dispatchLocked()
 		return
 	}
-	g.value = m.Value
-	g.errText = m.Error
+	if g.votesWanted > 1 {
+		c.handleVoteLocked(w, g, m)
+		return
+	}
+	if m.Error != "" && m.Transient && c.opts.RetryBudget > 0 && g.retries < c.opts.RetryBudget {
+		c.retryLocked(g, m.Error)
+		return
+	}
+	c.resolveLocked(g, m.Value, m.Error, m.Transient)
+}
+
+// retryLocked charges one transient failure against g's budget and
+// re-queues it behind the policy's seeded backoff.
+func (c *Coordinator) retryLocked(g *granule, cause string) {
+	g.retries++
+	g.readyTick = c.tick + ticksFor(c.retry.Delay(g.retries-1), c.opts.TickEvery)
+	c.stats.Retried++
+	c.tel.Retried()
+	c.journalLocked(fleet.Entry{
+		Op: fleet.OpRequeue, Kind: g.kind, Key: g.key,
+		Retries: g.retries, Detail: "transient: " + cause,
+	})
+	if !g.queued && g.holders == 0 {
+		c.enqueueLocked(g)
+	}
+	c.log().Warn("fabric: transient granule failure, retrying",
+		"granule", g.id, "kind", g.kind, "retry", g.retries, "cause", cause)
+	c.dispatchLocked()
+}
+
+// resolveLocked closes g with its result, frees it from every holder,
+// and re-dispatches.
+func (c *Coordinator) resolveLocked(g *granule, value json.RawMessage, errText string, transient bool) {
+	g.value = value
+	g.errText = errText
+	g.transient = transient
 	close(g.done)
 	c.stats.Completed++
 	c.tel.Completed(time.Since(g.issuedAt))
-	// Free the granule from every holder so their budgets open up.
+	c.journalLocked(fleet.Entry{Op: fleet.OpComplete, Kind: g.kind, Key: g.key})
 	for _, w := range c.workers {
 		if _, held := w.inflight[g.id]; held {
 			delete(w.inflight, g.id)
@@ -425,17 +833,142 @@ func (c *Coordinator) handleResult(m Msg) {
 	c.dispatchLocked()
 }
 
+// handleVoteLocked records one answer to a cross-validated granule and
+// decides it once enough votes are in (or no further voter exists).
+func (c *Coordinator) handleVoteLocked(w *remoteWorker, g *granule, m Msg) {
+	if !g.voted(w.name) {
+		g.votes = append(g.votes, vote{
+			worker: w.name, value: m.Value, errText: m.Error, transient: m.Transient,
+		})
+	}
+	// Divergence between the first two answers escalates to a third
+	// opinion before anyone is accused or anything is decided — this
+	// must run before the quorum check, or a 1-vs-1 split would be
+	// settled by "accept the first answer" and a lie could win.
+	if len(g.votes) == 2 && g.votes[0].digest() != g.votes[1].digest() && g.votesWanted < 3 {
+		g.votesWanted = 3
+		c.stats.Divergent++
+		c.tel.Divergent()
+		c.log().Warn("fabric: cross-validation divergence, escalating to a third worker",
+			"granule", g.id, "kind", g.kind,
+			"voters", g.votes[0].worker+","+g.votes[1].worker)
+	}
+	if len(g.votes) >= g.votesWanted {
+		c.decideVotesLocked(g)
+		return
+	}
+	// If no one is left to produce another vote — no live worker that
+	// has not already answered and no copy still in flight — decide
+	// with what we have rather than hang the sweep.
+	if g.holders == 0 && !c.eligibleVoterExistsLocked(g) {
+		c.decideVotesLocked(g)
+		return
+	}
+	c.dispatchLocked()
+}
+
+// eligibleVoterExistsLocked reports whether a live worker could still
+// contribute a fresh vote for g.
+func (c *Coordinator) eligibleVoterExistsLocked(g *granule) bool {
+	for _, w := range c.workers {
+		if !w.dead && !g.voted(w.name) {
+			return true
+		}
+	}
+	return false
+}
+
+// decideVotesLocked settles a cross-validated granule: the largest
+// group of byte-identical answers wins, and when a majority exists
+// every worker outside it is quarantined — a pure function returned a
+// different answer, so the outlier lied (or its link corrupted results
+// systematically, which deserves the same treatment).
+func (c *Coordinator) decideVotesLocked(g *granule) {
+	if len(g.votes) == 0 {
+		// Every voter died before answering; back on the queue.
+		if !g.queued && g.holders == 0 {
+			c.enqueueLocked(g)
+			c.dispatchLocked()
+		}
+		return
+	}
+	groups := make(map[string]int)
+	for _, v := range g.votes {
+		groups[v.digest()]++
+	}
+	winner := g.votes[0]
+	best := 0
+	for _, v := range g.votes {
+		if n := groups[v.digest()]; n > best {
+			best = n
+			winner = v
+		}
+	}
+	c.stats.Validated++
+	c.tel.Validated()
+	if len(groups) > 1 && best >= 2 {
+		for _, v := range g.votes {
+			if v.digest() == winner.digest() {
+				continue
+			}
+			c.quarantineLocked(v.worker, fmt.Sprintf("divergent answer on granule %d (%s)", g.id, g.kind))
+		}
+	} else if len(groups) > 1 {
+		// Every answer differs: no majority to trust, nobody can be
+		// blamed. Take the first answer and say so loudly.
+		c.log().Warn("fabric: cross-validation inconclusive, accepting first answer",
+			"granule", g.id, "kind", g.kind, "answers", len(groups))
+	}
+	c.resolveLocked(g, winner.value, winner.errText, winner.transient)
+}
+
+// quarantineLocked trips the breaker for the named worker: journals the
+// decision, blocks future handshakes for the probation window, and
+// drops the live session if one exists.
+func (c *Coordinator) quarantineLocked(name, reason string) {
+	if !c.quar.QuarantineNow(name, c.tick) {
+		return
+	}
+	c.stats.Quarantined++
+	c.tel.Quarantined()
+	c.journalLocked(fleet.Entry{Op: fleet.OpQuarantine, Worker: name, Detail: reason})
+	c.log().Warn("fabric: worker quarantined", "worker", name, "reason", reason)
+	for _, w := range c.workers {
+		if w.name == name && !w.dead {
+			go c.workerGone(w, fmt.Errorf("quarantined: %s", reason))
+		}
+	}
+}
+
+// strikeLocked charges one fault and quarantines on the tripping
+// strike.
+func (c *Coordinator) strikeLocked(name, reason string) {
+	if c.quar.Strike(name, c.tick) {
+		c.stats.Quarantined++
+		c.tel.Quarantined()
+		c.journalLocked(fleet.Entry{Op: fleet.OpQuarantine, Worker: name, Detail: reason})
+		c.log().Warn("fabric: worker quarantined", "worker", name, "reason", reason)
+		for _, w := range c.workers {
+			if w.name == name && !w.dead {
+				go c.workerGone(w, fmt.Errorf("quarantined: %s", reason))
+			}
+		}
+	}
+}
+
 // handleCacheGet answers a worker's probe of the shared result cache:
 // the coordinator's resolved granules ARE the cache (they are what the
 // driver's content-keyed memos produced and consumed).
 func (c *Coordinator) handleCacheGet(w *remoteWorker, m Msg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.health.Observe(w.name, c.tick)
 	reply := Msg{Type: MsgCacheValue, ID: m.ID}
 	if g, ok := c.byKey[m.Key]; ok && g.resolved() {
 		reply.Found = true
 		reply.Value = g.value
 		reply.Error = g.errText
+		reply.Transient = g.transient
 		c.stats.CacheHits++
 	}
 	c.tel.CacheProbe(reply.Found)
@@ -460,6 +993,8 @@ func (c *Coordinator) workerGone(w *remoteWorker, cause error) {
 		}
 	}
 	c.stats.Workers--
+	c.health.Forget(w.name)
+	c.journalLocked(fleet.Entry{Op: fleet.OpGone, Worker: w.name, Detail: cause.Error()})
 	ids := make([]uint64, 0, len(w.inflight))
 	for id := range w.inflight {
 		ids = append(ids, id)
@@ -473,6 +1008,10 @@ func (c *Coordinator) workerGone(w *remoteWorker, cause error) {
 			continue
 		}
 		c.enqueueLocked(g)
+		c.journalLocked(fleet.Entry{
+			Op: fleet.OpRequeue, Kind: g.kind, Key: g.key,
+			Retries: g.retries, Detail: "holder gone: " + w.name,
+		})
 		c.stats.Requeued++
 		requeued++
 	}
@@ -484,57 +1023,264 @@ func (c *Coordinator) workerGone(w *remoteWorker, cause error) {
 		"worker", w.name, "cause", fmt.Sprint(cause), "requeued", requeued)
 }
 
-// straggleLoop periodically duplicates aged in-flight granules onto
-// idle workers. The first result wins; duplicates are pure-function
-// identical, so this trades a little wasted compute for tail latency
-// and hang immunity.
-func (c *Coordinator) straggleLoop() {
+// tickLoop advances the coordinator's logical clock and runs every
+// deadline-driven duty on it: heartbeat health classification,
+// straggler re-issue, cross-validation copy placement, backoff expiry,
+// and local-fallback engagement. One loop, one clock, so every deadline
+// in the fleet is measured the same way.
+func (c *Coordinator) tickLoop() {
 	defer c.loops.Done()
-	period := c.opts.StraggleAfter / 2
-	if period < 5*time.Millisecond {
-		period = 5 * time.Millisecond
-	}
-	ticker := time.NewTicker(period)
+	ticker := time.NewTicker(c.opts.TickEvery)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-c.closed:
 			return
 		case <-ticker.C:
-			c.reissueStragglers()
+			c.onTick()
 		}
 	}
 }
 
-// reissueStragglers walks granules in submission order and duplicates
-// any aged one onto a worker with free budget that is not already
-// holding it.
-func (c *Coordinator) reissueStragglers() {
+// onTick runs one logical-clock step.
+func (c *Coordinator) onTick() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := time.Now()
+	c.tick++
+	c.classifyHealthLocked()
+	if c.straggleTicks > 0 {
+		c.reissueStragglersLocked()
+	}
+	c.placeValidationCopiesLocked()
+	// Backoffs expire on ticks; give newly ready granules a chance.
+	c.dispatchLocked()
+	c.considerFallbackLocked()
+	c.mu.Unlock()
+}
+
+// classifyHealthLocked walks the fleet and acts on heartbeat silence:
+// suspects get their sole-held granules proactively duplicated, the
+// dead are evicted outright (and struck).
+func (c *Coordinator) classifyHealthLocked() {
+	if c.opts.Heartbeat <= 0 {
+		return
+	}
+	for _, w := range c.workers {
+		if w.dead || w.proto < 2 {
+			continue
+		}
+		switch c.health.State(w.name, c.tick) {
+		case fleet.Dead:
+			go c.workerGone(w, fmt.Errorf("heartbeat: no frame for %d ticks", c.opts.Health.DeadAfter))
+			c.strikeLocked(w.name, "heartbeat death")
+		case fleet.Suspect:
+			if w.suspect {
+				continue
+			}
+			w.suspect = true
+			c.stats.Suspects++
+			c.tel.Suspect()
+			c.log().Warn("fabric: worker suspect, duplicating its granules",
+				"worker", w.name, "inflight", len(w.inflight))
+			// Suspicion is a soft state: it hedges with duplicates but
+			// does NOT strike — a worker saturated by a long granule on
+			// a loaded host recovers on its next frame, and charging it
+			// would eject healthy capacity (fatal when it is the fleet's
+			// last worker). Strikes come from hard faults: eviction,
+			// straggling, divergence.
+			c.duplicateHoldingsLocked(w)
+		}
+	}
+}
+
+// duplicateHoldingsLocked issues copies of w's sole-held granules onto
+// other live, healthy workers with free budget — the proactive arm of
+// straggler re-issue, fired by suspicion instead of age.
+func (c *Coordinator) duplicateHoldingsLocked(w *remoteWorker) {
+	ids := make([]uint64, 0, len(w.inflight))
+	for id := range w.inflight {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		g := w.inflight[id]
+		if g.resolved() || g.holders > 1 {
+			continue
+		}
+		if t := c.idleTargetLocked(g); t != nil {
+			c.issueLocked(t, g)
+			c.stats.Duplicated++
+			c.tel.Duplicated()
+		}
+	}
+	c.tel.SyncQueue(c.workers, len(c.pending))
+}
+
+// idleTargetLocked finds a live, unsuspected worker with free budget
+// that is not already holding g (and has not voted on it).
+func (c *Coordinator) idleTargetLocked(g *granule) *remoteWorker {
+	for _, w := range c.workers {
+		if w.dead || w.suspect || len(w.inflight) >= c.opts.InFlight {
+			continue
+		}
+		if _, held := w.inflight[g.id]; held {
+			continue
+		}
+		if g.voted(w.name) {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// reissueStragglersLocked walks granules in submission order and
+// duplicates any aged one onto a worker with free budget that is not
+// already holding it. The stale holder is struck: repeatedly sitting on
+// granules past the straggle deadline is the timeout pattern the
+// circuit breaker exists for.
+func (c *Coordinator) reissueStragglersLocked() {
 	for _, g := range c.order {
 		if g.resolved() || g.queued || g.holders == 0 {
 			continue
 		}
-		if now.Sub(g.issuedAt) < c.opts.StraggleAfter {
+		if c.tick-g.issuedTick < c.straggleTicks {
 			continue
 		}
-		for _, w := range c.workers {
-			if w.dead || len(w.inflight) >= c.opts.InFlight {
-				continue
-			}
-			if _, held := w.inflight[g.id]; held {
-				continue
-			}
-			c.issueLocked(w, g)
-			c.stats.Duplicated++
-			c.tel.Duplicated()
-			c.tel.SyncQueue(c.workers, len(c.pending))
-			c.log().Info("fabric: straggler duplicated",
-				"granule", g.id, "kind", g.kind, "worker", w.name)
-			break
+		t := c.idleTargetLocked(g)
+		if t == nil {
+			continue
 		}
+		// Strike every stale holder before the re-issue bumps
+		// issuedTick; holders are found by scanning the fleet.
+		for _, w := range c.workers {
+			if _, held := w.inflight[g.id]; held {
+				c.strikeLocked(w.name, "straggling granule re-issued")
+			}
+		}
+		c.issueLocked(t, g)
+		c.stats.Duplicated++
+		c.tel.Duplicated()
+		c.tel.SyncQueue(c.workers, len(c.pending))
+		c.log().Info("fabric: straggler duplicated",
+			"granule", g.id, "kind", g.kind, "worker", t.name)
+	}
+}
+
+// placeValidationCopiesLocked issues the redundant copies that
+// cross-validated granules still need, one eligible worker at a time.
+func (c *Coordinator) placeValidationCopiesLocked() {
+	if c.opts.ValidateEvery <= 0 {
+		return
+	}
+	for _, g := range c.order {
+		if g.resolved() || g.votesWanted <= 1 {
+			continue
+		}
+		// Useful copies are votes already cast plus copies live workers
+		// still hold. issuedTo would over-count: an issue to a worker
+		// that has since died (or been quarantined mid-validation) will
+		// never become a vote, and counting it parks the granule forever.
+		for len(g.votes)+g.holders < g.votesWanted {
+			t := c.validationTargetLocked(g)
+			if t == nil {
+				// No fresh voter exists. If no copy is in flight either,
+				// the electorate is exhausted: decide with the votes in
+				// hand rather than hang the sweep.
+				if g.holders == 0 && len(g.votes) > 0 && !c.eligibleVoterExistsLocked(g) {
+					c.decideVotesLocked(g)
+				}
+				break
+			}
+			c.issueLocked(t, g)
+		}
+	}
+}
+
+// validationTargetLocked finds a live worker with free budget that has
+// never been issued g and has not voted on it.
+func (c *Coordinator) validationTargetLocked(g *granule) *remoteWorker {
+	for _, w := range c.workers {
+		if w.dead || len(w.inflight) >= c.opts.InFlight {
+			continue
+		}
+		if g.issuedTo[w.name] || g.voted(w.name) {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// considerFallbackLocked engages the in-process drain when the fleet
+// has been gone with work pending for LocalFallbackAfter.
+func (c *Coordinator) considerFallbackLocked() {
+	if c.fallbackTicks == 0 || c.fallback {
+		return
+	}
+	if c.stats.Workers > 0 || len(c.pending) == 0 {
+		c.idle = 0
+		return
+	}
+	c.idle++
+	if c.idle < c.fallbackTicks {
+		return
+	}
+	c.fallback = true
+	c.journalLocked(fleet.Entry{Op: fleet.OpFallback, Detail: "no workers, executing in-process"})
+	c.log().Warn("fabric: no workers, degrading to in-process execution",
+		"pending", len(c.pending))
+	c.loops.Add(1)
+	go c.fallbackDrain()
+}
+
+// fallbackDrain executes pending granules in-process, in id order,
+// until the queue empties or a worker joins (the fleet takes back
+// over). Runs the same registered executors the workers run, so values
+// are bit-identical to remote execution.
+func (c *Coordinator) fallbackDrain() {
+	defer c.loops.Done()
+	for {
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		c.mu.Lock()
+		if c.stats.Workers > 0 {
+			c.fallback = false
+			c.idle = 0
+			c.mu.Unlock()
+			return
+		}
+		g := c.popReadyLocked(nil)
+		if g == nil {
+			c.fallback = false
+			c.idle = 0
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		var value json.RawMessage
+		exec, err := lookupKind(g.kind)
+		if err == nil {
+			//lint:ignore ctxflow the coordinator owns this drain goroutine; Close() resolves pending granules, which ends the loop between executions
+			value, err = runExecutor(context.Background(), exec, Msg{Kind: g.kind, Spec: g.spec})
+		}
+		c.mu.Lock()
+		c.stats.FallbackExecs++
+		c.tel.Fallback()
+		if g.resolved() {
+			c.tel.LateResult()
+			c.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			c.resolveLocked(g, nil, err.Error(), fleet.IsTransient(err))
+		} else {
+			c.resolveLocked(g, value, "", false)
+		}
+		c.mu.Unlock()
 	}
 }
 

@@ -17,9 +17,21 @@ import (
 	"lpm/internal/resilience"
 )
 
-// ProtoVersion is carried in the hello/welcome handshake; a coordinator
-// refuses workers speaking a different version rather than guessing.
-const ProtoVersion = 1
+// ProtoVersion is the newest protocol this build speaks. The handshake
+// negotiates down: a coordinator accepts any hello from 1 up to its own
+// version and answers with the version the session will use (the
+// worker's), so old workers keep working across a fleet upgrade. A
+// hello from the *future* is refused — the coordinator cannot guess
+// what a newer worker means.
+//
+// Version 2 adds the ping/pong heartbeat pair (PingMS in the welcome
+// tells the worker its cadence) and the Transient/Busy/RTT fields. A
+// proto-1 session carries none of them: such workers send no pings and
+// are exempt from heartbeat health classification.
+const ProtoVersion = 2
+
+// MinProtoVersion is the oldest protocol the coordinator still admits.
+const MinProtoVersion = 1
 
 // MaxFrame caps a frame's payload, inherited from the checkpoint
 // envelope: anything larger is corruption, not data.
@@ -43,6 +55,14 @@ const (
 	// MsgCacheValue is coordinator → worker: cache reply; Found reports
 	// whether Value holds a hit.
 	MsgCacheValue = "cachevalue"
+	// MsgPing is worker → coordinator (proto ≥ 2): periodic liveness
+	// proof carrying slot-occupancy and last measured round-trip
+	// telemetry. ID correlates the pong.
+	MsgPing = "ping"
+	// MsgPong is coordinator → worker (proto ≥ 2): ping acknowledgement
+	// echoing ID; the worker times it to measure RTT and counts missed
+	// pongs to detect a wedged session from its side.
+	MsgPong = "pong"
 )
 
 // Msg is the single message shape for every frame in both directions;
@@ -61,6 +81,19 @@ type Msg struct {
 	Value  json.RawMessage `json:"value,omitempty"`
 	Found  bool            `json:"found,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Transient classifies Error on result/cachevalue frames (proto ≥ 2):
+	// true means a transport-shaped failure worth charging against the
+	// granule's retry budget, false a deterministic failure that will
+	// reproduce anywhere. Proto-1 peers omit it; absent means permanent.
+	Transient bool `json:"transient,omitempty"`
+	// Busy is the executing-granule count on ping frames.
+	Busy int `json:"busy,omitempty"`
+	// RTT is the worker's last measured ping round trip in microseconds,
+	// reported on the following ping.
+	RTT int64 `json:"rtt,omitempty"`
+	// PingMS is the heartbeat cadence the coordinator assigns in the
+	// welcome frame; 0 disables pings for the session.
+	PingMS int64 `json:"ping_ms,omitempty"`
 }
 
 // EncodeFrame marshals m and wraps it in the checkpoint envelope.

@@ -37,6 +37,15 @@ type Telemetry struct {
 	probeHits   *obs.Counter
 	probeMisses *obs.Counter
 
+	heartbeats  *obs.Counter
+	suspects    *obs.Counter
+	retried     *obs.Counter
+	quarantined *obs.Counter
+	readmitted  *obs.Counter
+	validated   *obs.Counter
+	divergent   *obs.Counter
+	fallback    *obs.Counter
+
 	latency *obs.Histogram
 }
 
@@ -60,6 +69,14 @@ func NewTelemetry(reg *obs.Registry) *Telemetry {
 		lateResults: reg.Counter("fabric.late_results_ignored"),
 		probeHits:   reg.Counter("fabric.cache_probe_hits"),
 		probeMisses: reg.Counter("fabric.cache_probe_misses"),
+		heartbeats:  reg.Counter("fabric.heartbeats"),
+		suspects:    reg.Counter("fabric.workers_suspected"),
+		retried:     reg.Counter("fabric.granules_retried"),
+		quarantined: reg.Counter("fabric.workers_quarantined"),
+		readmitted:  reg.Counter("fabric.workers_readmitted"),
+		validated:   reg.Counter("fabric.granules_validated"),
+		divergent:   reg.Counter("fabric.validations_divergent"),
+		fallback:    reg.Counter("fabric.fallback_execs"),
 		latency:     reg.Histogram("fabric.granule_seconds", 0, 30, 120),
 	}
 }
@@ -134,6 +151,71 @@ func (t *Telemetry) Duplicated() {
 		return
 	}
 	t.duplicated.Inc()
+}
+
+// Heartbeat counts a worker ping frame.
+func (t *Telemetry) Heartbeat() {
+	if t == nil {
+		return
+	}
+	t.heartbeats.Inc()
+}
+
+// Suspect counts a healthy→suspect health transition.
+func (t *Telemetry) Suspect() {
+	if t == nil {
+		return
+	}
+	t.suspects.Inc()
+}
+
+// Retried counts a transient-failure re-queue charged to a granule's
+// retry budget.
+func (t *Telemetry) Retried() {
+	if t == nil {
+		return
+	}
+	t.retried.Inc()
+}
+
+// Quarantined counts a worker tripping the circuit breaker.
+func (t *Telemetry) Quarantined() {
+	if t == nil {
+		return
+	}
+	t.quarantined.Inc()
+}
+
+// Readmitted counts a worker readmitted after probation.
+func (t *Telemetry) Readmitted() {
+	if t == nil {
+		return
+	}
+	t.readmitted.Inc()
+}
+
+// Validated counts a cross-validated granule decided.
+func (t *Telemetry) Validated() {
+	if t == nil {
+		return
+	}
+	t.validated.Inc()
+}
+
+// Divergent counts a cross-validation that caught disagreeing answers.
+func (t *Telemetry) Divergent() {
+	if t == nil {
+		return
+	}
+	t.divergent.Inc()
+}
+
+// Fallback counts a granule executed in-process by the local fallback.
+func (t *Telemetry) Fallback() {
+	if t == nil {
+		return
+	}
+	t.fallback.Inc()
 }
 
 // CacheProbe records one shared-cache probe and whether it hit.

@@ -5,20 +5,30 @@ package fabric
 // the context cancels. Workers are deliberately stateless — every
 // granule is a pure function of its spec — so killing one at any
 // instant loses nothing but time.
+//
+// On a proto-2 session the worker also heartbeats: periodic ping
+// frames carry slot occupancy and the last measured round trip, the
+// coordinator answers each with a pong, and a run of missed pongs
+// makes the worker abandon the session itself — its half of the
+// hung-TCP detection the coordinator's health deadlines do from the
+// other side.
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lpm/internal/cliutil"
 	"lpm/internal/faultinject"
+	"lpm/internal/resilience/fleet"
 )
 
 // ErrDial marks a RunWorker failure that happened before any connection
@@ -27,6 +37,14 @@ import (
 // broke" (worth redialling: the coordinator may still be running and
 // holding our abandoned granules).
 var ErrDial = errors.New("fabric: dial failed")
+
+// missedPongLimit is how many ping intervals of total inbound silence
+// (no frame of any type, not just pongs) a worker tolerates before
+// declaring its session wedged and dropping it. Deliberately lenient —
+// a coordinator grinding under load answers pings late without the
+// session being hung; a genuinely wedged TCP session (the peer
+// vanished without a FIN) stays silent and is caught within seconds.
+const missedPongLimit = 16
 
 // WorkerOptions configure RunWorker.
 type WorkerOptions struct {
@@ -41,8 +59,17 @@ type WorkerOptions struct {
 	NoCacheProbe bool
 	// DialRetry keeps retrying a failed dial for this long before
 	// giving up, so workers may be launched before their coordinator.
-	// 0 fails fast on the first refused connection.
+	// 0 fails fast on the first refused connection. Attempts are spaced
+	// by Retry's seeded backoff schedule.
 	DialRetry time.Duration
+	// Retry is the deterministic backoff policy behind dial retries and
+	// cache-probe re-sends. The zero value means fleet defaults seeded
+	// by Seed.
+	Retry fleet.RetryPolicy
+	// Seed seeds the default retry policy's jitter stream; give each
+	// worker a distinct seed so a killed fleet does not re-dial in
+	// lockstep.
+	Seed uint64
 	// Log receives structured worker diagnostics with granule attrs;
 	// nil discards them.
 	Log *slog.Logger
@@ -57,6 +84,17 @@ type WorkerOptions struct {
 	// a straggler duplicate may already have resolved it. Nil disables
 	// the bookkeeping.
 	Reprobe *ReprobeSet
+}
+
+// retryPolicy resolves the effective backoff policy.
+func (o WorkerOptions) retryPolicy() fleet.RetryPolicy {
+	if o.Retry == (fleet.RetryPolicy{}) {
+		p := fleet.Defaults(o.Seed)
+		p.Base = 100 * time.Millisecond
+		p.Cap = 2 * time.Second
+		return p
+	}
+	return o.Retry
 }
 
 // ReprobeSet is a concurrency-safe set of granule keys whose execution
@@ -113,7 +151,7 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	if opts.Slots <= 0 {
 		opts.Slots = 1
 	}
-	conn, err := dialRetry(ctx, addr, opts.DialRetry)
+	conn, err := dialRetry(ctx, addr, opts.DialRetry, opts.retryPolicy())
 	if err != nil {
 		return fmt.Errorf("%w: coordinator %s: %v", ErrDial, addr, err)
 	}
@@ -123,9 +161,10 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	}
 
 	w := &workerState{
-		opts:    opts,
-		conn:    conn,
-		pending: make(map[uint64]chan Msg),
+		opts:     opts,
+		conn:     conn,
+		pending:  make(map[uint64]chan Msg),
+		pingSent: make(map[uint64]time.Time),
 	}
 	w.ctx, w.cancel = context.WithCancel(ctx)
 	defer w.cancel()
@@ -141,16 +180,23 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	if err != nil {
 		return fmt.Errorf("fabric: handshake: %w", err)
 	}
-	if welcome.Type != MsgWelcome || welcome.Proto != ProtoVersion {
-		return fmt.Errorf("fabric: handshake: coordinator sent %q (proto %d), want %q (proto %d)",
-			welcome.Type, welcome.Proto, MsgWelcome, ProtoVersion)
+	if welcome.Type != MsgWelcome || welcome.Proto < MinProtoVersion || welcome.Proto > ProtoVersion {
+		return fmt.Errorf("fabric: handshake: coordinator sent %q (proto %d), want %q (proto %d..%d)",
+			welcome.Type, welcome.Proto, MsgWelcome, MinProtoVersion, ProtoVersion)
 	}
+	w.proto = welcome.Proto
+	w.lastFrame.Store(time.Now().UnixNano())
 	w.log().Info("fabric: worker connected",
-		"worker", opts.Name, "coordinator", addr, "slots", opts.Slots)
+		"worker", opts.Name, "coordinator", addr, "proto", w.proto, "slots", opts.Slots)
+	if w.proto >= 2 && welcome.PingMS > 0 {
+		w.loops.Add(1)
+		go w.heartbeatLoop(time.Duration(welcome.PingMS) * time.Millisecond)
+	}
 
 	err = w.readLoop()
 	w.cancel()
 	w.execs.Wait()
+	w.loops.Wait()
 	if err == nil || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
 		errors.Is(err, syscall.ECONNRESET) || ctx.Err() != nil {
 		// The coordinator finished (EOF/reset), or we were cancelled:
@@ -161,10 +207,12 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 }
 
 // dialRetry dials the coordinator, retrying refused connections inside
-// the window so worker and coordinator launch order does not matter.
-func dialRetry(ctx context.Context, addr string, window time.Duration) (net.Conn, error) {
+// the window — spaced by the shared backoff policy, so worker and
+// coordinator launch order does not matter and a restarted fleet does
+// not hammer the listener in lockstep.
+func dialRetry(ctx context.Context, addr string, window time.Duration, policy fleet.RetryPolicy) (net.Conn, error) {
 	deadline := time.Now().Add(window)
-	for {
+	for attempt := 0; ; attempt++ {
 		var d net.Dialer
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
@@ -173,10 +221,8 @@ func dialRetry(ctx context.Context, addr string, window time.Duration) (net.Conn
 		if ctx.Err() != nil || !time.Now().Before(deadline) {
 			return nil, err
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(100 * time.Millisecond):
+		if serr := policy.Sleep(ctx, attempt); serr != nil {
+			return nil, err
 		}
 	}
 }
@@ -185,14 +231,23 @@ func dialRetry(ctx context.Context, addr string, window time.Duration) (net.Conn
 type workerState struct {
 	opts   WorkerOptions
 	conn   net.Conn
+	proto  int
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	writeMu sync.Mutex // serialises frames from concurrent executions
 	execs   sync.WaitGroup
+	loops   sync.WaitGroup
 
-	mu      sync.Mutex
-	pending map[uint64]chan Msg // cacheget correlation, keyed by granule id
+	busy      atomic.Int64 // granules currently executing
+	pingSeq   atomic.Uint64
+	pongSeen  atomic.Uint64 // ID of the last pong received
+	lastRTT   atomic.Int64  // microseconds
+	lastFrame atomic.Int64  // UnixNano of the last inbound frame
+
+	mu       sync.Mutex
+	pending  map[uint64]chan Msg  // cacheget correlation, keyed by granule id
+	pingSent map[uint64]time.Time // outstanding pings, for RTT measurement
 }
 
 // send writes one frame, serialised against concurrent executions. A
@@ -210,8 +265,67 @@ func (w *workerState) send(m Msg) error {
 	return nil
 }
 
+// heartbeatLoop sends pings on the coordinator-assigned cadence,
+// carrying slot occupancy and the last measured round trip. When
+// missedPongLimit ping intervals pass with no inbound frame of any
+// kind, the session is wedged — bytes are not flowing even though the
+// socket looks open — so the worker drops the link itself and lets its
+// reconnect path take over.
+func (w *workerState) heartbeatLoop(every time.Duration) {
+	defer w.loops.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		seq := w.pingSeq.Add(1)
+		seen := w.pongSeen.Load()
+		if silent := time.Since(time.Unix(0, w.lastFrame.Load())); silent > time.Duration(missedPongLimit)*every {
+			w.log().Warn("fabric: session wedged, dropping connection",
+				"worker", w.opts.Name, "silent", silent.String(), "pings_unanswered", seq-seen-1)
+			_ = w.conn.Close()
+			w.cancel()
+			return
+		}
+		w.mu.Lock()
+		w.pingSent[seq] = time.Now()
+		// Trim acknowledged entries so the map stays bounded.
+		for id := range w.pingSent {
+			if id <= seen {
+				delete(w.pingSent, id)
+			}
+		}
+		w.mu.Unlock()
+		if err := w.send(Msg{
+			Type: MsgPing, ID: seq,
+			Busy: int(w.busy.Load()), RTT: w.lastRTT.Load(),
+		}); err != nil {
+			return
+		}
+	}
+}
+
+// pongReceived records a pong: liveness proof plus an RTT sample for
+// the next ping's telemetry.
+func (w *workerState) pongReceived(m Msg) {
+	prev := w.pongSeen.Load()
+	if m.ID > prev {
+		w.pongSeen.Store(m.ID)
+	}
+	w.mu.Lock()
+	if at, ok := w.pingSent[m.ID]; ok {
+		w.lastRTT.Store(time.Since(at).Microseconds())
+		delete(w.pingSent, m.ID)
+	}
+	w.mu.Unlock()
+}
+
 // readLoop demultiplexes coordinator frames: work starts an execution
-// slot, cache replies route to the waiting execution.
+// slot, cache replies route to the waiting execution, pongs feed the
+// heartbeat accounting.
 func (w *workerState) readLoop() error {
 	sem := make(chan struct{}, w.opts.Slots)
 	for {
@@ -220,6 +334,7 @@ func (w *workerState) readLoop() error {
 		if err != nil {
 			return err
 		}
+		w.lastFrame.Store(time.Now().UnixNano())
 		switch m.Type {
 		case MsgWork:
 			// The slot is acquired inside the goroutine, never here: the
@@ -246,6 +361,8 @@ func (w *workerState) readLoop() error {
 				//lint:ignore ctxflow pending reply channels are buffered (cap 1); the send cannot block
 				ch <- m
 			}
+		case MsgPong:
+			w.pongReceived(m)
 		default:
 			return fmt.Errorf("fabric: unexpected %q frame from coordinator", m.Type)
 		}
@@ -256,8 +373,11 @@ func (w *workerState) readLoop() error {
 // live here: "fabric.worker.kill" drops the connection mid-granule (a
 // crashed worker), "fabric.worker.hang" wedges the slot until the
 // connection dies (a livelocked worker the straggler re-issue must
-// cover for).
+// cover for), and "fabric.worker.lie" corrupts the computed value
+// before it is sent (a lying worker cross-validation must catch).
 func (w *workerState) execute(m Msg) {
+	w.busy.Add(1)
+	defer w.busy.Add(-1)
 	if err := faultinject.Hit("fabric.worker.kill", m.Kind); err != nil {
 		w.log().Warn("fabric: injected kill on granule",
 			"worker", w.opts.Name, "granule", m.ID, "err", err.Error())
@@ -285,7 +405,8 @@ func (w *workerState) execute(m Msg) {
 	if !w.opts.NoCacheProbe || reprobe {
 		if hit, reply := w.cacheProbe(m); hit {
 			w.opts.Obs.ProbeHit()
-			_ = w.send(Msg{Type: MsgResult, ID: m.ID, Value: reply.Value, Error: reply.Error})
+			_ = w.send(Msg{Type: MsgResult, ID: m.ID,
+				Value: reply.Value, Error: reply.Error, Transient: reply.Transient})
 			return
 		}
 	}
@@ -310,6 +431,23 @@ func (w *workerState) execute(m Msg) {
 		}
 		result.Value = nil
 		result.Error = err.Error()
+		result.Transient = fleet.IsTransient(err)
+	}
+	if lieErr := faultinject.Hit("fabric.worker.lie", m.Kind); lieErr != nil && result.Error == "" {
+		// A lying worker: the computed value is silently corrupted on
+		// the way out. Deterministic per granule id so the chaos suite
+		// replays the exact same lie. The lie must stay valid JSON — a
+		// bit flip that breaks the encoding would fail the frame write
+		// and kill the session before the lie ever reaches a vote
+		// (wire-level damage is the separate "fabric.frame.write"
+		// point), so an unencodable flip falls back to a structured lie.
+		lie := faultinject.FlipBit(result.Value, int64(m.ID))
+		if !json.Valid(lie) {
+			lie, _ = json.Marshal(map[string]uint64{"lie": m.ID})
+		}
+		result.Value = lie
+		w.log().Warn("fabric: injected lie on granule",
+			"worker", w.opts.Name, "granule", m.ID, "err", lieErr.Error())
 	}
 	w.opts.Obs.Executed(time.Since(start), result.Error != "")
 	_ = w.send(result)
@@ -326,23 +464,50 @@ func runExecutor(ctx context.Context, exec Executor, m Msg) (value []byte, err e
 	return exec(ctx, m.Spec)
 }
 
+// cacheProbeAttempts bounds probe re-sends before degrading to local
+// computation — the probe is an optimisation, never a dependency.
+const cacheProbeAttempts = 3
+
 // cacheProbe asks the coordinator's shared result cache for this
 // granule's key; false means compute locally (a probe that fails in
-// transit just degrades to computing, never to a missing result).
+// transit just degrades to computing, never to a missing result). A
+// reply lost on a flaky link is re-requested on the shared backoff
+// schedule before giving up.
 func (w *workerState) cacheProbe(m Msg) (bool, Msg) {
-	ch := make(chan Msg, 1)
+	policy := w.opts.retryPolicy()
+	for attempt := 0; attempt < cacheProbeAttempts; attempt++ {
+		ch := make(chan Msg, 1)
+		w.mu.Lock()
+		w.pending[m.ID] = ch
+		w.mu.Unlock()
+		if err := w.send(Msg{Type: MsgCacheGet, ID: m.ID, Key: m.Key}); err != nil {
+			return false, Msg{}
+		}
+		// Wait generously relative to the backoff schedule; a healthy
+		// round trip answers in microseconds.
+		wait := time.NewTimer(10 * policy.Delay(attempt))
+		select {
+		case reply := <-ch:
+			wait.Stop()
+			return reply.Found, reply
+		case <-w.ctx.Done():
+			wait.Stop()
+			w.dropProbe(m.ID)
+			return false, Msg{}
+		case <-wait.C:
+			w.dropProbe(m.ID)
+		}
+	}
+	w.log().Warn("fabric: cache probe unanswered, computing locally",
+		"worker", w.opts.Name, "granule", m.ID, "key", m.Key)
+	return false, Msg{}
+}
+
+// dropProbe deregisters a probe whose reply is no longer awaited.
+func (w *workerState) dropProbe(id uint64) {
 	w.mu.Lock()
-	w.pending[m.ID] = ch
+	delete(w.pending, id)
 	w.mu.Unlock()
-	if err := w.send(Msg{Type: MsgCacheGet, ID: m.ID, Key: m.Key}); err != nil {
-		return false, Msg{}
-	}
-	select {
-	case reply := <-ch:
-		return reply.Found, reply
-	case <-w.ctx.Done():
-		return false, Msg{}
-	}
 }
 
 // log returns the worker's structured logger (discard when none was

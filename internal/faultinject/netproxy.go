@@ -1,0 +1,249 @@
+package faultinject
+
+// NetProxy is a deterministic network-fault TCP forwarder for the chaos
+// suite: the coordinator listens normally, workers dial the proxy, and
+// the test script flips faults on the wire between them — added
+// latency, a full partition that blackholes bytes while keeping both
+// sockets open (the hung-TCP case heartbeats exist to catch), one-shot
+// frame corruption (a single flipped bit, which the LPMCKPT1 CRC must
+// reject), and torn frames (half the bytes, then connection reset).
+//
+// Faults apply per forwarded chunk, so "corrupt the next frame" damages
+// whatever write the kernel delivers next — realistic damage at a
+// realistic boundary. All mutation goes through FlipBit's seeded
+// generator; a NetProxy scenario replays identically for a given seed
+// and fault script.
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetProxy forwards TCP connections to Target and injects the armed
+// faults into both directions of every connection.
+type NetProxy struct {
+	ln     net.Listener
+	target string
+
+	mu       sync.Mutex
+	latency  time.Duration
+	parted   bool
+	healCh   chan struct{} // closed on Heal; nil when not partitioned
+	corrupt  int           // chunks still to corrupt (one bit each)
+	tear     int           // chunks still to tear (half bytes + reset)
+	seed     int64
+	conns    map[net.Conn]struct{}
+	closed   bool
+	forwards atomic.Int64
+}
+
+// NewNetProxy starts a proxy on a loopback port forwarding to target.
+// seed drives the corruption bit choices.
+func NewNetProxy(target string, seed int64) (*NetProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &NetProxy{
+		ln:     ln,
+		target: target,
+		seed:   seed,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what workers should dial.
+func (p *NetProxy) Addr() string { return p.ln.Addr().String() }
+
+// Forwards reports how many chunks the proxy has forwarded, a liveness
+// probe for tests that need to know traffic actually flowed.
+func (p *NetProxy) Forwards() int64 { return p.forwards.Load() }
+
+// SetLatency delays every subsequently forwarded chunk by d.
+func (p *NetProxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency = d
+}
+
+// Partition blackholes all traffic in both directions while keeping
+// every connection open: the TCP sessions look alive but no bytes move,
+// exactly the failure heartbeat deadlines exist to detect. Traffic
+// resumes on Heal.
+func (p *NetProxy) Partition() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.parted {
+		return
+	}
+	p.parted = true
+	p.healCh = make(chan struct{})
+}
+
+// Heal ends a partition; chunks blocked mid-flight resume forwarding.
+func (p *NetProxy) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.parted {
+		return
+	}
+	p.parted = false
+	close(p.healCh)
+	p.healCh = nil
+}
+
+// CorruptNext flips one seeded bit in each of the next n forwarded
+// chunks — framing CRCs must catch it and the session must recover.
+func (p *NetProxy) CorruptNext(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.corrupt += n
+}
+
+// TearNext forwards only the first half of each of the next n chunks
+// and then drops the connection carrying it — a torn frame followed by
+// a reset, the classic mid-write crash signature.
+func (p *NetProxy) TearNext(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tear += n
+}
+
+// DropAll severs every live proxied connection without touching fault
+// state; workers see a reset and re-dial through their backoff policy.
+func (p *NetProxy) DropAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Close order across the set is irrelevant: every conn is severed
+	// unconditionally, so iterating the map directly is fine.
+	for c := range p.conns {
+		_ = c.Close()
+	}
+}
+
+// Close shuts the listener and severs every connection.
+func (p *NetProxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	if p.parted {
+		// Unblock pumps parked on the partition so they can exit.
+		p.parted = false
+		close(p.healCh)
+		p.healCh = nil
+	}
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	p.DropAll()
+}
+
+func (p *NetProxy) accept() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			_ = client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = client.Close()
+			_ = upstream.Close()
+			return
+		}
+		p.conns[client] = struct{}{}
+		p.conns[upstream] = struct{}{}
+		p.mu.Unlock()
+		go p.pump(client, upstream)
+		go p.pump(upstream, client)
+	}
+}
+
+// pump forwards src→dst chunk by chunk, applying the armed faults to
+// each chunk. Closing either side tears down both, so a torn chunk
+// resets the whole proxied session.
+func (p *NetProxy) pump(src, dst net.Conn) {
+	defer func() {
+		_ = src.Close()
+		_ = dst.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		delete(p.conns, dst)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if !p.deliver(&chunk, dst) {
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			p.forwards.Add(1)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// deliver applies latency/partition/corrupt/tear to one chunk. It
+// returns false when the chunk (and the connection) must die instead of
+// being written by the caller.
+func (p *NetProxy) deliver(chunk *[]byte, dst net.Conn) bool {
+	p.mu.Lock()
+	for p.parted {
+		heal := p.healCh
+		p.mu.Unlock()
+		// Park until Heal (or Close) closes the channel; bytes written
+		// during a partition are simply delayed, as on a real stalled
+		// path, not reordered or dropped.
+		<-heal
+		p.mu.Lock()
+	}
+	latency := p.latency
+	corrupt, tear := false, false
+	if p.tear > 0 {
+		p.tear--
+		tear = true
+	} else if p.corrupt > 0 {
+		p.corrupt--
+		corrupt = true
+	}
+	seed := p.seed
+	if corrupt {
+		// Advance the seed so successive corruptions pick fresh bits.
+		p.seed++
+	}
+	p.mu.Unlock()
+
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if tear {
+		half := *chunk
+		if len(half) > 1 {
+			half = half[:len(half)/2]
+		}
+		_, _ = dst.Write(half)
+		return false
+	}
+	if corrupt {
+		*chunk = FlipBit(*chunk, seed)
+	}
+	return true
+}

@@ -101,6 +101,7 @@ func Analyzers() []*Analyzer {
 		analyzerHotPathAlloc,
 		analyzerCtxFlow,
 		analyzerFabricProto,
+		analyzerRetryDiscipline,
 	}
 }
 

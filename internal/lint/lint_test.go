@@ -130,6 +130,8 @@ func TestHotPathAllocFixture(t *testing.T) { t.Parallel(); fixtureTest(t, "hotpa
 func TestCtxFlowFixture(t *testing.T)      { t.Parallel(); fixtureTest(t, "ctxflow") }
 func TestFabricProtoFixture(t *testing.T)  { t.Parallel(); fixtureTest(t, "fabricproto") }
 
+func TestRetryDisciplineFixture(t *testing.T) { t.Parallel(); fixtureTest(t, "retrydiscipline") }
+
 // TestScopeOverride re-aims floateq at internal/sim via Config.Scopes:
 // the out-of-scope file's compare surfaces, the in-scope one's do not.
 func TestScopeOverride(t *testing.T) {

@@ -1,0 +1,31 @@
+// The fixture worker binary: its reconnect loop is the canonical
+// consumer of the shared policy.
+package main
+
+import (
+	"context"
+	"time"
+
+	"lpm/internal/fabric"
+	"lpm/internal/resilience/fleet"
+)
+
+func main() {
+	ctx := context.Background()
+	policy := fleet.Defaults(7)
+	for attempt := 0; ctx.Err() == nil; attempt++ {
+		_ = fabric.RunWorker(ctx, "127.0.0.1:9000")
+		if err := policy.Sleep(ctx, attempt); err != nil {
+			return
+		}
+	}
+}
+
+// legacyReconnect is the pre-policy loop shape the probe exists to
+// catch in the worker binary.
+func legacyReconnect(ctx context.Context) {
+	for ctx.Err() == nil {
+		_ = fabric.RunWorker(ctx, "127.0.0.1:9000")
+		time.Sleep(time.Second) // want "hand-rolled retry pacing"
+	}
+}

@@ -1,0 +1,3 @@
+module lpm
+
+go 1.22

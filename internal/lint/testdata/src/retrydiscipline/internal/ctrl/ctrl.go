@@ -1,0 +1,40 @@
+// Package ctrl is the fixture's control plane: run-submission retries
+// and jitter sourcing.
+package ctrl
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"time"
+
+	"lpm/internal/resilience/fleet"
+)
+
+// badJitter draws retry jitter from the global RNG: unseeded, so two
+// runs of the same sweep back off differently.
+func badJitter(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base))) // want "math/rand in the fleet layer"
+}
+
+// badSubmitRetry re-dials the control listener with a bare sleep.
+func badSubmitRetry(addr string) {
+	for {
+		if _, err := net.Dial("tcp", addr); err == nil {
+			return
+		}
+		time.Sleep(250 * time.Millisecond) // want "hand-rolled retry pacing"
+	}
+}
+
+// goodSubmitRetry paces through the shared policy.
+func goodSubmitRetry(ctx context.Context, addr string, policy fleet.RetryPolicy) {
+	for attempt := 0; ; attempt++ {
+		if _, err := net.Dial("tcp", addr); err == nil {
+			return
+		}
+		if err := policy.Sleep(ctx, attempt); err != nil {
+			return
+		}
+	}
+}

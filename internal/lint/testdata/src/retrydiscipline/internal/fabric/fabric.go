@@ -1,0 +1,90 @@
+// Package fabric is the fixture's wire surface: the frame and worker
+// entry points the analyzer treats as network retry targets.
+package fabric
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"lpm/internal/resilience/fleet"
+)
+
+// Msg is a placeholder frame.
+type Msg struct{ Type string }
+
+// ReadFrame reads one frame.
+func ReadFrame(conn net.Conn) (Msg, error) { return Msg{}, nil }
+
+// WriteFrame writes one frame.
+func WriteFrame(conn net.Conn, m Msg) error { return nil }
+
+// RunWorker serves granules until the session ends.
+func RunWorker(ctx context.Context, addr string) error {
+	_, err := net.Dial("tcp", addr)
+	return err
+}
+
+// badRedial hammers the coordinator with a hand-rolled sleep schedule.
+func badRedial(ctx context.Context, addr string) {
+	for ctx.Err() == nil {
+		_ = RunWorker(ctx, addr)
+		time.Sleep(100 * time.Millisecond) // want "hand-rolled retry pacing"
+	}
+}
+
+// badDialWait re-dials with a raw timer instead of the policy.
+func badDialWait(addr string) net.Conn {
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn
+		}
+		<-time.After(time.Second) // want "hand-rolled retry pacing"
+	}
+}
+
+// badFrameResend paces a frame re-send loop by hand.
+func badFrameResend(conn net.Conn, m Msg) {
+	for i := 0; i < 3; i++ {
+		if WriteFrame(conn, m) == nil {
+			return
+		}
+		t := time.NewTimer(50 * time.Millisecond) // want "hand-rolled retry pacing"
+		<-t.C
+	}
+}
+
+// goodRedial paces reconnects through the shared policy.
+func goodRedial(ctx context.Context, addr string, policy fleet.RetryPolicy) {
+	for attempt := 0; ctx.Err() == nil; attempt++ {
+		_ = RunWorker(ctx, addr)
+		if err := policy.Sleep(ctx, attempt); err != nil {
+			return
+		}
+	}
+}
+
+// goodPoll sleeps in a loop that does no network I/O: pacing a local
+// poll is not a retry-discipline concern.
+func goodPoll(done func() bool) {
+	for !done() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// goodNestedScope sleeps in an inner bookkeeping loop while the outer
+// loop dials; the levels are independent and only same-level pairing
+// is a finding.
+func goodNestedScope(addr string, steps []int) {
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		for range steps {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

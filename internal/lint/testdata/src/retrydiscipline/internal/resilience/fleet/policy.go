@@ -1,0 +1,41 @@
+// Package fleet is the fixture's stand-in for the shared retry policy:
+// the sanctioned pacing surface retrydiscipline steers loops toward.
+package fleet
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy is the shared capped, seeded backoff schedule.
+type RetryPolicy struct {
+	Base time.Duration
+	Cap  time.Duration
+	Seed uint64
+}
+
+// Defaults returns the fleet-wide policy for a seed.
+func Defaults(seed uint64) RetryPolicy {
+	return RetryPolicy{Base: 50 * time.Millisecond, Cap: 2 * time.Second, Seed: seed}
+}
+
+// Delay returns the pause before the given attempt.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	d := p.Base << uint(attempt)
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// Sleep pauses for Delay(attempt) or until ctx cancels.
+func (p RetryPolicy) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
